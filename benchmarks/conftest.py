@@ -1,0 +1,13 @@
+"""Shared benchmark helpers.
+
+Every benchmark runs its experiment exactly once (rounds=1) — these
+are *reproduction* benchmarks whose value is the rendered report and
+the shape assertions, not statistical timing.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run *func* once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

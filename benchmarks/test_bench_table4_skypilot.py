@@ -1,0 +1,36 @@
+"""Table 4 bench: SpotVerse vs SkyPilot.
+
+Shape claims from Section 5.2.5: SpotVerse has far fewer interruptions
+(paper: 42 vs 129), substantially lower cost (paper: -51 %) and much
+shorter completion (paper: -60 %) than the price-chasing SkyPilot
+broker, whose numbers land close to the single-region baseline.
+"""
+
+from conftest import run_once
+
+from repro.experiments.skypilot_comparison import run_skypilot_comparison
+
+
+def test_table4_skypilot_comparison(benchmark):
+    result = run_once(benchmark, run_skypilot_comparison, n_workloads=40, seed=7)
+    print()
+    print(result.render())
+
+    spotverse = result.spotverse
+    skypilot = result.skypilot
+
+    assert spotverse.all_complete and skypilot.all_complete
+
+    # Interruptions: SkyPilot suffers several times more.
+    assert skypilot.total_interruptions > 2 * spotverse.total_interruptions
+
+    # Cost: SpotVerse at least 25 % cheaper (paper: 51 %).
+    assert result.cost_reduction_pct() > 25
+
+    # Completion: SpotVerse substantially faster (paper: 60 %).
+    assert result.time_reduction_pct() > 25
+
+    # SkyPilot's price-only reasoning keeps it in the cheapest (flaky)
+    # market — the paper's explanation for its disruption count.
+    skypilot_regions = skypilot.regions_used()
+    assert max(skypilot_regions, key=skypilot_regions.get) == "ca-central-1"

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Predictive scheduling: learning a market's true reclaim rate.
+
+The Spot Instance Advisor shows ca-central-1's m5.xlarge at ~19 %
+interruption frequency (stability 2) — but the live market reclaims
+much harder than the historical bucket suggests.  The Section 7
+predictor learns this during the run: it blends the advisor prior with
+observed interruptions over observed instance-hours, so by the end of
+the fleet its posterior hazard for ca-central-1 is far above the prior
+— and its migration choices rank regions by *predicted effective
+cost* rather than sticker price.
+
+Run:
+    python examples/predictive_scheduling.py
+"""
+
+from repro.cloud.provider import CloudProvider
+from repro.core import FleetController, Monitor, SpotVerseConfig
+from repro.core.prediction import InterruptionPredictor, PredictiveOptimizer
+from repro.workloads import genome_reconstruction_workload
+
+
+def main() -> None:
+    provider = CloudProvider(seed=7)
+    provider.warmup_markets(48)
+    config = SpotVerseConfig(
+        instance_type="m5.xlarge",
+        initial_distribution=False,
+        start_region="ca-central-1",  # walk into the trap on purpose
+    )
+    monitor = Monitor(provider, ["m5.xlarge"])
+    predictor = InterruptionPredictor(provider, "m5.xlarge", prior_weight_hours=30.0)
+    policy = PredictiveOptimizer(monitor, config, predictor=predictor)
+    controller = FleetController(provider, policy, config, monitor=monitor)
+
+    fleet = [genome_reconstruction_workload(f"wl-{i:02d}") for i in range(30)]
+    result = controller.run(fleet)
+    print(result.summary())
+    print()
+
+    print("What the predictor learned (advisor prior vs posterior, per hour):")
+    for metrics in sorted(
+        monitor.snapshot("m5.xlarge"), key=lambda m: m.region
+    ):
+        exposure = predictor.observed_exposure_hours(metrics.region)
+        if exposure < 1.0:
+            continue
+        prior = metrics.interruption_frequency * 0.007
+        posterior = predictor.predicted_hazard(metrics)
+        events = predictor.observed_interruptions(metrics.region)
+        print(
+            f"  {metrics.region:16s} prior={prior:.3f}/h "
+            f"posterior={posterior:.3f}/h "
+            f"({events} interruptions over {exposure:.0f} instance-hours)"
+        )
+    snapshot = monitor.snapshot("m5.xlarge")
+    ca_posterior = predictor.predicted_hazard(
+        next(m for m in snapshot if m.region == "ca-central-1")
+    )
+    best_region, best_posterior = min(
+        (
+            (m.region, predictor.predicted_hazard(m))
+            for m in snapshot
+            if predictor.observed_exposure_hours(m.region) >= 10.0
+            and m.region != "ca-central-1"
+        ),
+        key=lambda pair: pair[1],
+    )
+    print(
+        f"\nLearned ranking: ca-central-1 at {ca_posterior:.3f}/h is "
+        f"{ca_posterior / best_posterior:.0f}x riskier than {best_region} "
+        f"({best_posterior:.3f}/h) — evidence the effective-cost ranking "
+        "acts on, where price-only ranking sees only the discount."
+    )
+
+
+if __name__ == "__main__":
+    main()

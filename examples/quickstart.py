@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: run a fleet of bioinformatics workloads under SpotVerse.
+
+Builds a simulated multi-region cloud, asks SpotVerse where it would
+place work right now, runs a small fleet of 10-hour Galaxy genome
+reconstruction workloads, and prints the outcome next to the
+single-region and on-demand alternatives.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.cloud.provider import CloudProvider
+from repro.core import FleetController, SpotVerse, SpotVerseConfig
+from repro.strategies import OnDemandPolicy, SingleRegionPolicy
+from repro.workloads import genome_reconstruction_workload
+
+
+def build_fleet(n: int = 12):
+    """A dozen 10.5-hour standard Galaxy workloads."""
+    return [genome_reconstruction_workload(f"wl-{i:02d}") for i in range(n)]
+
+
+def main() -> None:
+    # --- SpotVerse -----------------------------------------------------
+    provider = CloudProvider(seed=42)
+    spotverse = SpotVerse(provider, SpotVerseConfig(instance_type="m5.xlarge"))
+
+    print("SpotVerse's current recommendation for m5.xlarge:")
+    for metrics in spotverse.recommended_regions():
+        print(
+            f"  {metrics.region:16s} spot=${metrics.spot_price:.4f}/h "
+            f"placement={metrics.placement_score:.1f} "
+            f"stability={metrics.stability_score} "
+            f"combined={metrics.combined_score:.1f}"
+        )
+    print()
+
+    result = spotverse.run(build_fleet())
+    print("=== SpotVerse ===")
+    print(result.summary())
+    print()
+
+    # --- Baselines (fresh providers so ledgers stay separate) ---------
+    for name, policy in [
+        ("single-region (cheapest spot region)", SingleRegionPolicy(instance_type="m5.xlarge")),
+        ("on-demand (cheapest OD region)", OnDemandPolicy(instance_type="m5.xlarge")),
+    ]:
+        baseline_provider = CloudProvider(seed=42)
+        baseline_provider.warmup_markets(48)
+        controller = FleetController(
+            baseline_provider, policy, SpotVerseConfig(instance_type="m5.xlarge")
+        )
+        baseline = controller.run(build_fleet())
+        print(f"=== {name} ===")
+        print(baseline.summary())
+        print()
+
+
+if __name__ == "__main__":
+    main()

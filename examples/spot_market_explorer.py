@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Spot market data: the advisor, placement scores, and SpotLake.
+
+Generates the synthetic six-month datasets SpotVerse consumes (the
+Spot Instance Advisor's Interruption Frequency and the Spot Placement
+Score), archives them in a SpotLake-style service, answers
+point-in-time queries, and writes a 30-day price trace to CSV.
+
+Run:
+    python examples/spot_market_explorer.py
+"""
+
+from repro.data import (
+    SpotLakeArchive,
+    generate_advisor_dataset,
+    generate_placement_dataset,
+    generate_price_traces,
+)
+
+
+def main() -> None:
+    types = ["m5.2xlarge", "p3.2xlarge"]
+    print("Generating six-month advisor + placement datasets...")
+    advisor = generate_advisor_dataset(days=180, instance_types=types, seed=0)
+    placement = generate_placement_dataset(days=180, instance_types=types, seed=0)
+
+    archive = SpotLakeArchive()
+    archive.ingest_advisor(advisor)
+    archive.ingest_placement(placement)
+    print(f"archive coverage: {archive.coverage()}\n")
+
+    print("Point-in-time snapshots (day 90, m5.2xlarge), the Optimizer's view:")
+    for snapshot in archive.snapshots_for_type("m5.2xlarge", day=90):
+        print(
+            f"  {snapshot.region:16s} freq={snapshot.interruption_freq_pct:5.1f}% "
+            f"stability={snapshot.stability_score} "
+            f"placement={snapshot.placement_score:.2f} "
+            f"combined={snapshot.combined_score:.2f}"
+        )
+
+    print("\nStability score trajectory (m5.2xlarge, cross-region mean):")
+    series = advisor.average_stability_series("m5.2xlarge")
+    for day in (0, 45, 90, 135, 179):
+        print(f"  day {day:3d}: {series[day]:.2f}")
+
+    print("\nWriting a 30-day hourly price trace to /tmp/m5_2xlarge_use1a.csv ...")
+    traces = generate_price_traces(["m5.2xlarge"], days=30, seed=0)
+    target = next(trace for trace in traces if trace.az == "us-east-1a")
+    with open("/tmp/m5_2xlarge_use1a.csv", "w") as handle:
+        handle.write(target.to_csv())
+    print(
+        f"  mean=${target.mean():.4f}/h, "
+        f"coefficient of variation={100 * target.coefficient_of_variation():.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Package metadata lives in pyproject.toml; this file exists so
+``pip install -e .`` also works on minimal toolchains where the PEP 660
+editable path is unavailable (no ``wheel`` package, no network), via
+the legacy ``setup.py develop`` fallback.
+"""
+
+from setuptools import setup
+
+setup()

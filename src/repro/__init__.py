@@ -1,0 +1,32 @@
+"""SpotVerse reproduction library.
+
+A production-quality reimplementation of the MIDDLEWARE 2024 paper
+*"SpotVerse: Optimizing Bioinformatics Workflows with Multi-Region Spot
+Instances in Galaxy and Beyond"*, built on a fully simulated AWS
+substrate so every experiment in the paper can be regenerated offline.
+
+Quickstart::
+
+    from repro import CloudProvider, SpotVerse, SpotVerseConfig
+    from repro.workloads import standard_general_workload
+
+    provider = CloudProvider(seed=42)
+    spotverse = SpotVerse(provider, SpotVerseConfig(instance_type="m5.xlarge"))
+    result = spotverse.run([standard_general_workload(f"w{i}") for i in range(8)])
+    print(result.summary())
+"""
+
+from repro.cloud.provider import CloudProvider
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["CloudProvider", "ReproError", "__version__"]
+
+try:  # Core package may not exist yet during incremental builds.
+    from repro.core.config import SpotVerseConfig  # noqa: F401
+    from repro.core.spotverse import SpotVerse  # noqa: F401
+
+    __all__ += ["SpotVerse", "SpotVerseConfig"]
+except ImportError:  # pragma: no cover
+    pass

@@ -1,0 +1,75 @@
+"""Miniature bioinformatics toolkit.
+
+Real (small-scale) implementations of the pipeline stages the paper's
+workloads run: FASTA/FASTQ/VCF IO, read simulation, demultiplexing,
+FastQC-style quality control, Cutadapt-style trimming, DADA2-style
+denoising, neighbour-joining phylogenetics, diversity metrics,
+VCF-to-consensus genome reconstruction, and Pangolin-style lineage
+classification.  Galaxy tool wrappers in :mod:`repro.galaxy.tools`
+expose each stage as a workflow step.
+"""
+
+from repro.bio.align import Alignment, align_read
+from repro.bio.consensus import apply_variants, reconstruct_genome
+from repro.bio.dada import denoise
+from repro.bio.demux import demultiplex
+from repro.bio.diversity import (
+    bray_curtis,
+    observed_features,
+    rarefy,
+    shannon_index,
+    simpson_index,
+)
+from repro.bio.fasta import FastaRecord, parse_fasta, write_fasta
+from repro.bio.fastq import FastqRecord, parse_fastq, simulate_reads, write_fastq
+from repro.bio.lineage import LineageCall, classify_lineage, default_lineage_signatures
+from repro.bio.phylo import TreeNode, kmer_distance_matrix, neighbor_joining
+from repro.bio.qc import FastQCReport, fastqc, multiqc
+from repro.bio.seq import gc_content, kmer_counts, random_genome, reverse_complement
+from repro.bio.sra import SRAArchive
+from repro.bio.trim import trim_adapters, trim_quality
+from repro.bio.variants import Pileup, build_pileup, call_variants
+from repro.bio.vcf import Variant, parse_vcf, write_vcf
+
+__all__ = [
+    "Alignment",
+    "Pileup",
+    "align_read",
+    "build_pileup",
+    "call_variants",
+    "FastaRecord",
+    "FastQCReport",
+    "FastqRecord",
+    "LineageCall",
+    "SRAArchive",
+    "TreeNode",
+    "Variant",
+    "apply_variants",
+    "bray_curtis",
+    "classify_lineage",
+    "default_lineage_signatures",
+    "demultiplex",
+    "denoise",
+    "fastqc",
+    "gc_content",
+    "kmer_counts",
+    "kmer_distance_matrix",
+    "multiqc",
+    "neighbor_joining",
+    "observed_features",
+    "parse_fasta",
+    "parse_fastq",
+    "parse_vcf",
+    "random_genome",
+    "rarefy",
+    "reconstruct_genome",
+    "reverse_complement",
+    "shannon_index",
+    "simpson_index",
+    "simulate_reads",
+    "trim_adapters",
+    "trim_quality",
+    "write_fasta",
+    "write_fastq",
+    "write_vcf",
+]

@@ -1,0 +1,149 @@
+"""Pairwise sequence alignment.
+
+A small, correct implementation of semi-global alignment (glocal:
+free gaps at the read's ends on the reference) with affine-ish scoring
+reduced to linear gap costs — enough to place short reads on a
+miniature reference and to anchor the pileup-based variant caller in
+:mod:`repro.bio.variants`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bio.seq import validate_sequence
+
+#: Default scoring: match, mismatch, gap.
+MATCH_SCORE = 2
+MISMATCH_SCORE = -3
+GAP_SCORE = -4
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A read-to-reference alignment.
+
+    Attributes:
+        score: Total alignment score.
+        ref_start: 0-based reference position of the first aligned base.
+        ref_end: 0-based exclusive end on the reference.
+        aligned_ref: Reference row with ``-`` for insertions.
+        aligned_read: Read row with ``-`` for deletions.
+    """
+
+    score: int
+    ref_start: int
+    ref_end: int
+    aligned_ref: str
+    aligned_read: str
+
+    @property
+    def cigar(self) -> str:
+        """A CIGAR-style summary (M/I/D runs)."""
+        ops: List[str] = []
+        for ref_char, read_char in zip(self.aligned_ref, self.aligned_read):
+            if ref_char == "-":
+                ops.append("I")
+            elif read_char == "-":
+                ops.append("D")
+            else:
+                ops.append("M")
+        if not ops:
+            return ""
+        parts: List[str] = []
+        current, count = ops[0], 1
+        for op in ops[1:]:
+            if op == current:
+                count += 1
+            else:
+                parts.append(f"{count}{current}")
+                current, count = op, 1
+        parts.append(f"{count}{current}")
+        return "".join(parts)
+
+    def identity(self) -> float:
+        """Fraction of aligned columns that match."""
+        columns = len(self.aligned_ref)
+        if columns == 0:
+            return 0.0
+        matches = sum(
+            1
+            for ref_char, read_char in zip(self.aligned_ref, self.aligned_read)
+            if ref_char == read_char
+        )
+        return matches / columns
+
+
+def align_read(
+    reference: str,
+    read: str,
+    match: int = MATCH_SCORE,
+    mismatch: int = MISMATCH_SCORE,
+    gap: int = GAP_SCORE,
+) -> Optional[Alignment]:
+    """Semi-globally align *read* against *reference*.
+
+    The read must align end-to-end; the reference contributes a free
+    window (no penalty for unaligned reference flanks).  Returns
+    ``None`` for empty inputs.
+    """
+    reference = validate_sequence(reference)
+    read = validate_sequence(read)
+    if not reference or not read:
+        return None
+    n, m = len(reference), len(read)
+    # score[i][j]: best score aligning read[:j] ending at reference[:i];
+    # first row free (read starts anywhere on the reference).
+    score = np.zeros((n + 1, m + 1), dtype=np.int64)
+    move = np.zeros((n + 1, m + 1), dtype=np.int8)  # 0 diag, 1 up(del), 2 left(ins)
+    score[0, 1:] = [gap * j for j in range(1, m + 1)]
+    move[0, 1:] = 2
+    for i in range(1, n + 1):
+        ref_base = reference[i - 1]
+        for j in range(1, m + 1):
+            diagonal = score[i - 1, j - 1] + (
+                match if ref_base == read[j - 1] else mismatch
+            )
+            up = score[i - 1, j] + gap  # deletion (read skips a ref base)
+            left = score[i, j - 1] + gap  # insertion (ref skips a read base)
+            best = diagonal
+            direction = 0
+            if up > best:
+                best, direction = up, 1
+            if left > best:
+                best, direction = left, 2
+            score[i, j] = best
+            move[i, j] = direction
+
+    # Free reference suffix: best score anywhere in the last column.
+    end_i = int(np.argmax(score[:, m]))
+    best_score = int(score[end_i, m])
+
+    aligned_ref: List[str] = []
+    aligned_read: List[str] = []
+    i, j = end_i, m
+    while j > 0:
+        direction = move[i, j]
+        if direction == 0 and i > 0:
+            aligned_ref.append(reference[i - 1])
+            aligned_read.append(read[j - 1])
+            i -= 1
+            j -= 1
+        elif direction == 1 and i > 0:
+            aligned_ref.append(reference[i - 1])
+            aligned_read.append("-")
+            i -= 1
+        else:
+            aligned_ref.append("-")
+            aligned_read.append(read[j - 1])
+            j -= 1
+    return Alignment(
+        score=best_score,
+        ref_start=i,
+        ref_end=end_i,
+        aligned_ref="".join(reversed(aligned_ref)),
+        aligned_read="".join(reversed(aligned_read)),
+    )

@@ -1,0 +1,87 @@
+"""Genome reconstruction: apply VCF variants to a reference.
+
+The Galaxy Genome Reconstruction workload turns per-isolate VCF files
+into consensus FASTA genomes relative to a SARS-CoV-2-style reference.
+:func:`apply_variants` performs the coordinate-correct substitution /
+indel application; :func:`reconstruct_genome` wraps it with validation
+and FASTA packaging.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.bio.fasta import FastaRecord
+from repro.bio.seq import validate_sequence
+from repro.bio.vcf import Variant
+from repro.errors import SequenceFormatError
+
+
+def apply_variants(reference: str, variants: Sequence[Variant]) -> str:
+    """Return *reference* with *variants* applied.
+
+    Variants are applied right-to-left so earlier coordinates stay
+    valid while indels shift the sequence.  Each variant's REF allele
+    is checked against the reference.
+
+    Raises:
+        SequenceFormatError: On out-of-range positions, REF mismatches,
+            or overlapping variants.
+    """
+    reference = validate_sequence(reference)
+    ordered = sorted(variants, key=lambda variant: variant.pos)
+    # Overlap check against the *reference* coordinates.
+    previous_end = 0
+    for variant in ordered:
+        start = variant.pos  # 1-based
+        end = variant.pos + len(variant.ref) - 1
+        if start <= previous_end:
+            raise SequenceFormatError(
+                f"variant at position {variant.pos} overlaps the previous variant"
+            )
+        previous_end = end
+
+    result = reference
+    for variant in reversed(ordered):
+        start = variant.pos - 1
+        end = start + len(variant.ref)
+        if start < 0 or end > len(reference):
+            raise SequenceFormatError(
+                f"variant at position {variant.pos} falls outside the "
+                f"{len(reference)}-base reference"
+            )
+        actual = reference[start:end]
+        if actual != variant.ref:
+            raise SequenceFormatError(
+                f"variant at position {variant.pos}: reference has {actual!r}, "
+                f"VCF claims {variant.ref!r}"
+            )
+        result = result[:start] + variant.alt + result[end:]
+    return result
+
+
+def reconstruct_genome(
+    reference: FastaRecord, variants: Sequence[Variant], isolate_name: str
+) -> FastaRecord:
+    """Reconstruct one isolate's consensus genome.
+
+    Variants on a chromosome other than the reference identifier are
+    rejected, which catches sample mix-ups early.
+
+    Raises:
+        SequenceFormatError: On chromosome mismatches or bad variants.
+    """
+    foreign: List[str] = sorted(
+        {variant.chrom for variant in variants if variant.chrom != reference.identifier}
+    )
+    if foreign:
+        raise SequenceFormatError(
+            f"variants reference chromosomes {foreign!r} but the reference "
+            f"is {reference.identifier!r}"
+        )
+    consensus = apply_variants(reference.sequence, variants)
+    return FastaRecord(
+        identifier=isolate_name,
+        description=f"consensus of {reference.identifier} with {len(variants)} variants",
+        sequence=consensus,
+    )

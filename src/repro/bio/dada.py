@@ -1,0 +1,109 @@
+"""DADA2-style amplicon denoising (greedy, miniature).
+
+Real DADA2 infers exact sequence variants with a parametric error
+model.  This miniature keeps the core behaviour the QIIME 2 workload
+needs: dereplicate reads, keep abundant unique sequences as amplicon
+sequence variants (ASVs), and absorb rare sequences into the nearest
+abundant variant within a Hamming radius (treating them as sequencing
+errors).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.bio.fastq import FastqRecord
+from repro.bio.seq import hamming_distance
+
+
+@dataclass(frozen=True)
+class DenoiseResult:
+    """Output of :func:`denoise`.
+
+    Attributes:
+        asv_counts: ``{ASV sequence: absorbed read count}``.
+        n_input_reads: Reads in (after any length filtering).
+        n_discarded: Rare reads that matched no abundant variant.
+    """
+
+    asv_counts: Dict[str, int]
+    n_input_reads: int
+    n_discarded: int
+
+    @property
+    def n_asvs(self) -> int:
+        """Number of inferred amplicon sequence variants."""
+        return len(self.asv_counts)
+
+
+def denoise(
+    reads: Sequence[FastqRecord],
+    min_abundance: int = 2,
+    max_distance: int = 2,
+) -> DenoiseResult:
+    """Infer ASVs from *reads*.
+
+    Reads are truncated to the shortest read length so Hamming
+    comparisons are defined (DADA2's truncLen step).  Unique sequences
+    with at least *min_abundance* copies seed the ASV set, most
+    abundant first; rarer sequences are absorbed into the closest ASV
+    within *max_distance* mismatches or discarded.
+
+    Args:
+        reads: Quality-filtered input reads.
+        min_abundance: Copies needed to seed an ASV.
+        max_distance: Hamming radius for error absorption.
+    """
+    if not reads:
+        return DenoiseResult(asv_counts={}, n_input_reads=0, n_discarded=0)
+    truncate = min(len(read) for read in reads)
+    counts: Counter = Counter(read.sequence[:truncate] for read in reads)
+
+    ordered = counts.most_common()
+    asv_counts: Dict[str, int] = {
+        sequence: count for sequence, count in ordered if count >= min_abundance
+    }
+    if not asv_counts:
+        # Degenerate input: everything is a singleton; promote the
+        # most abundant (first) sequence so output is non-empty.
+        sequence, count = ordered[0]
+        asv_counts = {sequence: count}
+
+    discarded = 0
+    for sequence, count in ordered:
+        if sequence in asv_counts:
+            continue
+        best_asv = None
+        best_distance = max_distance + 1
+        for asv in asv_counts:
+            distance = hamming_distance(sequence, asv)
+            if distance < best_distance:
+                best_distance = distance
+                best_asv = asv
+        if best_asv is None or best_distance > max_distance:
+            discarded += count
+        else:
+            asv_counts[best_asv] += count
+    return DenoiseResult(
+        asv_counts=asv_counts,
+        n_input_reads=sum(counts.values()),
+        n_discarded=discarded,
+    )
+
+
+def feature_table(per_sample: Dict[str, DenoiseResult]) -> Dict[str, Dict[str, int]]:
+    """Build a sample-by-ASV feature table from per-sample results.
+
+    Returns ``{sample: {asv: count}}`` over the union of ASVs, with
+    zeros filled in, which is the input shape the diversity metrics
+    expect.
+    """
+    all_asvs: List[str] = sorted(
+        {asv for result in per_sample.values() for asv in result.asv_counts}
+    )
+    return {
+        sample: {asv: result.asv_counts.get(asv, 0) for asv in all_asvs}
+        for sample, result in per_sample.items()
+    }

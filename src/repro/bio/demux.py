@@ -1,0 +1,72 @@
+"""Barcode demultiplexing (the QIIME 2 workload's first step).
+
+Reads carry a barcode as their 5' prefix; demultiplexing assigns each
+read to the sample whose barcode matches within a tolerance and strips
+the barcode from the surviving read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.bio.fastq import FastqRecord
+from repro.bio.seq import hamming_distance, validate_sequence
+
+
+def demultiplex(
+    reads: Sequence[FastqRecord],
+    barcodes: Mapping[str, str],
+    max_mismatches: int = 1,
+) -> Tuple[Dict[str, List[FastqRecord]], List[FastqRecord]]:
+    """Assign reads to samples by 5' barcode.
+
+    Args:
+        reads: Input reads (barcode still attached).
+        barcodes: ``{sample name: barcode sequence}``; all barcodes
+            must share one length.
+        max_mismatches: Maximum Hamming distance for a barcode match.
+            Ambiguous reads (two barcodes within tolerance at the same
+            distance) are rejected.
+
+    Returns:
+        ``(assigned, unassigned)`` where *assigned* maps sample name to
+        its barcode-stripped reads and *unassigned* collects the rest.
+
+    Raises:
+        ValueError: On empty or unequal-length barcodes.
+    """
+    if not barcodes:
+        raise ValueError("at least one barcode is required")
+    normalized = {
+        sample: validate_sequence(barcode, allow_n=False)
+        for sample, barcode in barcodes.items()
+    }
+    lengths = {len(barcode) for barcode in normalized.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"barcodes must share one length, got lengths {sorted(lengths)}")
+    (barcode_length,) = lengths
+
+    assigned: Dict[str, List[FastqRecord]] = {sample: [] for sample in normalized}
+    unassigned: List[FastqRecord] = []
+    for read in reads:
+        if len(read) <= barcode_length:
+            unassigned.append(read)
+            continue
+        prefix = read.sequence[:barcode_length]
+        distances = sorted(
+            (hamming_distance(prefix, barcode), sample)
+            for sample, barcode in normalized.items()
+        )
+        best_distance, best_sample = distances[0]
+        ambiguous = len(distances) > 1 and distances[1][0] == best_distance
+        if best_distance > max_mismatches or ambiguous:
+            unassigned.append(read)
+            continue
+        assigned[best_sample].append(
+            FastqRecord(
+                identifier=read.identifier,
+                sequence=read.sequence[barcode_length:],
+                qualities=read.qualities[barcode_length:],
+            )
+        )
+    return assigned, unassigned

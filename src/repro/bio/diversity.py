@@ -1,0 +1,120 @@
+"""Alpha and beta diversity metrics (the QIIME 2 workload's last step)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def observed_features(counts: Mapping[str, int]) -> int:
+    """Number of features with non-zero count."""
+    return sum(1 for count in counts.values() if count > 0)
+
+
+def shannon_index(counts: Mapping[str, int]) -> float:
+    """Shannon diversity ``H' = -sum(p * ln p)`` (0.0 for empty samples).
+
+    >>> round(shannon_index({"a": 1, "b": 1}), 4)
+    0.6931
+    """
+    total = sum(count for count in counts.values() if count > 0)
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        if count > 0:
+            p = count / total
+            entropy -= p * math.log(p)
+    return entropy
+
+
+def simpson_index(counts: Mapping[str, int]) -> float:
+    """Simpson diversity ``1 - sum(p^2)`` (0.0 for empty samples)."""
+    total = sum(count for count in counts.values() if count > 0)
+    if total == 0:
+        return 0.0
+    return 1.0 - sum((count / total) ** 2 for count in counts.values() if count > 0)
+
+
+def bray_curtis(a: Mapping[str, int], b: Mapping[str, int]) -> float:
+    """Bray-Curtis dissimilarity between two samples (0 = identical).
+
+    Raises:
+        ValueError: When both samples are empty.
+    """
+    features = set(a) | set(b)
+    total = sum(a.get(f, 0) + b.get(f, 0) for f in features)
+    if total == 0:
+        raise ValueError("Bray-Curtis is undefined for two empty samples")
+    shared = sum(min(a.get(f, 0), b.get(f, 0)) for f in features)
+    return 1.0 - 2.0 * shared / total
+
+
+def beta_diversity_matrix(
+    table: Mapping[str, Mapping[str, int]]
+) -> Tuple[List[str], np.ndarray]:
+    """Pairwise Bray-Curtis matrix over a feature table.
+
+    Args:
+        table: ``{sample: {feature: count}}``.
+
+    Returns:
+        ``(sample names sorted, symmetric matrix)``.
+    """
+    samples = sorted(table)
+    n = len(samples)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            matrix[i, j] = matrix[j, i] = bray_curtis(table[samples[i]], table[samples[j]])
+    return samples, matrix
+
+
+def rarefy(
+    counts: Mapping[str, int],
+    depth: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, int]:
+    """Subsample a sample to *depth* observations without replacement.
+
+    Raises:
+        ValueError: If the sample has fewer than *depth* observations.
+    """
+    total = sum(counts.values())
+    if depth > total:
+        raise ValueError(f"cannot rarefy {total} observations to depth {depth}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    population: List[str] = []
+    for feature, count in sorted(counts.items()):
+        population.extend([feature] * count)
+    chosen = rng.choice(len(population), size=depth, replace=False)
+    rarefied: Dict[str, int] = {}
+    for index in chosen:
+        feature = population[int(index)]
+        rarefied[feature] = rarefied.get(feature, 0) + 1
+    return rarefied
+
+
+def rarefaction_curve(
+    counts: Mapping[str, int],
+    depths: Sequence[int],
+    rng: Optional[np.random.Generator] = None,
+    repetitions: int = 5,
+) -> List[Tuple[int, float]]:
+    """Mean observed features at each sampling depth.
+
+    Depths exceeding the sample size are skipped.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    total = sum(counts.values())
+    curve: List[Tuple[int, float]] = []
+    for depth in depths:
+        if depth > total:
+            continue
+        observations = [
+            observed_features(rarefy(counts, depth, rng)) for _ in range(repetitions)
+        ]
+        curve.append((depth, float(np.mean(observations))))
+    return curve

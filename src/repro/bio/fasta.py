@@ -1,0 +1,89 @@
+"""FASTA parsing and writing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.bio.seq import validate_sequence
+from repro.errors import SequenceFormatError
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA entry.
+
+    Attributes:
+        identifier: Text after ``>`` up to the first whitespace.
+        description: Remainder of the header line (may be empty).
+        sequence: The full sequence with line breaks removed.
+    """
+
+    identifier: str
+    description: str
+    sequence: str
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+def parse_fasta(text: str) -> List[FastaRecord]:
+    """Parse FASTA *text* into records.
+
+    Raises:
+        SequenceFormatError: On sequence data before the first header,
+            an empty header, a record with no sequence, or invalid
+            characters.
+    """
+    records: List[FastaRecord] = []
+    header: str = ""
+    chunks: List[str] = []
+    saw_header = False
+
+    def flush() -> None:
+        if not saw_header:
+            return
+        sequence = "".join(chunks)
+        if not sequence:
+            raise SequenceFormatError(f"FASTA record {header!r} has no sequence")
+        name, _, description = header.partition(" ")
+        records.append(
+            FastaRecord(
+                identifier=name,
+                description=description.strip(),
+                sequence=validate_sequence(sequence),
+            )
+        )
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            flush()
+            header = line[1:].strip()
+            if not header:
+                raise SequenceFormatError("FASTA header line is empty")
+            chunks = []
+            saw_header = True
+        else:
+            if not saw_header:
+                raise SequenceFormatError("sequence data before the first FASTA header")
+            chunks.append(line)
+    flush()
+    return records
+
+
+def write_fasta(records: Iterable[FastaRecord], width: int = 70) -> str:
+    """Serialise *records* to FASTA text with *width*-column wrapping."""
+    if width < 1:
+        raise ValueError(f"line width must be positive, got {width}")
+    lines: List[str] = []
+    for record in records:
+        header = record.identifier
+        if record.description:
+            header += f" {record.description}"
+        lines.append(f">{header}")
+        for start in range(0, len(record.sequence), width):
+            lines.append(record.sequence[start : start + width])
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,138 @@
+"""FASTQ parsing, writing, and read simulation.
+
+Quality scores use the Sanger/Illumina 1.8+ encoding (Phred+33).
+:func:`simulate_reads` produces reads from a reference genome with a
+position-dependent error model — quality degrades toward the 3' end,
+the signature FastQC plots look for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.bio.seq import BASES, validate_sequence
+from repro.errors import SequenceFormatError
+
+PHRED_OFFSET = 33
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One FASTQ entry.
+
+    Attributes:
+        identifier: Read name (without the leading ``@``).
+        sequence: Base calls.
+        qualities: Per-base Phred scores (same length as sequence).
+    """
+
+    identifier: str
+    sequence: str
+    qualities: tuple
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def quality_string(self) -> str:
+        """Render qualities in Phred+33 ASCII."""
+        return "".join(chr(q + PHRED_OFFSET) for q in self.qualities)
+
+    def mean_quality(self) -> float:
+        """Mean Phred score of the read (0.0 for empty reads)."""
+        if not self.qualities:
+            return 0.0
+        return float(np.mean(self.qualities))
+
+
+def parse_fastq(text: str) -> List[FastqRecord]:
+    """Parse FASTQ *text* into records.
+
+    Raises:
+        SequenceFormatError: On truncated records, malformed headers,
+            or sequence/quality length mismatches.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if len(lines) % 4 != 0:
+        raise SequenceFormatError(
+            f"FASTQ text has {len(lines)} non-empty lines; expected a multiple of 4"
+        )
+    records: List[FastqRecord] = []
+    for i in range(0, len(lines), 4):
+        header, sequence, plus, quality = lines[i : i + 4]
+        if not header.startswith("@"):
+            raise SequenceFormatError(f"FASTQ header must start with '@': {header!r}")
+        if not plus.startswith("+"):
+            raise SequenceFormatError(f"FASTQ separator must start with '+': {plus!r}")
+        if len(sequence) != len(quality):
+            raise SequenceFormatError(
+                f"read {header[1:]!r}: sequence length {len(sequence)} != "
+                f"quality length {len(quality)}"
+            )
+        records.append(
+            FastqRecord(
+                identifier=header[1:].split()[0],
+                sequence=validate_sequence(sequence),
+                qualities=tuple(ord(ch) - PHRED_OFFSET for ch in quality),
+            )
+        )
+    return records
+
+
+def write_fastq(records: Iterable[FastqRecord]) -> str:
+    """Serialise *records* to FASTQ text."""
+    lines: List[str] = []
+    for record in records:
+        lines.append(f"@{record.identifier}")
+        lines.append(record.sequence)
+        lines.append("+")
+        lines.append(record.quality_string())
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def simulate_reads(
+    genome: str,
+    n_reads: int,
+    read_length: int = 100,
+    rng: Optional[np.random.Generator] = None,
+    base_quality: int = 38,
+    quality_decay: float = 0.12,
+    name_prefix: str = "read",
+) -> List[FastqRecord]:
+    """Simulate *n_reads* single-end reads from *genome*.
+
+    The error model: quality declines linearly along the read at
+    *quality_decay* Phred units per base (floored at 2), and each base
+    is miscalled with the probability its Phred score implies.
+
+    Raises:
+        ValueError: If the genome is shorter than *read_length*.
+    """
+    genome = validate_sequence(genome)
+    if len(genome) < read_length:
+        raise ValueError(
+            f"genome length {len(genome)} is shorter than read length {read_length}"
+        )
+    rng = rng if rng is not None else np.random.default_rng(0)
+    reads: List[FastqRecord] = []
+    positions = rng.integers(0, len(genome) - read_length + 1, size=n_reads)
+    for index, start in enumerate(positions):
+        fragment = list(genome[start : start + read_length])
+        qualities = []
+        for offset in range(read_length):
+            quality = max(2, int(round(base_quality - quality_decay * offset)))
+            qualities.append(quality)
+            error_probability = 10 ** (-quality / 10)
+            if rng.random() < error_probability:
+                alternatives = [base for base in BASES if base != fragment[offset]]
+                fragment[offset] = alternatives[int(rng.integers(3))]
+        reads.append(
+            FastqRecord(
+                identifier=f"{name_prefix}_{index}_pos{start}",
+                sequence="".join(fragment),
+                qualities=tuple(qualities),
+            )
+        )
+    return reads

@@ -1,0 +1,114 @@
+"""Pangolin-style lineage classification.
+
+Real Pangolin assigns SARS-CoV-2 lineages with a trained model; this
+miniature uses the simpler, interpretable mechanism underneath:
+lineages are defined by signature mutations (position, alternate
+base), and a consensus genome is assigned to the lineage whose
+signature it matches best, with a confidence score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.bio.fasta import FastaRecord
+from repro.errors import BioError
+
+#: A signature is a set of (1-based position, expected base) pairs.
+Signature = Tuple[Tuple[int, str], ...]
+
+
+@dataclass(frozen=True)
+class LineageCall:
+    """A lineage assignment for one genome.
+
+    Attributes:
+        genome: Identifier of the classified genome.
+        lineage: Best-matching lineage name ("unassigned" below the
+            confidence floor).
+        confidence: Fraction of the winning signature matched.
+        matches: Signature positions matched per candidate lineage.
+    """
+
+    genome: str
+    lineage: str
+    confidence: float
+    matches: Dict[str, int]
+
+
+#: Minimum matched-signature fraction for a confident call.
+CONFIDENCE_FLOOR = 0.6
+
+
+def default_lineage_signatures(reference_length: int = 2000) -> Dict[str, Signature]:
+    """Deterministic demo signatures spread across a reference.
+
+    Positions scale with *reference_length* so the same definitions
+    work for any miniature reference size.
+    """
+    if reference_length < 100:
+        raise BioError(f"reference too short for signatures: {reference_length}")
+    anchor = reference_length // 10
+
+    def sig(*offsets_and_bases: Tuple[int, str]) -> Signature:
+        return tuple((anchor * k, base) for k, base in offsets_and_bases)
+
+    return {
+        "A.1": sig((1, "G"), (3, "T"), (5, "A")),
+        "B.1.1.7": sig((2, "C"), (4, "A"), (6, "T"), (8, "G")),
+        "B.1.617.2": sig((2, "T"), (5, "G"), (7, "C"), (9, "A")),
+        "P.1": sig((1, "A"), (4, "G"), (7, "T")),
+    }
+
+
+def classify_lineage(
+    genome: FastaRecord, signatures: Mapping[str, Signature]
+) -> LineageCall:
+    """Assign *genome* to its best-matching lineage.
+
+    Args:
+        genome: The consensus genome to classify.
+        signatures: ``{lineage: signature}`` definitions.
+
+    Raises:
+        BioError: When *signatures* is empty or a signature position
+            exceeds the genome length.
+    """
+    if not signatures:
+        raise BioError("at least one lineage signature is required")
+    sequence = genome.sequence
+    matches: Dict[str, int] = {}
+    fractions: Dict[str, float] = {}
+    for lineage, signature in signatures.items():
+        if not signature:
+            raise BioError(f"lineage {lineage!r} has an empty signature")
+        hit = 0
+        for position, base in signature:
+            if position < 1 or position > len(sequence):
+                raise BioError(
+                    f"lineage {lineage!r} signature position {position} exceeds "
+                    f"genome length {len(sequence)}"
+                )
+            if sequence[position - 1] == base:
+                hit += 1
+        matches[lineage] = hit
+        fractions[lineage] = hit / len(signature)
+
+    best_lineage = max(fractions, key=lambda name: (fractions[name], name))
+    confidence = fractions[best_lineage]
+    if confidence < CONFIDENCE_FLOOR:
+        best_lineage = "unassigned"
+    return LineageCall(
+        genome=genome.identifier,
+        lineage=best_lineage,
+        confidence=confidence,
+        matches=matches,
+    )
+
+
+def classify_batch(
+    genomes: Sequence[FastaRecord], signatures: Mapping[str, Signature]
+) -> List[LineageCall]:
+    """Classify a batch of genomes (the workload's final step)."""
+    return [classify_lineage(genome, signatures) for genome in genomes]

@@ -1,0 +1,134 @@
+"""FastQC-style quality control and MultiQC-style aggregation.
+
+:func:`fastqc` computes the per-file report the NGS preprocessing
+workload runs on every segment; :func:`multiqc` merges reports into
+one summary, as the paper's pipeline does with MultiQC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.bio.fastq import FastqRecord
+from repro.bio.seq import gc_content
+
+#: Mean-quality threshold below which a report is flagged.
+PASS_MEAN_QUALITY = 28.0
+#: Duplication fraction above which a report is flagged.
+WARN_DUPLICATION = 0.5
+
+
+@dataclass
+class FastQCReport:
+    """Summary statistics for one FASTQ file.
+
+    Attributes:
+        name: Report label (usually the source file/segment name).
+        n_reads: Number of reads analysed.
+        mean_read_length: Average read length.
+        mean_quality: Average Phred score over all bases.
+        per_position_quality: Mean quality at each read position
+            (truncated to the shortest read's length).
+        gc_percent: Overall GC percentage.
+        duplication_fraction: Fraction of reads that are duplicates of
+            an earlier read.
+        flags: Names of checks that failed ("mean-quality",
+            "duplication").
+    """
+
+    name: str
+    n_reads: int
+    mean_read_length: float
+    mean_quality: float
+    per_position_quality: List[float]
+    gc_percent: float
+    duplication_fraction: float
+    flags: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """Whether no check was flagged."""
+        return not self.flags
+
+
+def fastqc(reads: Sequence[FastqRecord], name: str = "sample") -> FastQCReport:
+    """Compute a FastQC-style report over *reads*.
+
+    An empty input produces an all-zero report flagged ``"no-reads"``.
+    """
+    if not reads:
+        return FastQCReport(
+            name=name,
+            n_reads=0,
+            mean_read_length=0.0,
+            mean_quality=0.0,
+            per_position_quality=[],
+            gc_percent=0.0,
+            duplication_fraction=0.0,
+            flags=["no-reads"],
+        )
+    lengths = [len(read) for read in reads]
+    min_length = min(lengths)
+    quality_matrix = np.array(
+        [read.qualities[:min_length] for read in reads], dtype=float
+    )
+    per_position = [float(x) for x in quality_matrix.mean(axis=0)]
+    all_qualities = [q for read in reads for q in read.qualities]
+    combined = "".join(read.sequence for read in reads)
+    seen = set()
+    duplicates = 0
+    for read in reads:
+        if read.sequence in seen:
+            duplicates += 1
+        else:
+            seen.add(read.sequence)
+    report = FastQCReport(
+        name=name,
+        n_reads=len(reads),
+        mean_read_length=float(np.mean(lengths)),
+        mean_quality=float(np.mean(all_qualities)),
+        per_position_quality=per_position,
+        gc_percent=100.0 * gc_content(combined),
+        duplication_fraction=duplicates / len(reads),
+    )
+    if report.mean_quality < PASS_MEAN_QUALITY:
+        report.flags.append("mean-quality")
+    if report.duplication_fraction > WARN_DUPLICATION:
+        report.flags.append("duplication")
+    return report
+
+
+def multiqc(reports: Sequence[FastQCReport]) -> Dict[str, object]:
+    """Aggregate FastQC reports the way MultiQC summarises a project.
+
+    Returns a summary dict with totals, means weighted by read count,
+    and the list of flagged sample names.
+    """
+    if not reports:
+        return {
+            "n_samples": 0,
+            "total_reads": 0,
+            "mean_quality": 0.0,
+            "mean_gc_percent": 0.0,
+            "flagged_samples": [],
+            "pass_rate": 0.0,
+        }
+    total_reads = sum(report.n_reads for report in reports)
+    if total_reads:
+        weights = [report.n_reads / total_reads for report in reports]
+    else:
+        weights = [1.0 / len(reports)] * len(reports)
+    mean_quality = sum(w * report.mean_quality for w, report in zip(weights, reports))
+    mean_gc = sum(w * report.gc_percent for w, report in zip(weights, reports))
+    flagged = [report.name for report in reports if not report.passed]
+    return {
+        "n_samples": len(reports),
+        "total_reads": total_reads,
+        "mean_quality": mean_quality,
+        "mean_gc_percent": mean_gc,
+        "flagged_samples": flagged,
+        "pass_rate": 1.0 - len(flagged) / len(reports),
+    }

@@ -1,0 +1,122 @@
+"""Core sequence utilities.
+
+Plain-string DNA sequences over the alphabet ``ACGT`` (plus ``N`` for
+unknown bases in inputs).  Everything downstream — read simulation,
+QC, denoising, phylogenetics — builds on these helpers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import SequenceFormatError
+
+BASES = "ACGT"
+_COMPLEMENT = str.maketrans("ACGTN", "TGCAN")
+
+
+def validate_sequence(sequence: str, allow_n: bool = True) -> str:
+    """Return *sequence* upper-cased, rejecting non-DNA characters.
+
+    Raises:
+        SequenceFormatError: On characters outside ``ACGT`` (and ``N``
+            when *allow_n*).
+    """
+    sequence = sequence.upper()
+    allowed = set(BASES) | ({"N"} if allow_n else set())
+    bad = set(sequence) - allowed
+    if bad:
+        raise SequenceFormatError(
+            f"invalid DNA characters {sorted(bad)!r} in sequence of length {len(sequence)}"
+        )
+    return sequence
+
+
+def reverse_complement(sequence: str) -> str:
+    """Return the reverse complement of a DNA sequence.
+
+    >>> reverse_complement("ACGT")
+    'ACGT'
+    >>> reverse_complement("AACG")
+    'CGTT'
+    """
+    return validate_sequence(sequence).translate(_COMPLEMENT)[::-1]
+
+
+def gc_content(sequence: str) -> float:
+    """Fraction of G/C bases (``N`` bases are excluded from the total).
+
+    >>> gc_content("GGCC")
+    1.0
+    >>> gc_content("ATGC")
+    0.5
+    """
+    sequence = validate_sequence(sequence)
+    counted = [base for base in sequence if base != "N"]
+    if not counted:
+        return 0.0
+    gc = sum(1 for base in counted if base in "GC")
+    return gc / len(counted)
+
+
+def kmer_counts(sequence: str, k: int) -> Dict[str, int]:
+    """Count every k-mer of *sequence* (k-mers containing ``N`` skipped).
+
+    Raises:
+        ValueError: If ``k < 1``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    sequence = validate_sequence(sequence)
+    counts: Counter = Counter()
+    for i in range(len(sequence) - k + 1):
+        kmer = sequence[i : i + k]
+        if "N" not in kmer:
+            counts[kmer] += 1
+    return dict(counts)
+
+
+def hamming_distance(a: str, b: str) -> int:
+    """Number of mismatching positions between equal-length sequences.
+
+    Raises:
+        ValueError: On unequal lengths.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"hamming distance needs equal lengths, got {len(a)} and {len(b)}")
+    return sum(1 for x, y in zip(a, b) if x != y)
+
+
+def random_genome(length: int, rng: Optional[np.random.Generator] = None, gc_bias: float = 0.5) -> str:
+    """Generate a random genome of *length* bases.
+
+    Args:
+        length: Genome length in bases.
+        rng: Random generator (a fresh seeded one when omitted).
+        gc_bias: Target GC fraction in ``(0, 1)``.
+    """
+    if length < 0:
+        raise ValueError(f"genome length must be non-negative, got {length}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    at = (1.0 - gc_bias) / 2.0
+    gc = gc_bias / 2.0
+    bases = rng.choice(list(BASES), size=length, p=[at, gc, gc, at])
+    return "".join(bases)
+
+
+def mutate(
+    sequence: str, n_mutations: int, rng: Optional[np.random.Generator] = None
+) -> str:
+    """Apply *n_mutations* random substitutions and return the mutant."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    sequence = list(validate_sequence(sequence))
+    if not sequence:
+        return ""
+    positions = rng.choice(len(sequence), size=min(n_mutations, len(sequence)), replace=False)
+    for position in positions:
+        alternatives = [base for base in BASES if base != sequence[position]]
+        sequence[position] = alternatives[int(rng.integers(len(alternatives)))]
+    return "".join(sequence)

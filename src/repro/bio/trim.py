@@ -1,0 +1,99 @@
+"""Cutadapt-style adapter and quality trimming."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.bio.fastq import FastqRecord
+from repro.bio.seq import validate_sequence
+
+
+def trim_adapters(
+    reads: Sequence[FastqRecord],
+    adapter: str,
+    min_overlap: int = 3,
+    min_length: int = 1,
+) -> List[FastqRecord]:
+    """Remove a 3' adapter from each read (Cutadapt semantics, exact match).
+
+    The adapter is searched as an exact substring; if absent, a partial
+    adapter prefix of at least *min_overlap* bases overhanging the read
+    end is also trimmed.  Reads shorter than *min_length* after
+    trimming are dropped.
+
+    Args:
+        reads: Input reads.
+        adapter: Adapter sequence to remove.
+        min_overlap: Minimum adapter prefix length matched at read end.
+        min_length: Minimum surviving read length.
+    """
+    adapter = validate_sequence(adapter, allow_n=False)
+    if not adapter:
+        raise ValueError("adapter sequence must be non-empty")
+    trimmed: List[FastqRecord] = []
+    for read in reads:
+        cut = _find_adapter(read.sequence, adapter, min_overlap)
+        if cut is None:
+            survivor = read
+        else:
+            survivor = FastqRecord(
+                identifier=read.identifier,
+                sequence=read.sequence[:cut],
+                qualities=read.qualities[:cut],
+            )
+        if len(survivor) >= min_length:
+            trimmed.append(survivor)
+    return trimmed
+
+
+def _find_adapter(sequence: str, adapter: str, min_overlap: int) -> int:
+    """Return the cut position, or ``None`` when no adapter is found."""
+    full = sequence.find(adapter)
+    if full != -1:
+        return full
+    # Partial adapter running off the 3' end.
+    max_prefix = min(len(adapter) - 1, len(sequence))
+    for prefix_length in range(max_prefix, min_overlap - 1, -1):
+        if sequence.endswith(adapter[:prefix_length]):
+            return len(sequence) - prefix_length
+    return None
+
+
+def trim_quality(
+    reads: Sequence[FastqRecord], quality_cutoff: int = 20, min_length: int = 1
+) -> List[FastqRecord]:
+    """Trim low-quality 3' tails (BWA-style partial-sum algorithm).
+
+    Walks from the 3' end accumulating ``cutoff - quality``; the read
+    is cut at the position maximising the partial sum — the standard
+    algorithm Cutadapt ships.  Reads shorter than *min_length* after
+    trimming are dropped.
+    """
+    if quality_cutoff < 0:
+        raise ValueError(f"quality cutoff must be non-negative, got {quality_cutoff}")
+    trimmed: List[FastqRecord] = []
+    for read in reads:
+        cut = _quality_cut_position(read.qualities, quality_cutoff)
+        survivor = FastqRecord(
+            identifier=read.identifier,
+            sequence=read.sequence[:cut],
+            qualities=read.qualities[:cut],
+        )
+        if len(survivor) >= min_length:
+            trimmed.append(survivor)
+    return trimmed
+
+
+def _quality_cut_position(qualities: Sequence[int], cutoff: int) -> int:
+    """BWA partial-sum cut position from the 3' end."""
+    best_sum = 0
+    best_position = len(qualities)
+    running = 0
+    for position in range(len(qualities) - 1, -1, -1):
+        running += cutoff - qualities[position]
+        if running > best_sum:
+            best_sum = running
+            best_position = position
+        elif running < 0:
+            break
+    return best_position

@@ -1,0 +1,124 @@
+"""Pileup-based variant calling.
+
+Closes the toolkit's loop: simulated reads are aligned back to the
+reference (:mod:`repro.bio.align`), per-position base counts form a
+pileup, and positions where a non-reference base dominates are emitted
+as :class:`~repro.bio.vcf.Variant` SNP calls — which
+:mod:`repro.bio.consensus` can then apply.  A deliberately small,
+correct caller: SNPs only, depth- and fraction-thresholded.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.bio.align import align_read
+from repro.bio.fastq import FastqRecord
+from repro.bio.seq import validate_sequence
+from repro.bio.vcf import Variant
+
+#: Minimum aligned-column identity for a read to enter the pileup.
+MIN_ALIGNMENT_IDENTITY = 0.7
+#: Minimum reads covering a position to consider calling it.
+DEFAULT_MIN_DEPTH = 4
+#: Minimum fraction of covering reads supporting the alternate base.
+DEFAULT_MIN_FRACTION = 0.7
+
+
+@dataclass
+class Pileup:
+    """Per-position base counts over a reference.
+
+    Attributes:
+        reference_name: Name used as the VCF CHROM.
+        counts: 0-based position -> Counter of observed bases.
+        n_reads_used: Reads that passed the identity filter.
+        n_reads_discarded: Reads rejected by the filter.
+    """
+
+    reference_name: str
+    counts: Dict[int, Counter]
+    n_reads_used: int
+    n_reads_discarded: int
+
+    def depth(self, position: int) -> int:
+        """Total observations at a 0-based position."""
+        return sum(self.counts.get(position, Counter()).values())
+
+
+def build_pileup(
+    reference: str,
+    reads: Sequence[FastqRecord],
+    reference_name: str = "reference",
+    min_identity: float = MIN_ALIGNMENT_IDENTITY,
+) -> Pileup:
+    """Align *reads* to *reference* and accumulate base counts.
+
+    Insertions in a read are skipped (no reference position); deletions
+    contribute nothing at the deleted positions.
+    """
+    reference = validate_sequence(reference)
+    counts: Dict[int, Counter] = defaultdict(Counter)
+    used = 0
+    discarded = 0
+    for read in reads:
+        alignment = align_read(reference, read.sequence)
+        if alignment is None or alignment.identity() < min_identity:
+            discarded += 1
+            continue
+        used += 1
+        position = alignment.ref_start
+        for ref_char, read_char in zip(alignment.aligned_ref, alignment.aligned_read):
+            if ref_char == "-":
+                continue  # insertion: consumes read only
+            if read_char != "-":
+                counts[position][read_char] += 1
+            position += 1
+    return Pileup(
+        reference_name=reference_name,
+        counts=dict(counts),
+        n_reads_used=used,
+        n_reads_discarded=discarded,
+    )
+
+
+def call_variants(
+    reference: str,
+    pileup: Pileup,
+    min_depth: int = DEFAULT_MIN_DEPTH,
+    min_fraction: float = DEFAULT_MIN_FRACTION,
+) -> List[Variant]:
+    """Call SNPs from a pileup.
+
+    A position is called when its depth reaches *min_depth*, the most
+    common observed base differs from the reference, and that base
+    carries at least *min_fraction* of the depth.  QUAL is a simple
+    depth-scaled support fraction.
+    """
+    reference = validate_sequence(reference)
+    variants: List[Variant] = []
+    for position in sorted(pileup.counts):
+        counter = pileup.counts[position]
+        depth = sum(counter.values())
+        if depth < min_depth:
+            continue
+        (top_base, top_count), = counter.most_common(1)
+        ref_base = reference[position]
+        if top_base == ref_base or top_base == "N":
+            continue
+        fraction = top_count / depth
+        if fraction < min_fraction:
+            continue
+        variants.append(
+            Variant(
+                chrom=pileup.reference_name,
+                pos=position + 1,
+                ref=ref_base,
+                alt=top_base,
+                qual=round(10.0 * fraction * min(depth, 60), 1),
+                info={"DP": str(depth), "AF": f"{fraction:.2f}"},
+            )
+        )
+    return variants

@@ -1,0 +1,117 @@
+"""Minimal VCF (Variant Call Format) parsing and writing.
+
+Supports the subset the Genome Reconstruction workload needs: SNPs and
+simple indels with CHROM/POS/ID/REF/ALT/QUAL/FILTER/INFO columns,
+1-based positions, ``##`` meta lines and the ``#CHROM`` header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.errors import SequenceFormatError
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One VCF data line.
+
+    Attributes:
+        chrom: Chromosome/contig name.
+        pos: 1-based reference position.
+        ref: Reference allele.
+        alt: Alternate allele.
+        identifier: The ID column ("." when absent).
+        qual: Phred-scaled quality (0.0 when ".").
+        info: Parsed INFO key/value pairs (flag keys map to "").
+    """
+
+    chrom: str
+    pos: int
+    ref: str
+    alt: str
+    identifier: str = "."
+    qual: float = 0.0
+    info: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_snp(self) -> bool:
+        """Whether the variant is a single-base substitution."""
+        return len(self.ref) == 1 and len(self.alt) == 1
+
+
+_HEADER_COLUMNS = "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO"
+
+
+def parse_vcf(text: str) -> List[Variant]:
+    """Parse VCF *text* into variants sorted by (chrom, pos).
+
+    Raises:
+        SequenceFormatError: On malformed data lines.
+    """
+    variants: List[Variant] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("\t")
+        if len(fields) < 8:
+            raise SequenceFormatError(
+                f"VCF line {line_number} has {len(fields)} columns; expected at least 8"
+            )
+        chrom, pos_text, identifier, ref, alt, qual_text, _filter, info_text = fields[:8]
+        try:
+            pos = int(pos_text)
+        except ValueError:
+            raise SequenceFormatError(
+                f"VCF line {line_number}: position {pos_text!r} is not an integer"
+            ) from None
+        if pos < 1:
+            raise SequenceFormatError(f"VCF line {line_number}: position must be 1-based")
+        info: Dict[str, str] = {}
+        if info_text and info_text != ".":
+            for chunk in info_text.split(";"):
+                key, _, value = chunk.partition("=")
+                info[key] = value
+        variants.append(
+            Variant(
+                chrom=chrom,
+                pos=pos,
+                ref=ref.upper(),
+                alt=alt.upper(),
+                identifier=identifier,
+                qual=0.0 if qual_text == "." else float(qual_text),
+                info=info,
+            )
+        )
+    variants.sort(key=lambda variant: (variant.chrom, variant.pos))
+    return variants
+
+
+def write_vcf(variants: Iterable[Variant], reference_name: str = "reference") -> str:
+    """Serialise *variants* to VCF text with a minimal header."""
+    lines = [
+        "##fileformat=VCFv4.2",
+        f"##reference={reference_name}",
+        _HEADER_COLUMNS,
+    ]
+    for variant in sorted(variants, key=lambda v: (v.chrom, v.pos)):
+        info = ";".join(
+            key if value == "" else f"{key}={value}" for key, value in variant.info.items()
+        )
+        lines.append(
+            "\t".join(
+                [
+                    variant.chrom,
+                    str(variant.pos),
+                    variant.identifier,
+                    variant.ref,
+                    variant.alt,
+                    f"{variant.qual:g}" if variant.qual else ".",
+                    "PASS",
+                    info or ".",
+                ]
+            )
+        )
+    return "\n".join(lines) + "\n"

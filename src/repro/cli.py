@@ -1,0 +1,280 @@
+"""The ``spotverse`` command-line interface.
+
+Subcommands::
+
+    spotverse recommend   # where would SpotVerse place work right now?
+    spotverse run         # run a workload fleet under a strategy
+    spotverse experiment  # regenerate one of the paper's tables/figures
+    spotverse report      # regenerate every experiment
+    spotverse datasets    # summarize the synthetic spot datasets
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cloud.provider import CloudProvider
+from repro.core.config import SpotVerseConfig
+from repro.core.controller import FleetController
+from repro.core.spotverse import SpotVerse
+from repro.experiments.report_all import ALL_EXPERIMENTS, run_all
+from repro.experiments.reporting import render_table
+from repro.strategies import (
+    NaiveMultiRegionPolicy,
+    OnDemandPolicy,
+    SingleRegionPolicy,
+    SkyPilotPolicy,
+)
+from repro.workloads import (
+    genome_reconstruction_workload,
+    ngs_preprocessing_workload,
+    standard_general_workload,
+    synthetic_workload,
+)
+
+WORKLOAD_FACTORIES = {
+    "qiime": standard_general_workload,
+    "genome": genome_reconstruction_workload,
+    "ngs": ngs_preprocessing_workload,
+    "synthetic": synthetic_workload,
+}
+
+BASELINE_POLICIES = {
+    "single-region": lambda args: SingleRegionPolicy(
+        region=args.start_region, instance_type=args.instance_type
+    ),
+    "on-demand": lambda args: OnDemandPolicy(instance_type=args.instance_type),
+    "skypilot": lambda args: SkyPilotPolicy(instance_type=args.instance_type),
+    "naive-multi-region": lambda args: NaiveMultiRegionPolicy(),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spotverse",
+        description="SpotVerse reproduction: multi-region spot middleware on a simulated AWS.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    recommend = sub.add_parser("recommend", help="show SpotVerse's current region ranking")
+    recommend.add_argument("--instance-type", default="m5.xlarge")
+    recommend.add_argument("--threshold", type=float, default=6.0)
+    recommend.add_argument("--max-regions", type=int, default=4)
+    recommend.add_argument("--seed", type=int, default=42)
+    recommend.add_argument(
+        "--no-placement-score", action="store_true",
+        help="score on stability only (providers without a placement score)",
+    )
+    recommend.add_argument(
+        "--no-stability-score", action="store_true",
+        help="score on placement only",
+    )
+
+    run = sub.add_parser("run", help="run a workload fleet under a strategy")
+    run.add_argument("--strategy", default="spotverse",
+                     choices=["spotverse"] + sorted(BASELINE_POLICIES))
+    run.add_argument("--workload", default="genome", choices=sorted(WORKLOAD_FACTORIES))
+    run.add_argument("--workloads", type=int, default=10, help="fleet size")
+    run.add_argument("--duration-hours", type=float, default=10.5)
+    run.add_argument("--instance-type", default="m5.xlarge")
+    run.add_argument("--threshold", type=float, default=6.0)
+    run.add_argument("--start-region", default=None)
+    run.add_argument("--no-initial-distribution", action="store_true")
+    run.add_argument("--max-hours", type=float, default=160.0)
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--export-csv", default=None, metavar="PATH",
+                     help="write the per-workload timeline as CSV")
+    run.add_argument("--export-json", default=None, metavar="PATH",
+                     help="write the timeline + aggregates as JSON")
+    run.add_argument("--lifelines", action="store_true",
+                     help="print per-workload ASCII lifelines after the summary")
+
+    experiment = sub.add_parser("experiment", help="regenerate one paper experiment")
+    experiment.add_argument(
+        "experiment_id",
+        choices=[experiment_id for experiment_id, _, _ in ALL_EXPERIMENTS],
+    )
+
+    sub.add_parser("report", help="regenerate every paper experiment")
+
+    datasets = sub.add_parser("datasets", help="summarize the synthetic spot datasets")
+    datasets.add_argument("--days", type=int, default=30)
+    datasets.add_argument("--instance-type", default="m5.2xlarge")
+    datasets.add_argument("--seed", type=int, default=0)
+    datasets.add_argument(
+        "--save", default=None, metavar="DIR",
+        help="also write advisor.jsonl and placement.jsonl archives to DIR",
+    )
+
+    return parser
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    provider = CloudProvider(seed=args.seed)
+    config = SpotVerseConfig(
+        instance_type=args.instance_type,
+        score_threshold=args.threshold,
+        max_regions=args.max_regions,
+        use_placement_score=not args.no_placement_score,
+        use_stability_score=not args.no_stability_score,
+    )
+    spotverse = SpotVerse(provider, config)
+    recommended = spotverse.recommended_regions()
+    if not recommended:
+        placement = spotverse.recommendation()
+        print(
+            f"No region meets threshold {args.threshold:g} for "
+            f"{args.instance_type}; SpotVerse recommends ON-DEMAND in "
+            f"{placement.region}."
+        )
+        return 0
+    rows = [
+        [
+            m.region,
+            f"{m.spot_price:.4f}",
+            f"{m.od_price:.4f}",
+            f"{m.placement_score:.1f}",
+            m.stability_score,
+            f"{m.combined_score:.1f}",
+            f"{100 * m.savings_fraction:.0f}%",
+        ]
+        for m in recommended
+    ]
+    print(
+        render_table(
+            ["region", "spot $/h", "od $/h", "placement", "stability", "combined", "savings"],
+            rows,
+            title=f"SpotVerse top regions for {args.instance_type} "
+            f"(threshold {args.threshold:g}, cheapest first)",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    factory = WORKLOAD_FACTORIES[args.workload]
+    fleet = [
+        factory(f"wl-{i:03d}", duration_hours=args.duration_hours)
+        for i in range(args.workloads)
+    ]
+    config = SpotVerseConfig(
+        instance_type=args.instance_type,
+        score_threshold=args.threshold,
+        initial_distribution=not args.no_initial_distribution,
+        start_region=args.start_region,
+    )
+    if args.strategy == "spotverse":
+        provider = CloudProvider(seed=args.seed)
+        result = SpotVerse(provider, config).run(fleet, max_hours=args.max_hours)
+    else:
+        provider = CloudProvider(seed=args.seed)
+        provider.warmup_markets(48)
+        policy = BASELINE_POLICIES[args.strategy](args)
+        controller = FleetController(provider, policy, config)
+        result = controller.run(fleet, max_hours=args.max_hours)
+    print(result.summary())
+    if args.lifelines:
+        from repro.experiments.gantt import render_lifelines
+
+        print()
+        print(render_lifelines(result))
+    if args.export_csv or args.export_json:
+        from repro.experiments import timeline
+
+        if args.export_csv:
+            with open(args.export_csv, "w") as handle:
+                handle.write(timeline.to_csv(result))
+            print(f"timeline CSV written to {args.export_csv}")
+        if args.export_json:
+            with open(args.export_json, "w") as handle:
+                handle.write(timeline.to_json(result))
+            print(f"timeline JSON written to {args.export_json}")
+    return 0 if result.all_complete else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    for experiment_id, title, runner in ALL_EXPERIMENTS:
+        if experiment_id == args.experiment_id:
+            print(f"[{experiment_id}] {title}")
+            print(runner().render())
+            return 0
+    return 2  # unreachable: argparse validates choices
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.data import generate_advisor_dataset, generate_placement_dataset
+
+    advisor = generate_advisor_dataset(
+        days=args.days, instance_types=[args.instance_type], seed=args.seed
+    )
+    placement = generate_placement_dataset(
+        days=args.days, instance_types=[args.instance_type], seed=args.seed
+    )
+    rows = []
+    for region in advisor.regions():
+        advisor_series = advisor.series(region, args.instance_type)
+        placement_series = placement.series(region, args.instance_type)
+        mean_freq = sum(r.interruption_freq_pct for r in advisor_series) / len(advisor_series)
+        mean_score = sum(r.score for r in placement_series) / len(placement_series)
+        rows.append(
+            [
+                region,
+                f"{mean_freq:.1f}%",
+                advisor_series[-1].stability_score,
+                f"{mean_score:.2f}",
+                f"{advisor_series[-1].savings_pct:.0f}%",
+            ]
+        )
+    print(
+        render_table(
+            ["region", "mean freq", "stability", "mean placement", "savings (latest)"],
+            rows,
+            title=f"{args.instance_type} over {args.days} days (synthetic advisor + placement)",
+        )
+    )
+    if args.save:
+        import pathlib
+
+        from repro.data.persist import save_advisor_dataset, save_placement_dataset
+
+        directory = pathlib.Path(args.save)
+        directory.mkdir(parents=True, exist_ok=True)
+        advisor_rows = save_advisor_dataset(advisor, directory / "advisor.jsonl")
+        placement_rows = save_placement_dataset(
+            placement, directory / "placement.jsonl"
+        )
+        print(
+            f"archives written to {directory} "
+            f"({advisor_rows} advisor rows, {placement_rows} placement rows)"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "recommend":
+            return _cmd_recommend(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "report":
+            run_all()
+            return 0
+        if args.command == "datasets":
+            return _cmd_datasets(args)
+    except BrokenPipeError:
+        # Output was piped into something that closed early (e.g.
+        # ``spotverse report | head``); that is not our error.
+        return 0
+    return 2  # unreachable: argparse requires a subcommand
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Cost accounting for the simulated cloud.
+
+The paper's cost model (Section 5.1.2) sums per-second instance usage
+at the prevailing spot or on-demand price, plus the differential costs
+of the control plane: Lambda invocations, DynamoDB writes, CloudWatch
+rules, and cross-region S3 transfer for checkpoint workloads.  The
+:class:`CostLedger` records every charge with enough dimensions
+(category, region, tag) for experiments to slice costs per strategy and
+per workload.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+class CostCategory(enum.Enum):
+    """What a ledger entry paid for."""
+
+    SPOT_INSTANCE = "spot-instance"
+    ON_DEMAND_INSTANCE = "on-demand-instance"
+    LAMBDA = "lambda"
+    DYNAMODB = "dynamodb"
+    S3_STORAGE = "s3-storage"
+    S3_TRANSFER = "s3-transfer"
+    CLOUDWATCH = "cloudwatch"
+    STEP_FUNCTIONS = "step-functions"
+
+
+#: USD per Lambda GB-second (x86, us-east-1 list price).
+LAMBDA_GB_SECOND_PRICE = 0.0000166667
+#: USD per Lambda request.
+LAMBDA_REQUEST_PRICE = 0.0000002
+#: USD per DynamoDB write request unit.
+DYNAMODB_WRITE_PRICE = 0.00000125
+#: USD per DynamoDB read request unit.
+DYNAMODB_READ_PRICE = 0.00000025
+#: USD per GB transferred between regions.
+S3_CROSS_REGION_TRANSFER_PRICE = 0.02
+#: USD per GB-month of S3 standard storage.
+S3_STORAGE_PRICE_GB_MONTH = 0.023
+#: USD per CloudWatch metric put (custom metrics, amortised).
+CLOUDWATCH_PUT_PRICE = 0.0000003
+#: USD per Step Functions state transition.
+STEP_FUNCTIONS_TRANSITION_PRICE = 0.000025
+
+
+@dataclass
+class CostEntry:
+    """One charge in the ledger.
+
+    Attributes:
+        time: Virtual time the charge accrued.
+        category: What kind of resource was billed.
+        amount: USD charged.
+        region: Region the charge accrued in ("" for global services).
+        tag: Free-form attribution tag, typically a workload id.
+        detail: Human-readable description for audit output.
+    """
+
+    time: float
+    category: CostCategory
+    amount: float
+    region: str = ""
+    tag: str = ""
+    detail: str = ""
+
+
+class CostLedger:
+    """Append-only ledger of simulated charges."""
+
+    def __init__(self) -> None:
+        self._entries: List[CostEntry] = []
+        self._total_by_category: Dict[CostCategory, float] = defaultdict(float)
+        self._total_by_tag: Dict[str, float] = defaultdict(float)
+        self._total_by_region: Dict[str, float] = defaultdict(float)
+
+    def charge(
+        self,
+        time: float,
+        category: CostCategory,
+        amount: float,
+        region: str = "",
+        tag: str = "",
+        detail: str = "",
+    ) -> CostEntry:
+        """Record a charge and return the ledger entry.
+
+        Zero-amount charges are recorded too — they document that a
+        billable action occurred, which keeps audit trails complete.
+        Negative amounts are rejected.
+        """
+        if amount < 0:
+            raise ValueError(f"cannot charge a negative amount: {amount!r}")
+        entry = CostEntry(
+            time=time, category=category, amount=amount, region=region, tag=tag, detail=detail
+        )
+        self._entries.append(entry)
+        self._total_by_category[category] += amount
+        if tag:
+            self._total_by_tag[tag] += amount
+        if region:
+            self._total_by_region[region] += amount
+        return entry
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    @property
+    def entries(self) -> List[CostEntry]:
+        """All recorded entries in charge order."""
+        return list(self._entries)
+
+    def total(self, category: Optional[CostCategory] = None) -> float:
+        """Total USD, optionally restricted to one category."""
+        if category is None:
+            return sum(self._total_by_category.values())
+        return self._total_by_category.get(category, 0.0)
+
+    def total_for_tag(self, tag: str) -> float:
+        """Total USD attributed to *tag* (e.g. one workload)."""
+        return self._total_by_tag.get(tag, 0.0)
+
+    def total_for_region(self, region: str) -> float:
+        """Total USD accrued in *region*."""
+        return self._total_by_region.get(region, 0.0)
+
+    def instance_total(self) -> float:
+        """Total spend on compute (spot + on-demand)."""
+        return self.total(CostCategory.SPOT_INSTANCE) + self.total(
+            CostCategory.ON_DEMAND_INSTANCE
+        )
+
+    def overhead_total(self) -> float:
+        """Total spend on control-plane services (everything but compute)."""
+        return self.total() - self.instance_total()
+
+    def by_category(self) -> Dict[str, float]:
+        """Return ``{category value: total}`` for reporting."""
+        return {category.value: total for category, total in self._total_by_category.items()}
+
+    def by_region(self) -> Dict[str, float]:
+        """Return ``{region: total}`` for reporting."""
+        return dict(self._total_by_region)

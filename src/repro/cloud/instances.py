@@ -1,0 +1,147 @@
+"""Instance-type catalog.
+
+Covers the families the paper evaluates (m5 general purpose, c5
+compute optimized, r5 memory optimized, p3 GPU) across the sizes used
+in Section 5.2.2 (large, xlarge, 2xlarge) plus 4xlarge for headroom.
+Base prices are ``us-east-1`` on-demand list prices (USD/hour); other
+regions apply their catalog multiplier (see
+:class:`~repro.cloud.pricing.PriceBook`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import UnknownInstanceTypeError
+
+#: Size name -> multiplier over the family's ``large`` price/resources.
+SIZE_FACTORS: Dict[str, float] = {
+    "large": 1.0,
+    "xlarge": 2.0,
+    "2xlarge": 4.0,
+    "4xlarge": 8.0,
+}
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """An EC2-style instance type.
+
+    Attributes:
+        name: Full type name, e.g. ``"m5.2xlarge"``.
+        family: Family prefix, e.g. ``"m5"``.
+        size: Size suffix, e.g. ``"2xlarge"``.
+        vcpus: Number of virtual CPUs.
+        memory_gib: Memory in GiB.
+        category: Marketing category (``"general-purpose"``, ...).
+        gpus: Number of GPUs (0 for non-accelerated families).
+        base_od_price: ``us-east-1`` on-demand USD/hour.
+    """
+
+    name: str
+    family: str
+    size: str
+    vcpus: int
+    memory_gib: float
+    category: str
+    gpus: int
+    base_od_price: float
+
+    @property
+    def size_factor(self) -> float:
+        """Multiplier of this size over the family's ``large``."""
+        return SIZE_FACTORS[self.size]
+
+
+@dataclass(frozen=True)
+class _Family:
+    name: str
+    category: str
+    vcpus_large: int
+    memory_large_gib: float
+    gpus_large: int
+    od_price_large: float
+    sizes: Tuple[str, ...]
+
+
+_FAMILIES: Tuple[_Family, ...] = (
+    _Family("m5", "general-purpose", 2, 8.0, 0, 0.096, ("large", "xlarge", "2xlarge", "4xlarge")),
+    _Family("c5", "compute-optimized", 2, 4.0, 0, 0.085, ("large", "xlarge", "2xlarge", "4xlarge")),
+    _Family("r5", "memory-optimized", 2, 16.0, 0, 0.126, ("large", "xlarge", "2xlarge", "4xlarge")),
+    # p3 starts at 2xlarge on AWS; the "large-equivalent" price below is
+    # a quarter of the real p3.2xlarge list price so the size math holds.
+    _Family("p3", "gpu-optimized", 2, 15.25, 1, 0.765, ("2xlarge", "4xlarge")),
+)
+
+
+def _build_types() -> Tuple[InstanceType, ...]:
+    types: List[InstanceType] = []
+    for family in _FAMILIES:
+        for size in family.sizes:
+            factor = SIZE_FACTORS[size]
+            types.append(
+                InstanceType(
+                    name=f"{family.name}.{size}",
+                    family=family.name,
+                    size=size,
+                    vcpus=int(family.vcpus_large * factor),
+                    memory_gib=family.memory_large_gib * factor,
+                    category=family.category,
+                    gpus=int(family.gpus_large * factor),
+                    base_od_price=round(family.od_price_large * factor, 4),
+                )
+            )
+    return tuple(types)
+
+
+_DEFAULT_TYPES = _build_types()
+
+
+class InstanceTypeCatalog:
+    """Lookup table of :class:`InstanceType` objects keyed by name."""
+
+    def __init__(self, types: Tuple[InstanceType, ...] = _DEFAULT_TYPES) -> None:
+        self._types: Dict[str, InstanceType] = {itype.name: itype for itype in types}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __iter__(self) -> Iterator[InstanceType]:
+        return iter(self._types.values())
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def get(self, name: str) -> InstanceType:
+        """Return the instance type called *name*.
+
+        Raises:
+            UnknownInstanceTypeError: If the type is not in the catalog.
+        """
+        try:
+            return self._types[name]
+        except KeyError:
+            known = ", ".join(sorted(self._types))
+            raise UnknownInstanceTypeError(
+                f"unknown instance type {name!r}; known types: {known}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Return all type names in catalog order."""
+        return list(self._types)
+
+    def family(self, family: str) -> List[InstanceType]:
+        """Return all sizes of *family*, smallest first."""
+        members = [itype for itype in self._types.values() if itype.family == family]
+        return sorted(members, key=lambda itype: itype.size_factor)
+
+    def comparable_to(self, name: str) -> List[InstanceType]:
+        """Return same-size types across families (the paper's Fig. 8a setup)."""
+        anchor = self.get(name)
+        return [itype for itype in self._types.values() if itype.size == anchor.size]
+
+
+def default_instance_catalog() -> InstanceTypeCatalog:
+    """Return the default m5/c5/r5/p3 catalog."""
+    return InstanceTypeCatalog()

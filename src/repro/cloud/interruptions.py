@@ -1,0 +1,59 @@
+"""Interruption hazard model.
+
+Spot interruptions are modelled as a non-homogeneous Poisson process
+per instance: the hazard rate is read from the instance's market at
+every evaluation interval, so drifting market conditions change the
+realized risk of *running* instances, not just new launches.  The EC2
+substrate evaluates each running spot instance once per
+``EVALUATION_INTERVAL`` and interrupts it with probability
+``1 - exp(-hazard * dt)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.sim.clock import HOUR, MINUTE
+
+#: How often running spot instances are checked against the hazard.
+EVALUATION_INTERVAL = 5 * MINUTE
+
+#: AWS delivers a two-minute warning before reclaiming a spot instance.
+INTERRUPTION_NOTICE = 2 * MINUTE
+
+
+def interruption_probability(hazard_per_hour: float, dt_seconds: float) -> float:
+    """Probability of interruption within *dt_seconds* at a given hazard.
+
+    Args:
+        hazard_per_hour: Instantaneous hazard rate (events per hour).
+        dt_seconds: Evaluation window in seconds.
+
+    Returns:
+        ``1 - exp(-hazard * dt)`` with ``dt`` converted to hours.
+    """
+    if hazard_per_hour <= 0:
+        return 0.0
+    return 1.0 - math.exp(-hazard_per_hour * (dt_seconds / HOUR))
+
+
+def sample_interruption(
+    rng: np.random.Generator, hazard_per_hour: float, dt_seconds: float
+) -> bool:
+    """Bernoulli draw: is the instance interrupted in this window?"""
+    probability = interruption_probability(hazard_per_hour, dt_seconds)
+    if probability <= 0.0:
+        return False
+    return bool(rng.random() < probability)
+
+
+def expected_interruptions(hazard_per_hour: float, duration_hours: float) -> float:
+    """Expected interruption count over *duration_hours* at constant hazard."""
+    return hazard_per_hour * duration_hours
+
+
+def survival_probability(hazard_per_hour: float, duration_hours: float) -> float:
+    """Probability an instance survives *duration_hours* uninterrupted."""
+    return math.exp(-hazard_per_hour * duration_hours)

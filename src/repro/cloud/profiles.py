@@ -1,0 +1,389 @@
+"""Market regime profiles: the simulator's calibration tables.
+
+A :class:`MarketProfile` fixes, for one ``(region, instance type)``
+pair, the long-run behaviour of its spot market: the mean spot price as
+a fraction of the regional on-demand price, the Spot Instance Advisor
+*Interruption Frequency* metric, the mean Spot Placement Score, and the
+volatilities of all three.
+
+Calibration
+-----------
+
+The paper's results hinge on one market structure: **cheap spot markets
+are crowded spot markets** — deep discounts co-occur with high
+interruption rates and low placement scores.  We encode that with three
+regional tiers chosen so the paper's Tables 1 and 3 emerge:
+
+========  =====================================================  ==========
+tier      regions                                                role
+========  =====================================================  ==========
+stable    us-west-1, ap-northeast-3, eu-west-1, eu-north-1       Table 3 threshold-6 set
+balanced  ap-southeast-1, eu-west-3, ca-central-1, eu-west-2     Table 3 threshold-5 set
+cheap     us-east-1, us-east-2, ap-southeast-2, us-west-2        Table 3 threshold-4 set
+========  =====================================================  ==========
+
+Combined scores (placement mean + stability bucket) land at ~7.2 / ~5.4
+/ ~4.6 respectively, so thresholds 6, 5 and 4 select exactly the
+paper's three region sets once survivors are sorted by price.
+
+Per-type overrides then pin the five Table 1 anchors (the cheapest spot
+region per instance type on the experiment date) and the interruption
+regimes the paper reports for them — e.g. ``m5.xlarge`` in
+``ca-central-1`` is simultaneously the cheapest region for that type
+*and* flaky enough to produce the paper's ~114 interruptions across 40
+standard 10-hour workloads.
+
+Interruption frequency semantics
+--------------------------------
+
+AWS publishes Interruption Frequency as a bucketed monthly statistic.
+The paper's observed interruption *counts* (hundreds across 40
+instances in ~1 day) imply far higher realized hazards, so we
+reinterpret the metric: an advisor frequency of ``p`` percent maps to a
+realized interruption hazard of ``HAZARD_SCALE * p / 100`` per
+instance-hour.  Stability-score bucketing keeps the paper's published
+edges (<5 % -> 3, 5-20 % -> 2, >20 % -> 1).  This substitution is
+recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.cloud.instances import InstanceTypeCatalog, default_instance_catalog
+from repro.cloud.regions import RegionCatalog, default_region_catalog
+from repro.errors import CloudError
+
+#: Realized hourly hazard per advisor-percent of interruption frequency.
+HAZARD_SCALE = 0.7 / 100.0
+
+#: Regions where p3 (GPU) capacity does not exist, per the paper's note
+#: that "specific regions were excluded ... for p3.2xlarge instances
+#: due to their unavailability in those areas".
+P3_UNAVAILABLE_REGIONS = frozenset(
+    {"ca-central-1", "eu-west-3", "eu-north-1", "ap-southeast-2"}
+)
+
+#: tier name -> per-market regime defaults.  Reclaim *bursts* are the
+#: dominant interruption mechanism: capacity reclaims hit a market in
+#: short, fleet-correlated windows (period/width/hazard below), which
+#: reproduces the paper's regime of expensive rework with tight
+#: completion distributions.  The advisor frequency percentage remains
+#: the *published* metric the Monitor reports; realized hazard combines
+#: the (scaled) base rate with the bursts.
+TIER_DEFAULTS: Dict[str, Dict[str, float]] = {
+    "stable": {
+        "spot_fraction": 0.42,
+        "interruption_freq_pct": 2.5,
+        "placement_mean": 4.3,
+        "hazard_multiplier": 0.5,
+        "burst_period_hours": 8.0,
+        "burst_hazard_per_hour": 0.12,
+    },
+    "balanced": {
+        "spot_fraction": 0.33,
+        "interruption_freq_pct": 8.0,
+        "placement_mean": 3.4,
+        "hazard_multiplier": 0.5,
+        "burst_period_hours": 8.0,
+        "burst_hazard_per_hour": 0.58,
+    },
+    "cheap": {
+        "spot_fraction": 0.27,
+        "interruption_freq_pct": 17.0,
+        "placement_mean": 2.4,
+        "hazard_multiplier": 0.3,
+        "burst_period_hours": 5.5,
+        "burst_hazard_per_hour": 1.4,
+    },
+}
+
+#: region -> tier
+REGION_TIERS: Dict[str, str] = {
+    "us-west-1": "stable",
+    "ap-northeast-3": "stable",
+    "eu-west-1": "stable",
+    "eu-north-1": "stable",
+    "ap-southeast-1": "balanced",
+    "eu-west-3": "balanced",
+    "ca-central-1": "balanced",
+    "eu-west-2": "balanced",
+    "us-east-1": "cheap",
+    "us-east-2": "cheap",
+    "ap-southeast-2": "cheap",
+    "us-west-2": "cheap",
+}
+
+
+@dataclass(frozen=True)
+class MarketProfile:
+    """Long-run regime of one (region, instance type) spot market.
+
+    Attributes:
+        region: Region name.
+        instance_type: Full instance-type name.
+        available: Whether the type can be launched in the region.
+        spot_fraction: Mean spot price as a fraction of the *regional*
+            on-demand price.
+        spot_volatility: Relative standard deviation of the
+            mean-reverting price process.
+        interruption_freq_pct: Spot Instance Advisor metric (percent).
+        freq_volatility: Absolute drift scale of the frequency walk.
+        placement_mean: Mean Spot Placement Score (1-10 scale).
+        placement_volatility: Absolute drift scale of the score walk.
+    """
+
+    region: str
+    instance_type: str
+    available: bool = True
+    spot_fraction: float = 0.40
+    spot_volatility: float = 0.045
+    interruption_freq_pct: float = 8.0
+    freq_volatility: float = 0.5
+    placement_mean: float = 3.5
+    placement_volatility: float = 0.08
+    hazard_multiplier: float = 1.0
+    episode_boost: float = 0.0
+    episode_tau_hours: float = 6.0
+    burst_period_hours: float = 0.0
+    burst_width_hours: float = 0.5
+    burst_hazard_per_hour: float = 0.0
+    #: Spare capacity units (instances) the market can host; 0 means
+    #: unmetered (the default — the paper's 40-instance fleets are far
+    #: below any real market's spare capacity).  Finite values enable
+    #: footprint-pressure studies: utilization degrades fulfillment and
+    #: raises the reclaim hazard.
+    capacity: int = 0
+
+    @property
+    def interruption_hazard_per_hour(self) -> float:
+        """Realized hourly interruption hazard implied by the advisor metric.
+
+        ``hazard_multiplier`` models markets whose *realized* reclaim
+        rate exceeds what the (historical) advisor bucket suggests —
+        the trap the paper's motivational experiment falls into when it
+        picks ca-central-1 purely on price.
+        """
+        return self.interruption_freq_pct * HAZARD_SCALE * self.hazard_multiplier
+
+
+# ---------------------------------------------------------------------------
+# Per-(region, type) overrides.
+#
+# Each entry adjusts the tier default for one market.  The five Table 1
+# anchors are marked; frequencies are tuned to the interruption counts
+# the paper reports for each experiment (see module docstring).
+# ---------------------------------------------------------------------------
+_OVERRIDES: Dict[Tuple[str, str], Dict[str, float]] = {
+    # --- m5.xlarge: expensive everywhere on the fig-3/7/9 experiment
+    # date, with ca-central-1 the cheapest (Table 1 anchor) but flaky
+    # (~114 interruptions over 40 standard workloads in the paper).
+    # The advisor shows 19 % (stability 2) because the past month was
+    # rough; the live market reclaims capacity in strong ~6-hourly
+    # bursts.  This is what the paper's motivational pick-the-cheapest
+    # choice walks into.
+    ("ca-central-1", "m5.xlarge"): {
+        "spot_fraction": 0.375,
+        "interruption_freq_pct": 19.0,
+        "hazard_multiplier": 0.15,
+        "burst_period_hours": 6.0,
+        "burst_hazard_per_hour": 1.2,
+    },
+    ("ap-southeast-1", "m5.xlarge"): {"spot_fraction": 0.43},
+    ("eu-west-3", "m5.xlarge"): {"spot_fraction": 0.44},
+    ("eu-west-2", "m5.xlarge"): {"spot_fraction": 0.43},
+    ("us-east-1", "m5.xlarge"): {"spot_fraction": 0.48},
+    ("us-east-2", "m5.xlarge"): {"spot_fraction": 0.48},
+    ("ap-southeast-2", "m5.xlarge"): {"spot_fraction": 0.48},
+    ("us-west-2", "m5.xlarge"): {"spot_fraction": 0.48},
+    # ap-northeast-3 is the cheapest of the high-scoring regions for
+    # m5.xlarge (the fig-9 baseline) and carries the highest combined
+    # score.
+    ("ap-northeast-3", "m5.xlarge"): {"spot_fraction": 0.326, "placement_mean": 4.6},
+    ("us-west-1", "m5.xlarge"): {"spot_fraction": 0.35},
+    ("eu-west-1", "m5.xlarge"): {"spot_fraction": 0.37},
+    ("eu-north-1", "m5.xlarge"): {"spot_fraction": 0.385},
+    # --- m5.large: Table 1 anchor us-west-2, stability score 1.
+    ("us-west-2", "m5.large"): {
+        "spot_fraction": 0.22,
+        "interruption_freq_pct": 24.0,
+        "hazard_multiplier": 0.15,
+        "burst_period_hours": 5.5,
+        "burst_hazard_per_hour": 1.5,
+    },
+    # --- m5.2xlarge: Table 1 anchor ap-northeast-3 — a *stable* region
+    # that happens to be cheapest, so single-region is already decent.
+    ("ap-northeast-3", "m5.2xlarge"): {"spot_fraction": 0.19},
+    # One market sits in the advisor's darkest band (>20 %), matching
+    # the Fig. 4a heatmap's darkest cells.
+    ("ap-southeast-2", "m5.2xlarge"): {"interruption_freq_pct": 23.0},
+    # --- r5.2xlarge: Table 1 anchor ca-central-1, stability score 1,
+    # the paper's worst-case baseline (215 interruptions).
+    ("ca-central-1", "r5.2xlarge"): {
+        "spot_fraction": 0.21,
+        "interruption_freq_pct": 26.0,
+        "hazard_multiplier": 0.20,
+        "burst_period_hours": 4.5,
+        "burst_hazard_per_hour": 1.6,
+    },
+    ("us-west-1", "r5.2xlarge"): {"spot_fraction": 0.33},
+    ("ap-northeast-3", "r5.2xlarge"): {"spot_fraction": 0.33},
+    ("eu-west-1", "r5.2xlarge"): {"spot_fraction": 0.33},
+    ("eu-north-1", "r5.2xlarge"): {"spot_fraction": 0.33},
+    # --- c5.2xlarge: Table 1 anchor eu-north-1 — cheap *and* stable,
+    # which is why the paper's c5 runs show the largest savings over
+    # on-demand.
+    ("eu-north-1", "c5.2xlarge"): {"spot_fraction": 0.22},
+}
+
+#: p3 placement scores are flat across regions in the paper (Fig. 4c);
+#: interruption frequency still varies with the tier.
+_P3_PLACEMENT_MEAN = 3.5
+_P3_PLACEMENT_VOLATILITY = 0.04
+
+
+class MarketProfileBook:
+    """All market profiles for a (region catalog x instance catalog) grid."""
+
+    def __init__(self, profiles: Iterable[MarketProfile]) -> None:
+        self._profiles: Dict[Tuple[str, str], MarketProfile] = {
+            (profile.region, profile.instance_type): profile for profile in profiles
+        }
+
+    def get(self, region: str, instance_type: str) -> MarketProfile:
+        """Return the profile for (*region*, *instance_type*).
+
+        Raises:
+            CloudError: If no profile exists for the pair.
+        """
+        try:
+            return self._profiles[(region, instance_type)]
+        except KeyError:
+            raise CloudError(
+                f"no market profile for instance type {instance_type!r} in region {region!r}"
+            ) from None
+
+    def __iter__(self):
+        return iter(self._profiles.values())
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def regions_offering(self, instance_type: str) -> List[str]:
+        """Return regions where *instance_type* is launchable."""
+        return [
+            profile.region
+            for profile in self._profiles.values()
+            if profile.instance_type == instance_type and profile.available
+        ]
+
+    def with_overrides(
+        self, overrides: Mapping[Tuple[str, str], Mapping[str, float]]
+    ) -> "MarketProfileBook":
+        """Return a copy with field overrides applied per (region, type).
+
+        Used by experiment drivers to model a different collection date
+        (spot markets move between the paper's experiments — e.g. the
+        threshold study of Section 5.2.4 ran when the cheap-tier regions
+        had undercut ca-central-1 for m5.xlarge).
+        """
+        updated = dict(self._profiles)
+        for key, fields in overrides.items():
+            if key not in updated:
+                raise CloudError(f"cannot override unknown market {key!r}")
+            updated[key] = replace(updated[key], **fields)
+        return MarketProfileBook(updated.values())
+
+
+def default_market_profiles(
+    regions: Optional[RegionCatalog] = None,
+    instances: Optional[InstanceTypeCatalog] = None,
+) -> MarketProfileBook:
+    """Build the default calibrated profile book.
+
+    Every (region, type) pair gets its tier default, then the explicit
+    per-market overrides above, then the p3 availability/placement
+    rules.
+    """
+    regions = regions or default_region_catalog()
+    instances = instances or default_instance_catalog()
+    profiles: List[MarketProfile] = []
+    for region in regions:
+        tier = REGION_TIERS.get(region.name, "balanced")
+        for itype in instances:
+            fields: Dict[str, float] = {
+                "hazard_multiplier": 1.0,
+                "episode_boost": 0.0,
+                "episode_tau_hours": 6.0,
+                "burst_period_hours": 0.0,
+                "burst_width_hours": 0.5,
+                "burst_hazard_per_hour": 0.0,
+            }
+            fields.update(TIER_DEFAULTS[tier])
+            fields.update(_OVERRIDES.get((region.name, itype.name), {}))
+            available = True
+            placement_volatility = 0.08
+            if itype.family == "p3":
+                available = region.name not in P3_UNAVAILABLE_REGIONS
+                fields["placement_mean"] = _P3_PLACEMENT_MEAN
+                placement_volatility = _P3_PLACEMENT_VOLATILITY
+            profiles.append(
+                MarketProfile(
+                    region=region.name,
+                    instance_type=itype.name,
+                    available=available,
+                    spot_fraction=float(fields["spot_fraction"]),
+                    interruption_freq_pct=float(fields["interruption_freq_pct"]),
+                    placement_mean=float(fields["placement_mean"]),
+                    placement_volatility=placement_volatility,
+                    hazard_multiplier=float(fields["hazard_multiplier"]),
+                    episode_boost=float(fields["episode_boost"]),
+                    episode_tau_hours=float(fields["episode_tau_hours"]),
+                    burst_period_hours=float(fields["burst_period_hours"]),
+                    burst_width_hours=float(fields["burst_width_hours"]),
+                    burst_hazard_per_hour=float(fields["burst_hazard_per_hour"]),
+                )
+            )
+    return MarketProfileBook(profiles)
+
+
+#: Overrides reproducing the spot-market state on the *threshold
+#: experiment's* collection date (Section 5.2.4 / Table 3): the cheap
+#: tier has undercut everyone for m5.xlarge, so threshold 4 selects
+#: exactly the us-east-1 / us-east-2 / ap-southeast-2 / us-west-2 set.
+THRESHOLD_EPOCH_OVERRIDES: Dict[Tuple[str, str], Dict[str, float]] = {
+    # The cheap tier undercuts everyone for m5.xlarge on this date —
+    # and its reclaim bursts run hotter (deep discounts mean the spare
+    # capacity is nearly gone), which is what makes threshold 4 lose to
+    # on-demand at long durations (Fig. 10).
+    ("us-east-1", "m5.xlarge"): {"spot_fraction": 0.26, "burst_hazard_per_hour": 1.85},
+    ("us-east-2", "m5.xlarge"): {"spot_fraction": 0.265, "burst_hazard_per_hour": 1.85},
+    ("ap-southeast-2", "m5.xlarge"): {
+        "spot_fraction": 0.268,
+        "burst_hazard_per_hour": 1.85,
+    },
+    ("us-west-2", "m5.xlarge"): {"spot_fraction": 0.27, "burst_hazard_per_hour": 1.85},
+    ("ca-central-1", "m5.xlarge"): {"spot_fraction": 0.33},
+    ("ap-southeast-1", "m5.xlarge"): {"spot_fraction": 0.33},
+    ("eu-west-3", "m5.xlarge"): {"spot_fraction": 0.34},
+    ("eu-west-2", "m5.xlarge"): {"spot_fraction": 0.335},
+    ("ap-northeast-3", "m5.xlarge"): {"spot_fraction": 0.40},
+    ("us-west-1", "m5.xlarge"): {"spot_fraction": 0.42},
+    ("eu-west-1", "m5.xlarge"): {"spot_fraction": 0.42},
+    ("eu-north-1", "m5.xlarge"): {"spot_fraction": 0.43},
+}
+
+
+def stability_score_from_frequency(freq_pct: float) -> int:
+    """Bucket an Interruption Frequency percentage into a Stability Score.
+
+    Mirrors the paper's Section 3.1 definition: score 3 means an
+    interruption likelihood below 5 %, score 1 means above 20 %, and
+    score 2 covers the 5-20 % band.
+    """
+    if freq_pct < 5.0:
+        return 3
+    if freq_pct <= 20.0:
+        return 2
+    return 1

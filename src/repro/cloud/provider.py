@@ -1,0 +1,171 @@
+"""The cloud provider facade.
+
+:class:`CloudProvider` wires one :class:`~repro.sim.SimulationEngine`
+to the region/instance catalogs, a calibrated market per (region,
+instance type), the cost ledger, and every service substrate.  It is
+the single object experiments construct; everything else hangs off it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cloud.billing import CostLedger
+from repro.cloud.instances import InstanceTypeCatalog, default_instance_catalog
+from repro.cloud.market import SpotMarket
+from repro.cloud.pricing import PriceBook
+from repro.cloud.profiles import MarketProfileBook, default_market_profiles
+from repro.cloud.regions import RegionCatalog, default_region_catalog
+from repro.cloud.services.cloudformation import CloudFormationService
+from repro.cloud.services.cloudwatch import CloudWatchService
+from repro.cloud.services.dynamodb import DynamoDBService
+from repro.cloud.services.ami import AMIService
+from repro.cloud.services.ec2 import EC2Service
+from repro.cloud.services.efs import EFSService
+from repro.cloud.services.eventbridge import EventBridgeService
+from repro.cloud.services.lambda_ import LambdaService
+from repro.cloud.services.s3 import S3Service
+from repro.cloud.services.stepfunctions import StepFunctionsService
+from repro.errors import CloudError
+from repro.sim.clock import HOUR
+from repro.sim.engine import SimulationEngine
+
+
+class CloudProvider:
+    """A fully wired simulated cloud.
+
+    Args:
+        engine: The simulation engine everything schedules against;
+            a fresh one is created when omitted.
+        regions: Region catalog (defaults to the paper's twelve).
+        instances: Instance-type catalog (defaults to m5/c5/r5/p3).
+        profiles: Market calibration book (defaults to the paper-tuned
+            regimes; experiments may pass a date-shifted override book).
+        market_step_interval: Seconds between market steps.
+        seed: Master seed when *engine* is omitted.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[SimulationEngine] = None,
+        regions: Optional[RegionCatalog] = None,
+        instances: Optional[InstanceTypeCatalog] = None,
+        profiles: Optional[MarketProfileBook] = None,
+        market_step_interval: float = HOUR,
+        seed: int = 0,
+    ) -> None:
+        self.engine = engine or SimulationEngine(seed=seed)
+        self.regions = regions or default_region_catalog()
+        self.instances = instances or default_instance_catalog()
+        self.profiles = profiles or default_market_profiles(self.regions, self.instances)
+        self.price_book = PriceBook(self.regions, self.instances)
+        self.ledger = CostLedger()
+
+        from repro.cloud.market import GEOGRAPHY_PEAK_HOURS
+
+        self._markets: Dict[Tuple[str, str], SpotMarket] = {}
+        for profile in self.profiles:
+            geography = self.regions.get(profile.region).geography
+            market = SpotMarket(
+                profile=profile,
+                od_price=self.price_book.od_price(profile.region, profile.instance_type),
+                rng=self.engine.streams.get(
+                    f"market:{profile.region}:{profile.instance_type}"
+                ),
+                step_interval=market_step_interval,
+                hazard_peak_hour=GEOGRAPHY_PEAK_HOURS.get(geography, 0.0),
+            )
+            self._markets[(profile.region, profile.instance_type)] = market
+        self._market_task = self.engine.every(
+            market_step_interval, self._step_markets, label="markets:step"
+        )
+
+        # Service substrates.  Order matters only in that EC2 publishes
+        # to EventBridge, which must exist first.
+        self.eventbridge = EventBridgeService(self)
+        self.ec2 = EC2Service(self)
+        self.s3 = S3Service(self)
+        self.dynamodb = DynamoDBService(self)
+        self.lambda_ = LambdaService(self)
+        self.cloudwatch = CloudWatchService(self)
+        self.stepfunctions = StepFunctionsService(self)
+        self.cloudformation = CloudFormationService(self)
+        self.efs = EFSService(self)
+        self.ami = AMIService(self)
+
+    # ------------------------------------------------------------------
+    # Markets
+    # ------------------------------------------------------------------
+    def market(self, region: str, instance_type: str) -> SpotMarket:
+        """Return the market for (*region*, *instance_type*).
+
+        Raises:
+            CloudError: If the pair has no market.
+        """
+        market = self._markets.get((region, instance_type))
+        if market is None:
+            raise CloudError(
+                f"no market for instance type {instance_type!r} in region {region!r}"
+            )
+        return market
+
+    def markets_for_type(self, instance_type: str) -> List[SpotMarket]:
+        """Return every *available* market trading *instance_type*."""
+        return [
+            market
+            for (region, itype), market in self._markets.items()
+            if itype == instance_type and market.available
+        ]
+
+    def _step_markets(self) -> None:
+        now = self.engine.now
+        for market in self._markets.values():
+            market.step(now)
+
+    def warmup_markets(self, steps: int) -> None:
+        """Pre-roll every market *steps* intervals before t=0 data.
+
+        Gives price/metric processes a burn-in so experiments do not
+        all start exactly on the calibrated means.
+        """
+        for market in self._markets.values():
+            market.warmup(steps, start_time=-steps * market.step_interval)
+            # Burn-in history is synthetic pre-experiment data; keep it
+            # out of recorded traces.
+            market.price_process.history.clear()
+            market.metric_history.clear()
+
+    # ------------------------------------------------------------------
+    # Convenience views
+    # ------------------------------------------------------------------
+    def spot_price(self, region: str, instance_type: str) -> float:
+        """Current spot price for (*region*, *instance_type*)."""
+        return self.market(region, instance_type).spot_price
+
+    def cheapest_spot_region(self, instance_type: str) -> Tuple[str, float]:
+        """Return ``(region, price)`` of the cheapest current spot offer."""
+        markets = self.markets_for_type(instance_type)
+        if not markets:
+            raise CloudError(f"no region offers instance type {instance_type!r}")
+        best = min(markets, key=lambda market: market.spot_price)
+        return best.region, best.spot_price
+
+    def cheapest_mean_spot_region(self, instance_type: str) -> Tuple[str, float]:
+        """Return ``(region, mean price)`` ranked by *long-run* spot price.
+
+        This is what an experimenter looking at recent price history
+        would call "the cheapest region on the experiment date" (Table 1
+        of the paper), insulated from instantaneous OU noise.
+        """
+        markets = self.markets_for_type(instance_type)
+        if not markets:
+            raise CloudError(f"no region offers instance type {instance_type!r}")
+        best = min(markets, key=lambda market: market.price_process.mean)
+        return best.region, best.price_process.mean
+
+    def shutdown(self) -> None:
+        """Cancel periodic machinery and settle outstanding billing."""
+        self._market_task.cancel()
+        self.ec2.settle_billing()
+        self.ec2.shutdown()
+        self.cloudwatch.remove_all_rules()

@@ -1,0 +1,142 @@
+"""Region and Availability Zone catalog.
+
+The default catalog contains the twelve AWS regions that appear in the
+paper's experiments (Tables 1 and 3 plus the motivational study), each
+with three availability zones.  Every region carries an *on-demand
+price multiplier* relative to ``us-east-1`` list prices, mirroring how
+AWS charges more in some geographies (e.g. ``ap-northeast-3``) than in
+others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import UnknownRegionError
+
+
+@dataclass(frozen=True)
+class AvailabilityZone:
+    """A single availability zone within a region.
+
+    Attributes:
+        name: Full AZ name, e.g. ``"us-east-1a"``.
+        zone_id: Stable AZ identifier, e.g. ``"use1-az1"``.
+        region_name: Name of the owning region.
+    """
+
+    name: str
+    zone_id: str
+    region_name: str
+
+
+@dataclass(frozen=True)
+class Region:
+    """A cloud region.
+
+    Attributes:
+        name: Region name, e.g. ``"ca-central-1"``.
+        display_name: Human-readable location.
+        geography: Coarse grouping used in reports (``"americas"``,
+            ``"europe"``, ``"asia-pacific"``).
+        od_price_multiplier: On-demand price level relative to
+            ``us-east-1`` (1.0 means identical list prices).
+        zones: The region's availability zones.
+    """
+
+    name: str
+    display_name: str
+    geography: str
+    od_price_multiplier: float
+    zones: Tuple[AvailabilityZone, ...] = field(default_factory=tuple)
+
+    def zone_names(self) -> List[str]:
+        """Return the names of this region's AZs in catalog order."""
+        return [zone.name for zone in self.zones]
+
+
+def _make_region(
+    name: str,
+    display_name: str,
+    geography: str,
+    od_price_multiplier: float,
+    zone_count: int = 3,
+) -> Region:
+    """Build a region with *zone_count* synthesized AZs."""
+    prefix = "".join(part[0] for part in name.split("-")[:-1]) + name.split("-")[-1]
+    zones = tuple(
+        AvailabilityZone(
+            name=f"{name}{chr(ord('a') + i)}",
+            zone_id=f"{prefix}-az{i + 1}",
+            region_name=name,
+        )
+        for i in range(zone_count)
+    )
+    return Region(
+        name=name,
+        display_name=display_name,
+        geography=geography,
+        od_price_multiplier=od_price_multiplier,
+        zones=zones,
+    )
+
+
+# The twelve regions exercised by the paper (Tables 1 and 3).  Price
+# multipliers approximate real AWS list-price ratios as of the paper's
+# collection window.
+_DEFAULT_REGIONS: Tuple[Region, ...] = (
+    _make_region("us-east-1", "N. Virginia", "americas", 1.00),
+    _make_region("us-east-2", "Ohio", "americas", 1.00),
+    _make_region("us-west-1", "N. California", "americas", 1.17),
+    _make_region("us-west-2", "Oregon", "americas", 1.00),
+    _make_region("ca-central-1", "Canada Central", "americas", 1.07),
+    _make_region("eu-west-1", "Ireland", "europe", 1.11),
+    _make_region("eu-west-2", "London", "europe", 1.16),
+    _make_region("eu-west-3", "Paris", "europe", 1.17),
+    _make_region("eu-north-1", "Stockholm", "europe", 1.06),
+    _make_region("ap-northeast-3", "Osaka", "asia-pacific", 1.24),
+    _make_region("ap-southeast-1", "Singapore", "asia-pacific", 1.20),
+    _make_region("ap-southeast-2", "Sydney", "asia-pacific", 1.20),
+)
+
+
+class RegionCatalog:
+    """Lookup table of :class:`Region` objects keyed by name."""
+
+    def __init__(self, regions: Tuple[Region, ...] = _DEFAULT_REGIONS) -> None:
+        self._regions: Dict[str, Region] = {region.name: region for region in regions}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self._regions.values())
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def get(self, name: str) -> Region:
+        """Return the region called *name*.
+
+        Raises:
+            UnknownRegionError: If the region is not in the catalog.
+        """
+        try:
+            return self._regions[name]
+        except KeyError:
+            known = ", ".join(sorted(self._regions))
+            raise UnknownRegionError(f"unknown region {name!r}; known regions: {known}") from None
+
+    def names(self) -> List[str]:
+        """Return all region names in catalog order."""
+        return list(self._regions)
+
+    def zones(self) -> List[AvailabilityZone]:
+        """Return every AZ across all regions, in catalog order."""
+        return [zone for region in self._regions.values() for zone in region.zones]
+
+
+def default_region_catalog() -> RegionCatalog:
+    """Return a catalog of the twelve regions used in the paper."""
+    return RegionCatalog()

@@ -1,0 +1,140 @@
+"""Simulated Amazon Machine Images (AMIs).
+
+Section 4 of the paper: a customized AMI (Galaxy preinstalled with an
+admin user, API key, sra-toolkit, Planemo) is built once, then copied
+to every region with the AWS SDK, so instances boot straight into a
+ready Galaxy.  This substrate models the part that matters to the
+scheduler: **where the image exists**.  Launching in a region that has
+the AMI boots fast; launching where it is missing pays a provisioning
+penalty (installing the stack from scratch via user-data).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Sequence, Set
+
+from repro.errors import ServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cloud.provider import CloudProvider
+
+#: Seconds to copy an image between regions.
+COPY_DURATION = 300.0
+#: Extra boot seconds when an instance must provision from scratch
+#: because the AMI is absent from its region.
+MISSING_IMAGE_BOOT_PENALTY = 900.0
+
+
+@dataclass
+class Image:
+    """A machine image and the regions it is available in.
+
+    Attributes:
+        image_id: Unique id, e.g. ``"ami-000001"``.
+        name: Human-readable name.
+        source_region: Region the image was registered in.
+        description: What is baked into the image.
+        available_regions: Regions where the image can be launched.
+        pending_regions: Regions a copy is in flight to.
+    """
+
+    image_id: str
+    name: str
+    source_region: str
+    description: str = ""
+    available_regions: Set[str] = field(default_factory=set)
+    pending_regions: Set[str] = field(default_factory=set)
+
+
+class AMIService:
+    """Image registry with cross-region copy semantics."""
+
+    def __init__(self, provider: "CloudProvider") -> None:
+        self._provider = provider
+        self._engine = provider.engine
+        self._images: Dict[str, Image] = {}
+        self._counter = itertools.count(1)
+
+    def register_image(self, name: str, region: str, description: str = "") -> Image:
+        """Register a freshly built image in *region*."""
+        self._provider.regions.get(region)
+        image = Image(
+            image_id=f"ami-{next(self._counter):06d}",
+            name=name,
+            source_region=region,
+            description=description,
+            available_regions={region},
+        )
+        self._images[image.image_id] = image
+        return image
+
+    def _image(self, image_id: str) -> Image:
+        image = self._images.get(image_id)
+        if image is None:
+            raise ServiceError(f"no such image: {image_id!r}")
+        return image
+
+    def copy_image(self, image_id: str, dest_region: str) -> None:
+        """Start an async copy of the image to *dest_region*.
+
+        Copying to a region that already has the image (or has a copy
+        in flight) is a no-op, matching the SDK's idempotent use here.
+        """
+        image = self._image(image_id)
+        self._provider.regions.get(dest_region)
+        if dest_region in image.available_regions or dest_region in image.pending_regions:
+            return
+        image.pending_regions.add(dest_region)
+
+        def complete() -> None:
+            image.pending_regions.discard(dest_region)
+            image.available_regions.add(dest_region)
+
+        self._engine.call_in(COPY_DURATION, complete, label=f"ami:copy:{image_id}:{dest_region}")
+
+    def propagate(
+        self, image_id: str, regions: Sequence[str], instant: bool = False
+    ) -> None:
+        """Copy the image to every region in *regions* (the paper's
+        "saved and propagated across regions using AWS SDK").
+
+        Args:
+            instant: Complete the copies immediately — for modelling
+                setup work done *before* the experiment clock starts.
+        """
+        if instant:
+            image = self._image(image_id)
+            for region in regions:
+                self._provider.regions.get(region)
+                image.available_regions.add(region)
+            return
+        for region in regions:
+            self.copy_image(image_id, region)
+
+    def propagate_everywhere(self, image_id: str, instant: bool = False) -> None:
+        """Copy the image to every catalog region."""
+        self.propagate(image_id, self._provider.regions.names(), instant=instant)
+
+    def is_available(self, image_id: str, region: str) -> bool:
+        """Whether the image can be launched in *region* right now."""
+        return region in self._image(image_id).available_regions
+
+    def boot_penalty(self, image_id: str, region: str) -> float:
+        """Extra boot seconds for launching in *region*.
+
+        Zero where the AMI exists; the from-scratch provisioning
+        penalty where it does not.
+        """
+        if self.is_available(image_id, region):
+            return 0.0
+        return MISSING_IMAGE_BOOT_PENALTY
+
+    def describe_image(self, image_id: str) -> Image:
+        """Return the image record."""
+        return self._image(image_id)
+
+    def images(self) -> List[str]:
+        """All image ids, sorted."""
+        return sorted(self._images)

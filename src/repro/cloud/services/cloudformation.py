@@ -1,0 +1,171 @@
+"""Simulated AWS CloudFormation.
+
+SpotVerse deploys its control plane — Lambda functions, EventBridge
+rules, CloudWatch schedules, DynamoDB tables, S3 buckets — across
+every region with CloudFormation (Section 4).  This substrate accepts
+declarative :class:`StackTemplate` objects and materialises the listed
+resources against the provider's services, tracking what each stack
+created so it can be torn down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+from repro.errors import StackError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cloud.provider import CloudProvider
+
+
+@dataclass
+class LambdaResource:
+    """Declaration of a Lambda function resource."""
+
+    name: str
+    handler: Callable
+    memory_mb: int = 128
+    timeout: float = 900.0
+    simulated_duration: float = 1.5
+
+
+@dataclass
+class RuleResource:
+    """Declaration of an EventBridge rule targeting a Lambda function."""
+
+    name: str
+    source: str
+    detail_type: str
+    target_function: str
+    detail_filter: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ScheduleResource:
+    """Declaration of a CloudWatch scheduled rule targeting a Lambda."""
+
+    name: str
+    interval: float
+    target_function: str
+
+
+@dataclass
+class TableResource:
+    """Declaration of a DynamoDB table."""
+
+    name: str
+    partition_key: str
+    sort_key: Optional[str] = None
+
+
+@dataclass
+class BucketResource:
+    """Declaration of an S3 bucket pinned to a region."""
+
+    name: str
+    region: str
+
+
+@dataclass
+class StackTemplate:
+    """A declarative bundle of control-plane resources.
+
+    Attributes:
+        description: Human-readable purpose of the stack.
+        functions: Lambda functions to register.
+        rules: EventBridge rules to create (targets must be functions
+            declared in this template or already registered).
+        schedules: CloudWatch scheduled rules.
+        tables: DynamoDB tables.
+        buckets: S3 buckets.
+    """
+
+    description: str = ""
+    functions: List[LambdaResource] = field(default_factory=list)
+    rules: List[RuleResource] = field(default_factory=list)
+    schedules: List[ScheduleResource] = field(default_factory=list)
+    tables: List[TableResource] = field(default_factory=list)
+    buckets: List[BucketResource] = field(default_factory=list)
+
+
+@dataclass
+class Stack:
+    """A deployed stack and the names of what it created."""
+
+    name: str
+    template: StackTemplate
+    created_schedules: List[str] = field(default_factory=list)
+    status: str = "CREATE_COMPLETE"
+
+
+class CloudFormationService:
+    """Deploys and deletes :class:`StackTemplate` bundles."""
+
+    def __init__(self, provider: "CloudProvider") -> None:
+        self._provider = provider
+        self._stacks: Dict[str, Stack] = {}
+
+    def deploy_stack(self, name: str, template: StackTemplate) -> Stack:
+        """Materialise *template*'s resources and record the stack."""
+        if name in self._stacks:
+            raise StackError(f"stack {name!r} already exists")
+        stack = Stack(name=name, template=template)
+        for function in template.functions:
+            self._provider.lambda_.create_function(
+                name=function.name,
+                handler=function.handler,
+                memory_mb=function.memory_mb,
+                timeout=function.timeout,
+                simulated_duration=function.simulated_duration,
+            )
+        for table in template.tables:
+            self._provider.dynamodb.create_table(
+                name=table.name, partition_key=table.partition_key, sort_key=table.sort_key
+            )
+        for bucket in template.buckets:
+            self._provider.s3.create_bucket(name=bucket.name, region=bucket.region)
+        for rule in template.rules:
+            self._provider.eventbridge.put_rule(
+                name=rule.name,
+                source=rule.source,
+                detail_type=rule.detail_type,
+                detail_filter=rule.detail_filter,
+            )
+            self._provider.eventbridge.add_target(
+                rule.name, self._provider.lambda_.as_target(rule.target_function)
+            )
+        for schedule in template.schedules:
+            self._provider.cloudwatch.schedule_rule(
+                name=schedule.name,
+                interval=schedule.interval,
+                target=lambda fn=schedule.target_function: self._provider.lambda_.invoke(fn),
+            )
+            stack.created_schedules.append(schedule.name)
+        self._stacks[name] = stack
+        return stack
+
+    def delete_stack(self, name: str) -> None:
+        """Tear down schedule resources and forget the stack.
+
+        Data-plane resources (tables, buckets) are retained, matching
+        the usual DeletionPolicy for stateful resources.
+        """
+        stack = self._stacks.pop(name, None)
+        if stack is None:
+            raise StackError(f"no such stack: {name!r}")
+        for schedule_name in stack.created_schedules:
+            self._provider.cloudwatch.remove_rule(schedule_name)
+        for rule in stack.template.rules:
+            self._provider.eventbridge.disable_rule(rule.name)
+
+    def describe_stack(self, name: str) -> Stack:
+        """Return the deployed stack called *name*."""
+        stack = self._stacks.get(name)
+        if stack is None:
+            raise StackError(f"no such stack: {name!r}")
+        return stack
+
+    def stacks(self) -> List[str]:
+        """Return deployed stack names, sorted."""
+        return sorted(self._stacks)

@@ -1,0 +1,194 @@
+"""Simulated Amazon DynamoDB.
+
+Tables have a partition key and an optional sort key.  The API mirrors
+the boto3 resource layer closely enough for the paper's uses: the
+Monitor writes metric snapshots, the checkpoint machinery updates
+per-segment progress (with conditional writes so a stale instance
+cannot clobber newer state), and experiments query by partition.
+Every operation charges request units to the ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from repro.cloud.billing import CostCategory, DYNAMODB_READ_PRICE, DYNAMODB_WRITE_PRICE
+from repro.errors import ConditionalCheckFailedError, NoSuchTableError, ServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cloud.provider import CloudProvider
+
+Item = Dict[str, Any]
+Key = Tuple[Any, Any]  # (partition value, sort value or None)
+
+
+@dataclass
+class Table:
+    """One DynamoDB table.
+
+    Attributes:
+        name: Table name.
+        partition_key: Attribute name of the partition key.
+        sort_key: Attribute name of the sort key, or ``None``.
+        items: Storage keyed by ``(partition, sort)``.
+    """
+
+    name: str
+    partition_key: str
+    sort_key: Optional[str] = None
+    items: Dict[Key, Item] = field(default_factory=dict)
+
+    def key_of(self, item: Item) -> Key:
+        """Extract this table's key tuple from *item*.
+
+        Raises:
+            ServiceError: If key attributes are missing.
+        """
+        if self.partition_key not in item:
+            raise ServiceError(
+                f"item missing partition key {self.partition_key!r} for table {self.name!r}"
+            )
+        sort_value = None
+        if self.sort_key is not None:
+            if self.sort_key not in item:
+                raise ServiceError(
+                    f"item missing sort key {self.sort_key!r} for table {self.name!r}"
+                )
+            sort_value = item[self.sort_key]
+        return (item[self.partition_key], sort_value)
+
+
+class DynamoDBService:
+    """Global DynamoDB substrate."""
+
+    def __init__(self, provider: "CloudProvider") -> None:
+        self._provider = provider
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(
+        self, name: str, partition_key: str, sort_key: Optional[str] = None
+    ) -> Table:
+        """Create a table (idempotent when the schema matches)."""
+        existing = self._tables.get(name)
+        if existing is not None:
+            if (existing.partition_key, existing.sort_key) != (partition_key, sort_key):
+                raise ServiceError(f"table {name!r} exists with a different key schema")
+            return existing
+        table = Table(name=name, partition_key=partition_key, sort_key=sort_key)
+        self._tables[name] = table
+        return table
+
+    def _table(self, name: str) -> Table:
+        table = self._tables.get(name)
+        if table is None:
+            raise NoSuchTableError(f"no such table: {name!r}")
+        return table
+
+    def _charge(self, write: bool, detail: str) -> None:
+        self._provider.ledger.charge(
+            time=self._provider.engine.now,
+            category=CostCategory.DYNAMODB,
+            amount=DYNAMODB_WRITE_PRICE if write else DYNAMODB_READ_PRICE,
+            detail=detail,
+        )
+
+    # ------------------------------------------------------------------
+    # Item operations
+    # ------------------------------------------------------------------
+    def put_item(
+        self,
+        table_name: str,
+        item: Item,
+        condition: Optional[Callable[[Optional[Item]], bool]] = None,
+    ) -> None:
+        """Store *item* wholesale.
+
+        Args:
+            condition: Optional predicate over the *existing* item
+                (``None`` when absent); when it returns false the write
+                fails with :class:`ConditionalCheckFailedError`,
+                mirroring DynamoDB conditional expressions.
+        """
+        table = self._table(table_name)
+        key = table.key_of(item)
+        if condition is not None and not condition(table.items.get(key)):
+            raise ConditionalCheckFailedError(
+                f"conditional put on table {table_name!r} failed for key {key!r}"
+            )
+        table.items[key] = dict(item)
+        self._charge(write=True, detail=f"put {table_name}")
+
+    def get_item(
+        self, table_name: str, partition: Any, sort: Any = None
+    ) -> Optional[Item]:
+        """Fetch one item by key, or ``None`` when absent."""
+        table = self._table(table_name)
+        self._charge(write=False, detail=f"get {table_name}")
+        item = table.items.get((partition, sort))
+        return dict(item) if item is not None else None
+
+    def update_item(
+        self,
+        table_name: str,
+        partition: Any,
+        sort: Any = None,
+        updates: Optional[Dict[str, Any]] = None,
+        condition: Optional[Callable[[Optional[Item]], bool]] = None,
+    ) -> Item:
+        """Merge *updates* into an item, creating it if needed."""
+        table = self._table(table_name)
+        key = (partition, sort)
+        existing = table.items.get(key)
+        if condition is not None and not condition(existing):
+            raise ConditionalCheckFailedError(
+                f"conditional update on table {table_name!r} failed for key {key!r}"
+            )
+        item = dict(existing) if existing is not None else {table.partition_key: partition}
+        if table.sort_key is not None and existing is None:
+            item[table.sort_key] = sort
+        item.update(updates or {})
+        table.items[key] = item
+        self._charge(write=True, detail=f"update {table_name}")
+        return dict(item)
+
+    def delete_item(self, table_name: str, partition: Any, sort: Any = None) -> None:
+        """Delete an item by key (no-op when absent)."""
+        table = self._table(table_name)
+        table.items.pop((partition, sort), None)
+        self._charge(write=True, detail=f"delete {table_name}")
+
+    # ------------------------------------------------------------------
+    # Bulk reads
+    # ------------------------------------------------------------------
+    def query(self, table_name: str, partition: Any) -> List[Item]:
+        """Return all items sharing *partition*, sorted by sort key."""
+        table = self._table(table_name)
+        self._charge(write=False, detail=f"query {table_name}")
+        matches = [
+            dict(item)
+            for (pk, _), item in table.items.items()
+            if pk == partition
+        ]
+        if table.sort_key is not None:
+            matches.sort(key=lambda item: item.get(table.sort_key))
+        return matches
+
+    def scan(
+        self, table_name: str, predicate: Optional[Callable[[Item], bool]] = None
+    ) -> List[Item]:
+        """Return every item, optionally filtered by *predicate*."""
+        table = self._table(table_name)
+        self._charge(write=False, detail=f"scan {table_name}")
+        items = (dict(item) for item in table.items.values())
+        if predicate is None:
+            return list(items)
+        return [item for item in items if predicate(item)]
+
+    def item_count(self, table_name: str) -> int:
+        """Number of items currently in the table."""
+        return len(self._table(table_name).items)
+
+    def tables(self) -> List[str]:
+        """Return all table names, sorted."""
+        return sorted(self._tables)

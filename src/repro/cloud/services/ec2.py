@@ -1,0 +1,447 @@
+"""Simulated EC2: instances, spot requests, and interruptions.
+
+The service owns the full spot lifecycle the paper's Controller reacts
+to:
+
+* **Spot requests** are fulfilled with a probability and delay driven
+  by the market's Spot Placement Score — low-score markets leave
+  requests ``open``, which is exactly the condition SpotVerse's
+  15-minute sweep (Section 4) exists to handle.
+* **Interruptions** are sampled per running instance every
+  :data:`~repro.cloud.interruptions.EVALUATION_INTERVAL` from the
+  market's current hazard.  An interruption first emits a two-minute
+  warning on the EventBridge bus (``aws.ec2`` /
+  ``EC2 Spot Instance Interruption Warning``), then terminates the
+  instance — giving workloads the checkpoint window the paper relies
+  on.
+* **Billing** accrues per-second at the market's current spot price
+  (or the fixed on-demand price) into the provider's ledger.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.billing import CostCategory
+from repro.cloud.interruptions import (
+    EVALUATION_INTERVAL,
+    INTERRUPTION_NOTICE,
+    sample_interruption,
+)
+from repro.errors import (
+    CapacityError,
+    InstanceNotFoundError,
+    SpotRequestError,
+)
+from repro.sim.clock import HOUR
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cloud.provider import CloudProvider
+
+
+class InstanceState(enum.Enum):
+    """Lifecycle state of a simulated instance."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    INTERRUPTING = "interrupting"  # two-minute notice received
+    INTERRUPTED = "interrupted"
+    TERMINATED = "terminated"
+
+
+class InstanceLifecycle(enum.Enum):
+    """Purchasing option of an instance."""
+
+    SPOT = "spot"
+    ON_DEMAND = "on-demand"
+
+
+class SpotRequestState(enum.Enum):
+    """State of a spot instance request."""
+
+    OPEN = "open"
+    ACTIVE = "active"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+
+@dataclass
+class Instance:
+    """A simulated EC2 instance.
+
+    Attributes:
+        instance_id: Unique id, e.g. ``"i-000042"``.
+        region: Region name.
+        az: Availability-zone name.
+        instance_type: Full type name.
+        lifecycle: Spot or on-demand.
+        launch_time: Virtual launch timestamp.
+        state: Current lifecycle state.
+        tag: Attribution tag (typically a workload id) used in billing.
+        end_time: Termination/interruption timestamp, if ended.
+        accrued_cost: USD billed so far.
+    """
+
+    instance_id: str
+    region: str
+    az: str
+    instance_type: str
+    lifecycle: InstanceLifecycle
+    launch_time: float
+    state: InstanceState = InstanceState.RUNNING
+    tag: str = ""
+    end_time: Optional[float] = None
+    accrued_cost: float = 0.0
+    _last_billed: float = field(default=0.0, repr=False)
+
+    @property
+    def is_live(self) -> bool:
+        """Whether the instance is still consuming (and billing) capacity."""
+        return self.state in (InstanceState.RUNNING, InstanceState.INTERRUPTING)
+
+    def uptime(self, now: float) -> float:
+        """Seconds the instance has been up at *now* (or until it ended)."""
+        end = self.end_time if self.end_time is not None else now
+        return max(0.0, end - self.launch_time)
+
+
+@dataclass
+class SpotRequest:
+    """A simulated spot instance request.
+
+    Attributes:
+        request_id: Unique id, e.g. ``"sir-000007"``.
+        region: Target region.
+        instance_type: Requested type.
+        created_at: Virtual creation timestamp.
+        state: Current request state.
+        instance_id: Fulfilling instance id once active.
+        attempts: Fulfillment attempts made (initial + sweeps).
+        tag: Attribution tag propagated to the instance.
+    """
+
+    request_id: str
+    region: str
+    instance_type: str
+    created_at: float
+    state: SpotRequestState = SpotRequestState.OPEN
+    instance_id: Optional[str] = None
+    attempts: int = 0
+    tag: str = ""
+
+
+#: Signature of interruption-notice subscribers registered in code
+#: (EventBridge delivery happens additionally, for rule-based wiring).
+NoticeCallback = Callable[[Instance], None]
+
+
+class EC2Service:
+    """The EC2 substrate, spanning every region of the provider."""
+
+    #: Boot delay before an on-demand instance reaches ``running``.
+    ON_DEMAND_LAUNCH_DELAY = 45.0
+    #: Base fulfillment delay for a spot request (seconds).
+    SPOT_BASE_DELAY = 60.0
+    #: Extra fulfillment delay per point of missing placement score.
+    SPOT_DELAY_PER_SCORE_POINT = 25.0
+
+    def __init__(self, provider: "CloudProvider") -> None:
+        self._provider = provider
+        self._engine = provider.engine
+        self._rng = provider.engine.streams.get("ec2")
+        self._instances: Dict[str, Instance] = {}
+        self._requests: Dict[str, SpotRequest] = {}
+        self._instance_counter = itertools.count()
+        self._request_counter = itertools.count()
+        self._notice_callbacks: List[NoticeCallback] = []
+        self._completion_events: Dict[str, object] = {}
+        self.interruption_log: List[Tuple[float, str, str, str]] = []
+        self._eval_task = self._engine.every(
+            EVALUATION_INTERVAL, self._evaluate_interruptions, label="ec2:interruption-eval"
+        )
+
+    # ------------------------------------------------------------------
+    # Launch paths
+    # ------------------------------------------------------------------
+    def run_on_demand(self, region: str, instance_type: str, tag: str = "") -> Instance:
+        """Launch an on-demand instance immediately.
+
+        On-demand capacity is modelled as always available (the paper's
+        on-demand strategy never fails to launch).
+        """
+        self._provider.regions.get(region)
+        self._provider.instances.get(instance_type)
+        return self._launch(region, instance_type, InstanceLifecycle.ON_DEMAND, tag)
+
+    def request_spot_instances(
+        self,
+        region: str,
+        instance_type: str,
+        tag: str = "",
+        on_fulfilled: Optional[Callable[[SpotRequest, Instance], None]] = None,
+    ) -> SpotRequest:
+        """File a spot request; fulfillment is asynchronous.
+
+        The request succeeds on each attempt with probability driven by
+        the market's current placement score; otherwise it remains
+        ``open`` for a later :meth:`retry_open_request` (the 15-minute
+        sweep).  *on_fulfilled* fires when (if) an instance launches.
+        """
+        market = self._provider.market(region, instance_type)
+        if not market.available:
+            raise CapacityError(
+                f"instance type {instance_type!r} is not offered in region {region!r}"
+            )
+        request = SpotRequest(
+            request_id=f"sir-{next(self._request_counter):06d}",
+            region=region,
+            instance_type=instance_type,
+            created_at=self._engine.now,
+            tag=tag,
+        )
+        self._requests[request.request_id] = request
+        self._attempt_fulfillment(request, on_fulfilled)
+        return request
+
+    def retry_open_request(
+        self,
+        request_id: str,
+        on_fulfilled: Optional[Callable[[SpotRequest, Instance], None]] = None,
+    ) -> SpotRequest:
+        """Retry an ``open`` request (the Controller's sweep path)."""
+        request = self._requests.get(request_id)
+        if request is None:
+            raise SpotRequestError(f"unknown spot request {request_id!r}")
+        if request.state is not SpotRequestState.OPEN:
+            raise SpotRequestError(
+                f"spot request {request_id!r} is {request.state.value}, not open"
+            )
+        self._attempt_fulfillment(request, on_fulfilled)
+        return request
+
+    def cancel_spot_request(self, request_id: str) -> None:
+        """Cancel an open request; active requests are unaffected."""
+        request = self._requests.get(request_id)
+        if request is None:
+            raise SpotRequestError(f"unknown spot request {request_id!r}")
+        if request.state is SpotRequestState.OPEN:
+            request.state = SpotRequestState.CANCELLED
+
+    def _attempt_fulfillment(
+        self,
+        request: SpotRequest,
+        on_fulfilled: Optional[Callable[[SpotRequest, Instance], None]],
+    ) -> None:
+        """One fulfillment attempt: maybe schedule a launch."""
+        market = self._provider.market(request.region, request.instance_type)
+        request.attempts += 1
+        score = market.placement_score
+        # Placement score drives launch success: score 10 ~ certain,
+        # score 1 ~ coin flip.  Matches AWS guidance that higher scores
+        # mean a higher likelihood the request succeeds.
+        p_fulfill = min(0.98, 0.45 + 0.055 * score)
+        p_fulfill *= market.fulfillment_factor()
+        if market.in_reclaim_burst(self._engine.now):
+            # Capacity is being reclaimed right now: almost no spare
+            # capacity to fulfill new requests.  Requests stay open and
+            # the controller's sweep retries after the burst passes.
+            p_fulfill *= 0.15
+        if self._rng.random() >= p_fulfill:
+            return  # stays OPEN; the sweep will retry
+        delay = self.SPOT_BASE_DELAY + float(
+            self._rng.exponential(self.SPOT_DELAY_PER_SCORE_POINT * max(0.0, 10.0 - score))
+        )
+
+        def fulfill() -> None:
+            if request.state is not SpotRequestState.OPEN:
+                return
+            instance = self._launch(
+                request.region, request.instance_type, InstanceLifecycle.SPOT, request.tag
+            )
+            request.state = SpotRequestState.ACTIVE
+            request.instance_id = instance.instance_id
+            if on_fulfilled is not None:
+                on_fulfilled(request, instance)
+
+        self._engine.call_in(delay, fulfill, label=f"ec2:fulfill:{request.request_id}")
+
+    def _launch(
+        self, region: str, instance_type: str, lifecycle: InstanceLifecycle, tag: str
+    ) -> Instance:
+        region_obj = self._provider.regions.get(region)
+        az_index = int(self._rng.integers(len(region_obj.zones)))
+        now = self._engine.now
+        instance = Instance(
+            instance_id=f"i-{next(self._instance_counter):06d}",
+            region=region,
+            az=region_obj.zones[az_index].name,
+            instance_type=instance_type,
+            lifecycle=lifecycle,
+            launch_time=now,
+            tag=tag,
+        )
+        instance._last_billed = now
+        self._instances[instance.instance_id] = instance
+        if lifecycle is InstanceLifecycle.SPOT:
+            self._provider.market(region, instance_type).instances_running += 1
+        return instance
+
+    def _release_capacity(self, instance: Instance) -> None:
+        """Return a spot instance's slot to its market pool."""
+        if instance.lifecycle is InstanceLifecycle.SPOT:
+            market = self._provider.market(instance.region, instance.instance_type)
+            market.instances_running = max(0, market.instances_running - 1)
+
+    # ------------------------------------------------------------------
+    # Interruption machinery
+    # ------------------------------------------------------------------
+    def on_interruption_notice(self, callback: NoticeCallback) -> None:
+        """Subscribe to two-minute interruption warnings (code path)."""
+        self._notice_callbacks.append(callback)
+
+    def _evaluate_interruptions(self) -> None:
+        """Periodic hazard evaluation over every running spot instance."""
+        now = self._engine.now
+        for instance in list(self._instances.values()):
+            if not instance.is_live:
+                continue
+            self._bill(instance, now)
+            if instance.lifecycle is not InstanceLifecycle.SPOT:
+                continue
+            if instance.state is InstanceState.INTERRUPTING:
+                continue
+            market = self._provider.market(instance.region, instance.instance_type)
+            if sample_interruption(self._rng, market.hazard_at(now), EVALUATION_INTERVAL):
+                self._begin_interruption(instance)
+
+    def _begin_interruption(self, instance: Instance) -> None:
+        """Deliver the two-minute warning and schedule the reclaim."""
+        now = self._engine.now
+        instance.state = InstanceState.INTERRUPTING
+        self.interruption_log.append((now, instance.instance_id, instance.region, instance.tag))
+        self._provider.eventbridge.put_event(
+            source="aws.ec2",
+            detail_type="EC2 Spot Instance Interruption Warning",
+            detail={
+                "instance-id": instance.instance_id,
+                "instance-action": "terminate",
+                "region": instance.region,
+                "instance-type": instance.instance_type,
+                "tag": instance.tag,
+            },
+        )
+        for callback in list(self._notice_callbacks):
+            callback(instance)
+        self._engine.call_in(
+            INTERRUPTION_NOTICE,
+            lambda: self._finalize_interruption(instance),
+            label=f"ec2:reclaim:{instance.instance_id}",
+        )
+
+    def _finalize_interruption(self, instance: Instance) -> None:
+        if instance.state is not InstanceState.INTERRUPTING:
+            return  # terminated during the notice window
+        now = self._engine.now
+        self._bill(instance, now)
+        instance.state = InstanceState.INTERRUPTED
+        instance.end_time = now
+        self._release_capacity(instance)
+
+    # ------------------------------------------------------------------
+    # Termination and billing
+    # ------------------------------------------------------------------
+    def terminate_instances(self, instance_ids: Sequence[str]) -> None:
+        """Terminate instances by id (idempotent for already-ended ones)."""
+        now = self._engine.now
+        for instance_id in instance_ids:
+            instance = self._instances.get(instance_id)
+            if instance is None:
+                raise InstanceNotFoundError(f"unknown instance {instance_id!r}")
+            if not instance.is_live:
+                continue
+            self._bill(instance, now)
+            instance.state = InstanceState.TERMINATED
+            instance.end_time = now
+            self._release_capacity(instance)
+
+    def _bill(self, instance: Instance, now: float) -> None:
+        """Accrue cost since the last billing mark at current prices."""
+        dt = now - instance._last_billed
+        if dt <= 0:
+            return
+        if instance.lifecycle is InstanceLifecycle.SPOT:
+            price = self._provider.market(instance.region, instance.instance_type).spot_price
+            category = CostCategory.SPOT_INSTANCE
+        else:
+            price = self._provider.price_book.od_price(instance.region, instance.instance_type)
+            category = CostCategory.ON_DEMAND_INSTANCE
+        amount = price * dt / HOUR
+        instance.accrued_cost += amount
+        instance._last_billed = now
+        self._provider.ledger.charge(
+            time=now,
+            category=category,
+            amount=amount,
+            region=instance.region,
+            tag=instance.tag,
+            detail=f"{instance.instance_type} {instance.instance_id}",
+        )
+
+    def settle_billing(self) -> None:
+        """Bill every live instance up to the current time."""
+        now = self._engine.now
+        for instance in self._instances.values():
+            if instance.is_live:
+                self._bill(instance, now)
+
+    # ------------------------------------------------------------------
+    # Describe APIs
+    # ------------------------------------------------------------------
+    def describe_instance(self, instance_id: str) -> Instance:
+        """Return the instance record for *instance_id*."""
+        instance = self._instances.get(instance_id)
+        if instance is None:
+            raise InstanceNotFoundError(f"unknown instance {instance_id!r}")
+        return instance
+
+    def describe_instances(
+        self,
+        region: Optional[str] = None,
+        states: Optional[Sequence[InstanceState]] = None,
+    ) -> List[Instance]:
+        """Return instances filtered by region and/or state."""
+        result = []
+        for instance in self._instances.values():
+            if region is not None and instance.region != region:
+                continue
+            if states is not None and instance.state not in states:
+                continue
+            result.append(instance)
+        return result
+
+    def describe_spot_requests(
+        self, states: Optional[Sequence[SpotRequestState]] = None
+    ) -> List[SpotRequest]:
+        """Return spot requests, optionally filtered by state."""
+        if states is None:
+            return list(self._requests.values())
+        return [request for request in self._requests.values() if request.state in states]
+
+    def describe_spot_price_history(
+        self, region: str, instance_type: str
+    ) -> Sequence[Tuple[float, float]]:
+        """Return the market's recorded ``(time, price)`` series."""
+        return self._provider.market(region, instance_type).price_trace()
+
+    def interruption_count(self, tag_prefix: str = "") -> int:
+        """Count logged interruptions, optionally filtered by tag prefix."""
+        if not tag_prefix:
+            return len(self.interruption_log)
+        return sum(1 for _, _, _, tag in self.interruption_log if tag.startswith(tag_prefix))
+
+    def shutdown(self) -> None:
+        """Stop the periodic hazard evaluation (end of experiment)."""
+        self._eval_task.cancel()

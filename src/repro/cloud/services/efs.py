@@ -1,0 +1,198 @@
+"""Simulated Amazon EFS (Elastic File System).
+
+The paper's future work (Section 7) proposes EFS as an alternative to
+S3 for checkpoint state, citing the two-minute notice window and S3's
+large-transfer limitations.  This substrate models what that design
+needs: regional file systems with named files, high intra-region write
+throughput, optional **cross-region replication** (a read-only replica
+that lags the source by a configurable delay), and EFS-style billing
+(per GB-month storage, per-GB replication transfer).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.cloud.billing import CostCategory
+from repro.errors import ServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cloud.provider import CloudProvider
+
+_GB = 1024 ** 3
+
+#: USD per GB-month of EFS Standard storage.
+EFS_STORAGE_PRICE_GB_MONTH = 0.30
+#: USD per GB replicated across regions.
+EFS_REPLICATION_PRICE_GB = 0.02
+#: Fraction of a month a checkpoint file is assumed retained when
+#: amortising storage cost (one day, matching the S3 substrate).
+_RETENTION_MONTH_FRACTION = 1.0 / 30.0
+#: Seconds a replica lags its source file system.
+DEFAULT_REPLICATION_LAG = 60.0
+#: Intra-region write throughput (bytes/second); far above what a
+#: two-minute notice window needs — the property the paper is after.
+WRITE_THROUGHPUT = 500 * 1024 * 1024
+
+
+@dataclass
+class EFSFile:
+    """One file in a file system."""
+
+    path: str
+    body: bytes
+    written_at: float
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+
+@dataclass
+class FileSystem:
+    """A regional elastic file system.
+
+    Attributes:
+        fs_id: Unique id, e.g. ``"fs-000001"``.
+        region: Region the file system lives in.
+        files: Path-to-file map.
+        replica_region: Region of the read-only replica, if any.
+        replica_files: The replica's (lagged) view.
+    """
+
+    fs_id: str
+    region: str
+    files: Dict[str, EFSFile] = field(default_factory=dict)
+    replica_region: Optional[str] = None
+    replica_files: Dict[str, EFSFile] = field(default_factory=dict)
+
+
+class EFSService:
+    """File-system registry plus write/read/replication paths."""
+
+    def __init__(self, provider: "CloudProvider") -> None:
+        self._provider = provider
+        self._engine = provider.engine
+        self._filesystems: Dict[str, FileSystem] = {}
+        self._fs_counter = itertools.count(1)
+
+    def create_file_system(self, region: str) -> FileSystem:
+        """Create a file system in *region*."""
+        self._provider.regions.get(region)
+        fs = FileSystem(fs_id=f"fs-{next(self._fs_counter):06d}", region=region)
+        self._filesystems[fs.fs_id] = fs
+        return fs
+
+    def _fs(self, fs_id: str) -> FileSystem:
+        fs = self._filesystems.get(fs_id)
+        if fs is None:
+            raise ServiceError(f"no such file system: {fs_id!r}")
+        return fs
+
+    def create_replica(self, fs_id: str, replica_region: str) -> None:
+        """Attach a cross-region read-only replica (the paper's design
+        for multi-region checkpoint access)."""
+        fs = self._fs(fs_id)
+        self._provider.regions.get(replica_region)
+        if replica_region == fs.region:
+            raise ServiceError("replica must live in a different region than the source")
+        if fs.replica_region is not None:
+            raise ServiceError(f"file system {fs_id!r} already has a replica")
+        fs.replica_region = replica_region
+
+    # ------------------------------------------------------------------
+    # IO
+    # ------------------------------------------------------------------
+    def write_duration(self, n_bytes: int) -> float:
+        """Seconds an intra-region write of *n_bytes* takes."""
+        return n_bytes / WRITE_THROUGHPUT
+
+    def write_file(
+        self,
+        fs_id: str,
+        path: str,
+        body: bytes,
+        source_region: Optional[str] = None,
+        tag: str = "",
+        logical_bytes: Optional[int] = None,
+    ) -> EFSFile:
+        """Write *body* under *path*, charging storage (and replication).
+
+        Args:
+            source_region: Where the writer runs; EFS mounts are
+                regional, so a cross-region write is rejected — the
+                mount constraint that makes replication necessary.
+            logical_bytes: Bill for this many bytes instead of
+                ``len(body)`` (callers cap stored payloads to keep
+                memory flat, as the S3 substrate does).
+
+        Raises:
+            ServiceError: When writing from outside the FS's region.
+        """
+        fs = self._fs(fs_id)
+        if source_region is not None and source_region != fs.region:
+            raise ServiceError(
+                f"EFS {fs_id!r} is mounted in {fs.region!r}; cannot write from "
+                f"{source_region!r} (use a replica)"
+            )
+        now = self._engine.now
+        file = EFSFile(path=path, body=bytes(body), written_at=now)
+        fs.files[path] = file
+        billed_bytes = logical_bytes if logical_bytes is not None else file.size
+        size_gb = billed_bytes / _GB
+        self._provider.ledger.charge(
+            time=now,
+            category=CostCategory.S3_STORAGE,  # storage bucket of the ledger
+            amount=size_gb * EFS_STORAGE_PRICE_GB_MONTH * _RETENTION_MONTH_FRACTION,
+            region=fs.region,
+            tag=tag,
+            detail=f"efs://{fs_id}/{path}",
+        )
+        if fs.replica_region is not None:
+            self._provider.ledger.charge(
+                time=now,
+                category=CostCategory.S3_TRANSFER,
+                amount=size_gb * EFS_REPLICATION_PRICE_GB,
+                region=fs.region,
+                tag=tag,
+                detail=f"efs replication {fs.region}->{fs.replica_region} {path}",
+            )
+            self._engine.call_in(
+                DEFAULT_REPLICATION_LAG,
+                lambda: fs.replica_files.__setitem__(path, file),
+                label=f"efs:replicate:{fs_id}:{path}",
+            )
+        return file
+
+    def read_file(self, fs_id: str, path: str, reader_region: str) -> EFSFile:
+        """Read *path* from the source (in-region) or the replica.
+
+        Raises:
+            ServiceError: When the reader's region has no mount, or the
+                file does not exist there yet (replication lag!).
+        """
+        fs = self._fs(fs_id)
+        if reader_region == fs.region:
+            file = fs.files.get(path)
+            where = fs.region
+        elif reader_region == fs.replica_region:
+            file = fs.replica_files.get(path)
+            where = f"{fs.replica_region} (replica)"
+        else:
+            raise ServiceError(
+                f"EFS {fs_id!r} has no mount in {reader_region!r} "
+                f"(source {fs.region!r}, replica {fs.replica_region!r})"
+            )
+        if file is None:
+            raise ServiceError(f"no file {path!r} visible in {where}")
+        return file
+
+    def list_files(self, fs_id: str, prefix: str = "") -> List[str]:
+        """Paths in the source file system starting with *prefix*."""
+        return sorted(path for path in self._fs(fs_id).files if path.startswith(prefix))
+
+    def file_systems(self) -> List[str]:
+        """All file-system ids, sorted."""
+        return sorted(self._filesystems)

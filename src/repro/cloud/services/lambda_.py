@@ -1,0 +1,155 @@
+"""Simulated AWS Lambda.
+
+Functions are plain Python callables ``handler(event, context)``
+registered with a memory size and a timeout (the paper allocates 128 MB
+with a 15-minute limit).  Invocations run at a simulated duration,
+charge GB-seconds plus a request fee, and raise
+:class:`~repro.errors.LambdaError` on handler exceptions or timeout —
+which is what Step Functions retries catch.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+from repro.cloud.billing import CostCategory, LAMBDA_GB_SECOND_PRICE, LAMBDA_REQUEST_PRICE
+from repro.errors import LambdaError
+from repro.sim.clock import MINUTE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cloud.provider import CloudProvider
+
+Handler = Callable[[Dict[str, Any], "LambdaContext"], Any]
+
+
+@dataclass
+class LambdaContext:
+    """Execution context passed to handlers (mirrors the AWS shape)."""
+
+    function_name: str
+    memory_limit_in_mb: int
+    aws_request_id: str
+    invoked_time: float
+
+
+@dataclass
+class LambdaFunction:
+    """A registered function.
+
+    Attributes:
+        name: Function name.
+        handler: The Python callable.
+        memory_mb: Allocated memory (drives GB-second billing).
+        timeout: Maximum simulated duration in seconds.
+        simulated_duration: Simulated execution time charged per call.
+        invocations: Successful invocation count.
+        failures: Failed invocation count.
+    """
+
+    name: str
+    handler: Handler
+    memory_mb: int = 128
+    timeout: float = 15 * MINUTE
+    simulated_duration: float = 1.5
+    invocations: int = 0
+    failures: int = 0
+
+
+class LambdaService:
+    """Function registry and synchronous invocation path."""
+
+    def __init__(self, provider: "CloudProvider") -> None:
+        self._provider = provider
+        self._functions: Dict[str, LambdaFunction] = {}
+        self._request_counter = itertools.count()
+        self.error_log: List[str] = []
+
+    def create_function(
+        self,
+        name: str,
+        handler: Handler,
+        memory_mb: int = 128,
+        timeout: float = 15 * MINUTE,
+        simulated_duration: float = 1.5,
+    ) -> LambdaFunction:
+        """Register (or replace) a function."""
+        function = LambdaFunction(
+            name=name,
+            handler=handler,
+            memory_mb=memory_mb,
+            timeout=timeout,
+            simulated_duration=simulated_duration,
+        )
+        self._functions[name] = function
+        return function
+
+    def get_function(self, name: str) -> LambdaFunction:
+        """Return the registered function called *name*."""
+        function = self._functions.get(name)
+        if function is None:
+            raise LambdaError(f"no such lambda function: {name!r}")
+        return function
+
+    def invoke(self, name: str, event: Optional[Dict[str, Any]] = None) -> Any:
+        """Invoke a function synchronously and return its result.
+
+        Billing charges the simulated duration at the function's memory
+        allocation.  Handler exceptions (and configured durations that
+        exceed the timeout) surface as :class:`LambdaError`.
+        """
+        function = self.get_function(name)
+        now = self._provider.engine.now
+        context = LambdaContext(
+            function_name=name,
+            memory_limit_in_mb=function.memory_mb,
+            aws_request_id=f"req-{next(self._request_counter):08d}",
+            invoked_time=now,
+        )
+        duration = min(function.simulated_duration, function.timeout)
+        gb_seconds = (function.memory_mb / 1024.0) * duration
+        self._provider.ledger.charge(
+            time=now,
+            category=CostCategory.LAMBDA,
+            amount=gb_seconds * LAMBDA_GB_SECOND_PRICE + LAMBDA_REQUEST_PRICE,
+            detail=f"lambda {name}",
+        )
+        if function.simulated_duration > function.timeout:
+            function.failures += 1
+            message = f"lambda {name!r} timed out after {function.timeout:.0f}s"
+            self.error_log.append(message)
+            raise LambdaError(message)
+        try:
+            result = function.handler(event or {}, context)
+        except LambdaError:
+            function.failures += 1
+            raise
+        except Exception as exc:
+            function.failures += 1
+            message = f"lambda {name!r} raised {exc.__class__.__name__}: {exc}"
+            self.error_log.append(message)
+            raise LambdaError(message) from exc
+        function.invocations += 1
+        return result
+
+    def as_target(self, name: str) -> Callable[[Dict[str, Any]], Any]:
+        """Return an EventBridge-compatible target wrapping *name*.
+
+        Delivery errors are swallowed (EventBridge retries internally
+        on AWS; our substrates route critical paths through Step
+        Functions instead, so a failed event delivery must not crash
+        the simulation).
+        """
+
+        def target(event: Dict[str, Any]) -> Any:
+            try:
+                return self.invoke(name, event)
+            except LambdaError:
+                return None
+
+        return target
+
+    def functions(self) -> List[str]:
+        """Return registered function names, sorted."""
+        return sorted(self._functions)

@@ -1,0 +1,171 @@
+"""Simulated Amazon S3.
+
+Buckets live in a region; objects are byte payloads with metadata.
+Cross-region puts/gets incur the transfer charge the paper's cost
+model itemises for multi-region checkpoint workloads (Section 5.1.2).
+Storage cost is charged at put time, amortised for a nominal retention
+window, which keeps the ledger simple while preserving the *relative*
+overhead of the multi-region strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.cloud.billing import (
+    CostCategory,
+    S3_CROSS_REGION_TRANSFER_PRICE,
+    S3_STORAGE_PRICE_GB_MONTH,
+)
+from repro.errors import NoSuchBucketError, NoSuchKeyError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cloud.provider import CloudProvider
+
+_GB = 1024 ** 3
+#: Fraction of a month an experiment object is assumed to be retained
+#: when amortising storage cost (one day).
+_RETENTION_MONTH_FRACTION = 1.0 / 30.0
+
+
+@dataclass
+class S3Object:
+    """One stored object.
+
+    Attributes:
+        key: Object key within its bucket.
+        body: Raw payload bytes.
+        metadata: Free-form string metadata.
+        put_time: Virtual timestamp of the last write.
+        size: Payload size in bytes.
+    """
+
+    key: str
+    body: bytes
+    metadata: Dict[str, str] = field(default_factory=dict)
+    put_time: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+
+@dataclass
+class Bucket:
+    """A bucket: a region plus a key-to-object map."""
+
+    name: str
+    region: str
+    objects: Dict[str, S3Object] = field(default_factory=dict)
+
+
+class S3Service:
+    """Global S3 substrate (bucket namespace spans regions, as on AWS)."""
+
+    def __init__(self, provider: "CloudProvider") -> None:
+        self._provider = provider
+        self._buckets: Dict[str, Bucket] = {}
+
+    def create_bucket(self, name: str, region: str) -> Bucket:
+        """Create a bucket (idempotent when the region matches)."""
+        existing = self._buckets.get(name)
+        if existing is not None:
+            if existing.region != region:
+                raise NoSuchBucketError(
+                    f"bucket {name!r} already exists in {existing.region!r}"
+                )
+            return existing
+        self._provider.regions.get(region)
+        bucket = Bucket(name=name, region=region)
+        self._buckets[name] = bucket
+        return bucket
+
+    def _bucket(self, name: str) -> Bucket:
+        bucket = self._buckets.get(name)
+        if bucket is None:
+            raise NoSuchBucketError(f"no such bucket: {name!r}")
+        return bucket
+
+    def put_object(
+        self,
+        bucket: str,
+        key: str,
+        body: bytes,
+        metadata: Optional[Dict[str, str]] = None,
+        source_region: Optional[str] = None,
+        tag: str = "",
+    ) -> S3Object:
+        """Store *body* under *key*, charging storage and any transfer.
+
+        Args:
+            source_region: Region the upload originates from; when it
+                differs from the bucket's region a cross-region transfer
+                charge accrues (the multi-region checkpoint overhead the
+                paper accounts for).
+            tag: Ledger attribution tag.
+        """
+        bucket_obj = self._bucket(bucket)
+        now = self._provider.engine.now
+        obj = S3Object(key=key, body=bytes(body), metadata=dict(metadata or {}), put_time=now)
+        bucket_obj.objects[key] = obj
+        size_gb = obj.size / _GB
+        self._provider.ledger.charge(
+            time=now,
+            category=CostCategory.S3_STORAGE,
+            amount=size_gb * S3_STORAGE_PRICE_GB_MONTH * _RETENTION_MONTH_FRACTION,
+            region=bucket_obj.region,
+            tag=tag,
+            detail=f"s3://{bucket}/{key}",
+        )
+        if source_region is not None and source_region != bucket_obj.region:
+            self._provider.ledger.charge(
+                time=now,
+                category=CostCategory.S3_TRANSFER,
+                amount=size_gb * S3_CROSS_REGION_TRANSFER_PRICE,
+                region=source_region,
+                tag=tag,
+                detail=f"s3 transfer {source_region}->{bucket_obj.region} {key}",
+            )
+        return obj
+
+    def get_object(
+        self, bucket: str, key: str, dest_region: Optional[str] = None, tag: str = ""
+    ) -> S3Object:
+        """Fetch the object at *key*, charging cross-region egress if any."""
+        bucket_obj = self._bucket(bucket)
+        obj = bucket_obj.objects.get(key)
+        if obj is None:
+            raise NoSuchKeyError(f"no such key in bucket {bucket!r}: {key!r}")
+        if dest_region is not None and dest_region != bucket_obj.region:
+            self._provider.ledger.charge(
+                time=self._provider.engine.now,
+                category=CostCategory.S3_TRANSFER,
+                amount=(obj.size / _GB) * S3_CROSS_REGION_TRANSFER_PRICE,
+                region=bucket_obj.region,
+                tag=tag,
+                detail=f"s3 transfer {bucket_obj.region}->{dest_region} {key}",
+            )
+        return obj
+
+    def head_object(self, bucket: str, key: str) -> bool:
+        """Whether *key* exists in *bucket* (no charge)."""
+        return key in self._bucket(bucket).objects
+
+    def delete_object(self, bucket: str, key: str) -> None:
+        """Delete *key*; deleting a missing key is a no-op (as on AWS)."""
+        self._bucket(bucket).objects.pop(key, None)
+
+    def list_objects(self, bucket: str, prefix: str = "") -> List[str]:
+        """Return keys in *bucket* starting with *prefix*, sorted."""
+        return sorted(
+            key for key in self._bucket(bucket).objects if key.startswith(prefix)
+        )
+
+    def bucket_region(self, bucket: str) -> str:
+        """Return the region a bucket lives in."""
+        return self._bucket(bucket).region
+
+    def buckets(self) -> List[str]:
+        """Return all bucket names, sorted."""
+        return sorted(self._buckets)

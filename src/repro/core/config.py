@@ -1,0 +1,93 @@
+"""SpotVerse configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.sim.clock import MINUTE
+
+
+@dataclass(frozen=True)
+class SpotVerseConfig:
+    """All knobs of the SpotVerse control plane.
+
+    Attributes:
+        instance_type: Instance type workloads run on.
+        score_threshold: Algorithm 1's ``T`` — minimum combined
+            (placement + stability) score for a region to qualify for
+            spot placement.  The paper sweeps {4, 5, 6} and defaults to
+            the reliability-leaning 6.
+        max_regions: Algorithm 1's ``R`` — how many qualifying regions
+            workloads are spread over (the paper fixes 4).
+        initial_distribution: When true, Algorithm 1's round-robin
+            spread over the top-R regions is used at launch (Section
+            5.2.3).  When false, every workload starts in
+            ``start_region`` — the paper's Section 5.2.1 setup for a
+            fair single-region comparison.
+        start_region: Launch region when *initial_distribution* is off
+            (defaults to the cheapest mean-spot region for the type).
+        preferred_regions: Optional user-specified region allow-list;
+            regions outside it are never considered.
+        use_on_demand_fallback: Fall back to the cheapest on-demand
+            instance when no region clears the threshold (Algorithm
+            1's else-branch).  Disabled only by the ablation bench.
+        use_placement_score: Include the Spot Placement Score in the
+            combined score.  Disable to model providers without it —
+            the paper's Section 7 notes Azure publishes only an
+            interruption-frequency equivalent.
+        use_stability_score: Include the Stability Score in the
+            combined score.  With both metric flags off the Optimizer
+            degrades to price-only ranking (the GCP case the paper
+            describes, and behaviourally the SkyPilot baseline).
+        boot_delay: Seconds between instance launch and useful work
+            (AMI boot + Galaxy/tool startup via the user-data script).
+        sweep_interval: Period of the Controller's open-spot-request
+            retry sweep (the paper uses 15 minutes).
+        collect_interval: Monitor metric-collection period.
+        execute_payloads: Run workloads' real bioinformatics payloads
+            at each segment completion (slower; examples/tests enable).
+        results_bucket: S3 bucket for run logs and checkpoints.
+        results_region: Region the results bucket lives in (checkpoint
+            uploads from other regions pay cross-region transfer).
+        checkpoint_backend: Where interruption-time checkpoint state
+            goes: ``"s3"`` (the paper's implementation — cross-region
+            upload during the two-minute notice) or ``"efs"`` (the
+            Section 7 alternative — a regional EFS write, replicated to
+            the results region out-of-band).
+    """
+
+    instance_type: str = "m5.xlarge"
+    score_threshold: float = 6.0
+    max_regions: int = 4
+    initial_distribution: bool = True
+    start_region: Optional[str] = None
+    preferred_regions: Optional[Sequence[str]] = None
+    use_on_demand_fallback: bool = True
+    use_placement_score: bool = True
+    use_stability_score: bool = True
+    boot_delay: float = 180.0
+    sweep_interval: float = 15 * MINUTE
+    collect_interval: float = 5 * MINUTE
+    execute_payloads: bool = False
+    results_bucket: str = "spotverse-results"
+    results_region: str = "us-east-1"
+    checkpoint_backend: str = "s3"
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_backend not in ("s3", "efs"):
+            raise ReproError(
+                f"checkpoint_backend must be 's3' or 'efs', got "
+                f"{self.checkpoint_backend!r}"
+            )
+        if self.max_regions < 1:
+            raise ReproError(f"max_regions must be >= 1, got {self.max_regions}")
+        if self.boot_delay < 0:
+            raise ReproError(f"boot_delay must be >= 0, got {self.boot_delay}")
+        if self.sweep_interval <= 0:
+            raise ReproError(f"sweep_interval must be positive, got {self.sweep_interval}")
+        if self.collect_interval <= 0:
+            raise ReproError(f"collect_interval must be positive, got {self.collect_interval}")
+        if self.preferred_regions is not None and not self.preferred_regions:
+            raise ReproError("preferred_regions, when given, must be non-empty")

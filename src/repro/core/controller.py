@@ -1,0 +1,288 @@
+"""The Controller: executes a placement policy over a fleet.
+
+Wires the paper's Section 4 control plane onto the simulated cloud:
+
+* an **EventBridge rule** routes spot interruption warnings to the
+  interruption-handler **Lambda**,
+* the handler checkpoints/records and starts a **Step Functions**
+  execution that re-acquires capacity per the policy (with retries for
+  failed requests),
+* a **CloudWatch 15-minute sweep** retries spot requests that stayed
+  ``open``,
+* run logs and checkpoints land in **S3**, progress in **DynamoDB**.
+
+Every strategy in the paper's evaluation — SpotVerse, single-region,
+on-demand, SkyPilot-like — runs through this same controller; only the
+:class:`~repro.core.policy.PlacementPolicy` differs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.cloud.provider import CloudProvider
+from repro.cloud.services.ec2 import Instance, SpotRequest, SpotRequestState
+from repro.cloud.services.stepfunctions import RetryPolicy
+from repro.core.config import SpotVerseConfig
+from repro.core.execution import ExecutionState, WorkloadExecution
+from repro.core.policy import Placement, PlacementPolicy, PolicyContext, PurchasingOption
+from repro.core.result import FleetResult
+from repro.errors import ExperimentError
+from repro.galaxy.checkpoint import DynamoCheckpointStore
+from repro.sim.clock import HOUR, MINUTE
+from repro.workloads.base import Workload
+
+
+class FleetController:
+    """Runs workload fleets under a placement policy.
+
+    Args:
+        provider: The simulated cloud.
+        policy: Placement decisions (SpotVerse's Optimizer or a
+            baseline).
+        config: Control-plane configuration.
+        monitor: Optional Monitor handed to the policy context.
+    """
+
+    def __init__(
+        self,
+        provider: CloudProvider,
+        policy: PlacementPolicy,
+        config: SpotVerseConfig,
+        monitor: Optional[object] = None,
+        image_id: Optional[str] = None,
+    ) -> None:
+        self._provider = provider
+        self._policy = policy
+        self._config = config
+        self._image_id = image_id
+        self._engine = provider.engine
+        self._ctx = PolicyContext(
+            provider=provider,
+            monitor=monitor,
+            rng=provider.engine.streams.get(f"controller:{policy.name}"),
+        )
+        self._store = DynamoCheckpointStore(provider.dynamodb)
+        provider.s3.create_bucket(config.results_bucket, config.results_region)
+        self._efs_artifacts = None
+        if config.checkpoint_backend == "efs":
+            from repro.core.execution import EFSCheckpointArtifacts
+
+            self._efs_artifacts = EFSCheckpointArtifacts(
+                provider, config.results_region
+            )
+
+        self._executions: Dict[str, WorkloadExecution] = {}
+        self._by_instance: Dict[str, WorkloadExecution] = {}
+        self._open_requests: Dict[str, str] = {}  # request_id -> workload_id
+        self._done = 0
+
+        # Control-plane wiring (Section 4).
+        provider.lambda_.create_function(
+            "spotverse-interruption-handler",
+            handler=self._interruption_handler,
+            memory_mb=128,
+            simulated_duration=1.0,
+        )
+        provider.eventbridge.put_rule(
+            "spotverse-on-interruption",
+            source="aws.ec2",
+            detail_type="EC2 Spot Instance Interruption Warning",
+        )
+        provider.eventbridge.add_target(
+            "spotverse-on-interruption",
+            provider.lambda_.as_target("spotverse-interruption-handler"),
+        )
+        provider.stepfunctions.create_state_machine(
+            "spotverse-reacquire",
+            task=self._reacquire_task,
+            retry=RetryPolicy(max_attempts=4, interval=30.0, backoff_rate=2.0),
+        )
+        provider.cloudwatch.schedule_rule(
+            "spotverse-open-request-sweep",
+            interval=config.sweep_interval,
+            target=self._sweep_open_requests,
+        )
+
+    # ------------------------------------------------------------------
+    # Acquisition paths
+    # ------------------------------------------------------------------
+    def _acquire(self, execution: WorkloadExecution, placement: Placement) -> None:
+        workload_id = execution.workload.workload_id
+        if placement.option is PurchasingOption.ON_DEMAND:
+            instance = self._provider.ec2.run_on_demand(
+                placement.region, self._config.instance_type, tag=workload_id
+            )
+            execution.attach(instance)
+            return
+        request = self._provider.ec2.request_spot_instances(
+            placement.region,
+            self._config.instance_type,
+            tag=workload_id,
+            on_fulfilled=self._on_spot_fulfilled,
+        )
+        self._open_requests[request.request_id] = workload_id
+
+    def _on_spot_fulfilled(self, request: SpotRequest, instance: Instance) -> None:
+        workload_id = self._open_requests.pop(request.request_id, None)
+        if workload_id is None:
+            # Request no longer tracked (workload finished meanwhile).
+            self._provider.ec2.terminate_instances([instance.instance_id])
+            return
+        execution = self._executions[workload_id]
+        if not execution.needs_instance:
+            self._provider.ec2.terminate_instances([instance.instance_id])
+            return
+        self._by_instance[instance.instance_id] = execution
+        execution.attach(instance)
+
+    def _sweep_open_requests(self) -> None:
+        """The 15-minute CloudWatch check for open spot requests."""
+        for request_id, workload_id in list(self._open_requests.items()):
+            request = next(
+                (
+                    req
+                    for req in self._provider.ec2.describe_spot_requests(
+                        states=[SpotRequestState.OPEN]
+                    )
+                    if req.request_id == request_id
+                ),
+                None,
+            )
+            if request is None:
+                continue
+            execution = self._executions.get(workload_id)
+            if execution is None or not execution.needs_instance:
+                self._provider.ec2.cancel_spot_request(request_id)
+                self._open_requests.pop(request_id, None)
+                continue
+            self._provider.ec2.retry_open_request(
+                request_id, on_fulfilled=self._on_spot_fulfilled
+            )
+
+    # ------------------------------------------------------------------
+    # Interruption path
+    # ------------------------------------------------------------------
+    def _interruption_handler(self, event: Dict[str, Any], context: object) -> str:
+        """Lambda: record the warning, checkpoint, and re-acquire."""
+        instance_id = event.get("detail", {}).get("instance-id", "")
+        execution = self._by_instance.pop(instance_id, None)
+        if execution is None or execution.state is ExecutionState.DONE:
+            return "ignored"
+        lost_region = execution.handle_interruption_notice()
+        self._provider.stepfunctions.start_execution(
+            "spotverse-reacquire",
+            input={
+                "workload_id": execution.workload.workload_id,
+                "exclude_region": lost_region,
+            },
+        )
+        return "handled"
+
+    def _reacquire_task(self, input: Dict[str, Any]) -> str:
+        """Step Functions task: pick a migration target and request it."""
+        workload_id = input["workload_id"]
+        execution = self._executions[workload_id]
+        if not execution.needs_instance:
+            return "noop"
+        placement = self._policy.migration_placement(
+            execution.workload, input["exclude_region"], self._ctx
+        )
+        self._acquire(execution, placement)
+        return placement.region
+
+    # ------------------------------------------------------------------
+    # Fleet entry point
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workloads: Sequence[Workload],
+        max_hours: float = 120.0,
+        poll_interval: float = 5 * MINUTE,
+    ) -> FleetResult:
+        """Run *workloads* to completion (or the deadline).
+
+        Raises:
+            ExperimentError: On duplicate workload ids or an empty fleet.
+        """
+        if not workloads:
+            raise ExperimentError("fleet must contain at least one workload")
+        ids = [workload.workload_id for workload in workloads]
+        if len(set(ids)) != len(ids):
+            raise ExperimentError(f"duplicate workload ids in fleet: {ids!r}")
+        already_known = [wid for wid in ids if wid in self._executions]
+        if already_known:
+            raise ExperimentError(
+                f"workload ids already used by an earlier fleet on this "
+                f"controller: {already_known!r}"
+            )
+
+        for workload in workloads:
+            execution = WorkloadExecution(
+                workload=workload,
+                provider=self._provider,
+                checkpoint_store=self._store,
+                results_bucket=self._config.results_bucket,
+                boot_delay=self._config.boot_delay,
+                execute_payloads=self._config.execute_payloads,
+                on_complete=self._on_workload_complete,
+                efs_artifacts=self._efs_artifacts,
+                image_id=self._image_id,
+            )
+            self._executions[workload.workload_id] = execution
+            # History-aware policies read live records via the context.
+            self._ctx.records[workload.workload_id] = execution.record
+
+        placements = self._policy.initial_placements(workloads, self._ctx)
+        if len(placements) != len(workloads):
+            raise ExperimentError(
+                f"policy {self._policy.name!r} returned {len(placements)} placements "
+                f"for {len(workloads)} workloads"
+            )
+        for workload, placement in zip(workloads, placements):
+            self._acquire(self._executions[workload.workload_id], placement)
+
+        # The controller may run several fleets over its lifetime; this
+        # run is complete when *its* workloads have all finished.
+        target = self._done + len(workloads)
+        deadline = self._engine.now + max_hours * HOUR
+        while self._done < target and self._engine.now < deadline:
+            self._engine.run_until(min(self._engine.now + poll_interval, deadline))
+
+        return self._build_result(workloads)
+
+    def _on_workload_complete(self, execution: WorkloadExecution) -> None:
+        self._done += 1
+
+    def _build_result(self, workloads: Sequence[Workload]) -> FleetResult:
+        self._provider.ec2.settle_billing()
+        # Stop anything still running (deadline hit) and release
+        # untracked capacity.
+        for execution in self._executions.values():
+            if execution.instance is not None and execution.instance.is_live:
+                self._provider.ec2.terminate_instances([execution.instance.instance_id])
+        records = []
+        ledger = self._provider.ledger
+        for workload in workloads:
+            execution = self._executions[workload.workload_id]
+            execution.record.cost = ledger.total_for_tag(workload.workload_id)
+            records.append(execution.record)
+        return FleetResult(
+            strategy=self._policy.name,
+            records=records,
+            total_cost=ledger.total(),
+            instance_cost=ledger.instance_total(),
+            overhead_cost=ledger.overhead_total(),
+            ended_at=self._engine.now,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests)
+    # ------------------------------------------------------------------
+    def execution(self, workload_id: str) -> WorkloadExecution:
+        """Return the execution for *workload_id*."""
+        return self._executions[workload_id]
+
+    def register_instance(self, instance: Instance, execution: WorkloadExecution) -> None:
+        """Track an externally attached instance (tests/tools)."""
+        self._by_instance[instance.instance_id] = execution

@@ -1,0 +1,324 @@
+"""Per-workload execution state: segments, checkpoints, interruptions.
+
+A :class:`WorkloadExecution` binds one workload to whatever instance
+currently runs it.  Segments are scheduled one at a time on the engine;
+an interruption cancels the in-flight segment and — depending on the
+workload's kind — either keeps completed segments (checkpoint, saved to
+DynamoDB and uploaded to S3 during the two-minute notice) or discards
+everything (standard).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.cloud.services.ec2 import Instance, InstanceLifecycle
+from repro.core.result import WorkloadRecord
+from repro.errors import WorkloadError
+from repro.galaxy.checkpoint import CheckpointStore
+from repro.sim.events import Event
+from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cloud.provider import CloudProvider
+
+
+class EFSCheckpointArtifacts:
+    """Regional EFS mounts for interruption-time checkpoint state.
+
+    The Section 7 storage alternative: each region workloads run in
+    gets a file system on first use, with a replica toward the results
+    region so the control plane can read state without S3.  Writes are
+    intra-region (fast — they comfortably fit the two-minute notice
+    window), and replication cost replaces the S3 cross-region
+    transfer charge.
+    """
+
+    def __init__(self, provider: "CloudProvider", results_region: str) -> None:
+        self._provider = provider
+        self._results_region = results_region
+        self._fs_by_region: dict = {}
+
+    def write(self, region: str, path: str, checkpoint_bytes: int, tag: str) -> None:
+        """Write a checkpoint of *checkpoint_bytes* from *region*."""
+        fs = self._fs_by_region.get(region)
+        if fs is None:
+            fs = self._provider.efs.create_file_system(region)
+            if region != self._results_region:
+                self._provider.efs.create_replica(fs.fs_id, self._results_region)
+            self._fs_by_region[region] = fs
+        self._provider.efs.write_file(
+            fs.fs_id,
+            path,
+            body=b"\x00" * min(checkpoint_bytes, 1 << 20),
+            source_region=region,
+            tag=tag,
+            logical_bytes=checkpoint_bytes,
+        )
+
+
+class ExecutionState(enum.Enum):
+    """Where a workload execution stands."""
+
+    WAITING = "waiting"  # no instance yet (request open)
+    BOOTING = "booting"  # instance up, AMI/tooling still starting
+    RUNNING = "running"  # segments executing
+    INTERRUPTED = "interrupted"  # lost its instance, awaiting replacement
+    DONE = "done"
+
+
+class WorkloadExecution:
+    """Runtime state of one workload within a fleet.
+
+    Args:
+        workload: The workload definition.
+        provider: The simulated cloud (engine, S3, ledger access).
+        checkpoint_store: Progress store for checkpoint workloads.
+        results_bucket: S3 bucket for checkpoint/log uploads.
+        boot_delay: Seconds from instance attach to first segment.
+        execute_payloads: Run the workload's real payload per segment.
+        on_complete: Callback fired once when the workload finishes.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        provider: "CloudProvider",
+        checkpoint_store: CheckpointStore,
+        results_bucket: str,
+        boot_delay: float,
+        execute_payloads: bool,
+        on_complete: Callable[["WorkloadExecution"], None],
+        efs_artifacts: Optional[EFSCheckpointArtifacts] = None,
+        image_id: Optional[str] = None,
+    ) -> None:
+        self.workload = workload
+        self._provider = provider
+        self._engine = provider.engine
+        self._store = checkpoint_store
+        self._bucket = results_bucket
+        self._boot_delay = boot_delay
+        self._execute_payloads = execute_payloads
+        self._on_complete = on_complete
+        self._efs_artifacts = efs_artifacts
+        self._image_id = image_id
+        self.state = ExecutionState.WAITING
+        self.instance: Optional[Instance] = None
+        self.completed_segments = 0
+        self.record = WorkloadRecord(
+            workload_id=workload.workload_id,
+            kind=workload.kind,
+            submitted_at=self._engine.now,
+        )
+        self._segment_event: Optional[Event] = None
+        self._boot_event: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    # Instance lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, instance: Instance) -> None:
+        """Bind a freshly launched instance and begin booting.
+
+        Raises:
+            WorkloadError: If the execution already has an instance or
+                is done.
+        """
+        if self.state in (ExecutionState.BOOTING, ExecutionState.RUNNING):
+            raise WorkloadError(
+                f"workload {self.workload.workload_id!r} already has instance "
+                f"{self.instance.instance_id if self.instance else '?'}"
+            )
+        if self.state is ExecutionState.DONE:
+            raise WorkloadError(
+                f"workload {self.workload.workload_id!r} is already complete"
+            )
+        self.instance = instance
+        self.state = ExecutionState.BOOTING
+        self.record.attempts += 1
+        self.record.regions.append(instance.region)
+        self.record.attempt_starts.append(self._engine.now)
+        if instance.lifecycle is InstanceLifecycle.ON_DEMAND:
+            self.record.on_demand_attempts += 1
+        boot = self._boot_delay
+        if self._image_id is not None:
+            # Launching where the Galaxy AMI has not been propagated
+            # provisions from scratch via user-data (Section 4).
+            boot += self._provider.ami.boot_penalty(self._image_id, instance.region)
+        self._boot_event = self._engine.call_in(
+            boot,
+            self._begin_running,
+            label=f"exec:{self.workload.workload_id}:boot",
+        )
+
+    def _begin_running(self) -> None:
+        self._boot_event = None
+        self.state = ExecutionState.RUNNING
+        if self.workload.input_bytes > 0 and self.instance is not None:
+            # The user-data script downloads the input dataset on every
+            # boot; running outside the data's home region pays the
+            # cross-region transfer (Section 5.1.2's cost model).
+            self._charge_input_download(self.instance.region)
+        if self.workload.checkpointable:
+            # Resume from the latest durable checkpoint (the replacement
+            # instance downloads state the dying instance uploaded).
+            self.completed_segments = max(
+                self.completed_segments, self._store.load(self.workload.workload_id)
+            )
+        self._schedule_next_segment()
+
+    def _schedule_next_segment(self) -> None:
+        remaining = self.workload.remaining_after(self.completed_segments)
+        if not remaining:
+            self._complete()
+            return
+        self._segment_event = self._engine.call_in(
+            remaining[0],
+            self._segment_done,
+            label=f"exec:{self.workload.workload_id}:seg{self.completed_segments}",
+        )
+
+    def _segment_done(self) -> None:
+        self._segment_event = None
+        index = self.completed_segments
+        self.completed_segments += 1
+        if self._execute_payloads and self.workload.payload is not None:
+            self.workload.payload(index)
+        if self.workload.checkpointable:
+            # Per-segment progress tracking in DynamoDB (the paper's
+            # per-file status updates).
+            self._store.save(
+                self.workload.workload_id,
+                self.completed_segments,
+                detail={"region": self.instance.region if self.instance else ""},
+            )
+        self._schedule_next_segment()
+
+    def _complete(self) -> None:
+        self.state = ExecutionState.DONE
+        now = self._engine.now
+        self.record.completed_at = now
+        if self.instance is not None and self.instance.is_live:
+            self._provider.ec2.terminate_instances([self.instance.instance_id])
+        # Activity log to S3 (the paper stores run details for cost and
+        # duration accounting).
+        self._provider.s3.put_object(
+            self._bucket,
+            f"runs/{self.workload.workload_id}/complete.json",
+            body=repr(
+                {
+                    "workload": self.workload.workload_id,
+                    "completed_at": now,
+                    "attempts": self.record.attempts,
+                    "interruptions": self.record.n_interruptions,
+                }
+            ).encode("utf-8"),
+            source_region=self.instance.region if self.instance else None,
+            tag=self.workload.workload_id,
+        )
+        self.instance = None
+        self._on_complete(self)
+
+    # ------------------------------------------------------------------
+    # Interruption path
+    # ------------------------------------------------------------------
+    def handle_interruption_notice(self) -> str:
+        """React to the two-minute warning; returns the lost region.
+
+        Cancels in-flight work, persists a final checkpoint (checkpoint
+        workloads upload their state to S3 within the notice window),
+        or resets progress (standard workloads).
+        """
+        if self.instance is None:
+            raise WorkloadError(
+                f"workload {self.workload.workload_id!r} got an interruption "
+                "notice without an instance"
+            )
+        region = self.instance.region
+        now = self._engine.now
+        self.record.interruptions.append((now, region))
+        if self._segment_event is not None:
+            self._segment_event.cancel()
+            self._segment_event = None
+        if self._boot_event is not None:
+            self._boot_event.cancel()
+            self._boot_event = None
+        if self.workload.checkpointable:
+            self._store.save(
+                self.workload.workload_id,
+                self.completed_segments,
+                detail={"interrupted_in": region},
+            )
+            if self._efs_artifacts is not None:
+                # Section 7 alternative: an intra-region EFS write,
+                # replicated toward the results region out-of-band.
+                self._efs_artifacts.write(
+                    region,
+                    f"checkpoints/{self.workload.workload_id}/"
+                    f"{self.record.n_interruptions}.bin",
+                    self.workload.checkpoint_bytes,
+                    tag=self.workload.workload_id,
+                )
+            else:
+                # Checkpoint state upload during the notice window;
+                # paying cross-region transfer when the bucket lives
+                # elsewhere (the paper's S3 implementation).
+                self._provider.s3.put_object(
+                    self._bucket,
+                    f"checkpoints/{self.workload.workload_id}/"
+                    f"{self.record.n_interruptions}.bin",
+                    body=b"\x00" * min(self.workload.checkpoint_bytes, 1 << 20),
+                    metadata={"actual_bytes": str(self.workload.checkpoint_bytes)},
+                    source_region=region,
+                    tag=self.workload.workload_id,
+                )
+                self._charge_full_checkpoint_transfer(region)
+        else:
+            self.completed_segments = 0
+        self.instance = None
+        self.state = ExecutionState.INTERRUPTED
+        return region
+
+    def _charge_input_download(self, dest_region: str) -> None:
+        """Charge the per-boot input download (cross-region only)."""
+        from repro.cloud.billing import S3_CROSS_REGION_TRANSFER_PRICE, CostCategory
+
+        bucket_region = self._provider.s3.bucket_region(self._bucket)
+        if dest_region == bucket_region:
+            return
+        self._provider.ledger.charge(
+            time=self._engine.now,
+            category=CostCategory.S3_TRANSFER,
+            amount=(self.workload.input_bytes / (1024 ** 3))
+            * S3_CROSS_REGION_TRANSFER_PRICE,
+            region=bucket_region,
+            tag=self.workload.workload_id,
+            detail=f"input download {bucket_region}->{dest_region} "
+            f"{self.workload.workload_id}",
+        )
+
+    def _charge_full_checkpoint_transfer(self, source_region: str) -> None:
+        """Charge transfer for the checkpoint's full logical size.
+
+        The stored object is capped at 1 MiB to keep memory flat, so
+        the remaining bytes are charged directly.
+        """
+        from repro.cloud.billing import S3_CROSS_REGION_TRANSFER_PRICE, CostCategory
+
+        stored = min(self.workload.checkpoint_bytes, 1 << 20)
+        remaining = self.workload.checkpoint_bytes - stored
+        bucket_region = self._provider.s3.bucket_region(self._bucket)
+        if remaining > 0 and source_region != bucket_region:
+            self._provider.ledger.charge(
+                time=self._engine.now,
+                category=CostCategory.S3_TRANSFER,
+                amount=(remaining / (1024 ** 3)) * S3_CROSS_REGION_TRANSFER_PRICE,
+                region=source_region,
+                tag=self.workload.workload_id,
+                detail=f"checkpoint transfer remainder {self.workload.workload_id}",
+            )
+
+    @property
+    def needs_instance(self) -> bool:
+        """Whether the execution is waiting for capacity."""
+        return self.state in (ExecutionState.WAITING, ExecutionState.INTERRUPTED)

@@ -1,0 +1,143 @@
+"""The Optimizer: Algorithm 1 of the paper.
+
+Scores every region by Spot Placement Score + Stability Score, keeps
+those at or above the threshold ``T``, sorts survivors by spot price
+ascending, and takes the top ``R``:
+
+* **Initialization** — workloads are assigned to the top-R regions in
+  round-robin order (unless initial distribution is disabled, in which
+  case everything starts in the configured start region — the paper's
+  Section 5.2.1 fair-comparison mode).
+* **On interruption** — the interrupted region is removed, the same
+  scoring/sorting runs, and the workload migrates to a *random* region
+  among the top R.
+* **On-demand fallback** — when no region qualifies, the cheapest
+  on-demand region is used (Section 5.2.4's reliability escape hatch).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.config import SpotVerseConfig
+from repro.core.monitor import Monitor
+from repro.core.policy import Placement, PlacementPolicy, PolicyContext, PurchasingOption
+from repro.core.scoring import RegionMetrics, cheapest_first
+from repro.errors import NoFeasibleRegionError
+from repro.workloads.base import Workload
+
+
+class SpotVerseOptimizer(PlacementPolicy):
+    """Algorithm 1 as a :class:`PlacementPolicy`.
+
+    Args:
+        monitor: Source of region metrics (the Monitor's DynamoDB view).
+        config: Threshold ``T``, region budget ``R``, and mode flags.
+    """
+
+    name = "spotverse"
+
+    def __init__(self, monitor: Monitor, config: SpotVerseConfig) -> None:
+        self._monitor = monitor
+        self._config = config
+
+    # ------------------------------------------------------------------
+    # Scoring machinery
+    # ------------------------------------------------------------------
+    def _score_regions(self, ctx: PolicyContext) -> List[RegionMetrics]:
+        """ScoreRegions(I): metrics for every candidate region."""
+        metrics = self._monitor.snapshot(self._config.instance_type)
+        preferred = self._config.preferred_regions
+        if preferred is not None:
+            allowed = set(preferred)
+            metrics = [metric for metric in metrics if metric.region in allowed]
+        return metrics
+
+    def effective_score(self, metrics: RegionMetrics) -> float:
+        """The combined score under the configured metric availability.
+
+        With both metrics enabled this is Algorithm 1's placement +
+        stability sum.  Providers lacking a metric (Section 7: Azure
+        has no placement score, GCP has neither) drop the missing
+        component; with neither, every region scores 0 and only a
+        threshold <= 0 admits spot placement (price-only mode).
+        """
+        score = 0.0
+        if self._config.use_placement_score:
+            score += metrics.placement_score
+        if self._config.use_stability_score:
+            score += metrics.stability_score
+        return score
+
+    def top_regions(
+        self, ctx: PolicyContext, exclude_region: Optional[str] = None
+    ) -> List[RegionMetrics]:
+        """The top-R qualifying regions, cheapest first.
+
+        Empty when no region clears the threshold — the on-demand
+        branch of Algorithm 1.
+        """
+        metrics = self._score_regions(ctx)
+        if exclude_region is not None:
+            metrics = [metric for metric in metrics if metric.region != exclude_region]
+        survivors = [
+            metric
+            for metric in metrics
+            if self.effective_score(metric) >= self._config.score_threshold
+        ]
+        return cheapest_first(survivors)[: self._config.max_regions]
+
+    def _cheapest_on_demand(self, ctx: PolicyContext) -> Placement:
+        region, _ = ctx.provider.price_book.cheapest_od_region(self._config.instance_type)
+        preferred = self._config.preferred_regions
+        if preferred is not None and region not in preferred:
+            # Restrict the fallback to the user's allowed regions.
+            candidates = [
+                (ctx.provider.price_book.od_price(name, self._config.instance_type), name)
+                for name in preferred
+            ]
+            region = min(candidates)[1]
+        return Placement(region=region, option=PurchasingOption.ON_DEMAND)
+
+    # ------------------------------------------------------------------
+    # PlacementPolicy interface
+    # ------------------------------------------------------------------
+    def initial_placements(
+        self, workloads: Sequence[Workload], ctx: PolicyContext
+    ) -> List[Placement]:
+        """Algorithm 1 initialization: round-robin over the top R."""
+        if not self._config.initial_distribution:
+            region = self._config.start_region
+            if region is None:
+                region, _ = ctx.provider.cheapest_mean_spot_region(
+                    self._config.instance_type
+                )
+            return [Placement(region=region) for _ in workloads]
+        top = self.top_regions(ctx)
+        if not top:
+            if not self._config.use_on_demand_fallback:
+                raise NoFeasibleRegionError(
+                    f"no region meets threshold {self._config.score_threshold} for "
+                    f"{self._config.instance_type!r} and on-demand fallback is disabled"
+                )
+            fallback = self._cheapest_on_demand(ctx)
+            return [fallback for _ in workloads]
+        return [
+            Placement(region=top[index % len(top)].region)
+            for index in range(len(workloads))
+        ]
+
+    def migration_placement(
+        self, workload: Workload, interrupted_region: str, ctx: PolicyContext
+    ) -> Placement:
+        """Algorithm 1 on-interruption: random pick among the top R."""
+        top = self.top_regions(ctx, exclude_region=interrupted_region)
+        if not top:
+            if not self._config.use_on_demand_fallback:
+                raise NoFeasibleRegionError(
+                    f"no migration target meets threshold "
+                    f"{self._config.score_threshold} for {workload.workload_id!r}"
+                )
+            return self._cheapest_on_demand(ctx)
+        choice = top[int(ctx.rng.integers(len(top)))]
+        return Placement(region=choice.region)

@@ -1,0 +1,85 @@
+"""The placement-policy interface strategies implement.
+
+A policy answers exactly two questions — where to start each workload,
+and where to send an interrupted one — as a (region, purchasing
+option) pair.  The shared :class:`~repro.core.controller.FleetController`
+does everything else (requests, retries, checkpoints, billing), so
+SpotVerse and every baseline differ *only* in their policy, which is
+what makes the paper's comparisons apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cloud.provider import CloudProvider
+    from repro.core.monitor import Monitor
+
+
+class PurchasingOption(enum.Enum):
+    """How an instance is bought."""
+
+    SPOT = "spot"
+    ON_DEMAND = "on-demand"
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A policy decision: run in *region* with *option*."""
+
+    region: str
+    option: PurchasingOption = PurchasingOption.SPOT
+
+
+@dataclass
+class PolicyContext:
+    """Everything a policy may consult when deciding.
+
+    Attributes:
+        provider: The simulated cloud (price book, markets).
+        monitor: SpotVerse's Monitor, when deployed (baselines that
+            model external frameworks read the cloud directly instead).
+        rng: Dedicated random stream (e.g. Algorithm 1's random pick
+            among the top-R regions on migration).
+        records: Live per-workload records (submission time, attempts,
+            interruptions so far) — populated by the controller so
+            history-aware policies (deadline escalation, predictors)
+            can see how each workload is faring.  Empty before a fleet
+            starts.
+    """
+
+    provider: "CloudProvider"
+    monitor: Optional["Monitor"]
+    rng: np.random.Generator
+    records: dict = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.records is None:
+            self.records = {}
+
+
+class PlacementPolicy(ABC):
+    """Strategy interface for initial placement and migration."""
+
+    #: Human-readable policy name used in reports.
+    name: str = "policy"
+
+    @abstractmethod
+    def initial_placements(
+        self, workloads: Sequence[Workload], ctx: PolicyContext
+    ) -> List[Placement]:
+        """Return one placement per workload, in order."""
+
+    @abstractmethod
+    def migration_placement(
+        self, workload: Workload, interrupted_region: str, ctx: PolicyContext
+    ) -> Placement:
+        """Return the placement for a workload interrupted in *interrupted_region*."""

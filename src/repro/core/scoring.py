@@ -1,0 +1,69 @@
+"""Region scoring: the metrics Algorithm 1 ranks regions by."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.cloud.profiles import stability_score_from_frequency
+
+
+@dataclass(frozen=True)
+class RegionMetrics:
+    """One region's Monitor snapshot for one instance type.
+
+    Attributes:
+        region: Region name.
+        instance_type: Instance type name.
+        spot_price: Current spot price (USD/hour).
+        od_price: Current on-demand price (USD/hour).
+        placement_score: Spot Placement Score (1-10).
+        interruption_frequency: Advisor frequency metric (percent).
+        collected_at: Virtual time of collection.
+    """
+
+    region: str
+    instance_type: str
+    spot_price: float
+    od_price: float
+    placement_score: float
+    interruption_frequency: float
+    collected_at: float = 0.0
+
+    @property
+    def stability_score(self) -> int:
+        """1-3 bucket derived from the interruption frequency."""
+        return stability_score_from_frequency(self.interruption_frequency)
+
+    @property
+    def combined_score(self) -> float:
+        """Placement + Stability — Algorithm 1's ranking quantity."""
+        return self.placement_score + self.stability_score
+
+    @property
+    def savings_fraction(self) -> float:
+        """Fractional savings of spot over on-demand (0 when OD is 0)."""
+        if self.od_price <= 0:
+            return 0.0
+        return 1.0 - self.spot_price / self.od_price
+
+
+def combined_score(placement_score: float, interruption_frequency: float) -> float:
+    """Compute Algorithm 1's combined score from raw observables."""
+    return placement_score + stability_score_from_frequency(interruption_frequency)
+
+
+def qualifying_regions(
+    metrics: Sequence[RegionMetrics], threshold: float
+) -> List[RegionMetrics]:
+    """Algorithm 1's ``SelectRegions``: filter by combined score >= T."""
+    return [metric for metric in metrics if metric.combined_score >= threshold]
+
+
+def cheapest_first(metrics: Sequence[RegionMetrics]) -> List[RegionMetrics]:
+    """Sort metrics by spot price ascending (ties broken by region name).
+
+    The name tiebreak keeps runs deterministic when two markets land on
+    identical prices.
+    """
+    return sorted(metrics, key=lambda metric: (metric.spot_price, metric.region))

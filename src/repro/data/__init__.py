@@ -1,0 +1,36 @@
+"""Spot-market dataset substrates.
+
+Rebuilds the data products the paper consumes: the AWS Spot Instance
+Advisor (Interruption Frequency buckets), the Spot Placement Score
+dataset, a SpotLake-style archive service (Lee et al., IISWC'22) that
+serves historical snapshots, and price-trace serialization for the
+Figure 2 analysis.
+"""
+
+from repro.data.persist import (
+    load_advisor_dataset,
+    load_placement_dataset,
+    save_advisor_dataset,
+    save_placement_dataset,
+)
+from repro.data.placement import PlacementScoreDataset, generate_placement_dataset
+from repro.data.spot_advisor import AdvisorRecord, SpotAdvisorDataset, generate_advisor_dataset
+from repro.data.spotlake import SpotLakeArchive, SpotLakeSnapshot
+from repro.data.traces import PriceTrace, generate_price_traces, trace_statistics
+
+__all__ = [
+    "AdvisorRecord",
+    "PlacementScoreDataset",
+    "PriceTrace",
+    "SpotAdvisorDataset",
+    "SpotLakeArchive",
+    "SpotLakeSnapshot",
+    "generate_advisor_dataset",
+    "generate_placement_dataset",
+    "generate_price_traces",
+    "load_advisor_dataset",
+    "load_placement_dataset",
+    "save_advisor_dataset",
+    "save_placement_dataset",
+    "trace_statistics",
+]

@@ -1,0 +1,123 @@
+"""Dataset persistence: JSONL archives for the spot datasets.
+
+SpotLake's public service distributes its collections as downloadable
+archives; this module provides the equivalent for our synthetic
+datasets so a generated six-month collection can be saved once and
+re-loaded by later analyses (or shipped alongside results) without
+regeneration.  One JSON object per line, with a header line carrying
+the schema tag.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.data.placement import PlacementRecord, PlacementScoreDataset
+from repro.data.spot_advisor import AdvisorRecord, SpotAdvisorDataset
+from repro.errors import CloudError
+
+ADVISOR_SCHEMA = "spotverse-advisor-v1"
+PLACEMENT_SCHEMA = "spotverse-placement-v1"
+
+PathLike = Union[str, Path]
+
+
+def _write_jsonl(path: PathLike, header: dict, rows: List[dict]) -> int:
+    path = Path(path)
+    with path.open("w") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for row in rows:
+            handle.write(json.dumps(row) + "\n")
+    return len(rows)
+
+
+def _read_jsonl(path: PathLike, expected_schema: str) -> tuple:
+    path = Path(path)
+    with path.open() as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise CloudError(f"dataset archive {path} is empty")
+    header = json.loads(lines[0])
+    if header.get("schema") != expected_schema:
+        raise CloudError(
+            f"dataset archive {path} has schema {header.get('schema')!r}; "
+            f"expected {expected_schema!r}"
+        )
+    return header, [json.loads(line) for line in lines[1:]]
+
+
+# ---------------------------------------------------------------------------
+# Advisor dataset
+# ---------------------------------------------------------------------------
+def save_advisor_dataset(dataset: SpotAdvisorDataset, path: PathLike) -> int:
+    """Write an advisor dataset to JSONL; returns rows written."""
+    rows = [
+        {
+            "day": record.day,
+            "region": record.region,
+            "instance_type": record.instance_type,
+            "vcpus": record.vcpus,
+            "memory_gib": record.memory_gib,
+            "savings_pct": record.savings_pct,
+            "interruption_freq_pct": record.interruption_freq_pct,
+        }
+        for record in dataset.records
+    ]
+    return _write_jsonl(path, {"schema": ADVISOR_SCHEMA, "days": dataset.days}, rows)
+
+
+def load_advisor_dataset(path: PathLike) -> SpotAdvisorDataset:
+    """Read an advisor dataset written by :func:`save_advisor_dataset`."""
+    from repro.cloud.profiles import stability_score_from_frequency
+
+    header, rows = _read_jsonl(path, ADVISOR_SCHEMA)
+    records = [
+        AdvisorRecord(
+            day=int(row["day"]),
+            region=row["region"],
+            instance_type=row["instance_type"],
+            vcpus=int(row["vcpus"]),
+            memory_gib=float(row["memory_gib"]),
+            savings_pct=float(row["savings_pct"]),
+            interruption_freq_pct=float(row["interruption_freq_pct"]),
+            stability_score=stability_score_from_frequency(
+                float(row["interruption_freq_pct"])
+            ),
+        )
+        for row in rows
+    ]
+    return SpotAdvisorDataset(records, days=int(header["days"]))
+
+
+# ---------------------------------------------------------------------------
+# Placement dataset
+# ---------------------------------------------------------------------------
+def save_placement_dataset(dataset: PlacementScoreDataset, path: PathLike) -> int:
+    """Write a placement dataset to JSONL; returns rows written."""
+    rows = [
+        {
+            "day": record.day,
+            "region": record.region,
+            "instance_type": record.instance_type,
+            "score": record.score,
+        }
+        for record in dataset.records
+    ]
+    return _write_jsonl(path, {"schema": PLACEMENT_SCHEMA, "days": dataset.days}, rows)
+
+
+def load_placement_dataset(path: PathLike) -> PlacementScoreDataset:
+    """Read a placement dataset written by :func:`save_placement_dataset`."""
+    header, rows = _read_jsonl(path, PLACEMENT_SCHEMA)
+    records = [
+        PlacementRecord(
+            day=int(row["day"]),
+            region=row["region"],
+            instance_type=row["instance_type"],
+            score=float(row["score"]),
+        )
+        for row in rows
+    ]
+    return PlacementScoreDataset(records, days=int(header["days"]))

@@ -1,0 +1,140 @@
+"""A SpotLake-style spot-dataset archive service.
+
+SpotLake (Lee et al., IISWC 2022) archives heterogeneous spot-market
+datasets — price, Interruption Frequency, placement score — and serves
+time-indexed snapshots.  The paper's related-work section credits it
+as SpotVerse's data backbone.  This module implements the same idea
+over our synthetic datasets: ingest advisor and placement datasets
+plus price traces, then answer point-in-time queries.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.data.placement import PlacementScoreDataset
+from repro.data.spot_advisor import SpotAdvisorDataset
+from repro.errors import CloudError
+
+
+@dataclass(frozen=True)
+class SpotLakeSnapshot:
+    """The archive's answer to one point-in-time query.
+
+    Attributes:
+        day: Day the snapshot describes.
+        region: Region name.
+        instance_type: Instance type name.
+        interruption_freq_pct: Advisor metric, if archived.
+        stability_score: Derived 1-3 bucket, if archived.
+        placement_score: Placement score, if archived.
+        savings_pct: Savings over on-demand, if archived.
+    """
+
+    day: int
+    region: str
+    instance_type: str
+    interruption_freq_pct: Optional[float] = None
+    stability_score: Optional[int] = None
+    placement_score: Optional[float] = None
+    savings_pct: Optional[float] = None
+
+    @property
+    def combined_score(self) -> Optional[float]:
+        """Placement + Stability, the quantity Algorithm 1 thresholds."""
+        if self.placement_score is None or self.stability_score is None:
+            return None
+        return self.placement_score + self.stability_score
+
+
+class SpotLakeArchive:
+    """Time-indexed archive over advisor and placement datasets."""
+
+    def __init__(self) -> None:
+        self._advisor: Dict[Tuple[str, str], List[Tuple[int, float, int, float]]] = {}
+        self._placement: Dict[Tuple[str, str], List[Tuple[int, float]]] = {}
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest_advisor(self, dataset: SpotAdvisorDataset) -> int:
+        """Archive every record of an advisor dataset; returns count."""
+        count = 0
+        for record in dataset.records:
+            key = (record.region, record.instance_type)
+            self._advisor.setdefault(key, []).append(
+                (
+                    record.day,
+                    record.interruption_freq_pct,
+                    record.stability_score,
+                    record.savings_pct,
+                )
+            )
+            count += 1
+        for series in self._advisor.values():
+            series.sort(key=lambda row: row[0])
+        return count
+
+    def ingest_placement(self, dataset: PlacementScoreDataset) -> int:
+        """Archive every record of a placement dataset; returns count."""
+        count = 0
+        for record in dataset.records:
+            key = (record.region, record.instance_type)
+            self._placement.setdefault(key, []).append((record.day, record.score))
+            count += 1
+        for series in self._placement.values():
+            series.sort(key=lambda row: row[0])
+        return count
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _at_or_before(series: List[tuple], day: int) -> Optional[tuple]:
+        """Latest row with ``row[0] <= day``, or ``None``."""
+        if not series:
+            return None
+        days = [row[0] for row in series]
+        index = bisect.bisect_right(days, day) - 1
+        if index < 0:
+            return None
+        return series[index]
+
+    def snapshot(self, region: str, instance_type: str, day: int) -> SpotLakeSnapshot:
+        """Return the archive's view of one market on *day*.
+
+        Uses the latest record at or before *day* per dataset — the
+        archive semantics of "what was known then".
+
+        Raises:
+            CloudError: If neither dataset has the market at all.
+        """
+        key = (region, instance_type)
+        advisor_row = self._at_or_before(self._advisor.get(key, []), day)
+        placement_row = self._at_or_before(self._placement.get(key, []), day)
+        if advisor_row is None and placement_row is None:
+            raise CloudError(
+                f"SpotLake archive has no data for {instance_type!r} in {region!r}"
+            )
+        return SpotLakeSnapshot(
+            day=day,
+            region=region,
+            instance_type=instance_type,
+            interruption_freq_pct=advisor_row[1] if advisor_row else None,
+            stability_score=advisor_row[2] if advisor_row else None,
+            savings_pct=advisor_row[3] if advisor_row else None,
+            placement_score=placement_row[1] if placement_row else None,
+        )
+
+    def snapshots_for_type(self, instance_type: str, day: int) -> List[SpotLakeSnapshot]:
+        """Per-region snapshots of one type on *day*, sorted by region."""
+        regions = sorted(
+            {region for (region, itype) in set(self._advisor) | set(self._placement) if itype == instance_type}
+        )
+        return [self.snapshot(region, instance_type, day) for region in regions]
+
+    def coverage(self) -> Dict[str, int]:
+        """Counts of archived series per dataset kind."""
+        return {"advisor": len(self._advisor), "placement": len(self._placement)}

@@ -1,0 +1,70 @@
+"""Experiment drivers: one per table and figure of the paper.
+
+Each driver builds fresh providers per strategy arm (so ledgers stay
+per-strategy), runs the fleet through the shared controller, and
+returns a structured result object with a ``render()`` text report and
+the paper's reference numbers alongside the measured ones.  The
+benchmark suite under ``benchmarks/`` calls these drivers.
+"""
+
+from repro.experiments.ablations import (
+    run_checkpoint_backend_ablation,
+    run_checkpoint_granularity,
+    run_fallback_ablation,
+    run_migration_ablation,
+    run_predictive_policy_ablation,
+)
+from repro.experiments.footprint import FootprintStudyResult, run_footprint_study
+from repro.experiments.gantt import render_lifelines
+from repro.experiments.harness import ArmResult, ArmSpec, run_arm, run_arms
+from repro.experiments.initial_distribution import (
+    InitialDistributionResult,
+    run_initial_distribution_experiment,
+)
+from repro.experiments.instance_study import InstanceStudyResult, run_instance_study
+from repro.experiments.metrics_analysis import MetricsAnalysisResult, run_metrics_analysis
+from repro.experiments.motivation import MotivationResult, run_motivation_experiment
+from repro.experiments.price_diversity import PriceDiversityResult, run_price_diversity
+from repro.experiments.skypilot_comparison import (
+    SkyPilotComparisonResult,
+    run_skypilot_comparison,
+)
+from repro.experiments.thresholds import ThresholdStudyResult, run_threshold_study
+from repro.experiments.time_patterns import TimePatternResult, run_time_pattern_study
+from repro.experiments.workload_comparison import (
+    WorkloadComparisonResult,
+    run_workload_comparison,
+)
+
+__all__ = [
+    "ArmResult",
+    "ArmSpec",
+    "FootprintStudyResult",
+    "TimePatternResult",
+    "run_checkpoint_backend_ablation",
+    "run_checkpoint_granularity",
+    "run_fallback_ablation",
+    "run_footprint_study",
+    "run_migration_ablation",
+    "run_predictive_policy_ablation",
+    "run_time_pattern_study",
+    "render_lifelines",
+    "InitialDistributionResult",
+    "InstanceStudyResult",
+    "MetricsAnalysisResult",
+    "MotivationResult",
+    "PriceDiversityResult",
+    "SkyPilotComparisonResult",
+    "ThresholdStudyResult",
+    "WorkloadComparisonResult",
+    "run_arm",
+    "run_arms",
+    "run_initial_distribution_experiment",
+    "run_instance_study",
+    "run_metrics_analysis",
+    "run_motivation_experiment",
+    "run_price_diversity",
+    "run_skypilot_comparison",
+    "run_threshold_study",
+    "run_workload_comparison",
+]

@@ -1,0 +1,103 @@
+"""ASCII fleet lifelines: what each workload was doing when.
+
+Renders a per-workload timeline from :class:`WorkloadRecord` data:
+one row per workload, one character per time bin, the letter of the
+region whose instance was running in that bin, ``.`` for gaps (waiting
+for capacity), and ``*`` at the completion bin.  Makes interruption
+bursts, migrations, and stragglers visible at a glance in terminal
+output — the quick-look view the paper's S3 activity logs would feed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.result import FleetResult, WorkloadRecord
+from repro.sim.clock import HOUR
+
+
+def _region_letters(result: FleetResult) -> Dict[str, str]:
+    """Assign a unique letter per region seen, in sorted order."""
+    regions = sorted(
+        {region for record in result.records for region in record.regions}
+    )
+    letters: Dict[str, str] = {}
+    for index, region in enumerate(regions):
+        letters[region] = chr(ord("a") + index) if index < 26 else "?"
+    return letters
+
+
+def _attempt_spans(record: WorkloadRecord, end_time: float) -> List[Tuple[float, float, str]]:
+    """``(start, end, region)`` per attempt.
+
+    An attempt ends at the next interruption whose timestamp follows
+    its start, at the workload's completion, or at *end_time*.
+    """
+    spans: List[Tuple[float, float, str]] = []
+    interruption_times = [time for time, _ in record.interruptions]
+    for index, (start, region) in enumerate(
+        zip(record.attempt_starts, record.regions)
+    ):
+        candidates = [t for t in interruption_times if t >= start]
+        next_start = (
+            record.attempt_starts[index + 1]
+            if index + 1 < len(record.attempt_starts)
+            else None
+        )
+        end = end_time
+        if candidates and (next_start is None or candidates[0] <= next_start):
+            end = candidates[0]
+        elif next_start is not None:
+            end = next_start
+        if record.completed_at is not None:
+            end = min(end, record.completed_at)
+        spans.append((start, max(start, end), region))
+    return spans
+
+
+def render_lifelines(
+    result: FleetResult,
+    bin_hours: float = 0.5,
+    max_workloads: Optional[int] = 40,
+    width_limit: int = 120,
+) -> str:
+    """Render the fleet's lifelines as multi-line text.
+
+    Args:
+        result: The fleet to render.
+        bin_hours: Hours per character column.
+        max_workloads: Truncate very large fleets (None = all).
+        width_limit: Maximum columns; bins widen if exceeded.
+    """
+    if not result.records:
+        return "(empty fleet)"
+    end_time = result.ended_at
+    bins = int(end_time / (bin_hours * HOUR)) + 1
+    if bins > width_limit:
+        bin_hours = end_time / (width_limit * HOUR)
+        bins = width_limit + 1
+    letters = _region_letters(result)
+
+    lines: List[str] = []
+    records = result.records[:max_workloads] if max_workloads else result.records
+    label_width = max(len(record.workload_id) for record in records)
+    for record in records:
+        row = ["."] * bins
+        for start, end, region in _attempt_spans(record, end_time):
+            first = int(start / (bin_hours * HOUR))
+            last = int(end / (bin_hours * HOUR))
+            for column in range(first, min(last + 1, bins)):
+                row[column] = letters.get(region, "?")
+        if record.completed_at is not None:
+            column = min(int(record.completed_at / (bin_hours * HOUR)), bins - 1)
+            row[column] = "*"
+        lines.append(f"{record.workload_id.ljust(label_width)} |{''.join(row)}")
+    if max_workloads and len(result.records) > max_workloads:
+        lines.append(f"... ({len(result.records) - max_workloads} more workloads)")
+
+    legend = ", ".join(f"{letter}={region}" for region, letter in sorted(letters.items()))
+    header = (
+        f"fleet lifelines ({bin_hours:.2f} h/column, '.'=waiting, '*'=done)\n"
+        f"regions: {legend}"
+    )
+    return header + "\n" + "\n".join(lines)

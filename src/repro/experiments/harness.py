@@ -1,0 +1,143 @@
+"""The arm harness: one strategy x one fleet on a fresh provider.
+
+Every experiment arm gets its own :class:`~repro.cloud.provider.CloudProvider`
+(so cost ledgers, markets, and event streams never leak between
+strategies), a Monitor (SpotVerse's data plane runs regardless of the
+policy, as it would in the paper's shared-account setup), and the
+shared :class:`~repro.core.controller.FleetController`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cloud.profiles import default_market_profiles
+from repro.cloud.provider import CloudProvider
+from repro.core.config import SpotVerseConfig
+from repro.core.controller import FleetController
+from repro.core.monitor import Monitor
+from repro.core.optimizer import SpotVerseOptimizer
+from repro.core.policy import PlacementPolicy
+from repro.core.result import FleetResult
+from repro.workloads.base import Workload
+
+#: Builds the policy for an arm.  Receives the provider, the arm's
+#: config, and a live Monitor.
+PolicyFactory = Callable[[CloudProvider, SpotVerseConfig, Monitor], PlacementPolicy]
+
+#: Builds workload *i* of the fleet.
+WorkloadFactory = Callable[[int], Workload]
+
+
+def spotverse_policy(
+    provider: CloudProvider, config: SpotVerseConfig, monitor: Monitor
+) -> PlacementPolicy:
+    """The default SpotVerse policy factory (Algorithm 1)."""
+    return SpotVerseOptimizer(monitor, config)
+
+
+@dataclass
+class ArmSpec:
+    """One experiment arm.
+
+    Attributes:
+        name: Arm label used in reports.
+        policy_factory: Builds the arm's placement policy.
+        config: Control-plane configuration for the arm.
+        workload_factory: Builds workload *i*.
+        n_workloads: Fleet size (the paper uses 40, or 42 in Fig. 3).
+        seed: Provider master seed (same seed across arms = same market
+            randomness, the paper's paired-comparison setup).
+        max_hours: Simulation deadline.
+        profile_overrides: Optional market-regime overrides (e.g. the
+            threshold study's collection date).
+        warmup_steps: Market pre-roll before the run.
+    """
+
+    name: str
+    policy_factory: PolicyFactory
+    config: SpotVerseConfig
+    workload_factory: WorkloadFactory
+    n_workloads: int = 40
+    seed: int = 7
+    max_hours: float = 160.0
+    profile_overrides: Optional[Mapping[Tuple[str, str], Mapping[str, float]]] = None
+    warmup_steps: int = 48
+
+
+@dataclass
+class ArmResult:
+    """An arm's outcome plus the provider it ran on (for deep dives)."""
+
+    spec: ArmSpec
+    fleet: FleetResult
+    provider: CloudProvider
+
+    @property
+    def name(self) -> str:
+        """The arm's label."""
+        return self.spec.name
+
+
+def run_arm(spec: ArmSpec) -> ArmResult:
+    """Execute one arm and return its result."""
+    profiles = default_market_profiles()
+    if spec.profile_overrides is not None:
+        profiles = profiles.with_overrides(spec.profile_overrides)
+    provider = CloudProvider(seed=spec.seed, profiles=profiles)
+    if spec.warmup_steps:
+        provider.warmup_markets(spec.warmup_steps)
+    monitor = Monitor(
+        provider,
+        instance_types=[spec.config.instance_type],
+        collect_interval=spec.config.collect_interval,
+    )
+    policy = spec.policy_factory(provider, spec.config, monitor)
+    controller = FleetController(provider, policy, spec.config, monitor=monitor)
+    workloads = [spec.workload_factory(index) for index in range(spec.n_workloads)]
+    fleet = controller.run(workloads, max_hours=spec.max_hours)
+    provider.shutdown()
+    return ArmResult(spec=spec, fleet=fleet, provider=provider)
+
+
+def run_arms(specs: Sequence[ArmSpec]) -> Dict[str, ArmResult]:
+    """Run several arms and key the results by arm name."""
+    results: Dict[str, ArmResult] = {}
+    for spec in specs:
+        if spec.name in results:
+            raise ValueError(f"duplicate arm name {spec.name!r}")
+        results[spec.name] = run_arm(spec)
+    return results
+
+
+def mean_over_seeds(
+    spec: ArmSpec, seeds: Sequence[int]
+) -> Tuple[float, float, float]:
+    """Run an arm at several seeds; return mean (interruptions, hours, cost).
+
+    The paper repeats each experiment three times to absorb market
+    variation; this is the equivalent averaging helper.
+    """
+    interruptions: List[float] = []
+    hours: List[float] = []
+    costs: List[float] = []
+    for seed in seeds:
+        result = run_arm(
+            ArmSpec(
+                name=f"{spec.name}@{seed}",
+                policy_factory=spec.policy_factory,
+                config=spec.config,
+                workload_factory=spec.workload_factory,
+                n_workloads=spec.n_workloads,
+                seed=seed,
+                max_hours=spec.max_hours,
+                profile_overrides=spec.profile_overrides,
+                warmup_steps=spec.warmup_steps,
+            )
+        )
+        interruptions.append(result.fleet.total_interruptions)
+        hours.append(result.fleet.makespan_hours)
+        costs.append(result.fleet.total_cost)
+    n = len(seeds)
+    return (sum(interruptions) / n, sum(hours) / n, sum(costs) / n)

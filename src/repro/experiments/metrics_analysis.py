@@ -1,0 +1,121 @@
+"""Figure 4: Interruption Frequency and Spot Placement Score analysis.
+
+Reproduces the three panels over a six-month synthetic collection:
+
+* **4a** — per-region Interruption Frequency heatmap for m5.2xlarge
+  (daily samples, bucketed like the paper's colour bands);
+* **4b** — cross-region average Stability Score trajectories for
+  c5/m5/p3 .2xlarge;
+* **4c** — cross-region average Spot Placement Score trajectories,
+  showing c5/m5 fluctuating regionally while p3 stays consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.data.placement import PlacementScoreDataset, generate_placement_dataset
+from repro.data.spot_advisor import SpotAdvisorDataset, generate_advisor_dataset
+from repro.experiments.reporting import render_table
+
+#: The paper's Figure 4b/4c instance types.
+FIGURE4_TYPES = ("c5.2xlarge", "m5.2xlarge", "p3.2xlarge")
+HEATMAP_TYPE = "m5.2xlarge"
+
+
+@dataclass
+class MetricsAnalysisResult:
+    """Figure 4 reproduction output.
+
+    Attributes:
+        advisor: The six-month advisor dataset.
+        placement: The six-month placement dataset.
+        heatmap: Per-region daily frequency series for m5.2xlarge.
+        stability_series: Per-type daily mean Stability Score series.
+        placement_series: Per-type daily mean placement series.
+        placement_spread: Per-type cross-region spread of mean scores.
+    """
+
+    advisor: SpotAdvisorDataset
+    placement: PlacementScoreDataset
+    heatmap: Dict[str, List[float]]
+    stability_series: Dict[str, List[float]]
+    placement_series: Dict[str, List[float]]
+    placement_spread: Dict[str, float]
+
+    def heatmap_band_counts(self) -> Dict[str, Dict[str, int]]:
+        """Per-region day counts in the paper's three colour bands."""
+        bands: Dict[str, Dict[str, int]] = {}
+        for region, series in self.heatmap.items():
+            bands[region] = {
+                "<5%": sum(1 for value in series if value < 5),
+                "5-20%": sum(1 for value in series if 5 <= value <= 20),
+                ">20%": sum(1 for value in series if value > 20),
+            }
+        return bands
+
+    def render(self) -> str:
+        """Text report for all three panels."""
+        band_rows = [
+            [region, counts["<5%"], counts["5-20%"], counts[">20%"]]
+            for region, counts in sorted(self.heatmap_band_counts().items())
+        ]
+        parts = [
+            render_table(
+                ["region", "days <5%", "days 5-20%", "days >20%"],
+                band_rows,
+                title=f"Figure 4a — Interruption Frequency bands ({HEATMAP_TYPE}, "
+                f"{self.advisor.days} days)",
+            )
+        ]
+        score_rows = []
+        for itype in FIGURE4_TYPES:
+            stability = self.stability_series[itype]
+            placement = self.placement_series[itype]
+            score_rows.append(
+                [
+                    itype,
+                    f"{np.mean(stability):.2f}",
+                    f"{np.std(stability):.3f}",
+                    f"{np.mean(placement):.2f}",
+                    f"{self.placement_spread[itype]:.2f}",
+                ]
+            )
+        parts.append(
+            render_table(
+                [
+                    "type",
+                    "mean stability",
+                    "stability std",
+                    "mean placement",
+                    "placement regional spread",
+                ],
+                score_rows,
+                title="Figure 4b/4c — six-month score trajectories",
+            )
+        )
+        return "\n\n".join(parts)
+
+
+def run_metrics_analysis(days: int = 180, seed: int = 0) -> MetricsAnalysisResult:
+    """Generate the datasets and the three panels' series."""
+    types = sorted(set(FIGURE4_TYPES) | {HEATMAP_TYPE})
+    advisor = generate_advisor_dataset(days=days, instance_types=types, seed=seed)
+    placement = generate_placement_dataset(days=days, instance_types=types, seed=seed)
+    return MetricsAnalysisResult(
+        advisor=advisor,
+        placement=placement,
+        heatmap=advisor.frequency_heatmap(HEATMAP_TYPE),
+        stability_series={
+            itype: advisor.average_stability_series(itype) for itype in FIGURE4_TYPES
+        },
+        placement_series={
+            itype: placement.average_score_series(itype) for itype in FIGURE4_TYPES
+        },
+        placement_spread={
+            itype: placement.regional_spread(itype) for itype in FIGURE4_TYPES
+        },
+    )

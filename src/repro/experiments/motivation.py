@@ -1,0 +1,129 @@
+"""Figure 3: the motivational single- vs multi-region experiment.
+
+Section 2.2's setup: 42 m5.xlarge workloads, baseline pinned to
+ca-central-1 (cheapest for the type), naive multi-region spreading
+round-robin over {ap-northeast-3, ca-central-1, eu-north-1} with
+random failover among them.  Run for both workload categories
+(standard Genome Reconstruction, checkpoint NGS preprocessing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.config import SpotVerseConfig
+from repro.experiments.harness import ArmResult, ArmSpec, run_arms
+from repro.experiments.reporting import fmt_hours, fmt_money, fmt_pct, pct_change, render_table
+from repro.strategies.naive_multi_region import MOTIVATION_REGIONS, NaiveMultiRegionPolicy
+from repro.strategies.single_region import SingleRegionPolicy
+from repro.workloads.genome_reconstruction import genome_reconstruction_workload
+from repro.workloads.ngs_preprocessing import ngs_preprocessing_workload
+
+#: Paper reference numbers (Section 2.2).
+PAPER_REFERENCE = {
+    "standard": {"cost_delta_pct": -5.67, "time_delta_pct": -30.49, "int_delta_pct": -13.2},
+    "checkpoint": {"cost_delta_pct": -9.43, "time_delta_pct": -6.63, "int_delta_pct": -41.6},
+}
+
+
+@dataclass
+class MotivationResult:
+    """Figure 3 reproduction output.
+
+    Attributes:
+        arms: Raw arm results keyed ``{kind}-{strategy}``.
+        deltas: Measured multi-vs-single percentage deltas per kind.
+    """
+
+    arms: Dict[str, ArmResult]
+    deltas: Dict[str, Dict[str, float]]
+
+    def render(self) -> str:
+        """Text report with measured vs paper deltas."""
+        rows = []
+        for kind in ("standard", "checkpoint"):
+            single = self.arms[f"{kind}-single"].fleet
+            multi = self.arms[f"{kind}-multi"].fleet
+            measured = self.deltas[kind]
+            paper = PAPER_REFERENCE[kind]
+            rows.append(
+                [
+                    kind,
+                    f"{single.total_interruptions}->{multi.total_interruptions}",
+                    fmt_pct(measured["int_delta_pct"]),
+                    fmt_pct(paper["int_delta_pct"]),
+                    f"{fmt_hours(single.makespan_hours)}->{fmt_hours(multi.makespan_hours)}",
+                    fmt_pct(measured["time_delta_pct"]),
+                    fmt_pct(paper["time_delta_pct"]),
+                    f"{fmt_money(single.total_cost)}->{fmt_money(multi.total_cost)}",
+                    fmt_pct(measured["cost_delta_pct"]),
+                    fmt_pct(paper["cost_delta_pct"]),
+                ]
+            )
+        return render_table(
+            [
+                "workload",
+                "interruptions",
+                "d ints",
+                "paper",
+                "completion",
+                "d time",
+                "paper",
+                "cost",
+                "d cost",
+                "paper",
+            ],
+            rows,
+            title="Figure 3 — single vs naive multi-region (42 workloads, m5.xlarge)",
+        )
+
+
+def run_motivation_experiment(
+    n_workloads: int = 42, seed: int = 7, duration_hours: float = 10.5
+) -> MotivationResult:
+    """Run the four arms of the motivational experiment."""
+    config = SpotVerseConfig(instance_type="m5.xlarge")
+    factories = {
+        "standard": lambda i: genome_reconstruction_workload(
+            f"std-{i:02d}", duration_hours=duration_hours
+        ),
+        "checkpoint": lambda i: ngs_preprocessing_workload(
+            f"ckp-{i:02d}", duration_hours=duration_hours
+        ),
+    }
+    specs = []
+    for kind, factory in factories.items():
+        specs.append(
+            ArmSpec(
+                name=f"{kind}-single",
+                policy_factory=lambda p, c, m: SingleRegionPolicy(region="ca-central-1"),
+                config=config,
+                workload_factory=factory,
+                n_workloads=n_workloads,
+                seed=seed,
+            )
+        )
+        specs.append(
+            ArmSpec(
+                name=f"{kind}-multi",
+                policy_factory=lambda p, c, m: NaiveMultiRegionPolicy(MOTIVATION_REGIONS),
+                config=config,
+                workload_factory=factory,
+                n_workloads=n_workloads,
+                seed=seed,
+            )
+        )
+    arms = run_arms(specs)
+    deltas: Dict[str, Dict[str, float]] = {}
+    for kind in factories:
+        single = arms[f"{kind}-single"].fleet
+        multi = arms[f"{kind}-multi"].fleet
+        deltas[kind] = {
+            "cost_delta_pct": pct_change(single.total_cost, multi.total_cost),
+            "time_delta_pct": pct_change(single.makespan_hours, multi.makespan_hours),
+            "int_delta_pct": pct_change(
+                single.total_interruptions, multi.total_interruptions
+            ),
+        }
+    return MotivationResult(arms=arms, deltas=deltas)

@@ -1,0 +1,102 @@
+"""Run every experiment and emit the full reproduction report.
+
+This is the one-command regeneration path for EXPERIMENTS.md::
+
+    python -m repro.experiments.report_all > report.txt
+
+Each section prints the experiment's rendered table (measured next to
+the paper's numbers where the driver carries them).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, List, Tuple
+
+from repro.experiments.ablations import (
+    run_checkpoint_backend_ablation,
+    run_checkpoint_granularity,
+    run_deadline_policy_ablation,
+    run_fallback_ablation,
+    run_migration_ablation,
+    run_predictive_policy_ablation,
+)
+from repro.experiments.initial_distribution import run_initial_distribution_experiment
+from repro.experiments.instance_study import run_instance_study
+from repro.experiments.metrics_analysis import run_metrics_analysis
+from repro.experiments.motivation import run_motivation_experiment
+from repro.experiments.price_diversity import run_price_diversity
+from repro.experiments.skypilot_comparison import run_skypilot_comparison
+from repro.experiments.footprint import run_footprint_study
+from repro.experiments.thresholds import run_threshold_study
+from repro.experiments.time_patterns import run_time_pattern_study
+from repro.experiments.workload_comparison import run_workload_comparison
+
+#: Every experiment in paper order: (id, title, runner).
+ALL_EXPERIMENTS: List[Tuple[str, str, Callable[[], object]]] = [
+    ("fig2", "Spot price diversity", lambda: run_price_diversity()),
+    ("fig3", "Motivational single vs multi-region", lambda: run_motivation_experiment()),
+    ("fig4", "Interruption Frequency / Placement Score", lambda: run_metrics_analysis()),
+    ("fig7", "SpotVerse vs single-region vs on-demand", lambda: run_workload_comparison()),
+    ("fig8+table1", "Instance types, sizes, baseline regions", lambda: run_instance_study()),
+    ("fig9", "Initial distribution strategy", lambda: run_initial_distribution_experiment()),
+    ("fig10+tables2-3", "Threshold-based allocation", lambda: run_threshold_study()),
+    ("table4", "SpotVerse vs SkyPilot", lambda: run_skypilot_comparison()),
+    ("ablation-migration", "Random vs cheapest migration", lambda: run_migration_ablation()),
+    ("ablation-fallback", "On-demand fallback", lambda: run_fallback_ablation()),
+    (
+        "ablation-checkpoint",
+        "Checkpoint granularity",
+        lambda: run_checkpoint_granularity(),
+    ),
+    (
+        "ablation-backend",
+        "Checkpoint backend (S3 vs EFS)",
+        lambda: run_checkpoint_backend_ablation(),
+    ),
+    (
+        "ablation-predictive",
+        "Predictive optimizer",
+        lambda: run_predictive_policy_ablation(),
+    ),
+    (
+        "ablation-deadline",
+        "Deadline-aware escalation",
+        lambda: run_deadline_policy_ablation(),
+    ),
+    (
+        "study-time-patterns",
+        "Interruption time patterns (Section 7)",
+        lambda: run_time_pattern_study(),
+    ),
+    (
+        "study-footprint",
+        "Footprint pressure vs finite capacity pools",
+        lambda: run_footprint_study(),
+    ),
+]
+
+
+def run_all(stream=None) -> None:
+    """Run every experiment, printing each rendered report to *stream*."""
+    stream = stream or sys.stdout
+    for experiment_id, title, runner in ALL_EXPERIMENTS:
+        started = time.time()
+        result = runner()
+        elapsed = time.time() - started
+        print(f"{'=' * 72}", file=stream)
+        print(f"[{experiment_id}] {title}  (ran in {elapsed:.1f}s)", file=stream)
+        print(f"{'=' * 72}", file=stream)
+        print(result.render(), file=stream)
+        print(file=stream)
+
+
+def main() -> int:
+    """Console entry point."""
+    run_all()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

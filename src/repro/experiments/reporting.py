@@ -1,0 +1,75 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an ASCII table.
+
+    Numeric cells are right-aligned; everything is stringified with
+    ``str``.  Column widths fit the widest cell.
+
+    >>> print(render_table(["a", "b"], [[1, "x"]], title="T"))
+    T
+    a | b
+    --+--
+    1 | x
+    """
+    text_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def is_numeric(text: str) -> bool:
+        stripped = text.replace("$", "").replace("%", "").replace("x", "").strip()
+        try:
+            float(stripped)
+        except ValueError:
+            return False
+        return True
+
+    def format_row(cells: Sequence[str]) -> str:
+        formatted = []
+        for index, cell in enumerate(cells):
+            if is_numeric(cell):
+                formatted.append(cell.rjust(widths[index]))
+            else:
+                formatted.append(cell.ljust(widths[index]))
+        return " | ".join(formatted).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(format_row(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def pct_change(baseline: float, value: float) -> float:
+    """Percent change from *baseline* to *value* (negative = reduction)."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (value - baseline) / baseline
+
+
+def fmt_money(value: float) -> str:
+    """Format a dollar amount for tables."""
+    return f"${value:.2f}"
+
+
+def fmt_hours(value: float) -> str:
+    """Format an hour count for tables."""
+    return f"{value:.1f}h"
+
+
+def fmt_pct(value: float) -> str:
+    """Format a percentage (signed) for tables."""
+    return f"{value:+.1f}%"

@@ -1,0 +1,124 @@
+"""The Galaxy instance facade (admin + API surface).
+
+Mirrors the integration surface the paper uses: an instance is
+configured with an ``admin_users`` list (Section 4's config-file
+change), admins get an API key, tool installation requires admin
+credentials, and workflows are invoked through the API with a key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from typing import Dict, List, Optional
+
+from repro.errors import GalaxyError
+from repro.galaxy.history import History
+from repro.galaxy.planemo import PlanemoRunner
+from repro.galaxy.tools import Tool, ToolShed, default_toolshed
+from repro.galaxy.workflow import Invocation, Workflow
+from repro.sim.engine import SimulationEngine
+
+
+class GalaxyInstance:
+    """A configured Galaxy server.
+
+    Args:
+        admin_users: Admin email addresses (the ``admin_users`` config
+            parameter the paper edits).
+        engine: Optional shared simulation engine for invocations.
+        preinstall_tools: Install the full built-in shed up front, as
+            the paper's AMI preparation does.
+    """
+
+    def __init__(
+        self,
+        admin_users: List[str],
+        engine: Optional[SimulationEngine] = None,
+        preinstall_tools: bool = True,
+    ) -> None:
+        if not admin_users:
+            raise GalaxyError("Galaxy needs at least one admin user configured")
+        self._admins = set(admin_users)
+        self._api_keys: Dict[str, str] = {
+            email: self._make_key(email) for email in admin_users
+        }
+        self.toolshed: ToolShed = default_toolshed() if preinstall_tools else ToolShed()
+        self._runner = PlanemoRunner(toolshed=self.toolshed, engine=engine)
+        self._histories: Dict[str, History] = {}
+        self._workflows: Dict[str, Workflow] = {}
+        self._history_counter = itertools.count()
+
+    @staticmethod
+    def _make_key(email: str) -> str:
+        return hashlib.sha256(f"galaxy-api:{email}".encode("utf-8")).hexdigest()[:32]
+
+    # ------------------------------------------------------------------
+    # Auth
+    # ------------------------------------------------------------------
+    def api_key_for(self, email: str) -> str:
+        """Return the API key for an admin user.
+
+        Raises:
+            GalaxyError: If the user is not an admin.
+        """
+        if email not in self._admins:
+            raise GalaxyError(f"user {email!r} is not in admin_users")
+        return self._api_keys[email]
+
+    def _check_key(self, api_key: str) -> None:
+        if api_key not in self._api_keys.values():
+            raise GalaxyError("invalid Galaxy API key")
+
+    # ------------------------------------------------------------------
+    # Admin operations
+    # ------------------------------------------------------------------
+    def install_tool(self, api_key: str, tool: Tool) -> None:
+        """Install a tool (admin only)."""
+        self._check_key(api_key)
+        self.toolshed.install(tool)
+
+    def register_workflow(self, api_key: str, workflow: Workflow) -> None:
+        """Register a workflow definition under its name."""
+        self._check_key(api_key)
+        self._workflows[workflow.name] = workflow
+
+    # ------------------------------------------------------------------
+    # API operations
+    # ------------------------------------------------------------------
+    def create_history(self, api_key: str, name: str = "") -> History:
+        """Create a named history."""
+        self._check_key(api_key)
+        history = History(name or f"history-{next(self._history_counter)}")
+        self._histories[history.name] = history
+        return history
+
+    def history(self, name: str) -> History:
+        """Return a history by name."""
+        history = self._histories.get(name)
+        if history is None:
+            raise GalaxyError(f"no history named {name!r}")
+        return history
+
+    def invoke_workflow(
+        self,
+        api_key: str,
+        workflow_name: str,
+        history: Optional[History] = None,
+        execute_payloads: bool = True,
+    ) -> Invocation:
+        """Invoke a registered workflow through the API."""
+        self._check_key(api_key)
+        workflow = self._workflows.get(workflow_name)
+        if workflow is None:
+            known = ", ".join(sorted(self._workflows)) or "<none>"
+            raise GalaxyError(
+                f"no workflow named {workflow_name!r}; registered: {known}"
+            )
+        return self._runner.run(
+            workflow, history=history, execute_payloads=execute_payloads
+        )
+
+    def workflows(self) -> List[str]:
+        """Registered workflow names, sorted."""
+        return sorted(self._workflows)

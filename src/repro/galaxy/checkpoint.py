@@ -1,0 +1,154 @@
+"""Checkpoint stores: the DynamoDB bolt-on the paper adds to Galaxy.
+
+Galaxy has no native checkpointing, so the paper tracks per-segment
+progress in DynamoDB and uploads state during the two-minute
+interruption notice.  :class:`DynamoCheckpointStore` reproduces that
+against the simulated DynamoDB (with a conditional write so a stale,
+about-to-die instance can never roll progress backwards);
+:class:`InMemoryCheckpointStore` serves unit tests and standalone runs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Optional
+
+from repro.cloud.services.dynamodb import DynamoDBService
+from repro.errors import ConditionalCheckFailedError
+
+
+class CheckpointStore(ABC):
+    """Monotonic per-workload progress store."""
+
+    @abstractmethod
+    def save(self, workload_id: str, completed_segments: int, detail: Optional[Dict[str, Any]] = None) -> bool:
+        """Record that *workload_id* completed *completed_segments*.
+
+        Returns:
+            True when the write advanced progress; False when a newer
+            checkpoint already existed (the write is discarded).
+        """
+
+    @abstractmethod
+    def load(self, workload_id: str) -> int:
+        """Return the completed-segment count (0 when never saved)."""
+
+    @abstractmethod
+    def detail(self, workload_id: str) -> Dict[str, Any]:
+        """Return the detail payload of the latest checkpoint."""
+
+
+class InMemoryCheckpointStore(CheckpointStore):
+    """Dict-backed store for tests and engine-less runs."""
+
+    def __init__(self) -> None:
+        self._progress: Dict[str, int] = {}
+        self._detail: Dict[str, Dict[str, Any]] = {}
+
+    def save(self, workload_id: str, completed_segments: int, detail: Optional[Dict[str, Any]] = None) -> bool:
+        current = self._progress.get(workload_id, 0)
+        if completed_segments <= current and workload_id in self._progress:
+            return False
+        self._progress[workload_id] = completed_segments
+        self._detail[workload_id] = dict(detail or {})
+        return True
+
+    def load(self, workload_id: str) -> int:
+        return self._progress.get(workload_id, 0)
+
+    def detail(self, workload_id: str) -> Dict[str, Any]:
+        return dict(self._detail.get(workload_id, {}))
+
+
+class EFSCheckpointStore(CheckpointStore):
+    """EFS-backed store: the paper's Section 7 storage alternative.
+
+    Progress lives as files on a regional EFS file system with a
+    cross-region replica, so a replacement instance in the replica
+    region can read state without an S3 round trip.  Monotonicity is
+    enforced in the store (EFS has no conditional writes).
+
+    Args:
+        efs: The simulated EFS service.
+        region: Region of the source file system.
+        replica_region: Optional replica region for cross-region reads.
+    """
+
+    def __init__(self, efs, region: str, replica_region: Optional[str] = None) -> None:
+        self._efs = efs
+        self._region = region
+        self._fs = efs.create_file_system(region)
+        if replica_region is not None:
+            efs.create_replica(self._fs.fs_id, replica_region)
+        self._progress: Dict[str, int] = {}
+        self._detail: Dict[str, Dict[str, Any]] = {}
+
+    @property
+    def fs_id(self) -> str:
+        """The backing file system's id."""
+        return self._fs.fs_id
+
+    def save(self, workload_id: str, completed_segments: int, detail: Optional[Dict[str, Any]] = None) -> bool:
+        current = self._progress.get(workload_id)
+        if current is not None and completed_segments <= current:
+            return False
+        self._progress[workload_id] = completed_segments
+        self._detail[workload_id] = dict(detail or {})
+        self._efs.write_file(
+            self._fs.fs_id,
+            f"checkpoints/{workload_id}.state",
+            body=repr({"segments": completed_segments, "detail": detail}).encode(),
+            source_region=self._region,
+            tag=workload_id,
+        )
+        return True
+
+    def load(self, workload_id: str) -> int:
+        return self._progress.get(workload_id, 0)
+
+    def detail(self, workload_id: str) -> Dict[str, Any]:
+        return dict(self._detail.get(workload_id, {}))
+
+
+class DynamoCheckpointStore(CheckpointStore):
+    """DynamoDB-backed store (the paper's implementation).
+
+    Args:
+        dynamodb: The simulated DynamoDB service.
+        table_name: Table to use; created on first use with partition
+            key ``workload_id``.
+    """
+
+    def __init__(self, dynamodb: DynamoDBService, table_name: str = "spotverse-checkpoints") -> None:
+        self._dynamodb = dynamodb
+        self._table = table_name
+        dynamodb.create_table(table_name, partition_key="workload_id")
+
+    def save(self, workload_id: str, completed_segments: int, detail: Optional[Dict[str, Any]] = None) -> bool:
+        item = {
+            "workload_id": workload_id,
+            "completed_segments": int(completed_segments),
+            "detail": dict(detail or {}),
+        }
+        try:
+            self._dynamodb.put_item(
+                self._table,
+                item,
+                condition=lambda old: old is None
+                or old["completed_segments"] < completed_segments,
+            )
+        except ConditionalCheckFailedError:
+            return False
+        return True
+
+    def load(self, workload_id: str) -> int:
+        item = self._dynamodb.get_item(self._table, workload_id)
+        if item is None:
+            return 0
+        return int(item["completed_segments"])
+
+    def detail(self, workload_id: str) -> Dict[str, Any]:
+        item = self._dynamodb.get_item(self._table, workload_id)
+        if item is None:
+            return {}
+        return dict(item.get("detail", {}))

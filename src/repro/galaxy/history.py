@@ -1,0 +1,86 @@
+"""Histories and datasets (Galaxy's provenance containers)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.errors import GalaxyError
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """One dataset entry in a history.
+
+    Attributes:
+        dataset_id: Unique id within the Galaxy instance.
+        name: Display name.
+        content: Arbitrary payload (text, report objects, tables).
+        created_at: Virtual timestamp of creation.
+        step_label: The workflow step that produced it ("" for uploads).
+        extension: Galaxy-style datatype hint ("fastq", "fasta", ...).
+    """
+
+    dataset_id: str
+    name: str
+    content: Any
+    created_at: float = 0.0
+    step_label: str = ""
+    extension: str = "data"
+
+
+class History:
+    """An append-only list of datasets with name lookup."""
+
+    _id_counter = itertools.count()
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._datasets: List[Dataset] = []
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    def add(
+        self,
+        name: str,
+        content: Any,
+        created_at: float = 0.0,
+        step_label: str = "",
+        extension: str = "data",
+    ) -> Dataset:
+        """Append a dataset and return it."""
+        dataset = Dataset(
+            dataset_id=f"dataset-{next(History._id_counter):06d}",
+            name=name,
+            content=content,
+            created_at=created_at,
+            step_label=step_label,
+            extension=extension,
+        )
+        self._datasets.append(dataset)
+        return dataset
+
+    def datasets(self) -> List[Dataset]:
+        """All datasets in creation order."""
+        return list(self._datasets)
+
+    def latest(self, name: str) -> Dataset:
+        """The most recent dataset called *name*.
+
+        Raises:
+            GalaxyError: If no dataset has that name.
+        """
+        for dataset in reversed(self._datasets):
+            if dataset.name == name:
+                return dataset
+        raise GalaxyError(f"history {self.name!r} has no dataset named {name!r}")
+
+    def by_step(self, step_label: str) -> List[Dataset]:
+        """Datasets produced by one workflow step."""
+        return [dataset for dataset in self._datasets if dataset.step_label == step_label]
+
+    def names(self) -> List[str]:
+        """Dataset names in creation order (with duplicates)."""
+        return [dataset.name for dataset in self._datasets]

@@ -1,0 +1,207 @@
+"""Job execution: running workflow steps in simulated time.
+
+The :class:`JobRunner` drives an :class:`~repro.galaxy.workflow.Invocation`
+serially: each step becomes a :class:`Job` that completes after the
+step's configured duration, at which point the tool's real payload runs
+and its outputs land in the invocation and the history.  The runner can
+be paused (spot interruption) and resumed or reset, which is the
+machinery the workload layer builds checkpoint semantics on.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import JobError
+from repro.galaxy.history import History
+from repro.galaxy.tools import ToolShed
+from repro.galaxy.workflow import Invocation, StepState, WorkflowStep
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Event
+
+
+class JobState(enum.Enum):
+    """Lifecycle of one step-execution job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    OK = "ok"
+    ERROR = "error"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class Job:
+    """One scheduled step execution.
+
+    Attributes:
+        job_id: Unique id.
+        invocation_id: Owning invocation.
+        step_label: The step being executed.
+        state: Current job state.
+        started_at: Virtual start time.
+        finished_at: Virtual completion time, when terminal.
+    """
+
+    job_id: str
+    invocation_id: str
+    step_label: str
+    state: JobState = JobState.QUEUED
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+
+class JobRunner:
+    """Serial executor of one invocation on a simulation engine.
+
+    Args:
+        engine: Clock/event source.
+        toolshed: Where tools are resolved at execution time.
+        history: Destination for step outputs.
+        execute_payloads: When false, tools are resolved (so missing
+            tools still fail fast) but their runners are skipped —
+            experiments sweeping thousands of steps use this to stay
+            fast while examples/tests run the real payloads.
+        on_step_complete: Callback ``(step_label, outputs)`` after each
+            successful step — the checkpoint hook.
+        on_finished: Callback ``(invocation)`` when the last step ends.
+    """
+
+    _job_counter = itertools.count()
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        toolshed: ToolShed,
+        history: History,
+        execute_payloads: bool = True,
+        on_step_complete: Optional[Callable[[str, Dict[str, Any]], None]] = None,
+        on_finished: Optional[Callable[[Invocation], None]] = None,
+    ) -> None:
+        self._engine = engine
+        self._toolshed = toolshed
+        self._history = history
+        self._execute_payloads = execute_payloads
+        self._on_step_complete = on_step_complete
+        self._on_finished = on_finished
+        self._invocation: Optional[Invocation] = None
+        self._pending_event: Optional[Event] = None
+        self._current_job: Optional[Job] = None
+        self.jobs: List[Job] = []
+        self._paused = False
+
+    @property
+    def invocation(self) -> Optional[Invocation]:
+        """The invocation being executed, if any."""
+        return self._invocation
+
+    @property
+    def running(self) -> bool:
+        """Whether a step is currently in flight."""
+        return self._pending_event is not None
+
+    def start(self, invocation: Invocation) -> None:
+        """Begin (or resume) executing *invocation* from its next step.
+
+        Raises:
+            JobError: If the runner is already executing something.
+        """
+        if self.running:
+            raise JobError("runner is already executing an invocation")
+        self._invocation = invocation
+        self._paused = False
+        self._schedule_next()
+
+    def pause(self) -> None:
+        """Stop after abandoning the in-flight step (spot interruption).
+
+        The in-flight step's partial work is lost — its state returns
+        to NEW — matching how an interrupted instance loses the step it
+        was computing.  Completed steps keep their results.
+        """
+        self._paused = True
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        if self._current_job is not None and self._current_job.state is JobState.RUNNING:
+            self._current_job.state = JobState.CANCELLED
+            self._current_job.finished_at = self._engine.now
+            assert self._invocation is not None
+            self._invocation.results[self._current_job.step_label].state = StepState.NEW
+            self._current_job = None
+
+    def resume(self) -> None:
+        """Continue from the next incomplete step after a pause."""
+        if self._invocation is None:
+            raise JobError("nothing to resume; start an invocation first")
+        if self.running:
+            raise JobError("runner is already executing")
+        self._paused = False
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        assert self._invocation is not None
+        invocation = self._invocation
+        step = invocation.next_step()
+        if step is None:
+            if self._on_finished is not None:
+                self._on_finished(invocation)
+            return
+        job = Job(
+            job_id=f"job-{next(JobRunner._job_counter):07d}",
+            invocation_id=invocation.invocation_id,
+            step_label=step.label,
+            state=JobState.RUNNING,
+            started_at=self._engine.now,
+        )
+        self.jobs.append(job)
+        self._current_job = job
+        result = invocation.results[step.label]
+        result.state = StepState.RUNNING
+        result.started_at = self._engine.now
+        self._pending_event = self._engine.call_in(
+            step.duration,
+            lambda: self._complete_step(step, job),
+            label=f"galaxy:{invocation.invocation_id}:{step.label}",
+        )
+
+    def _complete_step(self, step: WorkflowStep, job: Job) -> None:
+        assert self._invocation is not None
+        invocation = self._invocation
+        self._pending_event = None
+        self._current_job = None
+        result = invocation.results[step.label]
+        tool = self._toolshed.get(step.tool_id)
+        outputs: Dict[str, Any] = {}
+        if self._execute_payloads:
+            try:
+                outputs = tool.run(invocation.resolve_params(step))
+            except Exception as exc:
+                result.state = StepState.ERROR
+                result.error = str(exc)
+                result.finished_at = self._engine.now
+                job.state = JobState.ERROR
+                job.finished_at = self._engine.now
+                if self._on_finished is not None:
+                    self._on_finished(invocation)
+                return
+        result.state = StepState.OK
+        result.outputs = outputs
+        result.finished_at = self._engine.now
+        job.state = JobState.OK
+        job.finished_at = self._engine.now
+        for name, value in outputs.items():
+            self._history.add(
+                name=f"{step.label}/{name}",
+                content=value,
+                created_at=self._engine.now,
+                step_label=step.label,
+                extension=name if name in ("fastq", "fasta", "vcf") else "data",
+            )
+        if self._on_step_complete is not None:
+            self._on_step_complete(step.label, outputs)
+        if not self._paused:
+            self._schedule_next()

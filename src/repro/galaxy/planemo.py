@@ -1,0 +1,89 @@
+"""Planemo-style workflow runner.
+
+The paper launches Galaxy workloads at instance startup through
+Planemo and the Galaxy API.  :class:`PlanemoRunner` gives the same
+one-call experience: hand it a workflow and inputs, get a finished
+invocation back — synchronously on a private engine, or scheduled onto
+a shared one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import GalaxyError
+from repro.galaxy.history import History
+from repro.galaxy.jobs import JobRunner
+from repro.galaxy.tools import ToolShed, default_toolshed
+from repro.galaxy.workflow import Invocation, Workflow
+from repro.sim.engine import SimulationEngine
+
+
+class PlanemoRunner:
+    """Convenience runner for one-shot workflow executions.
+
+    Args:
+        toolshed: Tools available to workflows (defaults to the full
+            built-in shed).
+        engine: Shared engine; when omitted each ``run`` call uses a
+            private engine and executes to completion immediately.
+    """
+
+    def __init__(
+        self,
+        toolshed: Optional[ToolShed] = None,
+        engine: Optional[SimulationEngine] = None,
+    ) -> None:
+        self._toolshed = toolshed or default_toolshed()
+        self._engine = engine
+        self._counter = 0
+
+    @property
+    def toolshed(self) -> ToolShed:
+        """The shed workflows resolve tools from."""
+        return self._toolshed
+
+    def run(
+        self,
+        workflow: Workflow,
+        history: Optional[History] = None,
+        execute_payloads: bool = True,
+        on_step_complete: Optional[Callable[[str, Dict[str, Any]], None]] = None,
+    ) -> Invocation:
+        """Execute *workflow* to completion and return its invocation.
+
+        With a private engine this blocks (in virtual time) until the
+        workflow finishes.  With a shared engine the caller owns the
+        clock, so this schedules the work and the caller must advance
+        the engine; the returned invocation fills in as time passes.
+
+        Raises:
+            GalaxyError: If the workflow errored (private-engine mode).
+        """
+        self._counter += 1
+        invocation = Invocation(workflow, invocation_id=f"planemo-{self._counter:05d}")
+        history = history if history is not None else History(f"history-{workflow.name}")
+        engine = self._engine or SimulationEngine()
+        runner = JobRunner(
+            engine=engine,
+            toolshed=self._toolshed,
+            history=history,
+            execute_payloads=execute_payloads,
+            on_step_complete=on_step_complete,
+        )
+        runner.start(invocation)
+        if self._engine is None:
+            engine.run_until_idle()
+            if not invocation.ok:
+                failed = [
+                    label
+                    for label, result in invocation.results.items()
+                    if result.error
+                ]
+                errors = "; ".join(
+                    f"{label}: {invocation.results[label].error}" for label in failed
+                )
+                raise GalaxyError(
+                    f"workflow {workflow.name!r} failed at {failed!r}: {errors}"
+                )
+        return invocation

@@ -1,0 +1,99 @@
+"""Workflow serialization in a Galaxy ``.ga``-flavoured JSON format.
+
+Real Galaxy exports workflows as ``.ga`` JSON documents; this module
+provides the equivalent for our engine so workflows can be stored,
+shared, and re-imported.  Only JSON-representable step params survive a
+round trip (which covers every built-in workload workflow — their
+params are strings, numbers, and plain dicts).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import WorkflowValidationError
+from repro.galaxy.workflow import StepInput, Workflow, WorkflowStep
+
+#: Format tag written into every export.
+FORMAT_VERSION = "spotverse-ga-0.1"
+
+
+def workflow_to_dict(workflow: Workflow) -> Dict[str, Any]:
+    """Export *workflow* to a ``.ga``-style dict."""
+    return {
+        "a_galaxy_workflow": "true",
+        "format-version": FORMAT_VERSION,
+        "name": workflow.name,
+        "steps": [
+            {
+                "label": step.label,
+                "tool_id": step.tool_id,
+                "params": dict(step.params),
+                "inputs": {
+                    param: {"source_step": ref.source_step, "output_name": ref.output_name}
+                    for param, ref in step.inputs.items()
+                },
+                "duration": step.duration,
+            }
+            for step in workflow.steps
+        ],
+    }
+
+
+def workflow_from_dict(document: Dict[str, Any]) -> Workflow:
+    """Import a workflow from a ``.ga``-style dict.
+
+    Raises:
+        WorkflowValidationError: On a malformed document (and on any
+            DAG violation, via :class:`Workflow` validation).
+    """
+    if document.get("a_galaxy_workflow") != "true":
+        raise WorkflowValidationError("document is not a Galaxy workflow export")
+    name = document.get("name")
+    if not name:
+        raise WorkflowValidationError("workflow export has no name")
+    steps = []
+    for index, raw in enumerate(document.get("steps", [])):
+        try:
+            steps.append(
+                WorkflowStep(
+                    label=raw["label"],
+                    tool_id=raw["tool_id"],
+                    params=dict(raw.get("params", {})),
+                    inputs={
+                        param: StepInput(ref["source_step"], ref["output_name"])
+                        for param, ref in raw.get("inputs", {}).items()
+                    },
+                    duration=float(raw.get("duration", 60.0)),
+                )
+            )
+        except KeyError as exc:
+            raise WorkflowValidationError(
+                f"workflow export step {index} is missing field {exc}"
+            ) from None
+    return Workflow(name=name, steps=steps)
+
+
+def workflow_to_ga(workflow: Workflow) -> str:
+    """Export *workflow* to ``.ga`` JSON text.
+
+    Raises:
+        WorkflowValidationError: If a step param is not JSON-representable.
+    """
+    document = workflow_to_dict(workflow)
+    try:
+        return json.dumps(document, indent=2, sort_keys=True)
+    except TypeError as exc:
+        raise WorkflowValidationError(
+            f"workflow {workflow.name!r} has non-JSON step params: {exc}"
+        ) from exc
+
+
+def workflow_from_ga(text: str) -> Workflow:
+    """Import a workflow from ``.ga`` JSON text."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise WorkflowValidationError(f"invalid workflow JSON: {exc}") from exc
+    return workflow_from_dict(document)

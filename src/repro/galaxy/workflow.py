@@ -1,0 +1,214 @@
+"""Workflow DAGs and invocations.
+
+A :class:`Workflow` is an ordered set of :class:`WorkflowStep` nodes
+whose inputs may reference outputs of earlier steps.  Validation
+rejects cycles, duplicate labels, and dangling references; execution
+state lives in an :class:`Invocation` so one workflow definition can
+run many times (the paper runs 40+ parallel invocations).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.errors import WorkflowValidationError
+
+
+@dataclass(frozen=True)
+class StepInput:
+    """A reference from one step's parameter to another step's output."""
+
+    source_step: str
+    output_name: str
+
+
+@dataclass(frozen=True)
+class WorkflowStep:
+    """One node of a workflow DAG.
+
+    Attributes:
+        label: Unique step label within the workflow.
+        tool_id: Tool to run (must be installed when executed).
+        params: Literal tool parameters.
+        inputs: ``{param name: StepInput}`` wiring from earlier steps.
+        duration: Simulated execution time in seconds.  The paper pads
+            steps with sleep intervals for uniform total duration; here
+            the padding is explicit per step.
+    """
+
+    label: str
+    tool_id: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    inputs: Mapping[str, StepInput] = field(default_factory=dict)
+    duration: float = 60.0
+
+
+class StepState(enum.Enum):
+    """Execution state of one step within an invocation."""
+
+    NEW = "new"
+    SCHEDULED = "scheduled"
+    RUNNING = "running"
+    OK = "ok"
+    ERROR = "error"
+    CANCELLED = "cancelled"
+
+
+class Workflow:
+    """A validated workflow DAG.
+
+    Raises:
+        WorkflowValidationError: On duplicate labels, references to
+            unknown steps, forward/self references, or non-positive
+            durations.
+    """
+
+    def __init__(self, name: str, steps: List[WorkflowStep]) -> None:
+        if not steps:
+            raise WorkflowValidationError(f"workflow {name!r} has no steps")
+        self.name = name
+        self.steps = list(steps)
+        self._by_label: Dict[str, WorkflowStep] = {}
+        seen_labels: List[str] = []
+        for step in self.steps:
+            if step.label in self._by_label:
+                raise WorkflowValidationError(
+                    f"workflow {name!r}: duplicate step label {step.label!r}"
+                )
+            if step.duration <= 0:
+                raise WorkflowValidationError(
+                    f"workflow {name!r}: step {step.label!r} duration must be positive"
+                )
+            for param, ref in step.inputs.items():
+                if ref.source_step == step.label:
+                    raise WorkflowValidationError(
+                        f"workflow {name!r}: step {step.label!r} references itself"
+                    )
+                if ref.source_step not in seen_labels:
+                    raise WorkflowValidationError(
+                        f"workflow {name!r}: step {step.label!r} input {param!r} "
+                        f"references {ref.source_step!r}, which is not an earlier step"
+                    )
+            seen_labels.append(step.label)
+            self._by_label[step.label] = step
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def step(self, label: str) -> WorkflowStep:
+        """Return the step called *label*."""
+        step = self._by_label.get(label)
+        if step is None:
+            raise WorkflowValidationError(
+                f"workflow {self.name!r} has no step {label!r}"
+            )
+        return step
+
+    def labels(self) -> List[str]:
+        """Step labels in execution order."""
+        return [step.label for step in self.steps]
+
+    def total_duration(self) -> float:
+        """Sum of step durations (serial execution time)."""
+        return sum(step.duration for step in self.steps)
+
+    def upstream_of(self, label: str) -> List[str]:
+        """Labels whose outputs the given step consumes."""
+        return sorted({ref.source_step for ref in self.step(label).inputs.values()})
+
+
+@dataclass
+class StepResult:
+    """Execution record of one step within an invocation."""
+
+    state: StepState = StepState.NEW
+    outputs: Dict[str, Any] = field(default_factory=dict)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: str = ""
+
+
+class Invocation:
+    """Mutable execution state of one workflow run."""
+
+    def __init__(self, workflow: Workflow, invocation_id: str) -> None:
+        self.workflow = workflow
+        self.invocation_id = invocation_id
+        self.results: Dict[str, StepResult] = {
+            step.label: StepResult() for step in workflow.steps
+        }
+
+    @property
+    def finished(self) -> bool:
+        """Whether every step reached a terminal state."""
+        return all(
+            result.state in (StepState.OK, StepState.ERROR, StepState.CANCELLED)
+            for result in self.results.values()
+        )
+
+    @property
+    def ok(self) -> bool:
+        """Whether every step completed successfully."""
+        return all(result.state is StepState.OK for result in self.results.values())
+
+    def completed_steps(self) -> List[str]:
+        """Labels of steps that finished OK, in workflow order."""
+        return [
+            label
+            for label in self.workflow.labels()
+            if self.results[label].state is StepState.OK
+        ]
+
+    def next_step(self) -> Optional[WorkflowStep]:
+        """The first step not yet OK (serial execution order)."""
+        for step in self.workflow.steps:
+            if self.results[step.label].state is not StepState.OK:
+                return step
+        return None
+
+    def resolve_params(self, step: WorkflowStep) -> Dict[str, Any]:
+        """Literal params plus wired outputs of completed upstreams.
+
+        Raises:
+            WorkflowValidationError: If a referenced upstream has not
+                completed or lacks the named output.
+        """
+        params: Dict[str, Any] = dict(step.params)
+        for param, ref in step.inputs.items():
+            upstream = self.results[ref.source_step]
+            if upstream.state is not StepState.OK:
+                raise WorkflowValidationError(
+                    f"invocation {self.invocation_id!r}: step {step.label!r} needs "
+                    f"{ref.source_step!r}, which is {upstream.state.value}"
+                )
+            if ref.output_name not in upstream.outputs:
+                raise WorkflowValidationError(
+                    f"invocation {self.invocation_id!r}: step {ref.source_step!r} "
+                    f"produced no output {ref.output_name!r}"
+                )
+            params[param] = upstream.outputs[ref.output_name]
+        return params
+
+    def progress_fraction(self) -> float:
+        """Completed duration over total duration."""
+        total = self.workflow.total_duration()
+        done = sum(
+            self.workflow.step(label).duration for label in self.completed_steps()
+        )
+        return done / total if total else 1.0
+
+    def reset(self) -> None:
+        """Discard all progress (a standard workload's restart)."""
+        for label in self.results:
+            self.results[label] = StepResult()
+
+    def reset_from(self, label: str) -> None:
+        """Discard progress from *label* onward (checkpoint resume)."""
+        dropping = False
+        for step_label in self.workflow.labels():
+            if step_label == label:
+                dropping = True
+            if dropping:
+                self.results[step_label] = StepResult()

@@ -1,0 +1,49 @@
+"""Virtual time units and helpers.
+
+All simulation timestamps are floating-point **seconds** since the
+start of the simulation (t = 0).  These constants keep call sites
+readable: ``engine.call_at(now + 2 * MINUTE, notice)`` rather than a
+bare ``120``.
+"""
+
+from __future__ import annotations
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+
+def minutes(n: float) -> float:
+    """Return *n* minutes expressed in simulation seconds."""
+    return n * MINUTE
+
+
+def hours(n: float) -> float:
+    """Return *n* hours expressed in simulation seconds."""
+    return n * HOUR
+
+
+def days(n: float) -> float:
+    """Return *n* days expressed in simulation seconds."""
+    return n * DAY
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in seconds as a compact ``1d 02:03:04`` string.
+
+    >>> format_duration(93784)
+    '1d 02:03:04'
+    >>> format_duration(42.9)
+    '00:00:42'
+    """
+    total = int(seconds)
+    sign = "-" if total < 0 else ""
+    total = abs(total)
+    day_part, rem = divmod(total, int(DAY))
+    hh, rem = divmod(rem, int(HOUR))
+    mm, ss = divmod(rem, int(MINUTE))
+    clock = f"{hh:02d}:{mm:02d}:{ss:02d}"
+    if day_part:
+        return f"{sign}{day_part}d {clock}"
+    return f"{sign}{clock}"

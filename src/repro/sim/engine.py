@@ -1,0 +1,229 @@
+"""The discrete-event simulation engine.
+
+:class:`SimulationEngine` owns the virtual clock and the event queue.
+Components schedule work with :meth:`~SimulationEngine.call_at` /
+:meth:`~SimulationEngine.call_in` and periodic work with
+:meth:`~SimulationEngine.every`.  :meth:`~SimulationEngine.run_until`
+pops events in time order, advancing the clock to each event's
+timestamp before invoking its callback.
+
+The engine is deliberately synchronous and single-threaded: callbacks
+run to completion and may schedule further events, which is all the
+concurrency a middleware control plane needs at simulation fidelity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.events import Callback, Event, EventQueue
+from repro.sim.rng import RandomStreams
+
+
+class SimulationEngine:
+    """Single-clock discrete-event simulator.
+
+    Args:
+        seed: Master seed for the engine's :class:`RandomStreams`.
+        trace: When true, every fired event is appended to
+            :attr:`trace_log` as ``(time, label)`` for debugging.
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = False) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self.streams = RandomStreams(seed)
+        self.trace = trace
+        self.trace_log: List[tuple] = []
+        self._fired_events = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def fired_events(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._fired_events
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, callback: Callback, label: str = "") -> Event:
+        """Schedule *callback* at absolute virtual *time*.
+
+        Raises:
+            SchedulingError: If *time* is in the past.
+        """
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule {label or callback!r} at t={time:.3f}; now is t={self._now:.3f}"
+            )
+        return self._queue.push(time, callback, label)
+
+    def call_in(self, delay: float, callback: Callback, label: str = "") -> Event:
+        """Schedule *callback* after *delay* seconds."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay!r} for {label or callback!r}")
+        return self._queue.push(self._now + delay, callback, label)
+
+    def every(
+        self,
+        interval: float,
+        callback: Callback,
+        label: str = "",
+        start_at: Optional[float] = None,
+        jitter: float = 0.0,
+    ) -> "PeriodicTask":
+        """Run *callback* every *interval* seconds until cancelled.
+
+        Args:
+            interval: Seconds between invocations.
+            callback: Zero-argument callable.
+            label: Trace label.
+            start_at: Absolute time of the first invocation; defaults
+                to ``now + interval``.
+            jitter: If nonzero, each period is perturbed by a uniform
+                offset in ``[-jitter, +jitter]`` drawn from the
+                ``"periodic:<label>"`` stream, desynchronising periodic
+                processes the way real cron-ish schedulers drift.
+
+        Returns:
+            A handle whose :meth:`PeriodicTask.cancel` stops the task.
+        """
+        if interval <= 0:
+            raise SchedulingError(f"periodic interval must be positive, got {interval!r}")
+        task = PeriodicTask(self, interval, callback, label, jitter)
+        first = start_at if start_at is not None else self._now + interval
+        task._arm(first)
+        return task
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_until(self, time: float) -> None:
+        """Execute events in order until the clock reaches *time*.
+
+        The clock is left exactly at *time* even if the queue drains
+        earlier, so subsequent ``call_in`` calls are relative to the
+        requested horizon.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"run_until target t={time:.3f} is before now t={self._now:.3f}"
+            )
+        if self._running:
+            raise SimulationError("run_until called re-entrantly from a callback")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > time:
+                    break
+                event = self._queue.pop()
+                assert event is not None and event.callback is not None
+                self._now = event.time
+                if self.trace:
+                    self.trace_log.append((event.time, event.label))
+                self._fired_events += 1
+                event.callback()
+            self._now = time
+        finally:
+            self._running = False
+
+    def run_until_idle(self, max_time: Optional[float] = None) -> None:
+        """Execute events until the queue is empty (or *max_time*)."""
+        if self._running:
+            raise SimulationError("run_until_idle called re-entrantly from a callback")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if max_time is not None and next_time > max_time:
+                    self._now = max_time
+                    break
+                event = self._queue.pop()
+                assert event is not None and event.callback is not None
+                self._now = event.time
+                if self.trace:
+                    self.trace_log.append((event.time, event.label))
+                self._fired_events += 1
+                event.callback()
+        finally:
+            self._running = False
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero.
+
+        Random streams are *not* reset; build a fresh engine for a
+        fully independent run.
+        """
+        self._queue.clear()
+        self._now = 0.0
+        self.trace_log.clear()
+
+
+class PeriodicTask:
+    """Handle for a repeating callback created by :meth:`SimulationEngine.every`."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        interval: float,
+        callback: Callback,
+        label: str,
+        jitter: float,
+    ) -> None:
+        self._engine = engine
+        self._interval = interval
+        self._callback = callback
+        self._label = label
+        self._jitter = jitter
+        self._event: Optional[Event] = None
+        self._cancelled = False
+        self.invocations = 0
+
+    def _arm(self, at: float) -> None:
+        if self._cancelled:
+            return
+        self._event = self._engine.call_at(at, self._fire, label=self._label)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.invocations += 1
+        try:
+            self._callback()
+        finally:
+            delay = self._interval
+            if self._jitter:
+                rng = self._engine.streams.get(f"periodic:{self._label}")
+                delay += float(rng.uniform(-self._jitter, self._jitter))
+                delay = max(delay, 1e-9)
+            if not self._cancelled:
+                self._arm(self._engine.now + delay)
+
+    def cancel(self) -> None:
+        """Stop the task; any queued next invocation is cancelled."""
+        self._cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled

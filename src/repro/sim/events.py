@@ -1,0 +1,129 @@
+"""Event objects and the time-ordered event queue.
+
+The queue is a binary heap keyed on ``(time, sequence)``.  The sequence
+number is a monotonically increasing counter assigned at scheduling
+time, which makes pops deterministic when several events share a
+timestamp: they fire in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.errors import SchedulingError
+
+Callback = Callable[[], Any]
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Absolute virtual time at which the callback fires.
+        seq: Scheduling-order tie-breaker assigned by the queue.
+        callback: Zero-argument callable run by the engine.
+        label: Human-readable tag used in traces and error messages.
+    """
+
+    __slots__ = ("time", "seq", "callback", "label", "_cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Optional[Callback],
+        label: str = "",
+        queue: Optional["EventQueue"] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self._cancelled = False
+        self._queue = queue
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        return f"Event(t={self.time:.3f}, seq={self.seq}, label={self.label!r}, {state})"
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped.
+
+        Cancellation is O(1); the entry stays in the heap until its
+        timestamp is reached and is then discarded.  Cancelling twice
+        is a no-op.
+        """
+        if self._cancelled:
+            return
+        self._cancelled = True
+        self.callback = None  # break reference cycles promptly
+        if self._queue is not None:
+            self._queue._note_cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+    def sort_key(self) -> tuple:
+        return (self.time, self.seq)
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def _note_cancel(self) -> None:
+        self._live -= 1
+
+    def push(self, time: float, callback: Callback, label: str = "") -> Event:
+        """Schedule *callback* at absolute *time* and return its event."""
+        if callback is None:
+            raise SchedulingError("cannot schedule a None callback")
+        event = Event(
+            time=time, seq=next(self._counter), callback=callback, label=label, queue=self
+        )
+        heapq.heappush(self._heap, (event.sort_key(), event))
+        self._live += 1
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the next live event, or ``None``.
+
+        Cancelled events at the head of the heap are dropped eagerly so
+        the returned time always refers to an event that will fire.
+        """
+        while self._heap:
+            _, event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return event.time
+        return None
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` when empty."""
+        while self._heap:
+            _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

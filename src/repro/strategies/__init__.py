@@ -1,0 +1,36 @@
+"""Baseline placement strategies the paper compares against.
+
+Each baseline implements :class:`~repro.core.policy.PlacementPolicy`
+and runs through the same :class:`~repro.core.controller.FleetController`
+as SpotVerse, so differences in outcome come purely from placement
+decisions:
+
+* :class:`SingleRegionPolicy` — traditional single-region spot
+  deployment (relaunch in place).
+* :class:`OnDemandPolicy` — cheapest-region on-demand instances.
+* :class:`SkyPilotPolicy` — a SkyPilot-style broker: always chase the
+  cheapest current spot price, ignoring reliability metrics.
+* :class:`NaiveMultiRegionPolicy` — the motivational experiment's
+  fixed-region round-robin (Section 2.2).
+* :class:`CheapestMigrationPolicy` — SpotVerse's scoring but
+  always-cheapest (non-random) migration; the migration ablation.
+* :class:`DeadlineAwarePolicy` — Algorithm 1 plus per-workload
+  on-demand escalation when a deadline is at risk (the "optimal mix"
+  extension, after the paper's cited Can't-Be-Late).
+"""
+
+from repro.strategies.deadline import DeadlineAwarePolicy
+from repro.strategies.naive_multi_region import NaiveMultiRegionPolicy
+from repro.strategies.on_demand import OnDemandPolicy
+from repro.strategies.single_region import SingleRegionPolicy
+from repro.strategies.skypilot import SkyPilotPolicy
+from repro.strategies.variants import CheapestMigrationPolicy
+
+__all__ = [
+    "CheapestMigrationPolicy",
+    "DeadlineAwarePolicy",
+    "NaiveMultiRegionPolicy",
+    "OnDemandPolicy",
+    "SingleRegionPolicy",
+    "SkyPilotPolicy",
+]

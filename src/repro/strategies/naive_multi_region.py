@@ -1,0 +1,56 @@
+"""The motivational experiment's naive multi-region strategy.
+
+Section 2.2 spreads workloads round-robin over three *fixed* regions
+(ap-northeast-3, ca-central-1, eu-north-1) and, on interruption,
+relaunches in one of the other fixed regions — no metrics, no scoring.
+It beats single-region (diversification) but can still steer into
+flaky regions, which is the gap SpotVerse closes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.policy import Placement, PlacementPolicy, PolicyContext, PurchasingOption
+from repro.errors import StrategyError
+from repro.workloads.base import Workload
+
+#: The three regions of the paper's motivational experiment.
+MOTIVATION_REGIONS = ("ap-northeast-3", "ca-central-1", "eu-north-1")
+
+
+class NaiveMultiRegionPolicy(PlacementPolicy):
+    """Round-robin over a fixed region list, random failover within it.
+
+    Args:
+        regions: The fixed region set (defaults to the paper's three).
+    """
+
+    name = "naive-multi-region"
+
+    def __init__(self, regions: Sequence[str] = MOTIVATION_REGIONS) -> None:
+        if len(regions) < 2:
+            raise StrategyError(
+                f"naive multi-region needs at least two regions, got {list(regions)!r}"
+            )
+        self._regions = list(regions)
+
+    def initial_placements(
+        self, workloads: Sequence[Workload], ctx: PolicyContext
+    ) -> List[Placement]:
+        return [
+            Placement(
+                region=self._regions[index % len(self._regions)],
+                option=PurchasingOption.SPOT,
+            )
+            for index in range(len(workloads))
+        ]
+
+    def migration_placement(
+        self, workload: Workload, interrupted_region: str, ctx: PolicyContext
+    ) -> Placement:
+        candidates = [region for region in self._regions if region != interrupted_region]
+        if not candidates:
+            candidates = self._regions
+        choice = candidates[int(ctx.rng.integers(len(candidates)))]
+        return Placement(region=choice, option=PurchasingOption.SPOT)

@@ -1,0 +1,49 @@
+"""On-demand baseline: guaranteed capacity at list price."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.policy import Placement, PlacementPolicy, PolicyContext, PurchasingOption
+from repro.workloads.base import Workload
+
+
+class OnDemandPolicy(PlacementPolicy):
+    """Cheapest-region on-demand placement.
+
+    On-demand instances are never preempted in the model, so the
+    migration path exists only for interface completeness (it relaunches
+    in place if ever invoked).
+
+    Args:
+        region: Pin to a region; when omitted, the cheapest on-demand
+            region for *instance_type* is used (the paper normalises
+            against "the cheapest region for on-demand instances").
+        instance_type: Needed for the cheapest-region lookup.
+    """
+
+    name = "on-demand"
+
+    def __init__(self, region: Optional[str] = None, instance_type: str = "m5.xlarge") -> None:
+        self._region = region
+        self._instance_type = instance_type
+
+    def _resolve_region(self, ctx: PolicyContext) -> str:
+        if self._region is None:
+            self._region, _ = ctx.provider.price_book.cheapest_od_region(self._instance_type)
+        return self._region
+
+    def initial_placements(
+        self, workloads: Sequence[Workload], ctx: PolicyContext
+    ) -> List[Placement]:
+        region = self._resolve_region(ctx)
+        return [
+            Placement(region=region, option=PurchasingOption.ON_DEMAND) for _ in workloads
+        ]
+
+    def migration_placement(
+        self, workload: Workload, interrupted_region: str, ctx: PolicyContext
+    ) -> Placement:
+        return Placement(
+            region=self._resolve_region(ctx), option=PurchasingOption.ON_DEMAND
+        )

@@ -1,0 +1,48 @@
+"""Traditional single-region spot deployment.
+
+The paper's baseline (Section 5.2.1): every workload launches as a
+spot instance in one fixed region — typically the cheapest region for
+the instance type — and every interruption relaunches *in the same
+region*.  No metrics, no migration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.policy import Placement, PlacementPolicy, PolicyContext, PurchasingOption
+from repro.workloads.base import Workload
+
+
+class SingleRegionPolicy(PlacementPolicy):
+    """Spot-only placement pinned to one region.
+
+    Args:
+        region: The region to pin to; when omitted, the cheapest
+            mean-spot region for *instance_type* is chosen at first
+            use (how the paper picks its baselines, Table 1).
+        instance_type: Needed for the cheapest-region lookup.
+    """
+
+    name = "single-region"
+
+    def __init__(self, region: Optional[str] = None, instance_type: str = "m5.xlarge") -> None:
+        self._region = region
+        self._instance_type = instance_type
+
+    def _resolve_region(self, ctx: PolicyContext) -> str:
+        if self._region is None:
+            self._region, _ = ctx.provider.cheapest_mean_spot_region(self._instance_type)
+        return self._region
+
+    def initial_placements(
+        self, workloads: Sequence[Workload], ctx: PolicyContext
+    ) -> List[Placement]:
+        region = self._resolve_region(ctx)
+        return [Placement(region=region, option=PurchasingOption.SPOT) for _ in workloads]
+
+    def migration_placement(
+        self, workload: Workload, interrupted_region: str, ctx: PolicyContext
+    ) -> Placement:
+        # Single-region deployments have nowhere else to go.
+        return Placement(region=self._resolve_region(ctx), option=PurchasingOption.SPOT)

@@ -1,0 +1,37 @@
+"""SpotVerse policy variants used for ablations.
+
+DESIGN.md calls out the design choices worth ablating; this module
+provides the variant policies the ablation benchmarks run:
+
+* :class:`CheapestMigrationPolicy` — identical to Algorithm 1 except
+  migration always picks the *cheapest* qualifying region instead of a
+  random one among the top R.  Random selection spreads migrating
+  workloads; always-cheapest herds them into one market.
+"""
+
+from __future__ import annotations
+
+
+from repro.core.config import SpotVerseConfig
+from repro.core.monitor import Monitor
+from repro.core.optimizer import SpotVerseOptimizer
+from repro.core.policy import Placement, PolicyContext, PurchasingOption
+from repro.workloads.base import Workload
+
+
+class CheapestMigrationPolicy(SpotVerseOptimizer):
+    """Algorithm 1 with deterministic cheapest-region migration."""
+
+    name = "spotverse-cheapest-migration"
+
+    def __init__(self, monitor: Monitor, config: SpotVerseConfig) -> None:
+        super().__init__(monitor, config)
+
+    def migration_placement(
+        self, workload: Workload, interrupted_region: str, ctx: PolicyContext
+    ) -> Placement:
+        top = self.top_regions(ctx, exclude_region=interrupted_region)
+        if not top:
+            return super().migration_placement(workload, interrupted_region, ctx)
+        # top_regions is already cheapest-first.
+        return Placement(region=top[0].region, option=PurchasingOption.SPOT)

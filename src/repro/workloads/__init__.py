@@ -1,0 +1,35 @@
+"""Workload models.
+
+A :class:`~repro.workloads.base.Workload` is the harness-level unit
+SpotVerse schedules: a sequence of segment durations summing to the
+paper's 10-11 hour envelope, a kind (standard workloads restart from
+scratch on interruption; checkpoint workloads resume from the last
+completed segment), and an optional real payload per segment.
+
+Factories build the paper's three workloads: the QIIME 2 standard
+general workload, the Galaxy Genome Reconstruction workload (23
+steps), and the checkpointable NGS Data Preprocessing workload.
+"""
+
+from repro.workloads.base import Workload, WorkloadKind, synthetic_workload
+from repro.workloads.genome_reconstruction import (
+    build_genome_reconstruction_workflow,
+    genome_reconstruction_workload,
+)
+from repro.workloads.ngs_preprocessing import (
+    build_ngs_preprocessing_workflow,
+    ngs_preprocessing_workload,
+)
+from repro.workloads.qiime import build_qiime_workflow, standard_general_workload
+
+__all__ = [
+    "Workload",
+    "WorkloadKind",
+    "build_genome_reconstruction_workflow",
+    "build_ngs_preprocessing_workflow",
+    "build_qiime_workflow",
+    "genome_reconstruction_workload",
+    "ngs_preprocessing_workload",
+    "standard_general_workload",
+    "synthetic_workload",
+]

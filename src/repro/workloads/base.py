@@ -1,0 +1,118 @@
+"""The workload abstraction the fleet controller schedules."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.sim.clock import HOUR
+
+#: A per-segment payload: called with the segment index when that
+#: segment completes, performing the segment's real (miniature)
+#: computation.  Return value is ignored.
+SegmentPayload = Callable[[int], None]
+
+
+class WorkloadKind(enum.Enum):
+    """Interruption semantics (Section 2.2 of the paper)."""
+
+    #: Requires complete re-execution from the start on interruption.
+    STANDARD = "standard"
+    #: Resumes from the most recent checkpoint on interruption.
+    CHECKPOINT = "checkpoint"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One schedulable workload.
+
+    Attributes:
+        workload_id: Unique id within a fleet.
+        kind: Standard (restart) or checkpoint (resume) semantics.
+        segment_durations: Seconds of work per segment; the sum is the
+            total required compute time (the paper's 10-11 h window).
+        payload: Optional real computation per completed segment.
+        checkpoint_bytes: Bytes uploaded to S3 per checkpoint — drives
+            the cross-region transfer cost the paper accounts for.
+        input_bytes: Bytes of input data downloaded at every boot (the
+            paper's SRA datasets, fetched by the user-data script); a
+            restart pays the download again, and a cross-region run
+            pays the transfer.
+        description: Human-readable workload summary.
+    """
+
+    workload_id: str
+    kind: WorkloadKind
+    segment_durations: Tuple[float, ...]
+    payload: Optional[SegmentPayload] = None
+    checkpoint_bytes: int = 4 * 1024 * 1024
+    input_bytes: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.workload_id:
+            raise WorkloadError("workload_id must be non-empty")
+        if not self.segment_durations:
+            raise WorkloadError(f"workload {self.workload_id!r} has no segments")
+        if any(duration <= 0 for duration in self.segment_durations):
+            raise WorkloadError(
+                f"workload {self.workload_id!r} has non-positive segment durations"
+            )
+
+    @property
+    def total_duration(self) -> float:
+        """Total required compute seconds."""
+        return sum(self.segment_durations)
+
+    @property
+    def n_segments(self) -> int:
+        """Number of segments (checkpoint granularity)."""
+        return len(self.segment_durations)
+
+    @property
+    def checkpointable(self) -> bool:
+        """Whether interruptions preserve completed segments."""
+        return self.kind is WorkloadKind.CHECKPOINT
+
+    def remaining_after(self, completed_segments: int) -> Tuple[float, ...]:
+        """Segment durations still to run given saved progress.
+
+        Raises:
+            WorkloadError: If *completed_segments* exceeds the total.
+        """
+        if completed_segments < 0 or completed_segments > self.n_segments:
+            raise WorkloadError(
+                f"workload {self.workload_id!r}: invalid completed segment "
+                f"count {completed_segments} of {self.n_segments}"
+            )
+        return self.segment_durations[completed_segments:]
+
+
+def synthetic_workload(
+    workload_id: str,
+    duration_hours: float = 10.5,
+    n_segments: int = 20,
+    kind: WorkloadKind = WorkloadKind.STANDARD,
+    payload: Optional[SegmentPayload] = None,
+) -> Workload:
+    """Build an evenly segmented workload of a given total duration.
+
+    The building block for the paper's duration sweep (5/10/20 h) and
+    for tests.
+    """
+    if duration_hours <= 0:
+        raise WorkloadError(f"duration must be positive, got {duration_hours}")
+    if n_segments < 1:
+        raise WorkloadError(f"need at least one segment, got {n_segments}")
+    segment = duration_hours * HOUR / n_segments
+    return Workload(
+        workload_id=workload_id,
+        kind=kind,
+        segment_durations=tuple([segment] * n_segments),
+        payload=payload,
+        description=(
+            f"synthetic {kind.value} workload, {duration_hours:g} h in {n_segments} segments"
+        ),
+    )

@@ -1,0 +1,171 @@
+"""The Galaxy-specific standard workload: Genome Reconstruction.
+
+A 23-step workflow that turns per-isolate VCF variant sets into
+consensus FASTA genomes relative to a SARS-CoV-2-style reference and
+classifies them with a Pangolin-style caller.  Interruptions force
+recomputation from the beginning (standard semantics).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bio.consensus import reconstruct_genome
+from repro.bio.fasta import FastaRecord, write_fasta
+from repro.bio.lineage import classify_lineage, default_lineage_signatures
+from repro.bio.seq import random_genome
+from repro.bio.vcf import Variant, write_vcf
+from repro.galaxy.workflow import StepInput, Workflow, WorkflowStep
+from repro.sim.clock import HOUR
+from repro.workloads.base import Workload, WorkloadKind
+
+#: The paper's workflow has 23 steps; we model 1 reference-prep step,
+#: 10 isolates x 2 steps (consensus + lineage), and 2 report steps.
+N_STEPS = 23
+N_ISOLATES = 10
+REFERENCE_LENGTH = 2000
+
+
+def _make_reference(seed: int) -> FastaRecord:
+    return FastaRecord(
+        identifier="sars-cov-2-ref",
+        description="synthetic reference",
+        sequence=random_genome(REFERENCE_LENGTH, np.random.default_rng(seed)),
+    )
+
+
+def _make_isolate_variants(
+    reference: FastaRecord, isolate_index: int, seed: int
+) -> List[Variant]:
+    """Plant a lineage signature plus random noise variants."""
+    rng = np.random.default_rng(seed + isolate_index)
+    signatures = default_lineage_signatures(len(reference.sequence))
+    lineage = sorted(signatures)[isolate_index % len(signatures)]
+    variants = {}
+    for pos, base in signatures[lineage]:
+        if reference.sequence[pos - 1] != base:
+            variants[pos] = Variant("sars-cov-2-ref", pos, reference.sequence[pos - 1], base)
+    signature_positions = {pos for pos, _ in signatures[lineage]}
+    for _ in range(5):
+        pos = int(rng.integers(1, len(reference.sequence) + 1))
+        if pos in variants or pos in signature_positions:
+            continue
+        ref_base = reference.sequence[pos - 1]
+        alternatives = [b for b in "ACGT" if b != ref_base]
+        variants[pos] = Variant(
+            "sars-cov-2-ref", pos, ref_base, alternatives[int(rng.integers(3))]
+        )
+    return sorted(variants.values(), key=lambda variant: variant.pos)
+
+
+def _make_payload(seed: int):
+    """Real reconstruction pipeline driven by segment completions."""
+    reference = _make_reference(seed)
+    signatures = default_lineage_signatures(len(reference.sequence))
+    genomes: List[FastaRecord] = []
+
+    def payload(segment_index: int) -> None:
+        if segment_index == 0:
+            genomes.clear()
+            return
+        isolate_step = segment_index - 1
+        if isolate_step < 2 * N_ISOLATES:
+            isolate = isolate_step // 2
+            if isolate_step % 2 == 0:
+                variants = _make_isolate_variants(reference, isolate, seed)
+                genomes.append(
+                    reconstruct_genome(reference, variants, f"isolate-{isolate:02d}")
+                )
+            else:
+                classify_lineage(genomes[isolate], signatures)
+
+    return payload
+
+
+def genome_reconstruction_workload(
+    workload_id: str,
+    duration_hours: float = 10.5,
+    seed: Optional[int] = None,
+    with_payload: bool = False,
+) -> Workload:
+    """Build the 23-step Genome Reconstruction standard workload."""
+    total = duration_hours * HOUR
+    durations = tuple([total / N_STEPS] * N_STEPS)
+    payload = None
+    if with_payload:
+        payload = _make_payload(seed if seed is not None else abs(hash(workload_id)) % (2**31))
+    return Workload(
+        workload_id=workload_id,
+        kind=WorkloadKind.STANDARD,
+        segment_durations=durations,
+        payload=payload,
+        input_bytes=50 * 1024 * 1024,  # per-isolate VCFs + reference
+        description=(
+            f"Galaxy Genome Reconstruction ({duration_hours:g} h, {N_STEPS} steps, "
+            f"{N_ISOLATES} isolates, VCF -> FASTA -> lineage)"
+        ),
+    )
+
+
+def build_genome_reconstruction_workflow(
+    duration_hours: float = 10.5, seed: int = 11
+) -> Workflow:
+    """Build the 23-step workflow as an executable Galaxy workflow."""
+    total = duration_hours * HOUR
+    step_duration = total / N_STEPS
+    reference = _make_reference(seed)
+    reference_fasta = write_fasta([reference])
+    steps: List[WorkflowStep] = [
+        WorkflowStep(
+            label="prepare-reference",
+            tool_id="sleep",
+            params={"seconds": step_duration},
+            duration=step_duration,
+        )
+    ]
+    consensus_labels: List[str] = []
+    for isolate in range(N_ISOLATES):
+        variants = _make_isolate_variants(reference, isolate, seed)
+        consensus_label = f"consensus-{isolate:02d}"
+        consensus_labels.append(consensus_label)
+        steps.append(
+            WorkflowStep(
+                label=consensus_label,
+                tool_id="vcf_consensus",
+                params={
+                    "reference_fasta": reference_fasta,
+                    "vcf": write_vcf(variants),
+                    "isolate": f"isolate-{isolate:02d}",
+                },
+                duration=step_duration,
+            )
+        )
+        steps.append(
+            WorkflowStep(
+                label=f"lineage-{isolate:02d}",
+                tool_id="pangolin",
+                inputs={"fasta": StepInput(consensus_label, "fasta")},
+                duration=step_duration,
+            )
+        )
+    steps.append(
+        WorkflowStep(
+            label="aggregate-report",
+            tool_id="sleep",
+            params={"seconds": step_duration},
+            duration=step_duration,
+        )
+    )
+    steps.append(
+        WorkflowStep(
+            label="final-sleep-padding",
+            tool_id="sleep",
+            params={"seconds": step_duration},
+            duration=step_duration,
+        )
+    )
+    workflow = Workflow(name="genome-reconstruction", steps=steps)
+    assert len(workflow) == N_STEPS
+    return workflow

@@ -1,0 +1,136 @@
+"""The checkpoint workload: NGS Data Preprocessing.
+
+FastQC per file, Cutadapt-style trimming, and a MultiQC aggregation
+over a segmented dataset (the paper splits a 1 GB SRA download into
+per-file units and tracks each file's status in DynamoDB).  Because
+progress is per-file, an interrupted instance resumes from the last
+completed segment on its replacement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bio.qc import FastQCReport, fastqc, multiqc
+from repro.bio.sra import SRAArchive
+from repro.bio.trim import trim_quality
+from repro.bio.fastq import write_fastq
+from repro.galaxy.workflow import Workflow, WorkflowStep
+from repro.sim.clock import HOUR
+from repro.workloads.base import Workload, WorkloadKind
+
+#: Per-file FASTQ payload size used for checkpoint-upload costing.
+#: The paper's 1 GB dataset over 20 segments gives ~50 MB per segment;
+#: checkpoints upload state within the two-minute notice window.
+SEGMENT_BYTES = 50 * 1024 * 1024
+DEFAULT_SEGMENTS = 20
+
+
+def _make_payload(seed: int, n_segments: int):
+    """Real per-segment QC over synthetic SRA files."""
+    archive = SRAArchive(seed=seed, reads_per_accession=60, genome_length=800)
+    reports: List[FastQCReport] = []
+
+    def payload(segment_index: int) -> None:
+        if segment_index < n_segments - 1:
+            dataset = archive.fetch(f"SRR{seed % 100000:05d}_{segment_index:04d}")
+            trimmed = trim_quality(dataset.reads, quality_cutoff=20)
+            write_fastq(trimmed)
+            reports.append(fastqc(trimmed, name=dataset.accession))
+        else:
+            multiqc(reports)
+
+    return payload
+
+
+def ngs_preprocessing_workload(
+    workload_id: str,
+    duration_hours: float = 10.5,
+    n_segments: int = DEFAULT_SEGMENTS,
+    seed: Optional[int] = None,
+    with_payload: bool = False,
+) -> Workload:
+    """Build the checkpointable NGS preprocessing workload.
+
+    Args:
+        workload_id: Unique id.
+        duration_hours: Total envelope (paper: 10-11 h).
+        n_segments: Checkpoint granularity (per-file units; the final
+            segment is the MultiQC aggregation).
+        seed: Payload randomness seed.
+        with_payload: Execute real QC per segment.
+    """
+    total = duration_hours * HOUR
+    durations = tuple([total / n_segments] * n_segments)
+    payload = None
+    if with_payload:
+        payload = _make_payload(
+            seed if seed is not None else abs(hash(workload_id)) % (2**31), n_segments
+        )
+    return Workload(
+        workload_id=workload_id,
+        kind=WorkloadKind.CHECKPOINT,
+        segment_durations=durations,
+        payload=payload,
+        checkpoint_bytes=SEGMENT_BYTES,
+        input_bytes=1024 ** 3,  # the paper's 1 GB SRA dataset
+        description=(
+            f"NGS data preprocessing ({duration_hours:g} h, {n_segments} checkpointable "
+            "segments: FastQC + trimming per file, MultiQC aggregation)"
+        ),
+    )
+
+
+def build_ngs_preprocessing_workflow(
+    duration_hours: float = 2.0, n_files: int = 6, seed: int = 3
+) -> Workflow:
+    """Build an executable Galaxy workflow version of the pipeline.
+
+    Per file: Cutadapt trim then FastQC; a final MultiQC step needs all
+    reports, wired through step inputs.
+    """
+    from repro.galaxy.workflow import StepInput
+
+    total = duration_hours * HOUR
+    per_step = total / (2 * n_files + 1)
+    archive = SRAArchive(seed=seed, reads_per_accession=60, genome_length=800)
+    steps: List[WorkflowStep] = []
+    report_sources: List[str] = []
+    for index in range(n_files):
+        dataset = archive.fetch(f"SRR{seed:05d}_{index:04d}")
+        trim_label = f"trim-{index:02d}"
+        qc_label = f"fastqc-{index:02d}"
+        steps.append(
+            WorkflowStep(
+                label=trim_label,
+                tool_id="cutadapt",
+                params={"fastq": dataset.to_fastq(), "quality_cutoff": 20},
+                duration=per_step,
+            )
+        )
+        steps.append(
+            WorkflowStep(
+                label=qc_label,
+                tool_id="fastqc",
+                params={"name": dataset.accession},
+                inputs={"fastq": StepInput(trim_label, "fastq")},
+                duration=per_step,
+            )
+        )
+        report_sources.append(qc_label)
+    # MultiQC needs the report list; Galaxy would collect them as a
+    # dataset collection.  We pass them via a collector tool param by
+    # wiring each report individually through a synthetic params dict.
+    steps.append(
+        WorkflowStep(
+            label="multiqc",
+            tool_id="multiqc",
+            params={"reports": []},  # filled from inputs below
+            inputs={
+                f"report_{i}": StepInput(label, "report")
+                for i, label in enumerate(report_sources)
+            },
+            duration=per_step,
+        )
+    )
+    return Workflow(name="ngs-preprocessing", steps=steps)

@@ -1,0 +1,113 @@
+"""Tests for the AMI substrate and its boot-time integration."""
+
+import pytest
+
+from repro.cloud.provider import CloudProvider
+from repro.cloud.services.ami import COPY_DURATION, MISSING_IMAGE_BOOT_PENALTY
+from repro.core import SpotVerse, SpotVerseConfig
+from repro.core.execution import WorkloadExecution
+from repro.errors import ServiceError
+from repro.galaxy.checkpoint import InMemoryCheckpointStore
+from repro.sim.clock import HOUR
+from repro.workloads.base import synthetic_workload
+
+
+@pytest.fixture()
+def provider():
+    return CloudProvider(seed=6)
+
+
+class TestAMIService:
+    def test_register_available_in_source_only(self, provider):
+        image = provider.ami.register_image("galaxy", "us-east-1")
+        assert provider.ami.is_available(image.image_id, "us-east-1")
+        assert not provider.ami.is_available(image.image_id, "eu-west-1")
+
+    def test_copy_completes_after_duration(self, provider):
+        image = provider.ami.register_image("galaxy", "us-east-1")
+        provider.ami.copy_image(image.image_id, "eu-west-1")
+        assert not provider.ami.is_available(image.image_id, "eu-west-1")
+        assert "eu-west-1" in image.pending_regions
+        provider.engine.run_until(COPY_DURATION + 1)
+        assert provider.ami.is_available(image.image_id, "eu-west-1")
+        assert "eu-west-1" not in image.pending_regions
+
+    def test_copy_idempotent(self, provider):
+        image = provider.ami.register_image("galaxy", "us-east-1")
+        provider.ami.copy_image(image.image_id, "eu-west-1")
+        provider.ami.copy_image(image.image_id, "eu-west-1")  # no-op
+        provider.ami.copy_image(image.image_id, "us-east-1")  # already there
+        provider.engine.run_until(COPY_DURATION + 1)
+        assert provider.ami.is_available(image.image_id, "eu-west-1")
+
+    def test_propagate_everywhere(self, provider):
+        image = provider.ami.register_image("galaxy", "us-east-1")
+        provider.ami.propagate_everywhere(image.image_id)
+        provider.engine.run_until(COPY_DURATION + 1)
+        for region in provider.regions.names():
+            assert provider.ami.is_available(image.image_id, region)
+
+    def test_boot_penalty(self, provider):
+        image = provider.ami.register_image("galaxy", "us-east-1")
+        assert provider.ami.boot_penalty(image.image_id, "us-east-1") == 0.0
+        assert (
+            provider.ami.boot_penalty(image.image_id, "eu-west-1")
+            == MISSING_IMAGE_BOOT_PENALTY
+        )
+
+    def test_unknown_image_raises(self, provider):
+        with pytest.raises(ServiceError):
+            provider.ami.describe_image("ami-999999")
+        with pytest.raises(ServiceError):
+            provider.ami.copy_image("ami-999999", "eu-west-1")
+
+    def test_images_listing(self, provider):
+        a = provider.ami.register_image("a", "us-east-1")
+        b = provider.ami.register_image("b", "us-east-1")
+        assert provider.ami.images() == sorted([a.image_id, b.image_id])
+
+
+class TestBootIntegration:
+    def test_missing_ami_delays_first_segment(self, provider):
+        provider.s3.create_bucket("results", "us-east-1")
+        image = provider.ami.register_image("galaxy", "us-east-1")
+        done = []
+        workload = synthetic_workload("w", duration_hours=1.0, n_segments=1)
+
+        def run_in(region):
+            execution = WorkloadExecution(
+                workload=synthetic_workload(f"w-{region}", duration_hours=1.0, n_segments=1),
+                provider=provider,
+                checkpoint_store=InMemoryCheckpointStore(),
+                results_bucket="results",
+                boot_delay=100.0,
+                execute_payloads=False,
+                on_complete=lambda e: done.append(
+                    (e.workload.workload_id, provider.engine.now)
+                ),
+                image_id=image.image_id,
+            )
+            execution.attach(provider.ec2.run_on_demand(region, "m5.xlarge"))
+
+        run_in("us-east-1")  # has the AMI
+        run_in("eu-west-1")  # must provision from scratch
+        provider.engine.run_until(3 * HOUR)
+        times = dict(done)
+        assert times["w-us-east-1"] == pytest.approx(3600 + 100)
+        assert times["w-eu-west-1"] == pytest.approx(
+            3600 + 100 + MISSING_IMAGE_BOOT_PENALTY
+        )
+
+    def test_spotverse_facade_propagates_galaxy_ami(self):
+        provider = CloudProvider(seed=6)
+        spotverse = SpotVerse(provider, SpotVerseConfig())
+        image = spotverse.galaxy_image
+        # Setup-time propagation is instant: the AMI exists everywhere
+        # before the first workload boots.
+        for region in provider.regions.names():
+            assert provider.ami.is_available(image.image_id, region)
+
+    def test_instant_propagation_flag(self, provider):
+        image = provider.ami.register_image("galaxy", "us-east-1")
+        provider.ami.propagate(image.image_id, ["eu-west-1"], instant=True)
+        assert provider.ami.is_available(image.image_id, "eu-west-1")

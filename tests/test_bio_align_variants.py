@@ -1,0 +1,123 @@
+"""Tests for alignment and pileup-based variant calling."""
+
+import numpy as np
+import pytest
+
+from repro.bio.align import align_read
+from repro.bio.consensus import apply_variants
+from repro.bio.fasta import FastaRecord, write_fasta
+from repro.bio.fastq import FastqRecord, simulate_reads, write_fastq
+from repro.bio.seq import random_genome
+from repro.bio.variants import build_pileup, call_variants
+from repro.galaxy.tools import default_toolshed
+
+
+class TestAlignment:
+    def test_exact_substring_aligns_perfectly(self):
+        reference = "AAAACGTACGTACGTTTT"
+        read = "ACGTACGTACGT"
+        alignment = align_read(reference, read)
+        assert alignment.ref_start == 3
+        assert alignment.ref_end == 15
+        assert alignment.identity() == 1.0
+        assert alignment.cigar == "12M"
+
+    def test_mismatch_detected(self):
+        reference = "AAAACGTACGTACGTTTT"
+        read = "ACGTACTTACGT"  # one substitution
+        alignment = align_read(reference, read)
+        assert alignment.ref_start == 3
+        assert alignment.identity() == pytest.approx(11 / 12)
+
+    def test_deletion_in_read(self):
+        reference = "AACCGGTTAACCGGTT"
+        read = "AACCGGTTAACGGTT"  # one reference base skipped
+        alignment = align_read(reference, read)
+        assert "D" in alignment.cigar
+
+    def test_insertion_in_read(self):
+        reference = "AACCGGTTAACCGGTT"
+        read = "AACCGGTTTAACCGGTT"  # one extra base
+        alignment = align_read(reference, read)
+        assert "I" in alignment.cigar
+
+    def test_empty_inputs(self):
+        assert align_read("", "ACGT") is None
+        assert align_read("ACGT", "") is None
+
+    def test_read_longer_than_reference_still_aligns(self):
+        alignment = align_read("ACGT", "AACGTT")
+        assert alignment is not None
+
+
+class TestVariantCalling:
+    def make_case(self, n_reads=120, seed=0):
+        rng = np.random.default_rng(seed)
+        reference = random_genome(300, rng)
+        # Plant two SNPs in the "sample" genome.
+        sample = list(reference)
+        sample[50] = "A" if reference[50] != "A" else "C"
+        sample[200] = "G" if reference[200] != "G" else "T"
+        sample = "".join(sample)
+        reads = simulate_reads(
+            sample, n_reads, read_length=60, rng=rng, base_quality=40, quality_decay=0.0
+        )
+        return reference, sample, reads
+
+    def test_planted_snps_are_called(self):
+        reference, sample, reads = self.make_case()
+        pileup = build_pileup(reference, reads)
+        assert pileup.n_reads_used > 100
+        variants = call_variants(reference, pileup)
+        positions = {variant.pos for variant in variants}
+        assert {51, 201} <= positions
+        # No more than a couple of spurious calls from read errors.
+        assert len(variants) <= 4
+
+    def test_called_variants_reconstruct_the_sample(self):
+        reference, sample, reads = self.make_case(seed=1)
+        pileup = build_pileup(reference, reads)
+        variants = [v for v in call_variants(reference, pileup) if v.pos in (51, 201)]
+        assert apply_variants(reference, variants) == sample
+
+    def test_no_variants_on_clean_data(self):
+        rng = np.random.default_rng(2)
+        reference = random_genome(300, rng)
+        reads = simulate_reads(
+            reference, 80, read_length=60, rng=rng, base_quality=40, quality_decay=0.0
+        )
+        variants = call_variants(reference, build_pileup(reference, reads))
+        assert variants == []
+
+    def test_depth_threshold(self):
+        reference, sample, reads = self.make_case()
+        pileup = build_pileup(reference, reads[:3])  # too shallow
+        assert call_variants(reference, pileup, min_depth=4) == []
+
+    def test_junk_reads_discarded(self):
+        reference = random_genome(300, np.random.default_rng(3))
+        junk = [FastqRecord("j", "T" * 60, tuple([40] * 60))]
+        pileup = build_pileup(reference, junk)
+        assert pileup.n_reads_discarded == 1 or pileup.n_reads_used == 1
+        # Either way no confident call should emerge from one read.
+        assert call_variants(reference, pileup) == []
+
+    def test_variant_annotations(self):
+        reference, _, reads = self.make_case()
+        variants = call_variants(reference, build_pileup(reference, reads))
+        for variant in variants:
+            assert int(variant.info["DP"]) >= 4
+            assert 0.7 <= float(variant.info["AF"]) <= 1.0
+            assert variant.qual > 0
+
+    def test_toolshed_variant_caller_tool(self):
+        reference, sample, reads = self.make_case()
+        tool = default_toolshed().get("variant_caller")
+        outputs = tool.run(
+            {
+                "reference_fasta": write_fasta([FastaRecord("ref", "", reference)]),
+                "fastq": write_fastq(reads),
+            }
+        )
+        assert outputs["n_variants"] >= 2
+        assert "##fileformat=VCF" in outputs["vcf"]

@@ -1,0 +1,370 @@
+"""Unit tests for QC, trimming, demux, denoising, phylogeny, diversity,
+consensus reconstruction, lineage calling, and the SRA archive."""
+
+import numpy as np
+import pytest
+
+from repro.bio.consensus import apply_variants, reconstruct_genome
+from repro.bio.dada import denoise, feature_table
+from repro.bio.demux import demultiplex
+from repro.bio.diversity import (
+    beta_diversity_matrix,
+    bray_curtis,
+    observed_features,
+    rarefaction_curve,
+    rarefy,
+    shannon_index,
+    simpson_index,
+)
+from repro.bio.fasta import FastaRecord
+from repro.bio.fastq import FastqRecord, simulate_reads
+from repro.bio.lineage import classify_batch, classify_lineage, default_lineage_signatures
+from repro.bio.phylo import kmer_distance_matrix, neighbor_joining
+from repro.bio.qc import fastqc, multiqc
+from repro.bio.seq import mutate, random_genome
+from repro.bio.sra import SRAArchive
+from repro.bio.trim import trim_adapters, trim_quality
+from repro.bio.vcf import Variant
+from repro.errors import BioError, SequenceFormatError
+
+
+def make_reads(n=30, seed=0, **kwargs):
+    genome = random_genome(400, np.random.default_rng(seed))
+    return simulate_reads(genome, n, rng=np.random.default_rng(seed + 1), **kwargs)
+
+
+class TestQC:
+    def test_report_statistics(self):
+        reads = make_reads(50, read_length=80)
+        report = fastqc(reads, name="s1")
+        assert report.n_reads == 50
+        assert report.mean_read_length == 80
+        assert 20 < report.mean_quality < 40
+        assert len(report.per_position_quality) == 80
+        assert 30 < report.gc_percent < 70
+
+    def test_empty_input_flagged(self):
+        report = fastqc([], name="empty")
+        assert report.flags == ["no-reads"]
+        assert not report.passed
+
+    def test_low_quality_flagged(self):
+        reads = [FastqRecord("r", "ACGT", (5, 5, 5, 5))]
+        assert "mean-quality" in fastqc(reads).flags
+
+    def test_duplication_flagged(self):
+        reads = [FastqRecord(f"r{i}", "ACGT", (30,) * 4) for i in range(10)]
+        report = fastqc(reads)
+        assert report.duplication_fraction == 0.9
+        assert "duplication" in report.flags
+
+    def test_multiqc_aggregates(self):
+        reports = [fastqc(make_reads(20, seed=s), name=f"s{s}") for s in range(3)]
+        summary = multiqc(reports)
+        assert summary["n_samples"] == 3
+        assert summary["total_reads"] == 60
+        assert 0 <= summary["pass_rate"] <= 1
+
+    def test_multiqc_empty(self):
+        assert multiqc([])["n_samples"] == 0
+
+
+class TestTrim:
+    def test_adapter_removed_exact(self):
+        adapter = "AGATCGGAAGAG"
+        reads = [FastqRecord("r", "ACGTACGT" + adapter, tuple([30] * 20))]
+        trimmed = trim_adapters(reads, adapter, min_length=1)
+        assert trimmed[0].sequence == "ACGTACGT"
+        assert len(trimmed[0].qualities) == 8
+
+    def test_partial_adapter_at_end(self):
+        adapter = "AGATCGGAAGAG"
+        reads = [FastqRecord("r", "ACGTACGT" + adapter[:5], tuple([30] * 13))]
+        trimmed = trim_adapters(reads, adapter, min_overlap=3, min_length=1)
+        assert trimmed[0].sequence == "ACGTACGT"
+
+    def test_no_adapter_untouched(self):
+        reads = [FastqRecord("r", "ACGTACGTAC", tuple([30] * 10))]
+        assert trim_adapters(reads, "GGGGGG", min_length=1) == reads
+
+    def test_short_survivors_dropped(self):
+        adapter = "AGATCG"
+        reads = [FastqRecord("r", "AC" + adapter, tuple([30] * 8))]
+        assert trim_adapters(reads, adapter, min_length=5) == []
+
+    def test_empty_adapter_rejected(self):
+        with pytest.raises(ValueError):
+            trim_adapters([], "")
+
+    def test_quality_trim_cuts_bad_tail(self):
+        reads = [FastqRecord("r", "ACGTACGT", (35, 35, 35, 35, 5, 5, 5, 5))]
+        trimmed = trim_quality(reads, quality_cutoff=20, min_length=1)
+        assert trimmed[0].sequence == "ACGT"
+
+    def test_quality_trim_keeps_good_read(self):
+        reads = [FastqRecord("r", "ACGT", (35, 35, 35, 35))]
+        assert trim_quality(reads, quality_cutoff=20) == reads
+
+    def test_negative_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            trim_quality([], -1)
+
+
+class TestDemux:
+    BARCODES = {"a": "ACGT", "b": "TGCA"}
+
+    def test_assignment_and_stripping(self):
+        reads = [
+            FastqRecord("r1", "ACGT" + "GGGG", tuple([30] * 8)),
+            FastqRecord("r2", "TGCA" + "CCCC", tuple([30] * 8)),
+        ]
+        assigned, unassigned = demultiplex(reads, self.BARCODES)
+        assert [read.sequence for read in assigned["a"]] == ["GGGG"]
+        assert [read.sequence for read in assigned["b"]] == ["CCCC"]
+        assert unassigned == []
+
+    def test_mismatch_tolerance(self):
+        reads = [FastqRecord("r", "ACGA" + "GGGG", tuple([30] * 8))]
+        assigned, unassigned = demultiplex(reads, self.BARCODES, max_mismatches=1)
+        assert len(assigned["a"]) == 1
+        assigned, unassigned = demultiplex(reads, self.BARCODES, max_mismatches=0)
+        assert unassigned == reads
+
+    def test_ambiguous_rejected(self):
+        barcodes = {"a": "AAAA", "b": "TTTT"}
+        reads = [FastqRecord("r", "AATT" + "GGGG", tuple([30] * 8))]
+        assigned, unassigned = demultiplex(reads, barcodes, max_mismatches=2)
+        assert unassigned == reads
+
+    def test_too_short_read_unassigned(self):
+        reads = [FastqRecord("r", "ACG", (30, 30, 30))]
+        _, unassigned = demultiplex(reads, self.BARCODES)
+        assert unassigned == reads
+
+    def test_unequal_barcodes_rejected(self):
+        with pytest.raises(ValueError):
+            demultiplex([], {"a": "ACGT", "b": "ACG"})
+        with pytest.raises(ValueError):
+            demultiplex([], {})
+
+
+class TestDenoise:
+    def test_error_absorption(self):
+        true_seq = "ACGTACGTACGTACGTACGT"
+        reads = [FastqRecord(f"r{i}", true_seq, tuple([35] * 20)) for i in range(10)]
+        noisy = true_seq[:10] + "T" + true_seq[11:]
+        reads.append(FastqRecord("noisy", noisy, tuple([35] * 20)))
+        result = denoise(reads)
+        assert result.n_asvs == 1
+        assert result.asv_counts[true_seq] == 11
+        assert result.n_discarded == 0
+
+    def test_distant_rare_sequence_discarded(self):
+        reads = [FastqRecord(f"r{i}", "A" * 20, tuple([35] * 20)) for i in range(5)]
+        reads.append(FastqRecord("junk", "T" * 20, tuple([35] * 20)))
+        result = denoise(reads, max_distance=2)
+        assert result.n_discarded == 1
+
+    def test_two_abundant_variants_kept(self):
+        reads = [FastqRecord(f"a{i}", "A" * 20, tuple([35] * 20)) for i in range(5)]
+        reads += [FastqRecord(f"t{i}", "T" * 20, tuple([35] * 20)) for i in range(5)]
+        assert denoise(reads).n_asvs == 2
+
+    def test_empty_and_singleton_inputs(self):
+        assert denoise([]).n_asvs == 0
+        result = denoise([FastqRecord("r", "ACGT", (35,) * 4)], min_abundance=2)
+        assert result.n_asvs == 1  # degenerate promotion
+
+    def test_feature_table_shape(self):
+        per_sample = {
+            "s1": denoise([FastqRecord("r", "AAAA", (35,) * 4)] * 3),
+            "s2": denoise([FastqRecord("r", "TTTT", (35,) * 4)] * 3),
+        }
+        table = feature_table(per_sample)
+        assert set(table) == {"s1", "s2"}
+        assert table["s1"]["AAAA"] == 3
+        assert table["s1"]["TTTT"] == 0
+
+
+class TestPhylo:
+    def test_tree_groups_similar_sequences(self):
+        rng = np.random.default_rng(0)
+        genome = random_genome(600, rng)
+        sequences = {
+            "a": genome,
+            "a2": mutate(genome, 10, rng),
+            "b": random_genome(600, np.random.default_rng(9)),
+        }
+        names, matrix = kmer_distance_matrix(sequences)
+        tree = neighbor_joining(names, matrix)
+        newick = tree.to_newick()
+        assert newick.endswith(";")
+        assert set(tree.leaves()) == {"a", "a2", "b"}
+        # a and a2 are the closest pair in the distance matrix.
+        ia, ia2, ib = names.index("a"), names.index("a2"), names.index("b")
+        assert matrix[ia][ia2] < matrix[ia][ib]
+
+    def test_distance_matrix_properties(self):
+        names, matrix = kmer_distance_matrix({"x": "ACGT" * 10, "y": "TTTT" * 10})
+        assert matrix[0][0] == 0.0
+        assert matrix[0][1] == matrix[1][0] > 0
+
+    def test_two_taxa_tree(self):
+        tree = neighbor_joining(["a", "b"], np.array([[0.0, 1.0], [1.0, 0.0]]))
+        assert sorted(tree.leaves()) == ["a", "b"]
+        assert tree.total_branch_length() == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            neighbor_joining(["a"], np.zeros((1, 1)))
+        with pytest.raises(ValueError):
+            neighbor_joining(["a", "b"], np.zeros((3, 3)))
+
+    def test_branch_lengths_non_negative(self):
+        rng = np.random.default_rng(4)
+        sequences = {f"s{i}": random_genome(200, rng) for i in range(6)}
+        names, matrix = kmer_distance_matrix(sequences)
+        tree = neighbor_joining(names, matrix)
+
+        def check(node):
+            for child, length in node.children:
+                assert length >= 0
+                check(child)
+
+        check(tree)
+
+
+class TestDiversity:
+    def test_shannon_known_value(self):
+        assert shannon_index({"a": 1, "b": 1}) == pytest.approx(np.log(2))
+        assert shannon_index({"a": 5}) == 0.0
+        assert shannon_index({}) == 0.0
+
+    def test_simpson_range(self):
+        assert simpson_index({"a": 1, "b": 1}) == pytest.approx(0.5)
+        assert simpson_index({"a": 9}) == 0.0
+
+    def test_bray_curtis_identity_and_disjoint(self):
+        assert bray_curtis({"a": 3}, {"a": 3}) == 0.0
+        assert bray_curtis({"a": 3}, {"b": 3}) == 1.0
+        with pytest.raises(ValueError):
+            bray_curtis({}, {})
+
+    def test_beta_matrix_symmetric(self):
+        table = {"s1": {"a": 3, "b": 1}, "s2": {"a": 1, "b": 3}, "s3": {"c": 4}}
+        samples, matrix = beta_diversity_matrix(table)
+        assert samples == ["s1", "s2", "s3"]
+        assert np.allclose(matrix, matrix.T)
+        assert matrix[0][2] == 1.0
+
+    def test_rarefy_depth(self):
+        counts = {"a": 50, "b": 50}
+        rarefied = rarefy(counts, 20, np.random.default_rng(0))
+        assert sum(rarefied.values()) == 20
+        with pytest.raises(ValueError):
+            rarefy({"a": 5}, 10)
+
+    def test_rarefaction_curve_monotone(self):
+        counts = {f"f{i}": 10 for i in range(20)}
+        curve = rarefaction_curve(counts, [10, 50, 150], np.random.default_rng(0))
+        values = [value for _, value in curve]
+        assert values == sorted(values)
+
+    def test_observed_features(self):
+        assert observed_features({"a": 2, "b": 0}) == 1
+
+
+class TestConsensusAndLineage:
+    def test_apply_snp_and_indel(self):
+        reference = "AAAAACCCCC"
+        variants = [
+            Variant("r", 2, "A", "G"),
+            Variant("r", 6, "CC", "C"),  # deletion
+        ]
+        assert apply_variants(reference, variants) == "AGAAACCCC"
+
+    def test_insertion(self):
+        assert apply_variants("AAAA", [Variant("r", 2, "A", "ATT")]) == "AATTAA"
+
+    def test_ref_mismatch_rejected(self):
+        with pytest.raises(SequenceFormatError):
+            apply_variants("AAAA", [Variant("r", 1, "G", "T")])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SequenceFormatError):
+            apply_variants("AAAA", [Variant("r", 4, "AA", "A")])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(SequenceFormatError):
+            apply_variants(
+                "AAAAAA",
+                [Variant("r", 2, "AA", "A"), Variant("r", 3, "A", "G")],
+            )
+
+    def test_reconstruct_checks_chromosome(self):
+        reference = FastaRecord("ref", "", "ACGTACGT")
+        with pytest.raises(SequenceFormatError):
+            reconstruct_genome(reference, [Variant("other", 1, "A", "G")], "iso")
+
+    def test_full_reconstruction_and_classification(self):
+        reference = FastaRecord("ref", "", random_genome(2000, np.random.default_rng(3)))
+        signatures = default_lineage_signatures(2000)
+        lineage = "B.1.617.2"
+        variants = [
+            Variant("ref", pos, reference.sequence[pos - 1], base)
+            for pos, base in signatures[lineage]
+            if reference.sequence[pos - 1] != base
+        ]
+        genome = reconstruct_genome(reference, variants, "iso-1")
+        call = classify_lineage(genome, signatures)
+        assert call.lineage == lineage
+        assert call.confidence == 1.0
+
+    def test_unassigned_below_floor(self):
+        genome = FastaRecord("g", "", "A" * 2000)
+        signatures = {"X": tuple((100 * k, "T") for k in range(1, 6))}
+        call = classify_lineage(genome, signatures)
+        assert call.lineage == "unassigned"
+
+    def test_signature_validation(self):
+        genome = FastaRecord("g", "", "ACGT")
+        with pytest.raises(BioError):
+            classify_lineage(genome, {})
+        with pytest.raises(BioError):
+            classify_lineage(genome, {"X": ((100, "A"),)})
+        with pytest.raises(BioError):
+            classify_lineage(genome, {"X": ()})
+
+    def test_classify_batch(self):
+        reference = FastaRecord("ref", "", random_genome(2000, np.random.default_rng(3)))
+        calls = classify_batch([reference, reference], default_lineage_signatures(2000))
+        assert len(calls) == 2
+
+
+class TestSRAArchive:
+    def test_deterministic_per_accession(self):
+        a = SRAArchive(seed=1).fetch("SRR1")
+        b = SRAArchive(seed=1).fetch("SRR1")
+        assert a.genome == b.genome
+        assert a.to_fastq() == b.to_fastq()
+
+    def test_different_accessions_differ(self):
+        archive = SRAArchive(seed=1)
+        assert archive.fetch("SRR1").genome != archive.fetch("SRR2").genome
+
+    def test_cache(self):
+        archive = SRAArchive(seed=1)
+        assert archive.fetch("X") is archive.fetch("X")
+        assert archive.cached_accessions == ["X"]
+
+    def test_run_list(self):
+        datasets = SRAArchive(seed=0).fetch_run_list("PRJ", 3)
+        assert [d.accession for d in datasets] == ["PRJ_0000", "PRJ_0001", "PRJ_0002"]
+        with pytest.raises(BioError):
+            SRAArchive().fetch_run_list("PRJ", 0)
+
+    def test_validation(self):
+        with pytest.raises(BioError):
+            SRAArchive().fetch("")
+        with pytest.raises(BioError):
+            SRAArchive(genome_length=50, read_length=100)

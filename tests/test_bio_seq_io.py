@@ -1,0 +1,185 @@
+"""Unit tests for sequence utilities and FASTA/FASTQ/VCF IO."""
+
+import numpy as np
+import pytest
+
+from repro.bio.fasta import FastaRecord, parse_fasta, write_fasta
+from repro.bio.fastq import FastqRecord, parse_fastq, simulate_reads, write_fastq
+from repro.bio.seq import (
+    gc_content,
+    hamming_distance,
+    kmer_counts,
+    mutate,
+    random_genome,
+    reverse_complement,
+    validate_sequence,
+)
+from repro.bio.vcf import Variant, parse_vcf, write_vcf
+from repro.errors import SequenceFormatError
+
+
+class TestSeq:
+    def test_reverse_complement_involution(self):
+        assert reverse_complement(reverse_complement("ACGTTGCA")) == "ACGTTGCA"
+
+    def test_reverse_complement_basic(self):
+        assert reverse_complement("AACG") == "CGTT"
+        assert reverse_complement("N") == "N"
+
+    def test_validate_rejects_bad_chars(self):
+        with pytest.raises(SequenceFormatError):
+            validate_sequence("ACGU")
+        with pytest.raises(SequenceFormatError):
+            validate_sequence("ACGN", allow_n=False)
+
+    def test_gc_content(self):
+        assert gc_content("GGCC") == 1.0
+        assert gc_content("ATAT") == 0.0
+        assert gc_content("ATGC") == 0.5
+        assert gc_content("NN") == 0.0
+
+    def test_kmer_counts(self):
+        counts = kmer_counts("ACGACG", 3)
+        assert counts == {"ACG": 2, "CGA": 1, "GAC": 1}
+
+    def test_kmer_counts_skips_n(self):
+        assert "ANG" not in kmer_counts("ANGT", 3)
+
+    def test_kmer_counts_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            kmer_counts("ACGT", 0)
+
+    def test_hamming_distance(self):
+        assert hamming_distance("ACGT", "ACGA") == 1
+        with pytest.raises(ValueError):
+            hamming_distance("AC", "ACG")
+
+    def test_random_genome_properties(self):
+        genome = random_genome(5000, np.random.default_rng(0), gc_bias=0.6)
+        assert len(genome) == 5000
+        assert abs(gc_content(genome) - 0.6) < 0.03
+
+    def test_random_genome_deterministic_per_seed(self):
+        a = random_genome(100, np.random.default_rng(5))
+        b = random_genome(100, np.random.default_rng(5))
+        assert a == b
+
+    def test_mutate_changes_requested_positions(self):
+        genome = random_genome(200, np.random.default_rng(1))
+        mutant = mutate(genome, 20, np.random.default_rng(2))
+        assert hamming_distance(genome, mutant) == 20
+
+
+class TestFasta:
+    def test_roundtrip(self):
+        records = [
+            FastaRecord("seq1", "first sequence", "ACGT" * 40),
+            FastaRecord("seq2", "", "TTTT"),
+        ]
+        parsed = parse_fasta(write_fasta(records))
+        assert parsed == records
+
+    def test_wrapping_respected(self):
+        text = write_fasta([FastaRecord("s", "", "A" * 150)], width=70)
+        lines = text.splitlines()
+        assert lines[1] == "A" * 70
+        assert lines[3] == "A" * 10
+
+    def test_header_parsing(self):
+        records = parse_fasta(">id desc with spaces\nACGT\nACGT\n")
+        assert records[0].identifier == "id"
+        assert records[0].description == "desc with spaces"
+        assert records[0].sequence == "ACGTACGT"
+
+    def test_errors(self):
+        with pytest.raises(SequenceFormatError):
+            parse_fasta("ACGT\n")  # data before header
+        with pytest.raises(SequenceFormatError):
+            parse_fasta(">\nACGT\n")  # empty header
+        with pytest.raises(SequenceFormatError):
+            parse_fasta(">x\n")  # no sequence
+
+
+class TestFastq:
+    def test_roundtrip(self):
+        reads = simulate_reads(
+            random_genome(500, np.random.default_rng(0)), 20,
+            rng=np.random.default_rng(1),
+        )
+        assert parse_fastq(write_fastq(reads)) == reads
+
+    def test_quality_encoding(self):
+        read = FastqRecord("r", "AC", (0, 40))
+        assert read.quality_string() == "!" + chr(40 + 33)
+
+    def test_parse_errors(self):
+        with pytest.raises(SequenceFormatError):
+            parse_fastq("@r\nACGT\n+\n")  # truncated
+        with pytest.raises(SequenceFormatError):
+            parse_fastq("r\nACGT\n+\nIIII\n")  # missing @
+        with pytest.raises(SequenceFormatError):
+            parse_fastq("@r\nACGT\n+\nIII\n")  # length mismatch
+
+    def test_simulated_reads_quality_declines(self):
+        reads = simulate_reads(
+            random_genome(500, np.random.default_rng(0)),
+            50,
+            read_length=100,
+            rng=np.random.default_rng(2),
+        )
+        first = np.mean([read.qualities[0] for read in reads])
+        last = np.mean([read.qualities[-1] for read in reads])
+        assert first > last
+
+    def test_simulated_reads_match_genome_mostly(self):
+        genome = random_genome(500, np.random.default_rng(0))
+        reads = simulate_reads(genome, 30, read_length=60, rng=np.random.default_rng(3))
+        mismatch_rates = []
+        for read in reads:
+            start = int(read.identifier.rsplit("pos", 1)[1])
+            reference = genome[start : start + 60]
+            mismatches = sum(1 for a, b in zip(read.sequence, reference) if a != b)
+            mismatch_rates.append(mismatches / 60)
+        assert np.mean(mismatch_rates) < 0.05
+
+    def test_genome_shorter_than_read_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_reads("ACGT", 1, read_length=10)
+
+    def test_mean_quality_empty_read(self):
+        assert FastqRecord("r", "", ()).mean_quality() == 0.0
+
+
+class TestVcf:
+    def make_variants(self):
+        return [
+            Variant("chr1", 10, "A", "G", identifier="rs1", qual=60.0, info={"DP": "12"}),
+            Variant("chr1", 3, "C", "T"),
+            Variant("chr2", 5, "GT", "G"),  # deletion
+        ]
+
+    def test_roundtrip_sorted(self):
+        parsed = parse_vcf(write_vcf(self.make_variants()))
+        assert [(v.chrom, v.pos) for v in parsed] == [("chr1", 3), ("chr1", 10), ("chr2", 5)]
+        assert parsed[1].info == {"DP": "12"}
+        assert parsed[1].qual == 60.0
+
+    def test_is_snp(self):
+        assert Variant("c", 1, "A", "G").is_snp
+        assert not Variant("c", 1, "AT", "A").is_snp
+
+    def test_parse_skips_headers_and_blank_lines(self):
+        text = "##fileformat=VCFv4.2\n#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n\n"
+        assert parse_vcf(text) == []
+
+    def test_parse_errors(self):
+        with pytest.raises(SequenceFormatError):
+            parse_vcf("chr1\tten\t.\tA\tG\t.\tPASS\t.\n")
+        with pytest.raises(SequenceFormatError):
+            parse_vcf("chr1\t0\t.\tA\tG\t.\tPASS\t.\n")
+        with pytest.raises(SequenceFormatError):
+            parse_vcf("chr1\t5\t.\tA\n")
+
+    def test_info_flags(self):
+        parsed = parse_vcf("chr1\t5\t.\tA\tG\t.\tPASS\tSOMATIC;DP=3\n")
+        assert parsed[0].info == {"SOMATIC": "", "DP": "3"}

@@ -1,0 +1,149 @@
+"""Tests for the spotverse CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRecommend:
+    def test_prints_region_table(self, capsys):
+        assert main(["recommend", "--instance-type", "m5.xlarge", "--seed", "42"]) == 0
+        out = capsys.readouterr().out
+        assert "SpotVerse top regions" in out
+        for region in ("ap-northeast-3", "eu-north-1"):
+            assert region in out
+
+    def test_on_demand_recommendation_at_high_threshold(self, capsys):
+        assert main(["recommend", "--threshold", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "ON-DEMAND" in out
+
+    def test_stability_only_mode(self, capsys):
+        assert main(["recommend", "--no-placement-score", "--threshold", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top regions" in out
+
+
+class TestRun:
+    def test_spotverse_run(self, capsys):
+        code = main(
+            [
+                "run",
+                "--strategy", "spotverse",
+                "--workload", "synthetic",
+                "--workloads", "3",
+                "--duration-hours", "2",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3/3 complete" in out
+
+    def test_baseline_run(self, capsys):
+        code = main(
+            [
+                "run",
+                "--strategy", "on-demand",
+                "--workload", "synthetic",
+                "--workloads", "2",
+                "--duration-hours", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "on-demand" in out
+
+    def test_single_region_with_start_region(self, capsys):
+        code = main(
+            [
+                "run",
+                "--strategy", "single-region",
+                "--start-region", "eu-north-1",
+                "--workload", "synthetic",
+                "--workloads", "2",
+                "--duration-hours", "1",
+            ]
+        )
+        assert code == 0
+
+    def test_lifelines_flag(self, capsys):
+        code = main(
+            [
+                "run",
+                "--strategy", "on-demand",
+                "--workload", "synthetic",
+                "--workloads", "2",
+                "--duration-hours", "1",
+                "--lifelines",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet lifelines" in out
+        assert "wl-000" in out
+
+    def test_timeline_exports(self, capsys, tmp_path):
+        csv_path = tmp_path / "timeline.csv"
+        json_path = tmp_path / "timeline.json"
+        code = main(
+            [
+                "run",
+                "--strategy", "on-demand",
+                "--workload", "synthetic",
+                "--workloads", "2",
+                "--duration-hours", "1",
+                "--export-csv", str(csv_path),
+                "--export-json", str(json_path),
+            ]
+        )
+        assert code == 0
+        assert "workload_id" in csv_path.read_text()
+        import json
+
+        document = json.loads(json_path.read_text())
+        assert len(document["workloads"]) == 2
+
+    def test_incomplete_fleet_nonzero_exit(self, capsys):
+        code = main(
+            [
+                "run",
+                "--strategy", "on-demand",
+                "--workload", "synthetic",
+                "--workloads", "2",
+                "--duration-hours", "10",
+                "--max-hours", "1",
+            ]
+        )
+        assert code == 1
+
+
+class TestExperimentAndDatasets:
+    def test_experiment_fig2(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_datasets_summary(self, capsys):
+        assert main(["datasets", "--days", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "synthetic advisor + placement" in out
+        assert "ca-central-1" in out
+
+    def test_datasets_save_archives(self, capsys, tmp_path):
+        target = tmp_path / "archive"
+        assert main(["datasets", "--days", "3", "--save", str(target)]) == 0
+        assert (target / "advisor.jsonl").exists()
+        assert (target / "placement.jsonl").exists()
+        from repro.data.persist import load_advisor_dataset
+
+        loaded = load_advisor_dataset(target / "advisor.jsonl")
+        assert loaded.days == 3
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

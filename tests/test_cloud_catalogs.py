@@ -1,0 +1,143 @@
+"""Unit tests for region, instance, and profile catalogs."""
+
+import pytest
+
+from repro.cloud.instances import default_instance_catalog
+from repro.cloud.pricing import PriceBook
+from repro.cloud.profiles import (
+    P3_UNAVAILABLE_REGIONS,
+    REGION_TIERS,
+    THRESHOLD_EPOCH_OVERRIDES,
+    default_market_profiles,
+    stability_score_from_frequency,
+)
+from repro.cloud.regions import default_region_catalog
+from repro.errors import CloudError, UnknownInstanceTypeError, UnknownRegionError
+
+
+def test_region_catalog_has_papers_twelve_regions():
+    catalog = default_region_catalog()
+    assert len(catalog) == 12
+    for name in ("ca-central-1", "ap-northeast-3", "eu-north-1", "us-west-1"):
+        assert name in catalog
+
+
+def test_each_region_has_three_zones():
+    for region in default_region_catalog():
+        assert len(region.zones) == 3
+        assert all(zone.region_name == region.name for zone in region.zones)
+        assert region.zone_names()[0].endswith("a")
+
+
+def test_unknown_region_raises():
+    with pytest.raises(UnknownRegionError):
+        default_region_catalog().get("mars-north-1")
+
+
+def test_instance_catalog_families_and_sizes():
+    catalog = default_instance_catalog()
+    m5 = catalog.get("m5.2xlarge")
+    assert m5.vcpus == 8
+    assert m5.memory_gib == 32.0
+    assert m5.category == "general-purpose"
+    sizes = [itype.size for itype in catalog.family("m5")]
+    assert sizes == ["large", "xlarge", "2xlarge", "4xlarge"]
+
+
+def test_instance_prices_scale_linearly_with_size():
+    catalog = default_instance_catalog()
+    assert catalog.get("m5.xlarge").base_od_price == pytest.approx(
+        2 * catalog.get("m5.large").base_od_price
+    )
+
+
+def test_p3_starts_at_2xlarge_with_gpu():
+    catalog = default_instance_catalog()
+    assert "p3.large" not in catalog
+    assert catalog.get("p3.2xlarge").gpus == 4
+
+
+def test_comparable_to_returns_same_size_other_families():
+    catalog = default_instance_catalog()
+    names = {itype.name for itype in catalog.comparable_to("m5.2xlarge")}
+    assert {"m5.2xlarge", "c5.2xlarge", "r5.2xlarge", "p3.2xlarge"} <= names
+
+
+def test_unknown_instance_type_raises():
+    with pytest.raises(UnknownInstanceTypeError):
+        default_instance_catalog().get("z9.mega")
+
+
+def test_price_book_applies_region_multiplier():
+    book = PriceBook()
+    base = book.od_price("us-east-1", "m5.xlarge")
+    osaka = book.od_price("ap-northeast-3", "m5.xlarge")
+    assert base == pytest.approx(0.192)
+    assert osaka == pytest.approx(0.192 * 1.24)
+
+
+def test_cheapest_od_region_is_a_multiplier_one_region():
+    book = PriceBook()
+    region, price = book.cheapest_od_region("m5.xlarge")
+    assert price == pytest.approx(0.192)
+    assert book.regions.get(region).od_price_multiplier == 1.0
+
+
+def test_stability_score_buckets_match_paper_edges():
+    assert stability_score_from_frequency(4.9) == 3
+    assert stability_score_from_frequency(5.0) == 2
+    assert stability_score_from_frequency(20.0) == 2
+    assert stability_score_from_frequency(20.1) == 1
+
+
+def test_profile_book_covers_full_grid():
+    profiles = default_market_profiles()
+    assert len(profiles) == 12 * len(default_instance_catalog())
+
+
+def test_p3_unavailable_in_excluded_regions():
+    profiles = default_market_profiles()
+    for region in P3_UNAVAILABLE_REGIONS:
+        assert not profiles.get(region, "p3.2xlarge").available
+    offering = profiles.regions_offering("p3.2xlarge")
+    assert set(offering).isdisjoint(P3_UNAVAILABLE_REGIONS)
+
+
+def test_stable_tier_outscores_cheap_tier():
+    profiles = default_market_profiles()
+    stable = profiles.get("us-west-1", "m5.2xlarge")
+    cheap = profiles.get("us-east-1", "m5.2xlarge")
+    assert stable.placement_mean > cheap.placement_mean
+    assert stable.interruption_freq_pct < cheap.interruption_freq_pct
+    assert stable.spot_fraction > cheap.spot_fraction
+
+
+def test_every_region_is_tiered():
+    assert set(REGION_TIERS) == {region.name for region in default_region_catalog()}
+
+
+def test_with_overrides_replaces_fields_without_mutating_original():
+    profiles = default_market_profiles()
+    before = profiles.get("us-east-1", "m5.xlarge").spot_fraction
+    shifted = profiles.with_overrides(THRESHOLD_EPOCH_OVERRIDES)
+    assert shifted.get("us-east-1", "m5.xlarge").spot_fraction == pytest.approx(0.26)
+    assert profiles.get("us-east-1", "m5.xlarge").spot_fraction == before
+
+
+def test_with_overrides_rejects_unknown_market():
+    with pytest.raises(CloudError):
+        default_market_profiles().with_overrides({("nowhere", "m5.large"): {}})
+
+
+def test_hazard_property_scales_frequency_and_multiplier():
+    profiles = default_market_profiles()
+    plain = profiles.get("eu-west-2", "m5.xlarge")  # no per-market override
+    assert plain.interruption_hazard_per_hour == pytest.approx(
+        plain.interruption_freq_pct * 0.7 / 100.0 * plain.hazard_multiplier
+    )
+    # The ca-central-1 m5.xlarge anchor derates the advisor metric and
+    # relies on reclaim bursts instead.
+    anchor = profiles.get("ca-central-1", "m5.xlarge")
+    assert anchor.hazard_multiplier == pytest.approx(0.15)
+    assert anchor.burst_period_hours > 0
+    assert anchor.burst_hazard_per_hour > 0

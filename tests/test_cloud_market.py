@@ -1,0 +1,143 @@
+"""Unit tests for spot markets, pricing processes, and billing."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.billing import CostCategory, CostLedger
+from repro.cloud.interruptions import (
+    expected_interruptions,
+    interruption_probability,
+    sample_interruption,
+    survival_probability,
+)
+from repro.cloud.market import PLACEMENT_MAX, PLACEMENT_MIN, SpotMarket
+from repro.cloud.pricing import SpotPriceProcess
+from repro.cloud.profiles import MarketProfile
+from repro.sim.clock import HOUR
+
+
+def make_profile(**kwargs):
+    defaults = dict(region="us-east-1", instance_type="m5.xlarge")
+    defaults.update(kwargs)
+    return MarketProfile(**defaults)
+
+
+class TestSpotPriceProcess:
+    def test_price_stays_between_floor_and_od(self):
+        process = SpotPriceProcess(
+            make_profile(spot_fraction=0.4, spot_volatility=0.5),
+            od_price=1.0,
+            rng=np.random.default_rng(0),
+        )
+        for step in range(500):
+            price = process.step(float(step))
+            assert 0.35 * 0.4 <= price <= 1.0
+
+    def test_long_run_average_near_mean(self):
+        process = SpotPriceProcess(
+            make_profile(spot_fraction=0.4), od_price=1.0, rng=np.random.default_rng(1)
+        )
+        prices = [process.step(float(i)) for i in range(3000)]
+        assert abs(np.mean(prices) - 0.4) < 0.02
+
+    def test_history_records_steps(self):
+        process = SpotPriceProcess(make_profile(), od_price=1.0, rng=np.random.default_rng(2))
+        process.step(10.0)
+        process.step(20.0)
+        trace = process.trace()
+        assert [t for t, _ in trace] == [10.0, 20.0]
+
+
+class TestInterruptionModel:
+    def test_probability_zero_hazard(self):
+        assert interruption_probability(0.0, 300) == 0.0
+
+    def test_probability_increases_with_hazard_and_window(self):
+        low = interruption_probability(0.05, 300)
+        high = interruption_probability(0.5, 300)
+        longer = interruption_probability(0.05, 3600)
+        assert 0 < low < high < 1
+        assert longer > low
+
+    def test_sample_matches_probability_statistically(self):
+        rng = np.random.default_rng(3)
+        hazard, dt = 0.5, 3600.0
+        hits = sum(sample_interruption(rng, hazard, dt) for _ in range(20000))
+        assert abs(hits / 20000 - interruption_probability(hazard, dt)) < 0.01
+
+    def test_expected_and_survival_helpers(self):
+        assert expected_interruptions(0.1, 10) == pytest.approx(1.0)
+        assert survival_probability(0.1, 10) == pytest.approx(np.exp(-1.0))
+
+
+class TestSpotMarket:
+    def make_market(self, **profile_kwargs):
+        return SpotMarket(
+            profile=make_profile(**profile_kwargs),
+            od_price=1.0,
+            rng=np.random.default_rng(7),
+        )
+
+    def test_observables_exposed(self):
+        market = self.make_market(interruption_freq_pct=8.0, placement_mean=3.4)
+        assert market.region == "us-east-1"
+        assert market.stability_score == 2
+        assert PLACEMENT_MIN <= market.placement_score <= PLACEMENT_MAX
+        assert market.spot_price > 0
+
+    def test_step_appends_metric_history(self):
+        market = self.make_market()
+        market.step(HOUR)
+        market.step(2 * HOUR)
+        assert len(market.metric_history) == 2
+        assert market.metric_history[0][0] == HOUR
+
+    def test_placement_walk_stays_in_band(self):
+        market = self.make_market(placement_mean=4.3, placement_volatility=0.08)
+        market.warmup(2000)
+        scores = [score for _, score, _ in market.metric_history]
+        assert all(PLACEMENT_MIN <= score <= PLACEMENT_MAX for score in scores)
+        assert abs(np.mean(scores) - 4.3) < 0.2
+
+    def test_frequency_walk_reverts_to_profile_mean(self):
+        market = self.make_market(interruption_freq_pct=17.0, freq_volatility=0.5)
+        market.warmup(2000)
+        freqs = [freq for _, _, freq in market.metric_history]
+        assert abs(np.mean(freqs) - 17.0) < 1.0
+
+    def test_az_prices_skew_around_region_price(self):
+        market = self.make_market()
+        prices = [market.az_spot_price(i) for i in range(3)]
+        assert prices[0] < prices[1] < prices[2]
+        assert prices[1] == pytest.approx(market.spot_price)
+
+    def test_hazard_tracks_current_frequency(self):
+        market = self.make_market(interruption_freq_pct=10.0)
+        market.warmup(50)
+        assert market.interruption_hazard_per_hour == pytest.approx(
+            market.interruption_frequency * 0.7 / 100.0
+        )
+
+
+class TestCostLedger:
+    def test_totals_by_category_tag_region(self):
+        ledger = CostLedger()
+        ledger.charge(0.0, CostCategory.SPOT_INSTANCE, 1.5, region="us-east-1", tag="w1")
+        ledger.charge(1.0, CostCategory.LAMBDA, 0.5, tag="w1")
+        ledger.charge(2.0, CostCategory.ON_DEMAND_INSTANCE, 2.0, region="eu-west-1", tag="w2")
+        assert ledger.total() == pytest.approx(4.0)
+        assert ledger.total(CostCategory.LAMBDA) == pytest.approx(0.5)
+        assert ledger.total_for_tag("w1") == pytest.approx(2.0)
+        assert ledger.total_for_region("eu-west-1") == pytest.approx(2.0)
+        assert ledger.instance_total() == pytest.approx(3.5)
+        assert ledger.overhead_total() == pytest.approx(0.5)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            CostLedger().charge(0.0, CostCategory.LAMBDA, -1.0)
+
+    def test_breakdown_views(self):
+        ledger = CostLedger()
+        ledger.charge(0.0, CostCategory.S3_TRANSFER, 0.25, region="us-east-1")
+        assert ledger.by_category() == {"s3-transfer": 0.25}
+        assert ledger.by_region() == {"us-east-1": 0.25}

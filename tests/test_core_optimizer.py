@@ -1,0 +1,196 @@
+"""Unit tests for Algorithm 1 (the Optimizer) and the policy baselines."""
+
+import pytest
+
+from repro.cloud.profiles import THRESHOLD_EPOCH_OVERRIDES, default_market_profiles
+from repro.cloud.provider import CloudProvider
+from repro.core.config import SpotVerseConfig
+from repro.core.monitor import Monitor
+from repro.core.optimizer import SpotVerseOptimizer
+from repro.core.policy import PolicyContext, PurchasingOption
+from repro.errors import NoFeasibleRegionError
+from repro.strategies import (
+    CheapestMigrationPolicy,
+    NaiveMultiRegionPolicy,
+    OnDemandPolicy,
+    SingleRegionPolicy,
+    SkyPilotPolicy,
+)
+from repro.errors import StrategyError
+from repro.workloads.base import synthetic_workload
+
+STABLE_SET = {"us-west-1", "ap-northeast-3", "eu-west-1", "eu-north-1"}
+
+
+def make_context(seed=3, overrides=None):
+    profiles = default_market_profiles()
+    if overrides:
+        profiles = profiles.with_overrides(overrides)
+    provider = CloudProvider(seed=seed, profiles=profiles)
+    provider.warmup_markets(48)
+    monitor = Monitor(provider, ["m5.xlarge"], deploy=False)
+    monitor.collect()
+    ctx = PolicyContext(
+        provider=provider, monitor=monitor, rng=provider.engine.streams.get("test")
+    )
+    return provider, monitor, ctx
+
+
+def workloads(n):
+    return [synthetic_workload(f"w{i}") for i in range(n)]
+
+
+class TestSpotVerseOptimizer:
+    def test_top_regions_threshold_6_is_stable_tier(self):
+        _, monitor, ctx = make_context()
+        optimizer = SpotVerseOptimizer(monitor, SpotVerseConfig(score_threshold=6.0))
+        top = optimizer.top_regions(ctx)
+        assert {m.region for m in top} == STABLE_SET
+        prices = [m.spot_price for m in top]
+        assert prices == sorted(prices)
+
+    def test_initial_round_robin_over_top_r(self):
+        _, monitor, ctx = make_context()
+        optimizer = SpotVerseOptimizer(monitor, SpotVerseConfig())
+        placements = optimizer.initial_placements(workloads(8), ctx)
+        assert len(placements) == 8
+        # Round-robin: placement i and i+4 share a region.
+        for i in range(4):
+            assert placements[i].region == placements[i + 4].region
+        assert {p.region for p in placements} == STABLE_SET
+        assert all(p.option is PurchasingOption.SPOT for p in placements)
+
+    def test_concentrated_start_mode(self):
+        _, monitor, ctx = make_context()
+        config = SpotVerseConfig(initial_distribution=False, start_region="ca-central-1")
+        optimizer = SpotVerseOptimizer(monitor, config)
+        placements = optimizer.initial_placements(workloads(5), ctx)
+        assert all(p.region == "ca-central-1" for p in placements)
+
+    def test_concentrated_start_defaults_to_cheapest(self):
+        _, monitor, ctx = make_context()
+        config = SpotVerseConfig(initial_distribution=False)
+        optimizer = SpotVerseOptimizer(monitor, config)
+        placements = optimizer.initial_placements(workloads(2), ctx)
+        assert all(p.region == "ca-central-1" for p in placements)  # Table 1
+
+    def test_migration_excludes_interrupted_region(self):
+        _, monitor, ctx = make_context()
+        optimizer = SpotVerseOptimizer(monitor, SpotVerseConfig())
+        for _ in range(20):
+            placement = optimizer.migration_placement(
+                workloads(1)[0], "ap-northeast-3", ctx
+            )
+            assert placement.region != "ap-northeast-3"
+            assert placement.region in STABLE_SET
+
+    def test_migration_is_randomized(self):
+        _, monitor, ctx = make_context()
+        optimizer = SpotVerseOptimizer(monitor, SpotVerseConfig())
+        picks = {
+            optimizer.migration_placement(workloads(1)[0], "ca-central-1", ctx).region
+            for _ in range(40)
+        }
+        assert len(picks) >= 2, "random migration should hit several regions"
+
+    def test_on_demand_fallback(self):
+        _, monitor, ctx = make_context()
+        optimizer = SpotVerseOptimizer(monitor, SpotVerseConfig(score_threshold=9.0))
+        placements = optimizer.initial_placements(workloads(3), ctx)
+        assert all(p.option is PurchasingOption.ON_DEMAND for p in placements)
+        assert placements[0].region == "us-east-1"  # cheapest OD multiplier 1.0
+        migration = optimizer.migration_placement(workloads(1)[0], "us-east-1", ctx)
+        assert migration.option is PurchasingOption.ON_DEMAND
+
+    def test_fallback_disabled_raises(self):
+        _, monitor, ctx = make_context()
+        optimizer = SpotVerseOptimizer(
+            monitor,
+            SpotVerseConfig(score_threshold=9.0, use_on_demand_fallback=False),
+        )
+        with pytest.raises(NoFeasibleRegionError):
+            optimizer.initial_placements(workloads(1), ctx)
+        with pytest.raises(NoFeasibleRegionError):
+            optimizer.migration_placement(workloads(1)[0], "us-east-1", ctx)
+
+    def test_preferred_regions_restrict_candidates(self):
+        _, monitor, ctx = make_context()
+        config = SpotVerseConfig(preferred_regions=["eu-west-1", "eu-north-1"])
+        optimizer = SpotVerseOptimizer(monitor, config)
+        top = optimizer.top_regions(ctx)
+        assert {m.region for m in top} <= {"eu-west-1", "eu-north-1"}
+
+    def test_preferred_regions_bound_od_fallback(self):
+        _, monitor, ctx = make_context()
+        config = SpotVerseConfig(
+            score_threshold=9.0, preferred_regions=["eu-west-2", "eu-north-1"]
+        )
+        optimizer = SpotVerseOptimizer(monitor, config)
+        placement = optimizer.initial_placements(workloads(1), ctx)[0]
+        assert placement.option is PurchasingOption.ON_DEMAND
+        assert placement.region == "eu-north-1"  # cheaper multiplier of the two
+
+    def test_threshold_epoch_selects_paper_table3(self):
+        _, monitor, ctx = make_context(overrides=THRESHOLD_EPOCH_OVERRIDES)
+        for threshold, expected in [
+            (6.0, STABLE_SET),
+            (5.0, {"ap-southeast-1", "eu-west-3", "ca-central-1", "eu-west-2"}),
+            (4.0, {"us-east-1", "us-east-2", "ap-southeast-2", "us-west-2"}),
+        ]:
+            optimizer = SpotVerseOptimizer(
+                monitor, SpotVerseConfig(score_threshold=threshold)
+            )
+            assert {m.region for m in optimizer.top_regions(ctx)} == expected
+
+
+class TestBaselinePolicies:
+    def test_single_region_pins(self):
+        _, _, ctx = make_context()
+        policy = SingleRegionPolicy(region="eu-west-2")
+        placements = policy.initial_placements(workloads(3), ctx)
+        assert all(p.region == "eu-west-2" for p in placements)
+        assert policy.migration_placement(workloads(1)[0], "eu-west-2", ctx).region == "eu-west-2"
+
+    def test_single_region_defaults_to_cheapest_spot(self):
+        _, _, ctx = make_context()
+        policy = SingleRegionPolicy(instance_type="m5.xlarge")
+        assert policy.initial_placements(workloads(1), ctx)[0].region == "ca-central-1"
+
+    def test_on_demand_policy(self):
+        _, _, ctx = make_context()
+        policy = OnDemandPolicy(instance_type="m5.xlarge")
+        placement = policy.initial_placements(workloads(1), ctx)[0]
+        assert placement.option is PurchasingOption.ON_DEMAND
+        assert placement.region == "us-east-1"
+
+    def test_skypilot_chases_catalog_price(self):
+        _, _, ctx = make_context()
+        policy = SkyPilotPolicy(instance_type="m5.xlarge")
+        placement = policy.initial_placements(workloads(1), ctx)[0]
+        assert placement.region == "ca-central-1"
+        # No exclusion: it returns to the cheapest market.
+        migration = policy.migration_placement(workloads(1)[0], "ca-central-1", ctx)
+        assert migration.region == "ca-central-1"
+
+    def test_naive_multi_region_round_robin(self):
+        _, _, ctx = make_context()
+        policy = NaiveMultiRegionPolicy(["r1", "r2", "r3"])
+        placements = policy.initial_placements(workloads(6), ctx)
+        assert [p.region for p in placements] == ["r1", "r2", "r3", "r1", "r2", "r3"]
+        migration = policy.migration_placement(workloads(1)[0], "r1", ctx)
+        assert migration.region in {"r2", "r3"}
+
+    def test_naive_multi_region_needs_two_regions(self):
+        with pytest.raises(StrategyError):
+            NaiveMultiRegionPolicy(["only-one"])
+
+    def test_cheapest_migration_variant(self):
+        _, monitor, ctx = make_context()
+        policy = CheapestMigrationPolicy(monitor, SpotVerseConfig())
+        picks = {
+            policy.migration_placement(workloads(1)[0], "ca-central-1", ctx).region
+            for _ in range(10)
+        }
+        assert len(picks) == 1, "cheapest migration must be deterministic"
+        (pick,) = picks
+        assert pick in STABLE_SET

@@ -1,0 +1,219 @@
+"""Unit tests for the spot dataset substrates (advisor, placement,
+SpotLake archive, price traces)."""
+
+import pytest
+
+from repro.cloud.profiles import P3_UNAVAILABLE_REGIONS
+from repro.data.placement import generate_placement_dataset
+from repro.data.spot_advisor import generate_advisor_dataset
+from repro.data.spotlake import SpotLakeArchive
+from repro.data.traces import PriceTrace, generate_price_traces, trace_statistics
+from repro.errors import CloudError
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return generate_advisor_dataset(days=30, instance_types=["m5.2xlarge"], seed=1)
+
+
+@pytest.fixture(scope="module")
+def placement():
+    return generate_placement_dataset(days=30, instance_types=["m5.2xlarge"], seed=1)
+
+
+class TestAdvisorDataset:
+    def test_coverage(self, advisor):
+        assert advisor.days == 30
+        assert len(advisor) == 12 * 30
+        assert len(advisor.regions()) == 12
+
+    def test_series_ordered_by_day(self, advisor):
+        series = advisor.series("us-east-1", "m5.2xlarge")
+        assert [record.day for record in series] == list(range(30))
+
+    def test_missing_series_raises(self, advisor):
+        with pytest.raises(CloudError):
+            advisor.series("us-east-1", "z9.mega")
+
+    def test_records_carry_instance_specs(self, advisor):
+        record = advisor.series("us-east-1", "m5.2xlarge")[0]
+        assert record.vcpus == 8
+        assert record.memory_gib == 32.0
+
+    def test_stability_derived_from_frequency(self, advisor):
+        for record in advisor.records[:50]:
+            if record.interruption_freq_pct < 5:
+                assert record.stability_score == 3
+            elif record.interruption_freq_pct <= 20:
+                assert record.stability_score == 2
+            else:
+                assert record.stability_score == 1
+
+    def test_heatmap_and_series_views(self, advisor):
+        heatmap = advisor.frequency_heatmap("m5.2xlarge")
+        assert set(heatmap) == set(advisor.regions())
+        assert all(len(series) == 30 for series in heatmap.values())
+        stability = advisor.average_stability_series("m5.2xlarge")
+        assert len(stability) == 30
+        assert all(1 <= value <= 3 for value in stability)
+
+    def test_mean_stability_by_region(self, advisor):
+        scores = advisor.mean_stability_by_region("m5.2xlarge", day=15)
+        assert scores["us-west-1"] == 3
+        assert scores["us-east-1"] <= 2
+
+    def test_p3_exclusions(self):
+        dataset = generate_advisor_dataset(days=5, instance_types=["p3.2xlarge"], seed=0)
+        assert set(dataset.regions()).isdisjoint(P3_UNAVAILABLE_REGIONS)
+
+    def test_determinism(self):
+        a = generate_advisor_dataset(days=5, instance_types=["m5.large"], seed=9)
+        b = generate_advisor_dataset(days=5, instance_types=["m5.large"], seed=9)
+        assert a.records == b.records
+
+
+class TestPlacementDataset:
+    def test_series_and_views(self, placement):
+        series = placement.series("eu-west-1", "m5.2xlarge")
+        assert len(series) == 30
+        assert all(1 <= record.score <= 10 for record in series)
+        assert 1 <= series[0].reported_score <= 10
+
+    def test_average_series(self, placement):
+        averaged = placement.average_score_series("m5.2xlarge")
+        assert len(averaged) == 30
+
+    def test_regional_spread_positive(self, placement):
+        assert placement.regional_spread("m5.2xlarge") > 0.5
+
+    def test_missing_raises(self, placement):
+        with pytest.raises(CloudError):
+            placement.series("nowhere", "m5.2xlarge")
+        with pytest.raises(CloudError):
+            placement.regional_spread("z9.mega")
+
+    def test_pairs(self, placement):
+        assert ("us-east-1", "m5.2xlarge") in placement.pairs()
+
+
+class TestSpotLake:
+    def test_ingest_and_snapshot(self, advisor, placement):
+        archive = SpotLakeArchive()
+        assert archive.ingest_advisor(advisor) == len(advisor)
+        assert archive.ingest_placement(placement) == len(placement)
+        snapshot = archive.snapshot("us-east-1", "m5.2xlarge", day=10)
+        assert snapshot.interruption_freq_pct is not None
+        assert snapshot.placement_score is not None
+        assert snapshot.combined_score == pytest.approx(
+            snapshot.placement_score + snapshot.stability_score
+        )
+
+    def test_at_or_before_semantics(self, advisor):
+        archive = SpotLakeArchive()
+        archive.ingest_advisor(advisor)
+        day_5 = archive.snapshot("us-east-1", "m5.2xlarge", day=5)
+        day_5_again = archive.snapshot("us-east-1", "m5.2xlarge", day=5)
+        assert day_5.interruption_freq_pct == day_5_again.interruption_freq_pct
+        # Querying beyond the window returns the last known record.
+        late = archive.snapshot("us-east-1", "m5.2xlarge", day=999)
+        assert late.interruption_freq_pct is not None
+
+    def test_unknown_market_raises(self):
+        with pytest.raises(CloudError):
+            SpotLakeArchive().snapshot("us-east-1", "m5.2xlarge", day=1)
+
+    def test_snapshots_for_type(self, advisor):
+        archive = SpotLakeArchive()
+        archive.ingest_advisor(advisor)
+        snapshots = archive.snapshots_for_type("m5.2xlarge", day=3)
+        assert len(snapshots) == 12
+        assert [s.region for s in snapshots] == sorted(s.region for s in snapshots)
+
+    def test_partial_coverage(self, placement):
+        archive = SpotLakeArchive()
+        archive.ingest_placement(placement)
+        snapshot = archive.snapshot("us-east-1", "m5.2xlarge", day=3)
+        assert snapshot.interruption_freq_pct is None
+        assert snapshot.combined_score is None
+        assert archive.coverage() == {"advisor": 0, "placement": 12}
+
+
+class TestPersistence:
+    def test_advisor_roundtrip(self, advisor, tmp_path):
+        from repro.data.persist import load_advisor_dataset, save_advisor_dataset
+
+        path = tmp_path / "advisor.jsonl"
+        written = save_advisor_dataset(advisor, path)
+        assert written == len(advisor)
+        loaded = load_advisor_dataset(path)
+        assert loaded.days == advisor.days
+        assert loaded.records == advisor.records
+
+    def test_placement_roundtrip(self, placement, tmp_path):
+        from repro.data.persist import load_placement_dataset, save_placement_dataset
+
+        path = tmp_path / "placement.jsonl"
+        save_placement_dataset(placement, path)
+        loaded = load_placement_dataset(path)
+        assert loaded.days == placement.days
+        assert loaded.records == placement.records
+
+    def test_schema_mismatch_rejected(self, advisor, placement, tmp_path):
+        from repro.data.persist import (
+            load_placement_dataset,
+            save_advisor_dataset,
+        )
+
+        path = tmp_path / "advisor.jsonl"
+        save_advisor_dataset(advisor, path)
+        with pytest.raises(CloudError):
+            load_placement_dataset(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        from repro.data.persist import load_advisor_dataset
+
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(CloudError):
+            load_advisor_dataset(path)
+
+    def test_loaded_dataset_feeds_spotlake(self, advisor, tmp_path):
+        from repro.data.persist import load_advisor_dataset, save_advisor_dataset
+
+        path = tmp_path / "advisor.jsonl"
+        save_advisor_dataset(advisor, path)
+        archive = SpotLakeArchive()
+        archive.ingest_advisor(load_advisor_dataset(path))
+        snapshot = archive.snapshot("us-east-1", "m5.2xlarge", day=5)
+        assert snapshot.stability_score is not None
+
+
+class TestPriceTraces:
+    def test_generation_shape(self):
+        traces = generate_price_traces(["m5.large"], days=2, seed=0)
+        assert len(traces) == 36  # 12 regions x 3 AZs
+        assert all(len(trace.prices) == 48 for trace in traces)
+
+    def test_csv_roundtrip(self):
+        traces = generate_price_traces(["m5.large"], days=1, seed=0)
+        trace = traces[0]
+        parsed = PriceTrace.from_csv(
+            trace.to_csv(), trace.region, trace.az, trace.instance_type
+        )
+        assert parsed.prices == pytest.approx(trace.prices, abs=1e-6)
+        assert parsed.times == pytest.approx(trace.times)
+
+    def test_statistics(self):
+        traces = generate_price_traces(["m5.large"], days=3, seed=0)
+        stats = trace_statistics(traces)["m5.large"]
+        assert stats["markets"] == 36
+        assert stats["spread_ratio"] > 1
+        assert stats["mean_cv"] > 0
+
+    def test_az_skew_within_region(self):
+        traces = generate_price_traces(["m5.large"], days=1, seed=0)
+        use1 = sorted(
+            (trace for trace in traces if trace.region == "us-east-1"),
+            key=lambda trace: trace.az,
+        )
+        assert use1[0].mean() < use1[1].mean() < use1[2].mean()

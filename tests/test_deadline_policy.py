@@ -1,0 +1,117 @@
+"""Tests for the deadline-aware escalation policy."""
+
+import pytest
+
+from repro.cloud.provider import CloudProvider
+from repro.core.config import SpotVerseConfig
+from repro.core.controller import FleetController
+from repro.core.monitor import Monitor
+from repro.core.policy import PolicyContext, PurchasingOption
+from repro.core.result import WorkloadRecord
+from repro.strategies import DeadlineAwarePolicy
+from repro.sim.clock import HOUR
+from repro.workloads.base import WorkloadKind, synthetic_workload
+from repro.workloads.ngs_preprocessing import ngs_preprocessing_workload
+
+
+def make_policy(provider, deadline_factor=1.6, safety_margin=0.25):
+    config = SpotVerseConfig(
+        instance_type="m5.xlarge",
+        initial_distribution=False,
+        start_region="ca-central-1",
+    )
+    monitor = Monitor(provider, ["m5.xlarge"], deploy=False)
+    monitor.collect()
+    policy = DeadlineAwarePolicy(
+        monitor, config, deadline_factor=deadline_factor, safety_margin=safety_margin
+    )
+    ctx = PolicyContext(
+        provider=provider, monitor=monitor, rng=provider.engine.streams.get("t")
+    )
+    return policy, ctx
+
+
+class TestEscalationRule:
+    def test_fresh_workload_stays_on_spot(self):
+        provider = CloudProvider(seed=21)
+        provider.warmup_markets(24)
+        policy, ctx = make_policy(provider)
+        workload = synthetic_workload("w", duration_hours=10.0)
+        ctx.records["w"] = WorkloadRecord(
+            "w", WorkloadKind.STANDARD, submitted_at=provider.engine.now
+        )
+        assert not policy.should_escalate(workload, ctx)
+        placement = policy.migration_placement(workload, "ca-central-1", ctx)
+        assert placement.option is PurchasingOption.SPOT
+
+    def test_slack_exhaustion_escalates(self):
+        provider = CloudProvider(seed=21)
+        provider.warmup_markets(24)
+        policy, ctx = make_policy(provider, deadline_factor=1.6)
+        workload = synthetic_workload("w", duration_hours=10.0)
+        ctx.records["w"] = WorkloadRecord(
+            "w", WorkloadKind.STANDARD, submitted_at=0.0
+        )
+        # Deadline = 16 h; a restart needs 10 h x 1.25 margin = 12.5 h
+        # of slack, so past 3.5 h elapsed the policy must escalate.
+        provider.engine.run_until(4 * HOUR)
+        assert policy.should_escalate(workload, ctx)
+        placement = policy.migration_placement(workload, "ca-central-1", ctx)
+        assert placement.option is PurchasingOption.ON_DEMAND
+        assert placement.region == "us-east-1"
+
+    def test_checkpoint_workloads_escalate_later(self):
+        provider = CloudProvider(seed=21)
+        provider.warmup_markets(24)
+        policy, ctx = make_policy(provider)
+        standard = synthetic_workload("s", duration_hours=10.0)
+        checkpoint = ngs_preprocessing_workload("c", duration_hours=10.0)
+        for workload_id in ("s", "c"):
+            ctx.records[workload_id] = WorkloadRecord(
+                workload_id, WorkloadKind.STANDARD, submitted_at=0.0
+            )
+        provider.engine.run_until(6 * HOUR)
+        assert policy.should_escalate(standard, ctx)
+        assert not policy.should_escalate(checkpoint, ctx)
+
+    def test_unknown_record_never_escalates(self):
+        provider = CloudProvider(seed=21)
+        provider.warmup_markets(24)
+        policy, ctx = make_policy(provider)
+        assert not policy.should_escalate(synthetic_workload("ghost"), ctx)
+
+    def test_deadline_for(self):
+        provider = CloudProvider(seed=21)
+        policy, _ = make_policy(provider, deadline_factor=2.0)
+        workload = synthetic_workload("w", duration_hours=10.0)
+        assert policy.deadline_for(workload) == pytest.approx(20 * HOUR)
+
+
+class TestDeadlineFleet:
+    def test_fleet_meets_deadline_via_escalation(self):
+        provider = CloudProvider(seed=22)
+        provider.warmup_markets(24)
+        config = SpotVerseConfig(
+            instance_type="m5.xlarge",
+            initial_distribution=False,
+            start_region="ca-central-1",
+        )
+        monitor = Monitor(provider, ["m5.xlarge"])
+        policy = DeadlineAwarePolicy(monitor, config, deadline_factor=1.6)
+        controller = FleetController(provider, policy, config, monitor=monitor)
+        fleet = [
+            synthetic_workload(f"w{i:02d}", duration_hours=8.0) for i in range(16)
+        ]
+        result = controller.run(fleet, max_hours=72)
+        assert result.all_complete
+        # Every workload beat (or nearly beat) its deadline: the
+        # escalation path guarantees completion within deadline plus
+        # one on-demand run from the decision point.
+        deadline = 1.6 * 8.0 * HOUR
+        for record in result.records:
+            assert record.elapsed < deadline + 9.0 * HOUR
+        # If anything was rescued, on-demand attempts show up.
+        rescued = sum(record.on_demand_attempts for record in result.records)
+        late = [record for record in result.records if record.elapsed > deadline]
+        if late:
+            assert rescued >= 0  # escalations occurred or none were needed

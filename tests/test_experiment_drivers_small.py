@@ -1,0 +1,79 @@
+"""Small-size smoke tests for the remaining experiment drivers.
+
+Full-size runs with shape assertions live in ``benchmarks/``; these
+reduced runs keep the drivers themselves under unit-test coverage.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_checkpoint_backend_ablation,
+    run_checkpoint_granularity,
+    run_fallback_ablation,
+    run_migration_ablation,
+    run_predictive_policy_ablation,
+)
+from repro.experiments.footprint import run_footprint_study
+from repro.experiments.motivation import run_motivation_experiment
+from repro.experiments.report_all import ALL_EXPERIMENTS
+from repro.experiments.time_patterns import run_time_pattern_study
+
+
+class TestDriversSmall:
+    def test_motivation_small(self):
+        result = run_motivation_experiment(n_workloads=6, seed=7, duration_hours=4.0)
+        assert result.render()
+        assert set(result.deltas) == {"standard", "checkpoint"}
+
+    def test_migration_ablation_small(self):
+        result = run_migration_ablation(n_workloads=6, seed=7)
+        assert result.render()
+        assert set(result.arms) == {"random-migration", "cheapest-migration"}
+
+    def test_fallback_ablation_small(self):
+        result = run_fallback_ablation(n_workloads=3, seed=7)
+        assert result.with_fallback.fleet.on_demand_share() == 1.0
+
+    def test_checkpoint_granularity_small(self):
+        result = run_checkpoint_granularity(segment_counts=[1, 10], n_workloads=5, seed=7)
+        assert set(result.arms) == {1, 10}
+
+    def test_checkpoint_backend_small(self):
+        result = run_checkpoint_backend_ablation(n_workloads=5, seed=7)
+        assert set(result.arms) == {"s3", "efs"}
+
+    def test_predictive_ablation_small(self):
+        result = run_predictive_policy_ablation(n_workloads=5, seed=7)
+        assert result.arms["spotverse-predictive"].fleet.all_complete
+
+    def test_footprint_small(self):
+        result = run_footprint_study(fleet_sizes=(5, 15), duration_hours=3.0, seed=7)
+        assert set(result.concentrated) == {5, 15}
+        rates = result.interruptions_per_workload(result.concentrated)
+        assert all(rate >= 0 for rate in rates.values())
+
+    def test_time_patterns_small(self):
+        result = run_time_pattern_study(
+            n_workloads=10, observation_hours=12.0, seed=7
+        )
+        assert result.render()
+        assert sum(result.by_hour.values()) == result.arm.fleet.total_interruptions
+
+
+class TestReportAllRegistry:
+    def test_experiment_ids_unique(self):
+        ids = [experiment_id for experiment_id, _, _ in ALL_EXPERIMENTS]
+        assert len(set(ids)) == len(ids)
+
+    def test_every_paper_artifact_covered(self):
+        ids = {experiment_id for experiment_id, _, _ in ALL_EXPERIMENTS}
+        for required in (
+            "fig2", "fig3", "fig4", "fig7", "fig8+table1", "fig9",
+            "fig10+tables2-3", "table4",
+        ):
+            assert required in ids, f"missing paper artifact {required}"
+
+    def test_runners_are_callable(self):
+        for _, title, runner in ALL_EXPERIMENTS:
+            assert callable(runner)
+            assert title

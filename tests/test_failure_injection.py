@@ -1,0 +1,173 @@
+"""Failure-injection tests: the control plane must absorb transient
+failures the way the paper's Step Functions retry wiring promises."""
+
+import pytest
+
+from repro.cloud.provider import CloudProvider
+from repro.cloud.services.ec2 import InstanceLifecycle, SpotRequestState
+from repro.cloud.services.stepfunctions import ExecutionStatus
+from repro.core.config import SpotVerseConfig
+from repro.core.controller import FleetController
+from repro.core.monitor import Monitor
+from repro.core.optimizer import SpotVerseOptimizer
+from repro.errors import SimulationError
+from repro.sim.clock import HOUR, MINUTE
+from repro.sim.engine import SimulationEngine
+from repro.strategies import SingleRegionPolicy
+from repro.workloads import synthetic_workload
+
+
+class TestEngineGuards:
+    def test_reentrant_run_until_rejected(self):
+        engine = SimulationEngine()
+        failures = []
+
+        def nested():
+            try:
+                engine.run_until(100.0)
+            except SimulationError as exc:
+                failures.append(exc)
+
+        engine.call_at(1.0, nested)
+        engine.run_until(10.0)
+        assert len(failures) == 1
+
+    def test_reentrant_run_until_idle_rejected(self):
+        engine = SimulationEngine()
+        failures = []
+
+        def nested():
+            try:
+                engine.run_until_idle()
+            except SimulationError as exc:
+                failures.append(exc)
+
+        engine.call_at(1.0, nested)
+        engine.run_until_idle()
+        assert len(failures) == 1
+
+    def test_callback_exception_leaves_engine_usable(self):
+        engine = SimulationEngine()
+        engine.call_at(1.0, lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        with pytest.raises(RuntimeError):
+            engine.run_until(10.0)
+        # The engine is not left in the running state.
+        engine.call_at(engine.now + 1.0, lambda: None)
+        engine.run_until(engine.now + 5.0)
+
+
+class TestReacquireRetries:
+    def test_transient_migration_failure_is_retried(self):
+        """A policy that fails its first migration decisions recovers
+        through Step Functions retries."""
+        provider = CloudProvider(seed=14)
+        provider.warmup_markets(24)
+        config = SpotVerseConfig(
+            instance_type="m5.xlarge",
+            initial_distribution=False,
+            start_region="ca-central-1",
+        )
+        monitor = Monitor(provider, ["m5.xlarge"])
+        policy = SpotVerseOptimizer(monitor, config)
+        failures_left = {"count": 2}
+        original = policy.migration_placement
+
+        def flaky_migration(workload, interrupted_region, ctx):
+            if failures_left["count"] > 0:
+                failures_left["count"] -= 1
+                raise RuntimeError("transient metadata outage")
+            return original(workload, interrupted_region, ctx)
+
+        policy.migration_placement = flaky_migration
+        controller = FleetController(provider, policy, config, monitor=monitor)
+        result = controller.run(
+            [synthetic_workload(f"w{i}", duration_hours=6.0) for i in range(6)],
+            max_hours=72,
+        )
+        assert result.all_complete
+        assert failures_left["count"] == 0, "the failure path must have been exercised"
+        machine = provider.stepfunctions.get_state_machine("spotverse-reacquire")
+        assert any(
+            execution.attempts > 1 for execution in machine.executions
+        ), "retries must have occurred"
+
+    def test_permanent_migration_failure_marks_execution_failed(self):
+        provider = CloudProvider(seed=14)
+        provider.warmup_markets(24)
+        config = SpotVerseConfig(
+            instance_type="m5.xlarge",
+            initial_distribution=False,
+            start_region="ca-central-1",
+        )
+        monitor = Monitor(provider, ["m5.xlarge"])
+        policy = SpotVerseOptimizer(monitor, config)
+        policy.migration_placement = lambda *a, **k: (_ for _ in ()).throw(
+            RuntimeError("permanent")
+        )
+        controller = FleetController(provider, policy, config, monitor=monitor)
+        result = controller.run(
+            [synthetic_workload("w", duration_hours=8.0)], max_hours=24
+        )
+        machine = provider.stepfunctions.get_state_machine("spotverse-reacquire")
+        if machine.executions:  # the workload was interrupted at least once
+            assert all(
+                execution.status is ExecutionStatus.FAILED
+                for execution in machine.executions
+            )
+            assert not result.all_complete
+
+
+class TestSweepHygiene:
+    def test_sweep_cancels_requests_for_finished_workloads(self):
+        """An open request whose workload already completed (e.g. via a
+        later successful request) is cancelled by the sweep."""
+        provider = CloudProvider(seed=15)
+        provider.warmup_markets(24)
+        config = SpotVerseConfig(instance_type="m5.xlarge")
+        controller = FleetController(
+            provider, SingleRegionPolicy(region="ca-central-1"), config
+        )
+        workload = synthetic_workload("w", duration_hours=0.5)
+        result = controller.run([workload], max_hours=24)
+        assert result.all_complete
+        provider.engine.run_until(provider.engine.now + HOUR)
+        open_requests = provider.ec2.describe_spot_requests(
+            states=[SpotRequestState.OPEN]
+        )
+        assert open_requests == []
+
+    def test_duplicate_fulfillment_terminates_extra_instance(self):
+        """If a stale request fulfills after the workload got capacity
+        elsewhere, the extra instance is terminated, not leaked."""
+        provider = CloudProvider(seed=16)
+        provider.warmup_markets(24)
+        config = SpotVerseConfig(instance_type="m5.xlarge")
+        controller = FleetController(
+            provider, SingleRegionPolicy(region="eu-west-1"), config
+        )
+        result = controller.run(
+            [synthetic_workload(f"w{i}", duration_hours=2.0) for i in range(4)],
+            max_hours=24,
+        )
+        assert result.all_complete
+        # After completion, nothing is left running or billing.
+        from repro.cloud.services.ec2 import InstanceState
+
+        assert provider.ec2.describe_instances(states=[InstanceState.RUNNING]) == []
+
+
+class TestLambdaErrorContainment:
+    def test_eventbridge_target_swallows_handler_errors(self):
+        """A crashing rule target must not take down the simulation."""
+        provider = CloudProvider(seed=17)
+
+        def bad_handler(event, context):
+            raise RuntimeError("handler bug")
+
+        provider.lambda_.create_function("bad", bad_handler)
+        provider.eventbridge.put_rule("r", "src", "T")
+        provider.eventbridge.add_target("r", provider.lambda_.as_target("bad"))
+        provider.eventbridge.put_event("src", "T")
+        provider.engine.run_until(MINUTE)  # must not raise
+        assert provider.lambda_.get_function("bad").failures == 1
+        assert provider.lambda_.error_log

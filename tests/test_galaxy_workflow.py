@@ -1,0 +1,214 @@
+"""Unit tests for workflow DAGs, invocations, histories, and tools."""
+
+import pytest
+
+from repro.errors import (
+    GalaxyError,
+    ToolNotInstalledError,
+    WorkflowValidationError,
+)
+from repro.galaxy.history import History
+from repro.galaxy.tools import Tool, ToolShed, default_toolshed
+from repro.galaxy.workflow import (
+    Invocation,
+    StepInput,
+    StepState,
+    Workflow,
+    WorkflowStep,
+)
+
+
+def two_step_workflow():
+    return Workflow(
+        "pipeline",
+        [
+            WorkflowStep(label="first", tool_id="sleep", duration=10.0),
+            WorkflowStep(
+                label="second",
+                tool_id="sleep",
+                inputs={"payload": StepInput("first", "slept")},
+                duration=20.0,
+            ),
+        ],
+    )
+
+
+class TestWorkflowValidation:
+    def test_valid_workflow(self):
+        workflow = two_step_workflow()
+        assert workflow.labels() == ["first", "second"]
+        assert workflow.total_duration() == 30.0
+        assert workflow.upstream_of("second") == ["first"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            Workflow("empty", [])
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            Workflow(
+                "dup",
+                [
+                    WorkflowStep(label="x", tool_id="sleep"),
+                    WorkflowStep(label="x", tool_id="sleep"),
+                ],
+            )
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            Workflow(
+                "fwd",
+                [
+                    WorkflowStep(
+                        label="a",
+                        tool_id="sleep",
+                        inputs={"x": StepInput("b", "out")},
+                    ),
+                    WorkflowStep(label="b", tool_id="sleep"),
+                ],
+            )
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            Workflow(
+                "self",
+                [
+                    WorkflowStep(
+                        label="a", tool_id="sleep", inputs={"x": StepInput("a", "out")}
+                    )
+                ],
+            )
+
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            Workflow("bad", [WorkflowStep(label="a", tool_id="sleep", duration=0)])
+
+    def test_unknown_step_lookup(self):
+        with pytest.raises(WorkflowValidationError):
+            two_step_workflow().step("missing")
+
+
+class TestInvocation:
+    def test_progress_tracking(self):
+        invocation = Invocation(two_step_workflow(), "inv-1")
+        assert not invocation.finished
+        assert invocation.next_step().label == "first"
+        invocation.results["first"].state = StepState.OK
+        assert invocation.next_step().label == "second"
+        assert invocation.completed_steps() == ["first"]
+        assert invocation.progress_fraction() == pytest.approx(10.0 / 30.0)
+
+    def test_resolve_params_wires_outputs(self):
+        workflow = two_step_workflow()
+        invocation = Invocation(workflow, "inv-2")
+        invocation.results["first"].state = StepState.OK
+        invocation.results["first"].outputs = {"slept": 42}
+        params = invocation.resolve_params(workflow.step("second"))
+        assert params["payload"] == 42
+
+    def test_resolve_params_incomplete_upstream(self):
+        workflow = two_step_workflow()
+        invocation = Invocation(workflow, "inv-3")
+        with pytest.raises(WorkflowValidationError):
+            invocation.resolve_params(workflow.step("second"))
+
+    def test_resolve_params_missing_output(self):
+        workflow = two_step_workflow()
+        invocation = Invocation(workflow, "inv-4")
+        invocation.results["first"].state = StepState.OK
+        invocation.results["first"].outputs = {}
+        with pytest.raises(WorkflowValidationError):
+            invocation.resolve_params(workflow.step("second"))
+
+    def test_reset_and_reset_from(self):
+        invocation = Invocation(two_step_workflow(), "inv-5")
+        for label in ("first", "second"):
+            invocation.results[label].state = StepState.OK
+        invocation.reset_from("second")
+        assert invocation.results["first"].state is StepState.OK
+        assert invocation.results["second"].state is StepState.NEW
+        invocation.reset()
+        assert invocation.results["first"].state is StepState.NEW
+
+    def test_ok_property(self):
+        invocation = Invocation(two_step_workflow(), "inv-6")
+        for label in ("first", "second"):
+            invocation.results[label].state = StepState.OK
+        assert invocation.finished and invocation.ok
+        invocation.results["second"].state = StepState.ERROR
+        assert invocation.finished and not invocation.ok
+
+
+class TestHistory:
+    def test_add_and_lookup(self):
+        history = History("h")
+        history.add("reads", "payload-1", step_label="trim")
+        latest = history.add("reads", "payload-2", step_label="trim")
+        assert len(history) == 2
+        assert history.latest("reads") is latest
+        assert history.by_step("trim")[0].content == "payload-1"
+        assert history.names() == ["reads", "reads"]
+
+    def test_missing_dataset_raises(self):
+        with pytest.raises(GalaxyError):
+            History("h").latest("nope")
+
+    def test_dataset_ids_unique(self):
+        history = History("h")
+        a = history.add("x", 1)
+        b = history.add("x", 2)
+        assert a.dataset_id != b.dataset_id
+
+
+class TestToolShed:
+    def test_default_shed_contents(self):
+        shed = default_toolshed()
+        for tool_id in (
+            "fastqc",
+            "multiqc",
+            "cutadapt",
+            "demux",
+            "dada2",
+            "phylogeny",
+            "diversity",
+            "vcf_consensus",
+            "pangolin",
+            "variant_caller",
+            "sleep",
+        ):
+            assert tool_id in shed
+
+    def test_missing_tool_raises(self):
+        with pytest.raises(ToolNotInstalledError):
+            ToolShed().get("fastqc")
+
+    def test_install_and_upgrade(self):
+        shed = ToolShed()
+        shed.install(Tool("t", "T", "1.0", "", lambda p: {}))
+        shed.install(Tool("t", "T", "2.0", "", lambda p: {}))
+        assert shed.get("t").version == "2.0"
+        assert shed.installed() == ["t"]
+
+    def test_tool_failure_wrapped(self):
+        def broken(params):
+            raise ValueError("boom")
+
+        tool = Tool("b", "B", "1", "", broken)
+        with pytest.raises(GalaxyError) as excinfo:
+            tool.run({})
+        assert "boom" in str(excinfo.value)
+
+    def test_fastqc_tool_runs(self):
+        from repro.bio.fastq import write_fastq
+        from repro.bio.seq import random_genome
+        from repro.bio.fastq import simulate_reads
+        import numpy as np
+
+        reads = simulate_reads(
+            random_genome(300, np.random.default_rng(0)), 10,
+            rng=np.random.default_rng(1),
+        )
+        outputs = default_toolshed().get("fastqc").run(
+            {"fastq": write_fastq(reads), "name": "x"}
+        )
+        assert outputs["report"].n_reads == 10

@@ -1,0 +1,178 @@
+"""Tests for workflow serialization and the timeline analysis module."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.errors import WorkflowValidationError
+from repro.galaxy.planemo import PlanemoRunner
+from repro.galaxy.serialize import (
+    workflow_from_dict,
+    workflow_from_ga,
+    workflow_to_dict,
+    workflow_to_ga,
+)
+from repro.galaxy.workflow import StepInput, Workflow, WorkflowStep
+from repro.workloads import build_genome_reconstruction_workflow, build_qiime_workflow
+
+
+class TestWorkflowSerialization:
+    def make_workflow(self):
+        return Workflow(
+            "pipeline",
+            [
+                WorkflowStep(label="a", tool_id="sleep", params={"seconds": 5}, duration=10.0),
+                WorkflowStep(
+                    label="b",
+                    tool_id="sleep",
+                    inputs={"x": StepInput("a", "slept")},
+                    duration=20.0,
+                ),
+            ],
+        )
+
+    def test_dict_roundtrip(self):
+        workflow = self.make_workflow()
+        restored = workflow_from_dict(workflow_to_dict(workflow))
+        assert restored.name == workflow.name
+        assert restored.labels() == workflow.labels()
+        assert restored.step("b").inputs["x"] == StepInput("a", "slept")
+        assert restored.step("a").params["seconds"] == 5
+        assert restored.total_duration() == 30.0
+
+    def test_ga_json_roundtrip(self):
+        workflow = self.make_workflow()
+        text = workflow_to_ga(workflow)
+        document = json.loads(text)
+        assert document["a_galaxy_workflow"] == "true"
+        restored = workflow_from_ga(text)
+        assert restored.labels() == workflow.labels()
+
+    def test_qiime_workflow_roundtrip_and_execution(self):
+        workflow = build_qiime_workflow(duration_hours=0.1)
+        restored = workflow_from_ga(workflow_to_ga(workflow))
+        invocation = PlanemoRunner().run(restored)
+        assert invocation.ok
+
+    def test_genome_reconstruction_roundtrip(self):
+        workflow = build_genome_reconstruction_workflow(duration_hours=0.1)
+        restored = workflow_from_ga(workflow_to_ga(workflow))
+        assert len(restored) == 23
+
+    def test_bad_documents_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            workflow_from_ga("not json")
+        with pytest.raises(WorkflowValidationError):
+            workflow_from_dict({"name": "x", "steps": []})  # missing marker
+        with pytest.raises(WorkflowValidationError):
+            workflow_from_dict({"a_galaxy_workflow": "true", "steps": []})  # no name
+        with pytest.raises(WorkflowValidationError):
+            workflow_from_dict(
+                {
+                    "a_galaxy_workflow": "true",
+                    "name": "x",
+                    "steps": [{"label": "a"}],  # missing tool_id
+                }
+            )
+
+    def test_non_json_params_rejected(self):
+        workflow = Workflow(
+            "bad",
+            [WorkflowStep(label="a", tool_id="sleep", params={"obj": object()})],
+        )
+        with pytest.raises(WorkflowValidationError):
+            workflow_to_ga(workflow)
+
+    def test_import_revalidates_dag(self):
+        document = {
+            "a_galaxy_workflow": "true",
+            "name": "cycle",
+            "steps": [
+                {
+                    "label": "a",
+                    "tool_id": "sleep",
+                    "inputs": {"x": {"source_step": "a", "output_name": "y"}},
+                }
+            ],
+        }
+        with pytest.raises(WorkflowValidationError):
+            workflow_from_dict(document)
+
+
+class TestTimeline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.core import FleetController, SpotVerseConfig
+        from repro.cloud.provider import CloudProvider
+        from repro.strategies import SingleRegionPolicy
+        from repro.workloads import synthetic_workload
+
+        provider = CloudProvider(seed=4)
+        provider.warmup_markets(24)
+        controller = FleetController(
+            provider, SingleRegionPolicy(region="ca-central-1"), SpotVerseConfig()
+        )
+        return controller.run(
+            [synthetic_workload(f"w{i}", duration_hours=8.0) for i in range(8)],
+            max_hours=72,
+        )
+
+    def test_timeline_rows(self, result):
+        from repro.experiments.timeline import timeline_rows
+
+        rows = timeline_rows(result)
+        assert len(rows) == 8
+        for row in rows:
+            assert row["elapsed_h"] is not None
+            assert row["attempts"] >= 1
+            assert row["cost_usd"] > 0
+
+    def test_csv_export_parses(self, result):
+        from repro.experiments.timeline import to_csv
+
+        parsed = list(csv.DictReader(io.StringIO(to_csv(result))))
+        assert len(parsed) == 8
+        assert parsed[0]["workload_id"] == "w0"
+
+    def test_json_export_parses(self, result):
+        from repro.experiments.timeline import to_json
+
+        document = json.loads(to_json(result))
+        assert document["strategy"] == "single-region"
+        assert len(document["workloads"]) == 8
+        assert document["total_interruptions"] == result.total_interruptions
+
+    def test_interruptions_by_hour_sums(self, result):
+        from repro.experiments.timeline import interruptions_by_hour
+
+        by_hour = interruptions_by_hour(result)
+        assert sum(by_hour.values()) == result.total_interruptions
+
+    def test_interruption_concentration_reflects_bursts(self, result):
+        from repro.experiments.timeline import interruption_concentration
+
+        concentration = interruption_concentration(result)
+        # Burst-driven interruptions cluster well above uniform.
+        if result.total_interruptions >= 5:
+            assert concentration > 0.4
+
+    def test_attempt_statistics(self, result):
+        from repro.experiments.timeline import attempt_statistics
+
+        stats = attempt_statistics(result)
+        assert stats["mean_attempts"] >= 1.0
+        assert stats["max_attempts"] >= stats["mean_attempts"]
+        assert 0 <= stats["restart_fraction"] < 1
+
+    def test_empty_fleet_concentration(self):
+        from repro.core.result import FleetResult
+        from repro.experiments.timeline import attempt_statistics, interruption_concentration
+
+        empty = FleetResult(
+            strategy="x", records=[], total_cost=0, instance_cost=0,
+            overhead_cost=0, ended_at=0,
+        )
+        assert interruption_concentration(empty) == 0.0
+        assert attempt_statistics(empty)["mean_attempts"] == 0.0

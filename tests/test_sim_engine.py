@@ -1,0 +1,151 @@
+"""Unit tests for the simulation engine."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.clock import HOUR, MINUTE, format_duration, hours, minutes
+from repro.sim.engine import SimulationEngine
+
+
+def test_clock_starts_at_zero():
+    assert SimulationEngine().now == 0.0
+
+
+def test_call_at_fires_at_requested_time():
+    engine = SimulationEngine()
+    seen = []
+    engine.call_at(10.0, lambda: seen.append(engine.now))
+    engine.run_until(20.0)
+    assert seen == [10.0]
+    assert engine.now == 20.0
+
+
+def test_call_in_is_relative_to_now():
+    engine = SimulationEngine()
+    seen = []
+    engine.call_at(5.0, lambda: engine.call_in(3.0, lambda: seen.append(engine.now)))
+    engine.run_until(100.0)
+    assert seen == [8.0]
+
+
+def test_scheduling_into_the_past_rejected():
+    engine = SimulationEngine()
+    engine.run_until(10.0)
+    with pytest.raises(SchedulingError):
+        engine.call_at(5.0, lambda: None)
+    with pytest.raises(SchedulingError):
+        engine.call_in(-1.0, lambda: None)
+
+
+def test_run_until_does_not_fire_future_events():
+    engine = SimulationEngine()
+    seen = []
+    engine.call_at(50.0, lambda: seen.append("late"))
+    engine.run_until(49.0)
+    assert seen == []
+    engine.run_until(50.0)
+    assert seen == ["late"]
+
+
+def test_run_until_backwards_rejected():
+    engine = SimulationEngine()
+    engine.run_until(10.0)
+    with pytest.raises(SimulationError):
+        engine.run_until(5.0)
+
+
+def test_run_until_idle_drains_queue():
+    engine = SimulationEngine()
+    seen = []
+    engine.call_at(1.0, lambda: engine.call_in(1.0, lambda: seen.append("nested")))
+    engine.run_until_idle()
+    assert seen == ["nested"]
+    assert engine.pending_events == 0
+
+
+def test_run_until_idle_respects_max_time():
+    engine = SimulationEngine()
+    task = engine.every(10.0, lambda: None)
+    engine.run_until_idle(max_time=35.0)
+    assert engine.now == 35.0
+    assert task.invocations == 3
+
+
+def test_periodic_task_fires_on_interval():
+    engine = SimulationEngine()
+    times = []
+    engine.every(MINUTE, lambda: times.append(engine.now))
+    engine.run_until(5 * MINUTE)
+    assert times == [60.0, 120.0, 180.0, 240.0, 300.0]
+
+
+def test_periodic_task_start_at_override():
+    engine = SimulationEngine()
+    times = []
+    engine.every(10.0, lambda: times.append(engine.now), start_at=0.0)
+    engine.run_until(25.0)
+    assert times == [0.0, 10.0, 20.0]
+
+
+def test_periodic_task_cancel_stops_firing():
+    engine = SimulationEngine()
+    count = []
+    task = engine.every(10.0, lambda: count.append(1))
+    engine.run_until(25.0)
+    task.cancel()
+    engine.run_until(100.0)
+    assert len(count) == 2
+    assert task.cancelled
+
+
+def test_periodic_interval_must_be_positive():
+    with pytest.raises(SchedulingError):
+        SimulationEngine().every(0.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    engine = SimulationEngine()
+    seen = []
+    event = engine.call_at(5.0, lambda: seen.append("x"))
+    event.cancel()
+    engine.run_until(10.0)
+    assert seen == []
+
+
+def test_fired_events_counter():
+    engine = SimulationEngine()
+    for t in (1.0, 2.0, 3.0):
+        engine.call_at(t, lambda: None)
+    engine.run_until(10.0)
+    assert engine.fired_events == 3
+
+
+def test_trace_records_labels():
+    engine = SimulationEngine(trace=True)
+    engine.call_at(1.0, lambda: None, label="one")
+    engine.run_until(2.0)
+    assert engine.trace_log == [(1.0, "one")]
+
+
+def test_reset_rewinds_clock_and_drops_events():
+    engine = SimulationEngine()
+    engine.call_at(5.0, lambda: None)
+    engine.run_until(2.0)
+    engine.reset()
+    assert engine.now == 0.0
+    assert engine.pending_events == 0
+
+
+def test_named_streams_are_reproducible():
+    a = SimulationEngine(seed=3).streams.get("x").random()
+    b = SimulationEngine(seed=3).streams.get("x").random()
+    c = SimulationEngine(seed=4).streams.get("x").random()
+    assert a == b
+    assert a != c
+
+
+def test_clock_helpers():
+    assert hours(2) == 2 * HOUR
+    assert minutes(3) == 3 * MINUTE
+    assert format_duration(93784) == "1d 02:03:04"
+    assert format_duration(42.9) == "00:00:42"

@@ -1,0 +1,85 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.events import EventQueue
+
+
+def test_push_and_pop_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.push(5.0, lambda: fired.append("b"), label="b")
+    queue.push(1.0, lambda: fired.append("a"), label="a")
+    queue.push(9.0, lambda: fired.append("c"), label="c")
+    order = []
+    while queue:
+        order.append(queue.pop().label)
+    assert order == ["a", "b", "c"]
+
+
+def test_equal_times_fire_in_scheduling_order():
+    queue = EventQueue()
+    for name in ("first", "second", "third"):
+        queue.push(2.0, lambda: None, label=name)
+    assert [queue.pop().label for _ in range(3)] == ["first", "second", "third"]
+
+
+def test_len_counts_live_events():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    first.cancel()
+    assert len(queue) == 1
+
+
+def test_cancelled_event_is_skipped_by_pop():
+    queue = EventQueue()
+    doomed = queue.push(1.0, lambda: None, label="doomed")
+    queue.push(2.0, lambda: None, label="live")
+    doomed.cancel()
+    assert queue.pop().label == "live"
+    assert queue.pop() is None
+
+
+def test_cancel_twice_is_idempotent():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert len(queue) == 0
+
+
+def test_peek_time_skips_cancelled_head():
+    queue = EventQueue()
+    head = queue.push(1.0, lambda: None)
+    queue.push(3.0, lambda: None)
+    head.cancel()
+    assert queue.peek_time() == 3.0
+
+
+def test_peek_time_empty_returns_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_push_none_callback_rejected():
+    with pytest.raises(SchedulingError):
+        EventQueue().push(1.0, None)
+
+
+def test_clear_empties_queue():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.clear()
+    assert not queue
+    assert queue.pop() is None
+
+
+def test_cancelled_flag_exposed():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    assert not event.cancelled
+    event.cancel()
+    assert event.cancelled

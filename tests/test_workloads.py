@@ -1,0 +1,119 @@
+"""Unit tests for workload models and factories."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.clock import HOUR
+from repro.workloads import (
+    build_genome_reconstruction_workflow,
+    build_ngs_preprocessing_workflow,
+    build_qiime_workflow,
+    genome_reconstruction_workload,
+    ngs_preprocessing_workload,
+    standard_general_workload,
+    synthetic_workload,
+)
+from repro.workloads.base import Workload, WorkloadKind
+from repro.galaxy.planemo import PlanemoRunner
+
+
+class TestWorkloadBase:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            Workload("", WorkloadKind.STANDARD, (1.0,))
+        with pytest.raises(WorkloadError):
+            Workload("w", WorkloadKind.STANDARD, ())
+        with pytest.raises(WorkloadError):
+            Workload("w", WorkloadKind.STANDARD, (1.0, -1.0))
+
+    def test_totals(self):
+        workload = Workload("w", WorkloadKind.CHECKPOINT, (10.0, 20.0, 30.0))
+        assert workload.total_duration == 60.0
+        assert workload.n_segments == 3
+        assert workload.checkpointable
+
+    def test_remaining_after(self):
+        workload = Workload("w", WorkloadKind.STANDARD, (10.0, 20.0, 30.0))
+        assert workload.remaining_after(0) == (10.0, 20.0, 30.0)
+        assert workload.remaining_after(2) == (30.0,)
+        assert workload.remaining_after(3) == ()
+        with pytest.raises(WorkloadError):
+            workload.remaining_after(4)
+        with pytest.raises(WorkloadError):
+            workload.remaining_after(-1)
+
+    def test_synthetic_factory(self):
+        workload = synthetic_workload("w", duration_hours=2.0, n_segments=8)
+        assert workload.total_duration == pytest.approx(2.0 * HOUR)
+        assert workload.n_segments == 8
+        assert not workload.checkpointable
+        with pytest.raises(WorkloadError):
+            synthetic_workload("w", duration_hours=0)
+        with pytest.raises(WorkloadError):
+            synthetic_workload("w", n_segments=0)
+
+
+class TestPaperWorkloads:
+    def test_standard_general_envelope(self):
+        workload = standard_general_workload("w", duration_hours=10.5)
+        assert workload.kind is WorkloadKind.STANDARD
+        assert workload.total_duration == pytest.approx(10.5 * HOUR)
+        assert workload.n_segments == 5
+
+    def test_genome_reconstruction_has_23_steps(self):
+        workload = genome_reconstruction_workload("w")
+        assert workload.n_segments == 23
+        assert workload.kind is WorkloadKind.STANDARD
+        assert workload.total_duration == pytest.approx(10.5 * HOUR)
+
+    def test_ngs_preprocessing_checkpointable(self):
+        workload = ngs_preprocessing_workload("w", n_segments=20)
+        assert workload.kind is WorkloadKind.CHECKPOINT
+        assert workload.n_segments == 20
+        assert workload.checkpoint_bytes == 50 * 1024 * 1024
+
+    def test_payloads_run_for_all_segments(self):
+        for factory in (
+            standard_general_workload,
+            genome_reconstruction_workload,
+            ngs_preprocessing_workload,
+        ):
+            workload = factory("w", with_payload=True, seed=3)
+            assert workload.payload is not None
+            for index in range(workload.n_segments):
+                workload.payload(index)  # must not raise
+
+    def test_payload_absent_by_default(self):
+        assert standard_general_workload("w").payload is None
+
+    def test_duration_parameter_scales(self):
+        short = genome_reconstruction_workload("w", duration_hours=5.0)
+        assert short.total_duration == pytest.approx(5.0 * HOUR)
+
+
+class TestGalaxyWorkflowBuilders:
+    def test_qiime_workflow_executes(self):
+        invocation = PlanemoRunner().run(build_qiime_workflow(duration_hours=0.1))
+        assert invocation.ok
+        outputs = invocation.results["diversity-analysis"].outputs
+        assert set(outputs["alpha"]) == {"gut", "soil", "ocean"}
+        if "beta" in outputs:
+            n = len(outputs["beta"]["samples"])
+            matrix = outputs["beta"]["bray_curtis"]
+            assert len(matrix) == n
+            assert all(matrix[i][i] == 0.0 for i in range(n))
+
+    def test_genome_reconstruction_workflow_executes(self):
+        workflow = build_genome_reconstruction_workflow(duration_hours=0.1)
+        assert len(workflow) == 23
+        invocation = PlanemoRunner().run(workflow)
+        assert invocation.ok
+        lineages = invocation.results["lineage-00"].outputs["lineages"]
+        assert lineages and lineages[0] != "unassigned"
+
+    def test_ngs_workflow_executes_with_multiqc(self):
+        workflow = build_ngs_preprocessing_workflow(duration_hours=0.1, n_files=3)
+        invocation = PlanemoRunner().run(workflow)
+        assert invocation.ok
+        summary = invocation.results["multiqc"].outputs["summary"]
+        assert summary["n_samples"] == 3
