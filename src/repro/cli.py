@@ -4,6 +4,7 @@ Subcommands::
 
     spotverse recommend   # where would SpotVerse place work right now?
     spotverse run         # run a workload fleet under a strategy
+    spotverse obs         # run with telemetry: JSONL event stream + run report
     spotverse experiment  # regenerate one of the paper's tables/figures
     spotverse report      # regenerate every experiment
     spotverse datasets    # summarize the synthetic spot datasets
@@ -21,6 +22,7 @@ from repro.cloud.provider import CloudProvider
 from repro.core.config import SpotVerseConfig
 from repro.core.controller import FleetController
 from repro.core.spotverse import SpotVerse
+from repro.errors import ReproError
 from repro.experiments.report_all import ALL_EXPERIMENTS, run_all
 from repro.experiments.reporting import render_table
 from repro.strategies import (
@@ -92,6 +94,31 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the timeline + aggregates as JSON")
     run.add_argument("--lifelines", action="store_true",
                      help="print per-workload ASCII lifelines after the summary")
+
+    obs = sub.add_parser(
+        "obs",
+        help="run a fleet with telemetry on: JSONL event stream + per-run report",
+    )
+    obs.add_argument("--strategy", default="spotverse",
+                     choices=["spotverse"] + sorted(BASELINE_POLICIES))
+    obs.add_argument("--workload", default="genome", choices=sorted(WORKLOAD_FACTORIES))
+    obs.add_argument("--workloads", type=int, default=12, help="fleet size")
+    obs.add_argument("--duration-hours", type=float, default=10.5)
+    obs.add_argument("--instance-type", default="m5.xlarge")
+    obs.add_argument("--threshold", type=float, default=6.0)
+    obs.add_argument("--start-region", default=None)
+    obs.add_argument("--no-initial-distribution", action="store_true")
+    obs.add_argument("--max-hours", type=float, default=160.0)
+    obs.add_argument("--seed", type=int, default=42)
+    obs.add_argument("--events", default=None, metavar="PATH",
+                     help="write the JSONL event stream (events + metrics snapshot)")
+    obs.add_argument("--from-events", default=None, metavar="PATH",
+                     help="render a report from an existing JSONL stream; no fleet runs")
+    obs.add_argument("--gantt-width", type=int, default=64,
+                     help="character width of the span timeline")
+    obs.add_argument("--profile", action="store_true",
+                     help="also print the engine's wall-clock profile "
+                          "(events/sec, hottest callback labels)")
 
     experiment = sub.add_parser("experiment", help="regenerate one paper experiment")
     experiment.add_argument(
@@ -196,6 +223,59 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.all_complete else 1
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import RunReport, Telemetry, write_jsonl
+
+    if args.from_events:
+        try:
+            report = RunReport.from_jsonl(args.from_events)
+        except (OSError, ReproError) as exc:
+            print(f"error: cannot read event stream {args.from_events!r}: {exc}")
+            return 2
+        print(report.render(gantt_width=args.gantt_width))
+        return 0
+
+    factory = WORKLOAD_FACTORIES[args.workload]
+    fleet = [
+        factory(f"wl-{i:03d}", duration_hours=args.duration_hours)
+        for i in range(args.workloads)
+    ]
+    config = SpotVerseConfig(
+        instance_type=args.instance_type,
+        score_threshold=args.threshold,
+        initial_distribution=not args.no_initial_distribution,
+        start_region=args.start_region,
+    )
+    telemetry = Telemetry()
+    provider = CloudProvider(seed=args.seed, telemetry=telemetry)
+    if args.profile:
+        provider.engine.trace = True
+    if args.strategy == "spotverse":
+        result = SpotVerse(provider, config).run(fleet, max_hours=args.max_hours)
+    else:
+        provider.warmup_markets(48)
+        policy = BASELINE_POLICIES[args.strategy](args)
+        controller = FleetController(provider, policy, config)
+        result = controller.run(fleet, max_hours=args.max_hours)
+
+    print(result.summary())
+    print()
+    print(RunReport.from_telemetry(telemetry).render(gantt_width=args.gantt_width))
+    if args.events:
+        try:
+            lines = write_jsonl(args.events, telemetry)
+        except OSError as exc:
+            print(f"error: cannot write event stream {args.events!r}: {exc}")
+            return 2
+        print()
+        print(f"event stream written to {args.events} ({lines} lines)")
+    if args.profile and provider.engine.tracer is not None:
+        print()
+        print("engine wall-clock profile:")
+        print(provider.engine.tracer.report())
+    return 0 if result.all_complete else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     for experiment_id, title, runner in ALL_EXPERIMENTS:
         if experiment_id == args.experiment_id:
@@ -262,6 +342,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_recommend(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "obs":
+            return _cmd_obs(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
         if args.command == "report":

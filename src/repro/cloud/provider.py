@@ -27,6 +27,7 @@ from repro.cloud.services.lambda_ import LambdaService
 from repro.cloud.services.s3 import S3Service
 from repro.cloud.services.stepfunctions import StepFunctionsService
 from repro.errors import CloudError
+from repro.obs import Telemetry
 from repro.sim.clock import HOUR
 from repro.sim.engine import SimulationEngine
 
@@ -43,6 +44,10 @@ class CloudProvider:
             regimes; experiments may pass a date-shifted override book).
         market_step_interval: Seconds between market steps.
         seed: Master seed when *engine* is omitted.
+        telemetry: Observability bundle (event bus + metrics registry)
+            the control plane emits into; a fresh one is created when
+            omitted.  Experiment drivers pass a shared bundle to
+            stream a run to JSONL or aggregate across fleets.
     """
 
     def __init__(
@@ -53,8 +58,11 @@ class CloudProvider:
         profiles: Optional[MarketProfileBook] = None,
         market_step_interval: float = HOUR,
         seed: int = 0,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.engine = engine or SimulationEngine(seed=seed)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.telemetry.bus.attach_clock(lambda: self.engine.now)
         self.regions = regions or default_region_catalog()
         self.instances = instances or default_instance_catalog()
         self.profiles = profiles or default_market_profiles(self.regions, self.instances)

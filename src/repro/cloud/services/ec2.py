@@ -36,6 +36,7 @@ from repro.errors import (
     InstanceNotFoundError,
     SpotRequestError,
 )
+from repro.obs import EventType
 from repro.sim.clock import HOUR
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -151,6 +152,7 @@ class EC2Service:
     def __init__(self, provider: "CloudProvider") -> None:
         self._provider = provider
         self._engine = provider.engine
+        self._telemetry = provider.telemetry
         self._rng = provider.engine.streams.get("ec2")
         self._instances: Dict[str, Instance] = {}
         self._requests: Dict[str, SpotRequest] = {}
@@ -174,7 +176,15 @@ class EC2Service:
         """
         self._provider.regions.get(region)
         self._provider.instances.get(instance_type)
-        return self._launch(region, instance_type, InstanceLifecycle.ON_DEMAND, tag)
+        instance = self._launch(region, instance_type, InstanceLifecycle.ON_DEMAND, tag)
+        self._telemetry.bus.emit(
+            EventType.ON_DEMAND_LAUNCHED,
+            workload_id=tag,
+            region=region,
+            instance_id=instance.instance_id,
+            option=InstanceLifecycle.ON_DEMAND.value,
+        )
+        return instance
 
     def request_spot_instances(
         self,
@@ -203,6 +213,16 @@ class EC2Service:
             tag=tag,
         )
         self._requests[request.request_id] = request
+        self._telemetry.bus.emit(
+            EventType.SPOT_REQUESTED,
+            workload_id=tag,
+            region=region,
+            request_id=request.request_id,
+            option=InstanceLifecycle.SPOT.value,
+        )
+        self._telemetry.metrics.counter(
+            "spot_requests_total", "spot requests filed"
+        ).inc(region=region)
         self._attempt_fulfillment(request, on_fulfilled)
         return request
 
@@ -229,6 +249,12 @@ class EC2Service:
             raise SpotRequestError(f"unknown spot request {request_id!r}")
         if request.state is SpotRequestState.OPEN:
             request.state = SpotRequestState.CANCELLED
+            self._telemetry.bus.emit(
+                EventType.SPOT_REQUEST_CANCELLED,
+                workload_id=request.tag,
+                region=request.region,
+                request_id=request.request_id,
+            )
 
     def _attempt_fulfillment(
         self,
@@ -263,6 +289,20 @@ class EC2Service:
             )
             request.state = SpotRequestState.ACTIVE
             request.instance_id = instance.instance_id
+            latency = self._engine.now - request.created_at
+            self._telemetry.bus.emit(
+                EventType.SPOT_FULFILLED,
+                workload_id=request.tag,
+                region=request.region,
+                instance_id=instance.instance_id,
+                request_id=request.request_id,
+                option=InstanceLifecycle.SPOT.value,
+                latency=latency,
+                attempts=request.attempts,
+            )
+            self._telemetry.metrics.histogram(
+                "spot_fulfillment_latency_seconds", "request-to-launch latency"
+            ).observe(latency, region=request.region)
             if on_fulfilled is not None:
                 on_fulfilled(request, instance)
 
@@ -322,6 +362,17 @@ class EC2Service:
         now = self._engine.now
         instance.state = InstanceState.INTERRUPTING
         self.interruption_log.append((now, instance.instance_id, instance.region, instance.tag))
+        self._telemetry.bus.emit(
+            EventType.INTERRUPTION_WARNING,
+            workload_id=instance.tag,
+            region=instance.region,
+            instance_id=instance.instance_id,
+            option=instance.lifecycle.value,
+            uptime=instance.uptime(now),
+        )
+        self._telemetry.metrics.counter(
+            "interruptions_total", "two-minute interruption warnings"
+        ).inc(region=instance.region)
         self._provider.eventbridge.put_event(
             source="aws.ec2",
             detail_type="EC2 Spot Instance Interruption Warning",
@@ -349,6 +400,12 @@ class EC2Service:
         instance.state = InstanceState.INTERRUPTED
         instance.end_time = now
         self._release_capacity(instance)
+        self._telemetry.bus.emit(
+            EventType.INSTANCE_RECLAIMED,
+            workload_id=instance.tag,
+            region=instance.region,
+            instance_id=instance.instance_id,
+        )
 
     # ------------------------------------------------------------------
     # Termination and billing
@@ -381,6 +438,9 @@ class EC2Service:
         amount = price * dt / HOUR
         instance.accrued_cost += amount
         instance._last_billed = now
+        self._telemetry.metrics.counter(
+            "cost_accrued_usd", "instance spend by region and purchasing option"
+        ).inc(amount, region=instance.region, purchasing_option=instance.lifecycle.value)
         self._provider.ledger.charge(
             time=now,
             category=category,

@@ -29,6 +29,7 @@ from repro.core.policy import Placement, PlacementPolicy, PolicyContext, Purchas
 from repro.core.result import FleetResult
 from repro.errors import ExperimentError
 from repro.galaxy.checkpoint import DynamoCheckpointStore
+from repro.obs import EventType
 from repro.sim.clock import HOUR, MINUTE
 from repro.workloads.base import Workload
 
@@ -57,6 +58,7 @@ class FleetController:
         self._config = config
         self._image_id = image_id
         self._engine = provider.engine
+        self._telemetry = provider.telemetry
         self._ctx = PolicyContext(
             provider=provider,
             monitor=monitor,
@@ -107,12 +109,28 @@ class FleetController:
     # ------------------------------------------------------------------
     # Acquisition paths
     # ------------------------------------------------------------------
-    def _acquire(self, execution: WorkloadExecution, placement: Placement) -> None:
+    def _acquire(
+        self, execution: WorkloadExecution, placement: Placement, phase: str = "initial"
+    ) -> None:
         workload_id = execution.workload.workload_id
         if placement.option is PurchasingOption.ON_DEMAND:
+            self._telemetry.bus.emit(
+                EventType.FALLBACK_ON_DEMAND,
+                workload_id=workload_id,
+                region=placement.region,
+                option=PurchasingOption.ON_DEMAND.value,
+                phase=phase,
+            )
+            self._telemetry.metrics.counter(
+                "fallback_on_demand_total", "placements that resolved to on-demand"
+            ).inc(region=placement.region)
             instance = self._provider.ec2.run_on_demand(
                 placement.region, self._config.instance_type, tag=workload_id
             )
+            # On-demand instances join the same instance map spot
+            # fulfillments use, so spans and terminations see one
+            # uniform view of running capacity.
+            self._by_instance[instance.instance_id] = execution
             execution.attach(instance)
             return
         request = self._provider.ec2.request_spot_instances(
@@ -137,18 +155,19 @@ class FleetController:
         execution.attach(instance)
 
     def _sweep_open_requests(self) -> None:
-        """The 15-minute CloudWatch check for open spot requests."""
-        for request_id, workload_id in list(self._open_requests.items()):
-            request = next(
-                (
-                    req
-                    for req in self._provider.ec2.describe_spot_requests(
-                        states=[SpotRequestState.OPEN]
-                    )
-                    if req.request_id == request_id
-                ),
-                None,
+        """The 15-minute CloudWatch check for open spot requests.
+
+        One ``describe_spot_requests`` call per sweep, indexed by id —
+        not one per tracked request, which made large fleets quadratic.
+        """
+        open_by_id = {
+            request.request_id: request
+            for request in self._provider.ec2.describe_spot_requests(
+                states=[SpotRequestState.OPEN]
             )
+        }
+        for request_id, workload_id in list(self._open_requests.items()):
+            request = open_by_id.get(request_id)
             if request is None:
                 continue
             execution = self._executions.get(workload_id)
@@ -170,6 +189,15 @@ class FleetController:
         if execution is None or execution.state is ExecutionState.DONE:
             return "ignored"
         lost_region = execution.handle_interruption_notice()
+        self._telemetry.bus.emit(
+            EventType.MIGRATION_STARTED,
+            workload_id=execution.workload.workload_id,
+            region=lost_region,
+            instance_id=instance_id,
+        )
+        self._telemetry.metrics.counter(
+            "migrations_started_total", "reacquisitions kicked off by interruptions"
+        ).inc(region=lost_region)
         self._provider.stepfunctions.start_execution(
             "spotverse-reacquire",
             input={
@@ -188,7 +216,7 @@ class FleetController:
         placement = self._policy.migration_placement(
             execution.workload, input["exclude_region"], self._ctx
         )
-        self._acquire(execution, placement)
+        self._acquire(execution, placement, phase="migration")
         return placement.region
 
     # ------------------------------------------------------------------
@@ -232,6 +260,12 @@ class FleetController:
             self._executions[workload.workload_id] = execution
             # History-aware policies read live records via the context.
             self._ctx.records[workload.workload_id] = execution.record
+            self._telemetry.bus.emit(
+                EventType.WORKLOAD_SUBMITTED,
+                workload_id=workload.workload_id,
+                kind=workload.kind.value,
+                segments=len(workload.segment_durations),
+            )
 
         placements = self._policy.initial_placements(workloads, self._ctx)
         if len(placements) != len(workloads):

@@ -17,6 +17,7 @@ from repro.cloud.services.ec2 import Instance, InstanceLifecycle
 from repro.core.result import WorkloadRecord
 from repro.errors import WorkloadError
 from repro.galaxy.checkpoint import CheckpointStore
+from repro.obs import EventType
 from repro.sim.events import Event
 from repro.workloads.base import Workload
 
@@ -96,6 +97,7 @@ class WorkloadExecution:
         self.workload = workload
         self._provider = provider
         self._engine = provider.engine
+        self._telemetry = provider.telemetry
         self._store = checkpoint_store
         self._bucket = results_bucket
         self._boot_delay = boot_delay
@@ -133,8 +135,32 @@ class WorkloadExecution:
             raise WorkloadError(
                 f"workload {self.workload.workload_id!r} is already complete"
             )
+        was_interrupted = self.state is ExecutionState.INTERRUPTED
         self.instance = instance
         self.state = ExecutionState.BOOTING
+        self._telemetry.bus.emit(
+            EventType.INSTANCE_ATTACHED,
+            workload_id=self.workload.workload_id,
+            region=instance.region,
+            instance_id=instance.instance_id,
+            option=instance.lifecycle.value,
+        )
+        if was_interrupted and self.record.interruptions:
+            lost_at, lost_region = self.record.interruptions[-1]
+            latency = self._engine.now - lost_at
+            self._telemetry.bus.emit(
+                EventType.MIGRATION_COMPLETED,
+                workload_id=self.workload.workload_id,
+                region=instance.region,
+                instance_id=instance.instance_id,
+                option=instance.lifecycle.value,
+                latency=latency,
+                from_region=lost_region,
+            )
+            self._telemetry.metrics.histogram(
+                "migration_latency_seconds",
+                "interruption warning to replacement instance attach",
+            ).observe(latency, to_region=instance.region)
         self.record.attempts += 1
         self.record.regions.append(instance.region)
         self.record.attempt_starts.append(self._engine.now)
@@ -154,6 +180,13 @@ class WorkloadExecution:
     def _begin_running(self) -> None:
         self._boot_event = None
         self.state = ExecutionState.RUNNING
+        self._telemetry.bus.emit(
+            EventType.WORKLOAD_RUNNING,
+            workload_id=self.workload.workload_id,
+            region=self.instance.region if self.instance else "",
+            instance_id=self.instance.instance_id if self.instance else "",
+            completed_segments=self.completed_segments,
+        )
         if self.workload.input_bytes > 0 and self.instance is not None:
             # The user-data script downloads the input dataset on every
             # boot; running outside the data's home region pays the
@@ -162,9 +195,19 @@ class WorkloadExecution:
         if self.workload.checkpointable:
             # Resume from the latest durable checkpoint (the replacement
             # instance downloads state the dying instance uploaded).
-            self.completed_segments = max(
-                self.completed_segments, self._store.load(self.workload.workload_id)
-            )
+            restored = self._store.load(self.workload.workload_id)
+            if restored > self.completed_segments:
+                self.completed_segments = restored
+            if restored > 0 and self.record.attempts > 1:
+                self._telemetry.bus.emit(
+                    EventType.CHECKPOINT_RESTORED,
+                    workload_id=self.workload.workload_id,
+                    region=self.instance.region if self.instance else "",
+                    segments=restored,
+                )
+                self._telemetry.metrics.counter(
+                    "checkpoint_restores_total", "resumes from a durable checkpoint"
+                ).inc()
         self._schedule_next_segment()
 
     def _schedule_next_segment(self) -> None:
@@ -182,6 +225,9 @@ class WorkloadExecution:
         self._segment_event = None
         index = self.completed_segments
         self.completed_segments += 1
+        self._telemetry.metrics.counter(
+            "segments_completed_total", "workload segments finished"
+        ).inc()
         if self._execute_payloads and self.workload.payload is not None:
             self.workload.payload(index)
         if self.workload.checkpointable:
@@ -198,6 +244,20 @@ class WorkloadExecution:
         self.state = ExecutionState.DONE
         now = self._engine.now
         self.record.completed_at = now
+        self._telemetry.bus.emit(
+            EventType.WORKLOAD_DONE,
+            workload_id=self.workload.workload_id,
+            region=self.instance.region if self.instance else "",
+            attempts=self.record.attempts,
+            interruptions=self.record.n_interruptions,
+            elapsed=now - self.record.submitted_at,
+        )
+        self._telemetry.metrics.counter(
+            "workloads_completed_total", "workloads run to completion"
+        ).inc()
+        self._telemetry.metrics.histogram(
+            "workload_completion_seconds", "submission to completion"
+        ).observe(now - self.record.submitted_at)
         if self.instance is not None and self.instance.is_live:
             self._provider.ec2.terminate_instances([self.instance.instance_id])
         # Activity log to S3 (the paper stores run details for cost and
@@ -249,6 +309,20 @@ class WorkloadExecution:
                 self.completed_segments,
                 detail={"interrupted_in": region},
             )
+            self._telemetry.bus.emit(
+                EventType.CHECKPOINT_SAVED,
+                workload_id=self.workload.workload_id,
+                region=region,
+                segments=self.completed_segments,
+                bytes=self.workload.checkpoint_bytes,
+                backend="efs" if self._efs_artifacts is not None else "s3",
+            )
+            self._telemetry.metrics.counter(
+                "checkpoint_saves_total", "interruption-time checkpoint persists"
+            ).inc(region=region)
+            self._telemetry.metrics.counter(
+                "checkpoint_bytes_total", "checkpoint payload bytes persisted"
+            ).inc(float(self.workload.checkpoint_bytes))
             if self._efs_artifacts is not None:
                 # Section 7 alternative: an intra-region EFS write,
                 # replicated toward the results region out-of-band.

@@ -20,6 +20,7 @@ from repro.core.monitor import Monitor
 from repro.core.optimizer import SpotVerseOptimizer
 from repro.core.policy import PlacementPolicy
 from repro.core.result import FleetResult
+from repro.obs import Telemetry
 from repro.workloads.base import Workload
 
 #: Builds the policy for an arm.  Receives the provider, the arm's
@@ -53,6 +54,10 @@ class ArmSpec:
         profile_overrides: Optional market-regime overrides (e.g. the
             threshold study's collection date).
         warmup_steps: Market pre-roll before the run.
+        telemetry: Observability hook: a bundle the arm's provider
+            emits into (e.g. one wired to a JSONL subscriber, or a
+            shared registry when a driver wants cross-arm aggregation).
+            Each arm gets a fresh bundle when omitted.
     """
 
     name: str
@@ -64,6 +69,7 @@ class ArmSpec:
     max_hours: float = 160.0
     profile_overrides: Optional[Mapping[Tuple[str, str], Mapping[str, float]]] = None
     warmup_steps: int = 48
+    telemetry: Optional[Telemetry] = None
 
 
 @dataclass
@@ -79,13 +85,18 @@ class ArmResult:
         """The arm's label."""
         return self.spec.name
 
+    @property
+    def telemetry(self) -> Telemetry:
+        """The arm's observability bundle (event bus + metrics)."""
+        return self.provider.telemetry
+
 
 def run_arm(spec: ArmSpec) -> ArmResult:
     """Execute one arm and return its result."""
     profiles = default_market_profiles()
     if spec.profile_overrides is not None:
         profiles = profiles.with_overrides(spec.profile_overrides)
-    provider = CloudProvider(seed=spec.seed, profiles=profiles)
+    provider = CloudProvider(seed=spec.seed, profiles=profiles, telemetry=spec.telemetry)
     if spec.warmup_steps:
         provider.warmup_markets(spec.warmup_steps)
     monitor = Monitor(

@@ -1,0 +1,85 @@
+"""Observability: structured events, sim-time metrics, spans, exports.
+
+One :class:`Telemetry` bundle — an :class:`~repro.obs.events.EventBus`
+plus a :class:`~repro.obs.metrics.MetricsRegistry` — rides on every
+:class:`~repro.cloud.provider.CloudProvider`.  The control plane emits
+typed lifecycle events and updates named metrics as it works; span
+trees, JSONL archives, and run reports are all derived views over that
+one stream.  See ``docs/architecture.md`` ("Observability") for the
+event taxonomy and metric names.
+
+Layering: ``obs`` imports only ``sim`` (for the engine tracer) and
+``errors``; ``cloud`` and ``core`` import ``obs``, never the reverse.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.obs.events import EventBus, EventType, TelemetryEvent
+from repro.obs.export import (
+    RunReport,
+    read_jsonl,
+    render_gantt,
+    validate_stream,
+    write_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Sample
+from repro.obs.spans import (
+    EngineTracer,
+    LabelStats,
+    Span,
+    WorkloadSpanTree,
+    build_spans,
+)
+
+
+class Telemetry:
+    """The per-provider observability bundle: one bus, one registry.
+
+    Args:
+        bus: Event bus to use (fresh one when omitted).
+        metrics: Metrics registry to use (fresh one when omitted).
+        clock: Optional sim clock for the bus; the provider attaches
+            its engine clock on construction regardless.
+    """
+
+    def __init__(
+        self,
+        bus: Optional[EventBus] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.bus = bus if bus is not None else EventBus(clock=clock)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def report(self) -> RunReport:
+        """Snapshot the current state into a renderable run report."""
+        return RunReport.from_telemetry(self)
+
+    def export_jsonl(self, path: str) -> int:
+        """Write events + metrics snapshot to *path*; returns lines written."""
+        return write_jsonl(path, self)
+
+
+__all__ = [
+    "Counter",
+    "EngineTracer",
+    "EventBus",
+    "EventType",
+    "Gauge",
+    "Histogram",
+    "LabelStats",
+    "MetricsRegistry",
+    "RunReport",
+    "Sample",
+    "Span",
+    "Telemetry",
+    "TelemetryEvent",
+    "WorkloadSpanTree",
+    "build_spans",
+    "read_jsonl",
+    "render_gantt",
+    "validate_stream",
+    "write_jsonl",
+]

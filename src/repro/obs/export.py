@@ -1,0 +1,347 @@
+"""Telemetry exporters: JSONL event streams and run reports.
+
+Two consumers, one format:
+
+* :func:`write_jsonl` persists a run — every bus event plus a final
+  metrics snapshot — as one JSON object per line, tagged ``"kind":
+  "event"`` or ``"kind": "metric"``.
+* :class:`RunReport` renders the per-run summary (cost by region and
+  purchasing option, interruption/migration tables, per-workload span
+  Gantt rows) either live from a :class:`~repro.obs.Telemetry` bundle
+  or offline from a previously written JSONL file, so a run stays
+  inspectable long after its provider is gone.
+
+:func:`validate_stream` is the ordering/causality checker the
+integration tests (and sceptical humans) run over a stream.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.obs.events import EventType, TelemetryEvent
+from repro.obs.metrics import Sample
+from repro.obs.spans import WorkloadSpanTree, build_spans
+
+#: Gantt glyph per phase name.
+PHASE_GLYPHS = {"request": ".", "boot": ":", "run": "=", "migrating": "x"}
+
+
+# ----------------------------------------------------------------------
+# JSONL round trip
+# ----------------------------------------------------------------------
+def stream_lines(
+    events: Iterable[TelemetryEvent], samples: Iterable[Sample] = ()
+) -> List[str]:
+    """Serialise events then metric samples as JSONL lines."""
+    lines = []
+    for event in events:
+        record = {"kind": "event"}
+        record.update(event.to_dict())
+        lines.append(json.dumps(record, sort_keys=True))
+    for sample in samples:
+        record = sample.to_dict()
+        # The sample's own kind (counter/gauge/histogram) moves aside so
+        # the line tag can distinguish event lines from metric lines.
+        record["metric_kind"] = record.pop("kind")
+        record["kind"] = "metric"
+        lines.append(json.dumps(record, sort_keys=True))
+    return lines
+
+
+def write_jsonl(path: str, telemetry) -> int:
+    """Write a telemetry bundle's events + metrics snapshot to *path*.
+
+    Returns the number of lines written.
+    """
+    lines = stream_lines(list(telemetry.bus), telemetry.metrics.collect())
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+def read_jsonl(path: str) -> Tuple[List[TelemetryEvent], List[Sample]]:
+    """Read a stream written by :func:`write_jsonl`."""
+    events: List[TelemetryEvent] = []
+    samples: List[Sample] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                kind = record.pop("kind", "event")
+                if kind == "event":
+                    events.append(TelemetryEvent.from_dict(record))
+                else:
+                    samples.append(
+                        Sample(
+                            name=record["name"],
+                            kind=record.get("metric_kind", "counter"),
+                            labels=tuple(sorted(record.get("labels", {}).items())),
+                            value=float(record["value"]),
+                            count=record.get("count"),
+                        )
+                    )
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ReproError(
+                    f"{path}:{lineno}: not a telemetry stream line ({exc})"
+                ) from exc
+    return events, samples
+
+
+# ----------------------------------------------------------------------
+# Stream validation (ordering + causality guarantees)
+# ----------------------------------------------------------------------
+def validate_stream(events: Sequence[TelemetryEvent]) -> List[str]:
+    """Check a stream's ordering and per-workload causality.
+
+    Returns a list of human-readable problems (empty = valid):
+
+    * ``seq`` strictly increasing and ``time`` non-decreasing;
+    * a fulfillment references an earlier request with the same id;
+    * migrations start only after an interruption warning, complete
+      only after a start;
+    * nothing happens to a workload after its ``workload.done``.
+    """
+    problems: List[str] = []
+    last_seq = -1
+    last_time = float("-inf")
+    requested: set = set()
+    warnings: Dict[str, int] = defaultdict(int)
+    migration_starts: Dict[str, int] = defaultdict(int)
+    migration_completes: Dict[str, int] = defaultdict(int)
+    done: set = set()
+
+    for event in events:
+        if event.seq <= last_seq:
+            problems.append(f"seq not increasing at seq={event.seq}")
+        last_seq = event.seq
+        if event.time < last_time:
+            problems.append(f"time went backwards at seq={event.seq}")
+        last_time = event.time
+
+        wid = event.workload_id
+        if wid and wid in done:
+            problems.append(
+                f"{event.type.value} for {wid!r} after workload.done (seq={event.seq})"
+            )
+        if event.type is EventType.SPOT_REQUESTED:
+            requested.add(event.request_id)
+        elif event.type is EventType.SPOT_FULFILLED:
+            if event.request_id not in requested:
+                problems.append(
+                    f"fulfillment of unknown request {event.request_id!r} (seq={event.seq})"
+                )
+        elif event.type is EventType.INTERRUPTION_WARNING:
+            warnings[wid] += 1
+        elif event.type is EventType.MIGRATION_STARTED:
+            migration_starts[wid] += 1
+            if migration_starts[wid] > warnings[wid]:
+                problems.append(
+                    f"migration.started without a prior interruption warning "
+                    f"for {wid!r} (seq={event.seq})"
+                )
+        elif event.type is EventType.MIGRATION_COMPLETED:
+            migration_completes[wid] += 1
+            if migration_completes[wid] > migration_starts[wid]:
+                problems.append(
+                    f"migration.completed without a prior migration.started "
+                    f"for {wid!r} (seq={event.seq})"
+                )
+        elif event.type is EventType.WORKLOAD_DONE:
+            done.add(wid)
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Report rendering
+# ----------------------------------------------------------------------
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Minimal aligned table (obs may not import experiments.reporting)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_gantt(
+    trees: Dict[str, WorkloadSpanTree], width: int = 64, end_time: Optional[float] = None
+) -> str:
+    """ASCII Gantt: one row per workload, one glyph per phase bucket.
+
+    Legend: ``.`` waiting for capacity, ``:`` booting, ``=`` running,
+    ``x`` migrating after an interruption.
+    """
+    if not trees:
+        return "(no workload spans)"
+    start = min(tree.root.start for tree in trees.values())
+    ends = [tree.root.end for tree in trees.values() if tree.root.end is not None]
+    horizon = end_time if end_time is not None else (max(ends) if ends else start + 1.0)
+    span_all = max(horizon - start, 1e-9)
+    scale = width / span_all
+    rows = []
+    for wid in sorted(trees):
+        tree = trees[wid]
+        cells = [" "] * width
+        for phase in tree.phases:
+            glyph = PHASE_GLYPHS.get(phase.name, "?")
+            phase_end = phase.end if phase.end is not None else horizon
+            lo = int((phase.start - start) * scale)
+            hi = max(lo + 1, int((phase_end - start) * scale))
+            for index in range(lo, min(hi, width)):
+                cells[index] = glyph
+        suffix = (
+            f"{tree.n_interruptions} intr" if tree.n_interruptions else ""
+        )
+        status = "" if tree.root.end is not None else "  [unfinished]"
+        rows.append(f"{wid:<12s} |{''.join(cells)}| {suffix}{status}".rstrip())
+    header = (
+        f"t=0 is {start:.0f}s, full width is {span_all / 3600.0:.2f}h "
+        f"(. request, : boot, = run, x migrating)"
+    )
+    return "\n".join([header] + rows)
+
+
+class RunReport:
+    """Per-run summary assembled from an event stream + metric samples."""
+
+    def __init__(self, events: List[TelemetryEvent], samples: List[Sample]) -> None:
+        self.events = events
+        self.samples = samples
+        self.spans = build_spans(events)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_telemetry(cls, telemetry) -> "RunReport":
+        """Build from a live :class:`~repro.obs.Telemetry` bundle."""
+        return cls(list(telemetry.bus), telemetry.metrics.collect())
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "RunReport":
+        """Build from a stream previously written by :func:`write_jsonl`."""
+        events, samples = read_jsonl(path)
+        return cls(events, samples)
+
+    # -- views ----------------------------------------------------------
+    def _count(self, type: EventType) -> int:
+        return sum(1 for event in self.events if event.type is type)
+
+    def cost_rows(self) -> List[Tuple[str, str, float]]:
+        """``(region, purchasing_option, usd)`` rows from the cost metric."""
+        rows = []
+        for sample in self.samples:
+            if sample.name != "cost_accrued_usd":
+                continue
+            labels = dict(sample.labels)
+            rows.append(
+                (labels.get("region", "?"), labels.get("purchasing_option", "?"), sample.value)
+            )
+        rows.sort()
+        return rows
+
+    def interruption_rows(self) -> List[Tuple[str, int]]:
+        """``(region, count)`` interruption rows, busiest first."""
+        counts: Dict[str, int] = defaultdict(int)
+        for event in self.events:
+            if event.type is EventType.INTERRUPTION_WARNING:
+                counts[event.region or "?"] += 1
+        return sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+
+    def migration_stats(self) -> Tuple[int, int, float]:
+        """``(started, completed, mean latency seconds)``."""
+        started = self._count(EventType.MIGRATION_STARTED)
+        latencies = [
+            float(event.attrs.get("latency", 0.0))
+            for event in self.events
+            if event.type is EventType.MIGRATION_COMPLETED
+        ]
+        mean = sum(latencies) / len(latencies) if latencies else 0.0
+        return started, len(latencies), mean
+
+    # -- rendering ------------------------------------------------------
+    def render(self, gantt_width: int = 64) -> str:
+        """The full multi-section run report."""
+        lines: List[str] = []
+        first = self.events[0].time if self.events else 0.0
+        last = self.events[-1].time if self.events else 0.0
+        submitted = self._count(EventType.WORKLOAD_SUBMITTED)
+        finished = self._count(EventType.WORKLOAD_DONE)
+        lines.append(
+            f"events              : {len(self.events)} "
+            f"(t={first:.0f}s .. t={last:.0f}s)"
+        )
+        lines.append(f"workloads           : {finished}/{submitted} complete")
+        lines.append(
+            f"spot requests       : {self._count(EventType.SPOT_REQUESTED)} filed, "
+            f"{self._count(EventType.SPOT_FULFILLED)} fulfilled, "
+            f"{self._count(EventType.SPOT_REQUEST_CANCELLED)} cancelled"
+        )
+        started, completed, mean_latency = self.migration_stats()
+        lines.append(
+            f"interruptions       : {self._count(EventType.INTERRUPTION_WARNING)} "
+            f"(migrations {completed}/{started} complete, "
+            f"mean latency {mean_latency / 60.0:.1f} min)"
+        )
+        lines.append(
+            f"on-demand fallbacks : {self._count(EventType.FALLBACK_ON_DEMAND)}"
+        )
+        checkpoints = self._count(EventType.CHECKPOINT_SAVED)
+        restores = self._count(EventType.CHECKPOINT_RESTORED)
+        if checkpoints or restores:
+            lines.append(
+                f"checkpoints         : {checkpoints} saved, {restores} restored"
+            )
+
+        cost_rows = self.cost_rows()
+        if cost_rows:
+            total = sum(value for _, _, value in cost_rows)
+            lines.append("")
+            lines.append(f"instance cost by region / purchasing option (total ${total:.2f}):")
+            lines.append(
+                _table(
+                    ["region", "option", "usd"],
+                    [
+                        [region, option, f"{value:.2f}"]
+                        for region, option, value in cost_rows
+                    ],
+                )
+            )
+
+        interruption_rows = self.interruption_rows()
+        if interruption_rows:
+            lines.append("")
+            lines.append("interruptions by region:")
+            lines.append(
+                _table(
+                    ["region", "count"],
+                    [[region, str(count)] for region, count in interruption_rows],
+                )
+            )
+
+        if self.spans:
+            lines.append("")
+            lines.append("workload span timeline:")
+            lines.append(render_gantt(self.spans, width=gantt_width))
+        return "\n".join(lines)
+
+
+__all__ = [
+    "PHASE_GLYPHS",
+    "RunReport",
+    "read_jsonl",
+    "render_gantt",
+    "stream_lines",
+    "validate_stream",
+    "write_jsonl",
+]

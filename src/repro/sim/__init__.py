@@ -20,16 +20,20 @@ from repro.sim.clock import (
 from repro.sim.engine import SimulationEngine
 from repro.sim.events import Event, EventQueue
 from repro.sim.rng import RandomStreams
+from repro.sim.trace import EngineTracer, LabelStats, TraceRecord
 
 __all__ = [
     "DAY",
     "HOUR",
     "MINUTE",
     "SECOND",
+    "EngineTracer",
     "Event",
     "EventQueue",
+    "LabelStats",
     "RandomStreams",
     "SimulationEngine",
+    "TraceRecord",
     "format_duration",
     "hours",
     "minutes",

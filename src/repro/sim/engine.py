@@ -14,11 +14,13 @@ concurrency a middleware control plane needs at simulation fidelity.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, Optional
 
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.events import Callback, Event, EventQueue
 from repro.sim.rng import RandomStreams
+from repro.sim.trace import EngineTracer
 
 
 class SimulationEngine:
@@ -26,18 +28,40 @@ class SimulationEngine:
 
     Args:
         seed: Master seed for the engine's :class:`RandomStreams`.
-        trace: When true, every fired event is appended to
-            :attr:`trace_log` as ``(time, label)`` for debugging.
+        trace: When true, every fired event is recorded by an
+            :class:`~repro.sim.trace.EngineTracer` — a labeled,
+            filterable trace with per-callback wall timings
+            (:attr:`tracer`; the legacy ``(time, label)`` tuple view
+            remains available as :attr:`trace_log`).
+        tracer: Install a specific tracer (implies tracing on).
     """
 
-    def __init__(self, seed: int = 0, trace: bool = False) -> None:
+    def __init__(
+        self, seed: int = 0, trace: bool = False, tracer: Optional[EngineTracer] = None
+    ) -> None:
         self._now = 0.0
         self._queue = EventQueue()
         self._running = False
         self.streams = RandomStreams(seed)
-        self.trace = trace
-        self.trace_log: List[tuple] = []
+        self.tracer = tracer if tracer is not None else (EngineTracer() if trace else None)
         self._fired_events = 0
+
+    @property
+    def trace(self) -> bool:
+        """Whether event tracing is on."""
+        return self.tracer is not None
+
+    @trace.setter
+    def trace(self, enabled: bool) -> None:
+        if enabled and self.tracer is None:
+            self.tracer = EngineTracer()
+        elif not enabled:
+            self.tracer = None
+
+    @property
+    def trace_log(self) -> List[tuple]:
+        """Legacy ``(time, label)`` view of the trace (empty when off)."""
+        return self.tracer.as_tuples() if self.tracer is not None else []
 
     # ------------------------------------------------------------------
     # Clock
@@ -134,10 +158,8 @@ class SimulationEngine:
                 event = self._queue.pop()
                 assert event is not None and event.callback is not None
                 self._now = event.time
-                if self.trace:
-                    self.trace_log.append((event.time, event.label))
                 self._fired_events += 1
-                event.callback()
+                self._fire(event)
             self._now = time
         finally:
             self._running = False
@@ -158,22 +180,35 @@ class SimulationEngine:
                 event = self._queue.pop()
                 assert event is not None and event.callback is not None
                 self._now = event.time
-                if self.trace:
-                    self.trace_log.append((event.time, event.label))
                 self._fired_events += 1
-                event.callback()
+                self._fire(event)
         finally:
             self._running = False
+
+    def _fire(self, event: Event) -> None:
+        """Invoke one callback, recording it when tracing is on."""
+        tracer = self.tracer
+        if tracer is None:
+            event.callback()
+            return
+        started = perf_counter()
+        try:
+            event.callback()
+        finally:
+            tracer.record(event.time, event.label, perf_counter() - started)
 
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero.
 
-        Random streams are *not* reset; build a fresh engine for a
-        fully independent run.
+        A reset engine reports zero :attr:`fired_events` and an empty
+        trace.  Random streams are *not* reset; build a fresh engine
+        for a fully independent run.
         """
         self._queue.clear()
         self._now = 0.0
-        self.trace_log.clear()
+        self._fired_events = 0
+        if self.tracer is not None:
+            self.tracer.clear()
 
 
 class PeriodicTask:

@@ -17,7 +17,6 @@ from repro.core.config import SpotVerseConfig
 from repro.core.monitor import Monitor
 from repro.core.optimizer import SpotVerseOptimizer
 from repro.core.policy import Placement, PolicyContext, PurchasingOption
-from repro.sim.clock import HOUR
 from repro.workloads.base import Workload
 
 

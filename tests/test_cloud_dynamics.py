@@ -12,7 +12,7 @@ from repro.cloud.market import (
 )
 from repro.cloud.profiles import MarketProfile
 from repro.cloud.provider import CloudProvider
-from repro.cloud.services.ec2 import InstanceLifecycle, SpotRequestState
+from repro.cloud.services.ec2 import SpotRequestState
 from repro.core.config import SpotVerseConfig
 from repro.core.controller import FleetController
 from repro.sim.clock import DAY, HOUR, MINUTE

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cloud.provider import CloudProvider
-from repro.cloud.services.ec2 import InstanceLifecycle, InstanceState
+from repro.cloud.services.ec2 import InstanceState
 from repro.core.config import SpotVerseConfig
 from repro.core.controller import FleetController
 from repro.core.execution import ExecutionState, WorkloadExecution

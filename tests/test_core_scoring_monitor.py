@@ -120,6 +120,54 @@ class TestMonitor:
         monitor.collect()
         assert stable_alerts == []
 
+    def test_watch_frequency_fires_once_per_ok_to_alarm_crossing(self):
+        provider = CloudProvider(seed=2)
+        monitor = Monitor(provider, ["m5.xlarge"], deploy=False)
+        alerts = []
+        monitor.watch_frequency(
+            "m5.xlarge", "us-east-1", alerts.append, threshold_pct=20.0
+        )
+        dimensions = {"region": "us-east-1", "instance_type": "m5.xlarge"}
+
+        def publish(value):
+            provider.cloudwatch.put_metric_data(
+                "SpotVerse", "interruption_frequency", value, dimensions=dimensions
+            )
+
+        publish(5.0)  # OK
+        assert alerts == []
+        publish(25.0)  # OK -> ALARM: fires with the breaching value
+        assert alerts == [25.0]
+        publish(30.0)  # still ALARM: must not re-fire
+        publish(40.0)
+        assert alerts == [25.0]
+        publish(10.0)  # ALARM -> OK resets the alarm silently
+        assert alerts == [25.0]
+        publish(21.0)  # second OK -> ALARM crossing fires again, once
+        assert alerts == [25.0, 21.0]
+
+    def test_watch_frequency_ignores_other_dimensions(self):
+        provider = CloudProvider(seed=2)
+        monitor = Monitor(provider, ["m5.xlarge"], deploy=False)
+        alerts = []
+        monitor.watch_frequency(
+            "m5.xlarge", "us-east-1", alerts.append, threshold_pct=20.0
+        )
+        # Breaching data for a different region/type must not trip it.
+        provider.cloudwatch.put_metric_data(
+            "SpotVerse",
+            "interruption_frequency",
+            99.0,
+            dimensions={"region": "eu-west-1", "instance_type": "m5.xlarge"},
+        )
+        provider.cloudwatch.put_metric_data(
+            "SpotVerse",
+            "interruption_frequency",
+            99.0,
+            dimensions={"region": "us-east-1", "instance_type": "c5.xlarge"},
+        )
+        assert alerts == []
+
     def test_collector_publishes_frequency_metric(self):
         provider = CloudProvider(seed=2)
         monitor = Monitor(provider, ["m5.xlarge"], deploy=False)

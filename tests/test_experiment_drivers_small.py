@@ -4,7 +4,6 @@ Full-size runs with shape assertions live in ``benchmarks/``; these
 reduced runs keep the drivers themselves under unit-test coverage.
 """
 
-import pytest
 
 from repro.experiments.ablations import (
     run_checkpoint_backend_ablation,

@@ -4,7 +4,7 @@ failures the way the paper's Step Functions retry wiring promises."""
 import pytest
 
 from repro.cloud.provider import CloudProvider
-from repro.cloud.services.ec2 import InstanceLifecycle, SpotRequestState
+from repro.cloud.services.ec2 import SpotRequestState
 from repro.cloud.services.stepfunctions import ExecutionStatus
 from repro.core.config import SpotVerseConfig
 from repro.core.controller import FleetController

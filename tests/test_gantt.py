@@ -1,6 +1,5 @@
 """Tests for the fleet lifeline renderer."""
 
-import pytest
 
 from repro.core.result import FleetResult, WorkloadRecord
 from repro.experiments.gantt import render_lifelines

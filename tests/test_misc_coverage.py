@@ -1,6 +1,5 @@
 """Small coverage tests for corners not exercised elsewhere."""
 
-import pytest
 
 from repro.sim.clock import days, format_duration
 from repro.sim.rng import RandomStreams

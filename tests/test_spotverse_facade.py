@@ -1,6 +1,5 @@
 """Tests for the SpotVerse facade and the end-to-end happy path."""
 
-import pytest
 
 from repro.cloud.provider import CloudProvider
 from repro.core import SpotVerse, SpotVerseConfig
