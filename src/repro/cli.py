@@ -119,6 +119,29 @@ def _build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--profile", action="store_true",
                      help="also print the engine's wall-clock profile "
                           "(events/sec, hottest callback labels)")
+    obs_sub = obs.add_subparsers(dest="obs_command", metavar="{explain,markets}")
+    explain = obs_sub.add_parser(
+        "explain",
+        help="render one workload's causal chain (decisions, interruptions, "
+             "migrations) from a saved JSONL stream",
+    )
+    explain.add_argument("workload_id", help="workload to explain, e.g. wl-003")
+    explain.add_argument("--from-events", required=True, metavar="PATH",
+                         help="JSONL stream written by `spotverse obs --events PATH`")
+    markets = obs_sub.add_parser(
+        "markets",
+        help="per-region market sparkline tables with anomaly annotations",
+    )
+    markets.add_argument("--from-events", default=None, metavar="PATH",
+                         help="read market series from a saved JSONL stream "
+                              "instead of simulating fresh markets")
+    markets.add_argument("--days", type=float, default=3.0,
+                         help="days of fresh market simulation (ignored with --from-events)")
+    markets.add_argument("--instance-type", default="m5.xlarge",
+                         help="restrict tables to one instance type ('' for all)")
+    markets.add_argument("--seed", type=int, default=42)
+    markets.add_argument("--width", type=int, default=32,
+                         help="character width of the sparklines")
 
     experiment = sub.add_parser("experiment", help="regenerate one paper experiment")
     experiment.add_argument(
@@ -223,15 +246,100 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.all_complete else 1
 
 
+def _load_stream(path: str):
+    """Load a JSONL telemetry stream, or print a clear error and return None.
+
+    Empty and truncated/corrupt streams both fail here — the obs
+    subcommands promise a message and a nonzero exit, never a traceback.
+    """
+    from repro.obs import TelemetryStream
+
+    try:
+        stream = TelemetryStream.load(path)
+    except OSError as exc:
+        print(f"error: cannot read event stream {path!r}: {exc}")
+        return None
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return None
+    if stream.empty:
+        print(f"error: event stream {path!r} is empty (was the export interrupted?)")
+        return None
+    return stream
+
+
+def _cmd_obs_explain(args: argparse.Namespace) -> int:
+    from repro.obs import render_explanation
+
+    stream = _load_stream(args.from_events)
+    if stream is None:
+        return 2
+    try:
+        print(render_explanation(stream.events, args.workload_id))
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 2
+    return 0
+
+
+def _cmd_obs_markets(args: argparse.Namespace) -> int:
+    from repro.obs.export import render_market_tables
+
+    instance_type = args.instance_type or None
+    if args.from_events:
+        stream = _load_stream(args.from_events)
+        if stream is None:
+            return 2
+        store = stream.timeseries()
+        if not store.names():
+            print(
+                f"error: event stream {args.from_events!r} has no market series "
+                "(export one with `spotverse obs --events PATH`)"
+            )
+            return 2
+        print(
+            render_market_tables(
+                store,
+                events=stream.events,
+                width=args.width,
+                instance_type=instance_type,
+            )
+        )
+        return 0
+    # No stream given: simulate fresh markets under the observatory —
+    # no fleet, just prices/scores/hazard evolving and being sampled.
+    provider = CloudProvider(seed=args.seed, observatory=True)
+    provider.engine.run_until(args.days * 24 * 3600.0)
+    print(
+        f"{args.days:g} day(s) of simulated markets "
+        f"(seed {args.seed}, anomalies {len(provider.observatory.anomalies)}):"
+    )
+    print(
+        render_market_tables(
+            provider.telemetry.timeseries,
+            events=list(provider.telemetry.bus),
+            width=args.width,
+            instance_type=instance_type,
+        )
+    )
+    provider.shutdown()
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import RunReport, Telemetry, write_jsonl
 
+    obs_command = getattr(args, "obs_command", None)
+    if obs_command == "explain":
+        return _cmd_obs_explain(args)
+    if obs_command == "markets":
+        return _cmd_obs_markets(args)
+
     if args.from_events:
-        try:
-            report = RunReport.from_jsonl(args.from_events)
-        except (OSError, ReproError) as exc:
-            print(f"error: cannot read event stream {args.from_events!r}: {exc}")
+        stream = _load_stream(args.from_events)
+        if stream is None:
             return 2
+        report = RunReport(stream.events, stream.samples)
         print(report.render(gantt_width=args.gantt_width))
         return 0
 
@@ -247,7 +355,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         start_region=args.start_region,
     )
     telemetry = Telemetry()
-    provider = CloudProvider(seed=args.seed, telemetry=telemetry)
+    provider = CloudProvider(seed=args.seed, telemetry=telemetry, observatory=True)
     if args.profile:
         provider.engine.trace = True
     if args.strategy == "spotverse":

@@ -27,7 +27,7 @@ from repro.cloud.services.lambda_ import LambdaService
 from repro.cloud.services.s3 import S3Service
 from repro.cloud.services.stepfunctions import StepFunctionsService
 from repro.errors import CloudError
-from repro.obs import Telemetry
+from repro.obs import MarketObservatory, Telemetry
 from repro.sim.clock import HOUR
 from repro.sim.engine import SimulationEngine
 
@@ -48,6 +48,13 @@ class CloudProvider:
             the control plane emits into; a fresh one is created when
             omitted.  Experiment drivers pass a shared bundle to
             stream a run to JSONL or aggregate across fleets.
+        observatory: When true, attach a
+            :class:`~repro.obs.MarketObservatory` that samples every
+            market on each step into the telemetry bundle's
+            time-series store and publishes ``market.anomaly`` events.
+            Off by default — sampling is pure observation (it never
+            feeds back into markets or policies) but costs time on
+            large sweeps.
     """
 
     def __init__(
@@ -59,10 +66,16 @@ class CloudProvider:
         market_step_interval: float = HOUR,
         seed: int = 0,
         telemetry: Optional[Telemetry] = None,
+        observatory: bool = False,
     ) -> None:
         self.engine = engine or SimulationEngine(seed=seed)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.telemetry.bus.attach_clock(lambda: self.engine.now)
+        self.observatory: Optional[MarketObservatory] = None
+        if observatory:
+            self.observatory = MarketObservatory(
+                store=self.telemetry.timeseries, bus=self.telemetry.bus
+            )
         self.regions = regions or default_region_catalog()
         self.instances = instances or default_instance_catalog()
         self.profiles = profiles or default_market_profiles(self.regions, self.instances)
@@ -129,6 +142,8 @@ class CloudProvider:
         now = self.engine.now
         for market in self._markets.values():
             market.step(now)
+        if self.observatory is not None:
+            self.observatory.observe(now, self._markets.values())
 
     def warmup_markets(self, steps: int) -> None:
         """Pre-roll every market *steps* intervals before t=0 data.

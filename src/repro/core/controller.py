@@ -114,12 +114,15 @@ class FleetController:
     ) -> None:
         workload_id = execution.workload.workload_id
         if placement.option is PurchasingOption.ON_DEMAND:
+            fallback_attrs = {"phase": phase}
+            if placement.reason:
+                fallback_attrs["reason"] = placement.reason
             self._telemetry.bus.emit(
                 EventType.FALLBACK_ON_DEMAND,
                 workload_id=workload_id,
                 region=placement.region,
                 option=PurchasingOption.ON_DEMAND.value,
-                phase=phase,
+                **fallback_attrs,
             )
             self._telemetry.metrics.counter(
                 "fallback_on_demand_total", "placements that resolved to on-demand"

@@ -148,6 +148,17 @@ class Monitor:
             for row in sorted(rows, key=lambda item: item["region"])
         ]
 
+    def staleness(self, instance_type: str) -> float:
+        """Seconds since the *oldest* row in the latest snapshot was collected.
+
+        The Optimizer acts on the last written snapshot, not the live
+        markets; this is the worst-case age of the data behind its next
+        decision (0 right after a collect cycle, growing until the next
+        one).
+        """
+        now = self._provider.engine.now
+        return max(metrics.age(now) for metrics in self.snapshot(instance_type))
+
     def watch_frequency(
         self,
         instance_type: str,

@@ -24,6 +24,11 @@ from repro.core.monitor import Monitor
 from repro.core.policy import Placement, PlacementPolicy, PolicyContext, PurchasingOption
 from repro.core.scoring import RegionMetrics, cheapest_first
 from repro.errors import NoFeasibleRegionError
+from repro.obs.provenance import (
+    FALLBACK_BELOW_THRESHOLD,
+    DecisionLog,
+    RegionEvaluation,
+)
 from repro.workloads.base import Workload
 
 
@@ -97,7 +102,41 @@ class SpotVerseOptimizer(PlacementPolicy):
                 for name in preferred
             ]
             region = min(candidates)[1]
-        return Placement(region=region, option=PurchasingOption.ON_DEMAND)
+        return Placement(
+            region=region,
+            option=PurchasingOption.ON_DEMAND,
+            reason=FALLBACK_BELOW_THRESHOLD,
+        )
+
+    # ------------------------------------------------------------------
+    # Decision provenance
+    # ------------------------------------------------------------------
+    def _decision_log(self, ctx: PolicyContext) -> Optional[DecisionLog]:
+        """The provider's decision audit trail, when telemetry rides along."""
+        telemetry = getattr(ctx.provider, "telemetry", None)
+        return getattr(telemetry, "decisions", None)
+
+    def _evaluate(self, metrics: Sequence[RegionMetrics]) -> List[RegionEvaluation]:
+        """Threshold verdict per region seen, in snapshot order."""
+        threshold = self._config.score_threshold
+        evaluations = []
+        for metric in metrics:
+            score = self.effective_score(metric)
+            evaluations.append(
+                RegionEvaluation(
+                    region=metric.region,
+                    spot_price=metric.spot_price,
+                    od_price=metric.od_price,
+                    placement_score=metric.placement_score,
+                    stability_score=metric.stability_score,
+                    score=score,
+                    threshold=threshold,
+                    passed=score >= threshold,
+                    margin=score - threshold,
+                    collected_at=metric.collected_at,
+                )
+            )
+        return evaluations
 
     # ------------------------------------------------------------------
     # PlacementPolicy interface
@@ -105,7 +144,12 @@ class SpotVerseOptimizer(PlacementPolicy):
     def initial_placements(
         self, workloads: Sequence[Workload], ctx: PolicyContext
     ) -> List[Placement]:
-        """Algorithm 1 initialization: round-robin over the top R."""
+        """Algorithm 1 initialization: round-robin over the top R.
+
+        Each scoring round is recorded as a ``DecisionRecord`` on the
+        provider's telemetry bundle (the no-distribution branch skips
+        recording — it never runs Algorithm 1).
+        """
         if not self._config.initial_distribution:
             region = self._config.start_region
             if region is None:
@@ -113,7 +157,14 @@ class SpotVerseOptimizer(PlacementPolicy):
                     self._config.instance_type
                 )
             return [Placement(region=region) for _ in workloads]
-        top = self.top_regions(ctx)
+        metrics = self._score_regions(ctx)
+        evaluations = self._evaluate(metrics)
+        survivors = [
+            metric for metric, verdict in zip(metrics, evaluations) if verdict.passed
+        ]
+        top = cheapest_first(survivors)[: self._config.max_regions]
+        log = self._decision_log(ctx)
+        workload_ids = [workload.workload_id for workload in workloads]
         if not top:
             if not self._config.use_on_demand_fallback:
                 raise NoFeasibleRegionError(
@@ -121,7 +172,29 @@ class SpotVerseOptimizer(PlacementPolicy):
                     f"{self._config.instance_type!r} and on-demand fallback is disabled"
                 )
             fallback = self._cheapest_on_demand(ctx)
+            if log is not None:
+                log.record(
+                    kind="initial",
+                    workload_ids=workload_ids,
+                    threshold=self._config.score_threshold,
+                    max_regions=self._config.max_regions,
+                    evaluations=evaluations,
+                    candidates=(),
+                    chosen_region=fallback.region,
+                    chosen_option=PurchasingOption.ON_DEMAND.value,
+                    fallback_reason=FALLBACK_BELOW_THRESHOLD,
+                )
             return [fallback for _ in workloads]
+        if log is not None:
+            log.record(
+                kind="initial",
+                workload_ids=workload_ids,
+                threshold=self._config.score_threshold,
+                max_regions=self._config.max_regions,
+                evaluations=evaluations,
+                candidates=[metric.region for metric in top],
+                chosen_region="",  # round-robin: the whole candidate set is used
+            )
         return [
             Placement(region=top[index % len(top)].region)
             for index in range(len(workloads))
@@ -130,14 +203,53 @@ class SpotVerseOptimizer(PlacementPolicy):
     def migration_placement(
         self, workload: Workload, interrupted_region: str, ctx: PolicyContext
     ) -> Placement:
-        """Algorithm 1 on-interruption: random pick among the top R."""
-        top = self.top_regions(ctx, exclude_region=interrupted_region)
+        """Algorithm 1 on-interruption: random pick among the top R.
+
+        The decision record keeps the interrupted region's evaluation
+        (it was observed) but bars it from the candidate set.
+        """
+        metrics = self._score_regions(ctx)
+        evaluations = self._evaluate(metrics)
+        eligible = [
+            metric
+            for metric, verdict in zip(metrics, evaluations)
+            if verdict.passed and metric.region != interrupted_region
+        ]
+        top = cheapest_first(eligible)[: self._config.max_regions]
+        log = self._decision_log(ctx)
         if not top:
             if not self._config.use_on_demand_fallback:
                 raise NoFeasibleRegionError(
                     f"no migration target meets threshold "
                     f"{self._config.score_threshold} for {workload.workload_id!r}"
                 )
-            return self._cheapest_on_demand(ctx)
-        choice = top[int(ctx.rng.integers(len(top)))]
+            fallback = self._cheapest_on_demand(ctx)
+            if log is not None:
+                log.record(
+                    kind="migration",
+                    workload_ids=[workload.workload_id],
+                    threshold=self._config.score_threshold,
+                    max_regions=self._config.max_regions,
+                    evaluations=evaluations,
+                    candidates=(),
+                    chosen_region=fallback.region,
+                    chosen_option=PurchasingOption.ON_DEMAND.value,
+                    excluded_region=interrupted_region,
+                    fallback_reason=FALLBACK_BELOW_THRESHOLD,
+                )
+            return fallback
+        draw = int(ctx.rng.integers(len(top)))
+        choice = top[draw]
+        if log is not None:
+            log.record(
+                kind="migration",
+                workload_ids=[workload.workload_id],
+                threshold=self._config.score_threshold,
+                max_regions=self._config.max_regions,
+                evaluations=evaluations,
+                candidates=[metric.region for metric in top],
+                chosen_region=choice.region,
+                excluded_region=interrupted_region,
+                draw_index=draw,
+            )
         return Placement(region=choice.region)

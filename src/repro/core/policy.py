@@ -33,10 +33,20 @@ class PurchasingOption(enum.Enum):
 
 @dataclass(frozen=True)
 class Placement:
-    """A policy decision: run in *region* with *option*."""
+    """A policy decision: run in *region* with *option*.
+
+    Attributes:
+        region: Target region.
+        option: Purchasing option (spot unless the policy fell back).
+        reason: Why a non-default option was chosen — e.g. Algorithm
+            1's "no region cleared threshold" on-demand fallback.  ""
+            for ordinary spot placements; the controller copies it
+            onto the ``ondemand.fallback`` telemetry event.
+    """
 
     region: str
     option: PurchasingOption = PurchasingOption.SPOT
+    reason: str = ""
 
 
 @dataclass

@@ -47,6 +47,14 @@ class RegionMetrics:
             return 0.0
         return 1.0 - self.spot_price / self.od_price
 
+    def age(self, now: float) -> float:
+        """Seconds elapsed since the Monitor collected this snapshot.
+
+        Decisions act on the last *collected* view, not the live
+        market; this is the staleness a decision audit should record.
+        """
+        return max(0.0, now - self.collected_at)
+
 
 def combined_score(placement_score: float, interruption_frequency: float) -> float:
     """Compute Algorithm 1's combined score from raw observables."""

@@ -58,6 +58,10 @@ class ArmSpec:
             emits into (e.g. one wired to a JSONL subscriber, or a
             shared registry when a driver wants cross-arm aggregation).
             Each arm gets a fresh bundle when omitted.
+        observatory: When true, the arm's provider attaches a market
+            observatory (per-market time series + anomaly events).
+            Off by default — sweeps don't pay the sampling cost unless
+            a driver wants the market view.
     """
 
     name: str
@@ -70,6 +74,7 @@ class ArmSpec:
     profile_overrides: Optional[Mapping[Tuple[str, str], Mapping[str, float]]] = None
     warmup_steps: int = 48
     telemetry: Optional[Telemetry] = None
+    observatory: bool = False
 
 
 @dataclass
@@ -96,7 +101,12 @@ def run_arm(spec: ArmSpec) -> ArmResult:
     profiles = default_market_profiles()
     if spec.profile_overrides is not None:
         profiles = profiles.with_overrides(spec.profile_overrides)
-    provider = CloudProvider(seed=spec.seed, profiles=profiles, telemetry=spec.telemetry)
+    provider = CloudProvider(
+        seed=spec.seed,
+        profiles=profiles,
+        telemetry=spec.telemetry,
+        observatory=spec.observatory,
+    )
     if spec.warmup_steps:
         provider.warmup_markets(spec.warmup_steps)
     monitor = Monitor(

@@ -19,12 +19,21 @@ from typing import Callable, Optional
 from repro.obs.events import EventBus, EventType, TelemetryEvent
 from repro.obs.export import (
     RunReport,
+    TelemetryStream,
     read_jsonl,
     render_gantt,
     validate_stream,
     write_jsonl,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Sample
+from repro.obs.observatory import Anomaly, MarketObservatory
+from repro.obs.provenance import (
+    DecisionLog,
+    DecisionRecord,
+    RegionEvaluation,
+    decisions_from_events,
+    render_explanation,
+)
 from repro.obs.spans import (
     EngineTracer,
     LabelStats,
@@ -32,16 +41,23 @@ from repro.obs.spans import (
     WorkloadSpanTree,
     build_spans,
 )
+from repro.obs.timeseries import Bucket, RingSeries, TimeSeriesStore
 
 
 class Telemetry:
-    """The per-provider observability bundle: one bus, one registry.
+    """The per-provider observability bundle.
+
+    One event bus, one metrics registry, one decision log (wired to
+    the bus so Algorithm-1 audit records ride the same stream), and
+    one time-series store the market observatory — when enabled —
+    samples into.
 
     Args:
         bus: Event bus to use (fresh one when omitted).
         metrics: Metrics registry to use (fresh one when omitted).
         clock: Optional sim clock for the bus; the provider attaches
             its engine clock on construction regardless.
+        timeseries: Market time-series store (fresh one when omitted).
     """
 
     def __init__(
@@ -49,9 +65,12 @@ class Telemetry:
         bus: Optional[EventBus] = None,
         metrics: Optional[MetricsRegistry] = None,
         clock: Optional[Callable[[], float]] = None,
+        timeseries: Optional[TimeSeriesStore] = None,
     ) -> None:
         self.bus = bus if bus is not None else EventBus(clock=clock)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.timeseries = timeseries if timeseries is not None else TimeSeriesStore()
+        self.decisions = DecisionLog(bus=self.bus)
 
     def report(self) -> RunReport:
         """Snapshot the current state into a renderable run report."""
@@ -63,22 +82,33 @@ class Telemetry:
 
 
 __all__ = [
+    "Anomaly",
+    "Bucket",
     "Counter",
+    "DecisionLog",
+    "DecisionRecord",
     "EngineTracer",
     "EventBus",
     "EventType",
     "Gauge",
     "Histogram",
     "LabelStats",
+    "MarketObservatory",
     "MetricsRegistry",
+    "RegionEvaluation",
+    "RingSeries",
     "RunReport",
     "Sample",
     "Span",
     "Telemetry",
     "TelemetryEvent",
+    "TelemetryStream",
+    "TimeSeriesStore",
     "WorkloadSpanTree",
     "build_spans",
+    "decisions_from_events",
     "read_jsonl",
+    "render_explanation",
     "render_gantt",
     "validate_stream",
     "write_jsonl",

@@ -42,6 +42,8 @@ class EventType(enum.Enum):
     CHECKPOINT_SAVED = "checkpoint.saved"
     CHECKPOINT_RESTORED = "checkpoint.restored"
     WORKLOAD_DONE = "workload.done"
+    MARKET_ANOMALY = "market.anomaly"
+    DECISION_EVALUATED = "decision.evaluated"
 
 
 #: Wire name -> member, for decoding JSONL streams.
@@ -135,6 +137,10 @@ class EventBus:
     def attach_clock(self, clock: Callable[[], float]) -> None:
         """Bind the sim clock used to stamp subsequent events."""
         self._clock = clock
+
+    def now(self) -> float:
+        """Current value of the bus clock (what the next event gets)."""
+        return self._clock()
 
     # ------------------------------------------------------------------
     # Emission

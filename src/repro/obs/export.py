@@ -1,15 +1,21 @@
 """Telemetry exporters: JSONL event streams and run reports.
 
-Two consumers, one format:
+One line-oriented format, several consumers:
 
-* :func:`write_jsonl` persists a run — every bus event plus a final
-  metrics snapshot — as one JSON object per line, tagged ``"kind":
-  "event"`` or ``"kind": "metric"``.
+* :func:`write_jsonl` persists a run — every bus event, a final
+  metrics snapshot, and (when the bundle's time-series store holds
+  market samples) every downsampled series bucket — as one JSON object
+  per line, tagged ``"kind": "event"`` / ``"metric"`` / ``"point"``.
+* :class:`TelemetryStream` is the offline view: it loads all three
+  record kinds back and rebuilds the derived structures (decision log,
+  time-series store) so ``spotverse obs explain`` / ``obs markets``
+  work from the file alone.
 * :class:`RunReport` renders the per-run summary (cost by region and
-  purchasing option, interruption/migration tables, per-workload span
-  Gantt rows) either live from a :class:`~repro.obs.Telemetry` bundle
-  or offline from a previously written JSONL file, so a run stays
-  inspectable long after its provider is gone.
+  purchasing option, interruption/migration tables, the Algorithm-1
+  decisions section, per-workload span Gantt rows) either live from a
+  :class:`~repro.obs.Telemetry` bundle or offline from a previously
+  written JSONL file, so a run stays inspectable long after its
+  provider is gone.
 
 :func:`validate_stream` is the ordering/causality checker the
 integration tests (and sceptical humans) run over a stream.
@@ -19,24 +25,37 @@ from __future__ import annotations
 
 import json
 from collections import defaultdict
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.obs.events import EventType, TelemetryEvent
 from repro.obs.metrics import Sample
+from repro.obs.provenance import DecisionRecord, decisions_from_events
 from repro.obs.spans import WorkloadSpanTree, build_spans
+from repro.obs.timeseries import TimeSeriesStore
+from repro.sim.clock import HOUR
 
 #: Gantt glyph per phase name.
 PHASE_GLYPHS = {"request": ".", "boot": ":", "run": "=", "migrating": "x"}
+
+#: Sparkline glyphs, lowest to highest.
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+#: An interruption this close after a same-region market anomaly is
+#: counted as correlated in the report (two market steps).
+ANOMALY_CORRELATION_WINDOW = 2 * HOUR
 
 
 # ----------------------------------------------------------------------
 # JSONL round trip
 # ----------------------------------------------------------------------
 def stream_lines(
-    events: Iterable[TelemetryEvent], samples: Iterable[Sample] = ()
+    events: Iterable[TelemetryEvent],
+    samples: Iterable[Sample] = (),
+    points: Iterable[Dict[str, object]] = (),
 ) -> List[str]:
-    """Serialise events then metric samples as JSONL lines."""
+    """Serialise events, metric samples, then series points as JSONL."""
     lines = []
     for event in events:
         record = {"kind": "event"}
@@ -49,15 +68,21 @@ def stream_lines(
         record["metric_kind"] = record.pop("kind")
         record["kind"] = "metric"
         lines.append(json.dumps(record, sort_keys=True))
+    for point in points:
+        record = {"kind": "point"}
+        record.update(point)
+        lines.append(json.dumps(record, sort_keys=True))
     return lines
 
 
 def write_jsonl(path: str, telemetry) -> int:
-    """Write a telemetry bundle's events + metrics snapshot to *path*.
+    """Write a telemetry bundle's events + metrics + series to *path*.
 
     Returns the number of lines written.
     """
-    lines = stream_lines(list(telemetry.bus), telemetry.metrics.collect())
+    store = getattr(telemetry, "timeseries", None)
+    points = store.points() if store is not None else ()
+    lines = stream_lines(list(telemetry.bus), telemetry.metrics.collect(), points)
     with open(path, "w") as handle:
         for line in lines:
             handle.write(line + "\n")
@@ -65,34 +90,75 @@ def write_jsonl(path: str, telemetry) -> int:
 
 
 def read_jsonl(path: str) -> Tuple[List[TelemetryEvent], List[Sample]]:
-    """Read a stream written by :func:`write_jsonl`."""
-    events: List[TelemetryEvent] = []
-    samples: List[Sample] = []
-    with open(path) as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-                kind = record.pop("kind", "event")
-                if kind == "event":
-                    events.append(TelemetryEvent.from_dict(record))
-                else:
-                    samples.append(
-                        Sample(
-                            name=record["name"],
-                            kind=record.get("metric_kind", "counter"),
-                            labels=tuple(sorted(record.get("labels", {}).items())),
-                            value=float(record["value"]),
-                            count=record.get("count"),
+    """Read the events + metric samples of a :func:`write_jsonl` stream.
+
+    Series points and record kinds from future schema versions are
+    skipped; use :meth:`TelemetryStream.load` for the full contents.
+    """
+    stream = TelemetryStream.load(path)
+    return stream.events, stream.samples
+
+
+@dataclass
+class TelemetryStream:
+    """Everything a saved JSONL stream holds, plus derived views."""
+
+    events: List[TelemetryEvent] = field(default_factory=list)
+    samples: List[Sample] = field(default_factory=list)
+    points: List[Dict[str, object]] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str) -> "TelemetryStream":
+        """Parse a stream written by :func:`write_jsonl`.
+
+        Raises:
+            ReproError: On a malformed (e.g. truncated) line, with the
+                path and line number of the damage.
+        """
+        stream = cls()
+        with open(path) as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    kind = record.pop("kind", "event")
+                    if kind == "event":
+                        stream.events.append(TelemetryEvent.from_dict(record))
+                    elif kind == "metric":
+                        stream.samples.append(
+                            Sample(
+                                name=record["name"],
+                                kind=record.get("metric_kind", "counter"),
+                                labels=tuple(sorted(record.get("labels", {}).items())),
+                                value=float(record["value"]),
+                                count=record.get("count"),
+                            )
                         )
-                    )
-            except (ValueError, KeyError, TypeError) as exc:
-                raise ReproError(
-                    f"{path}:{lineno}: not a telemetry stream line ({exc})"
-                ) from exc
-    return events, samples
+                    elif kind == "point":
+                        record["value"] = float(record["value"])
+                        record["time"] = float(record["time"])
+                        stream.points.append(record)
+                    # Unknown kinds: skip (forward compatibility).
+                except (ValueError, KeyError, TypeError) as exc:
+                    raise ReproError(
+                        f"{path}:{lineno}: not a telemetry stream line ({exc})"
+                    ) from exc
+        return stream
+
+    @property
+    def empty(self) -> bool:
+        """True when the stream holds no records at all."""
+        return not (self.events or self.samples or self.points)
+
+    def decisions(self) -> List[DecisionRecord]:
+        """The Algorithm-1 decision log carried in the event stream."""
+        return decisions_from_events(self.events)
+
+    def timeseries(self) -> TimeSeriesStore:
+        """Rebuild the market time-series store from the point records."""
+        return TimeSeriesStore.from_points(self.points)
 
 
 # ----------------------------------------------------------------------
@@ -220,6 +286,7 @@ class RunReport:
         self.events = events
         self.samples = samples
         self.spans = build_spans(events)
+        self.decisions = decisions_from_events(events)
 
     # -- constructors ---------------------------------------------------
     @classmethod
@@ -236,6 +303,70 @@ class RunReport:
     # -- views ----------------------------------------------------------
     def _count(self, type: EventType) -> int:
         return sum(1 for event in self.events if event.type is type)
+
+    def fallback_reasons(self) -> List[Tuple[str, int]]:
+        """``(reason, count)`` over fallback decisions, busiest first."""
+        counts: Dict[str, int] = defaultdict(int)
+        for decision in self.decisions:
+            if decision.is_fallback:
+                counts[decision.fallback_reason] += 1
+        return sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+
+    def margin_distribution(self) -> Tuple[int, int, float, float, float]:
+        """``(passed, failed, min, mean, max)`` over every region verdict."""
+        margins = [
+            evaluation.margin
+            for decision in self.decisions
+            for evaluation in decision.evaluations
+        ]
+        passed = sum(
+            1
+            for decision in self.decisions
+            for evaluation in decision.evaluations
+            if evaluation.passed
+        )
+        if not margins:
+            return (0, 0, 0.0, 0.0, 0.0)
+        return (
+            passed,
+            len(margins) - passed,
+            min(margins),
+            sum(margins) / len(margins),
+            max(margins),
+        )
+
+    def anomaly_counts(self) -> List[Tuple[str, int]]:
+        """``(kind, count)`` of market anomalies seen during the run."""
+        counts: Dict[str, int] = defaultdict(int)
+        for event in self.events:
+            if event.type is EventType.MARKET_ANOMALY:
+                counts[str(event.attrs.get("kind", "?"))] += 1
+        return sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+
+    def anomaly_interruption_correlation(
+        self, window: float = ANOMALY_CORRELATION_WINDOW
+    ) -> Tuple[int, int]:
+        """``(correlated, total)`` interruption warnings.
+
+        An interruption is *correlated* when the same region raised a
+        ``market.anomaly`` within *window* seconds before it — the
+        turbulence/reclaim linkage the observatory exists to surface.
+        """
+        anomalies: Dict[str, List[float]] = defaultdict(list)
+        for event in self.events:
+            if event.type is EventType.MARKET_ANOMALY:
+                anomalies[event.region].append(event.time)
+        correlated = total = 0
+        for event in self.events:
+            if event.type is not EventType.INTERRUPTION_WARNING:
+                continue
+            total += 1
+            if any(
+                0.0 <= event.time - anomaly_time <= window
+                for anomaly_time in anomalies.get(event.region, ())
+            ):
+                correlated += 1
+        return correlated, total
 
     def cost_rows(self) -> List[Tuple[str, str, float]]:
         """``(region, purchasing_option, usd)`` rows from the cost metric."""
@@ -329,18 +460,145 @@ class RunReport:
                 )
             )
 
+        if self.decisions:
+            lines.append("")
+            lines.append(self._render_decisions())
+
         if self.spans:
             lines.append("")
             lines.append("workload span timeline:")
             lines.append(render_gantt(self.spans, width=gantt_width))
         return "\n".join(lines)
 
+    def _render_decisions(self) -> str:
+        """The Algorithm-1 decisions section."""
+        initial = sum(1 for decision in self.decisions if decision.kind == "initial")
+        migration = len(self.decisions) - initial
+        fallbacks = self.fallback_reasons()
+        passed, failed, lo, mean, hi = self.margin_distribution()
+        lines = [
+            "algorithm-1 decisions:",
+            f"  rounds            : {len(self.decisions)} "
+            f"({initial} initial, {migration} migration)",
+            f"  threshold verdicts: {passed} passed, {failed} failed "
+            f"(margin min {lo:+.1f}, mean {mean:+.1f}, max {hi:+.1f})",
+        ]
+        if fallbacks:
+            for reason, count in fallbacks:
+                lines.append(f"  on-demand fallback: {count} x {reason!r}")
+        else:
+            lines.append("  on-demand fallback: none")
+        anomaly_counts = self.anomaly_counts()
+        if anomaly_counts:
+            kinds = ", ".join(f"{count} {kind}" for kind, count in anomaly_counts)
+            correlated, total = self.anomaly_interruption_correlation()
+            lines.append(f"  market anomalies  : {kinds}")
+            if total:
+                lines.append(
+                    f"  anomaly linkage   : {correlated}/{total} interruptions within "
+                    f"{ANOMALY_CORRELATION_WINDOW / HOUR:.0f}h of a same-region anomaly"
+                )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Market tables (the `spotverse obs markets` view)
+# ----------------------------------------------------------------------
+def render_sparkline(values: Sequence[float], width: int = 32) -> str:
+    """Render *values* as a fixed-width unicode sparkline.
+
+    Values are bucketed to *width* columns (mean per column) and scaled
+    to the series' own min..max; a flat series renders mid-glyphs.
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        # Mean-pool into `width` columns.
+        pooled = []
+        step = len(values) / width
+        for column in range(width):
+            lo = int(column * step)
+            hi = max(lo + 1, int((column + 1) * step))
+            chunk = values[lo:hi]
+            pooled.append(sum(chunk) / len(chunk))
+        values = pooled
+    low, high = min(values), max(values)
+    span = high - low
+    glyphs = []
+    for value in values:
+        if span <= 0:
+            index = len(SPARK_GLYPHS) // 2
+        else:
+            index = int((value - low) / span * (len(SPARK_GLYPHS) - 1))
+        glyphs.append(SPARK_GLYPHS[index])
+    return "".join(glyphs)
+
+
+def render_market_tables(
+    store: TimeSeriesStore,
+    events: Sequence[TelemetryEvent] = (),
+    fields: Sequence[str] = ("spot_price", "placement_score", "hazard_per_hour"),
+    width: int = 32,
+    instance_type: Optional[str] = None,
+) -> str:
+    """Per-region sparkline tables with anomaly annotations.
+
+    One table per *field* present in *store*, one row per (region,
+    instance type) series (optionally restricted to *instance_type*):
+    latest value, min..max of the retained range, a sparkline over the
+    full (downsampled) history, and how many ``market.anomaly`` events
+    the region raised.
+    """
+    anomaly_counts: Dict[str, int] = defaultdict(int)
+    for event in events:
+        if event.type is EventType.MARKET_ANOMALY:
+            anomaly_counts[event.region] += 1
+    wanted = {"instance_type": instance_type} if instance_type else {}
+    blocks: List[str] = []
+    for field_name in fields:
+        series_list = store.series_for(field_name, **wanted)
+        if not series_list:
+            continue
+        rows = []
+        for label_key, series in series_list:
+            labels = dict(label_key)
+            region = labels.get("region", "?")
+            values = series.values()
+            latest = series.latest()
+            anomalies = anomaly_counts.get(region, 0)
+            rows.append(
+                [
+                    region,
+                    labels.get("instance_type", "?"),
+                    f"{latest.value:.4g}" if latest else "-",
+                    f"{min(values):.4g}..{max(values):.4g}" if values else "-",
+                    render_sparkline(values, width=width),
+                    str(anomalies) if anomalies else "",
+                ]
+            )
+        first, last = series_list[0][1].span()
+        blocks.append(
+            f"{field_name} (t={first / HOUR:.0f}h..t={last / HOUR:.0f}h, "
+            f"{series_list[0][1].n_samples} samples/series):\n"
+            + _table(
+                ["region", "type", "latest", "range", "trend", "anomalies"], rows
+            )
+        )
+    if not blocks:
+        return "(no market series recorded)"
+    return "\n\n".join(blocks)
+
 
 __all__ = [
+    "ANOMALY_CORRELATION_WINDOW",
     "PHASE_GLYPHS",
+    "SPARK_GLYPHS",
     "RunReport",
+    "TelemetryStream",
     "read_jsonl",
     "render_gantt",
+    "render_market_tables",
+    "render_sparkline",
     "stream_lines",
     "validate_stream",
     "write_jsonl",

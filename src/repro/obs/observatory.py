@@ -1,0 +1,249 @@
+"""The market observatory: sampling + anomaly detection over markets.
+
+:class:`MarketObservatory` watches every spot market the provider
+steps, writing one sample per (market, field) into a
+:class:`~repro.obs.timeseries.TimeSeriesStore` and running an anomaly
+pass over what it just saw:
+
+* **price spikes** — a rolling z-score over each market's recent spot
+  prices; a sample far outside its own recent band (and meaningfully
+  above the long-run mean) opens a ``price_spike`` anomaly;
+* **reclaim bursts** — an edge-trigger on the market's reclaim-burst
+  window (hazard jumping to a multiple of its recent baseline), which
+  opens a ``reclaim_burst`` anomaly.
+
+Anomalies are edge-triggered — one typed ``market.anomaly`` event on
+the bus when the condition *starts*, not one per sample while it
+persists — so FleetController activity (interruptions, migrations,
+fallbacks) can be correlated with the onset of market turbulence.
+
+The observatory only *reads* market observables (duck-typed: region,
+instance type, spot price, scores, hazard, utilization); it never
+imports ``cloud`` and never feeds anything back into the markets, so
+enabling it cannot change a run's decisions or costs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from math import sqrt
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.events import EventBus, EventType
+from repro.obs.timeseries import TimeSeriesStore
+
+#: Observables sampled per market per step, as ``(field, reader)``.
+#: Readers take ``(market, now)`` so time-dependent observables
+#: (hazard, burst membership) see the sample instant.
+MARKET_FIELDS = (
+    ("spot_price", lambda market, now: market.spot_price),
+    ("placement_score", lambda market, now: market.placement_score),
+    ("interruption_frequency", lambda market, now: market.interruption_frequency),
+    ("hazard_per_hour", lambda market, now: market.hazard_at(now)),
+    ("utilization", lambda market, now: market.utilization()),
+    ("fulfillment_factor", lambda market, now: market.fulfillment_factor()),
+)
+
+
+@dataclass
+class Anomaly:
+    """One detected market anomaly (also emitted as a bus event)."""
+
+    time: float
+    kind: str  # "price_spike" | "reclaim_burst"
+    region: str
+    instance_type: str
+    field: str
+    value: float
+    zscore: float = 0.0
+
+
+class _RollingWindow:
+    """Fixed-width window with O(1) mean/std for the z-score pass."""
+
+    __slots__ = ("values", "total", "total_sq", "width")
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self.values: Deque[float] = deque()
+        self.total = 0.0
+        self.total_sq = 0.0
+
+    def push(self, value: float) -> None:
+        self.values.append(value)
+        self.total += value
+        self.total_sq += value * value
+        if len(self.values) > self.width:
+            old = self.values.popleft()
+            self.total -= old
+            self.total_sq -= old * old
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    @property
+    def std(self) -> float:
+        n = len(self.values)
+        if n < 2:
+            return 0.0
+        variance = max(0.0, self.total_sq / n - self.mean**2)
+        return sqrt(variance)
+
+    def zscore(self, value: float) -> float:
+        """Z-score of *value* against the window (0 when degenerate)."""
+        std = self.std
+        if std <= 0.0:
+            return 0.0
+        return (value - self.mean) / std
+
+
+class MarketObservatory:
+    """Samples markets into a time-series store and flags anomalies.
+
+    Args:
+        store: Destination time-series store (fresh one when omitted).
+        bus: Event bus ``market.anomaly`` events are published on
+            (omit for a silent observatory, e.g. offline analysis).
+        price_window: Rolling window width (samples) for the price
+            z-score baseline.
+        price_z_threshold: |z| at which a price sample opens a
+            ``price_spike`` anomaly.
+        hazard_window: Rolling window width for the hazard baseline.
+        hazard_factor: Hazard multiple of the rolling baseline at which
+            a ``reclaim_burst`` anomaly opens.
+        min_baseline: Samples a window must hold before the detector
+            trusts its statistics (suppresses warm-up false positives).
+    """
+
+    def __init__(
+        self,
+        store: Optional[TimeSeriesStore] = None,
+        bus: Optional[EventBus] = None,
+        price_window: int = 48,
+        price_z_threshold: float = 3.5,
+        hazard_window: int = 48,
+        hazard_factor: float = 3.0,
+        min_baseline: int = 12,
+    ) -> None:
+        self.store = store if store is not None else TimeSeriesStore()
+        self.bus = bus
+        self.price_window = price_window
+        self.price_z_threshold = price_z_threshold
+        self.hazard_window = hazard_window
+        self.hazard_factor = hazard_factor
+        self.min_baseline = min_baseline
+        self.anomalies: List[Anomaly] = []
+        self.samples_taken = 0
+        self._price_windows: Dict[Tuple[str, str], _RollingWindow] = {}
+        self._hazard_windows: Dict[Tuple[str, str], _RollingWindow] = {}
+        self._in_price_spike: Dict[Tuple[str, str], bool] = {}
+        self._in_burst: Dict[Tuple[str, str], bool] = {}
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def observe(self, now: float, markets: Iterable) -> None:
+        """Sample every market at sim time *now* and run the anomaly pass."""
+        for market in markets:
+            if not getattr(market, "available", True):
+                continue
+            labels = {
+                "region": market.region,
+                "instance_type": market.instance_type,
+            }
+            for field, reader in MARKET_FIELDS:
+                self.store.record(field, now, float(reader(market, now)), **labels)
+                self.samples_taken += 1
+            self._detect(now, market)
+
+    # ------------------------------------------------------------------
+    # Anomaly pass
+    # ------------------------------------------------------------------
+    def _emit(self, anomaly: Anomaly) -> None:
+        self.anomalies.append(anomaly)
+        if self.bus is not None:
+            self.bus.emit(
+                EventType.MARKET_ANOMALY,
+                region=anomaly.region,
+                kind=anomaly.kind,
+                field=anomaly.field,
+                value=anomaly.value,
+                zscore=anomaly.zscore,
+                instance_type=anomaly.instance_type,
+            )
+
+    def _detect(self, now: float, market) -> None:
+        key = (market.region, market.instance_type)
+
+        # Price spikes: compare against the *previous* window, then
+        # fold the sample in — a spike must stand out from history,
+        # not from a baseline it already contaminated.
+        price = float(market.spot_price)
+        window = self._price_windows.get(key)
+        if window is None:
+            window = self._price_windows[key] = _RollingWindow(self.price_window)
+        spiking = False
+        if len(window) >= self.min_baseline:
+            z = window.zscore(price)
+            if abs(z) >= self.price_z_threshold:
+                spiking = True
+                if not self._in_price_spike.get(key, False):
+                    self._emit(
+                        Anomaly(
+                            time=now,
+                            kind="price_spike",
+                            region=market.region,
+                            instance_type=market.instance_type,
+                            field="spot_price",
+                            value=price,
+                            zscore=z,
+                        )
+                    )
+        self._in_price_spike[key] = spiking
+        window.push(price)
+
+        # Reclaim bursts: hazard crossing a multiple of its own rolling
+        # baseline (catches both the market's periodic burst windows
+        # and capacity-pressure pile-ups), edge-triggered.
+        hazard = float(market.hazard_at(now))
+        hazard_window = self._hazard_windows.get(key)
+        if hazard_window is None:
+            hazard_window = self._hazard_windows[key] = _RollingWindow(self.hazard_window)
+        bursting = False
+        if len(hazard_window) >= self.min_baseline:
+            baseline = hazard_window.mean
+            if baseline > 0.0 and hazard >= self.hazard_factor * baseline:
+                bursting = True
+                if not self._in_burst.get(key, False):
+                    self._emit(
+                        Anomaly(
+                            time=now,
+                            kind="reclaim_burst",
+                            region=market.region,
+                            instance_type=market.instance_type,
+                            field="hazard_per_hour",
+                            value=hazard,
+                            zscore=hazard_window.zscore(hazard),
+                        )
+                    )
+        self._in_burst[key] = bursting
+        hazard_window.push(hazard)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def anomalies_for(self, region: str, kind: Optional[str] = None) -> List[Anomaly]:
+        """Anomalies in *region* (optionally of one kind), time order."""
+        return [
+            anomaly
+            for anomaly in self.anomalies
+            if anomaly.region == region and (kind is None or anomaly.kind == kind)
+        ]
+
+
+__all__ = ["Anomaly", "MarketObservatory", "MARKET_FIELDS"]

@@ -15,7 +15,7 @@ concurrency a middleware control plane needs at simulation fidelity.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import List, Optional
+from typing import Optional
 
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.events import Callback, Event, EventQueue
@@ -31,8 +31,8 @@ class SimulationEngine:
         trace: When true, every fired event is recorded by an
             :class:`~repro.sim.trace.EngineTracer` — a labeled,
             filterable trace with per-callback wall timings
-            (:attr:`tracer`; the legacy ``(time, label)`` tuple view
-            remains available as :attr:`trace_log`).
+            (:attr:`tracer`; tuple-shaped views come from
+            :meth:`~repro.sim.trace.EngineTracer.as_tuples`).
         tracer: Install a specific tracer (implies tracing on).
     """
 
@@ -57,11 +57,6 @@ class SimulationEngine:
             self.tracer = EngineTracer()
         elif not enabled:
             self.tracer = None
-
-    @property
-    def trace_log(self) -> List[tuple]:
-        """Legacy ``(time, label)`` view of the trace (empty when off)."""
-        return self.tracer.as_tuples() if self.tracer is not None else []
 
     # ------------------------------------------------------------------
     # Clock

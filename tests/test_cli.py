@@ -118,6 +118,83 @@ class TestRun:
         assert code == 1
 
 
+class TestObsSubcommands:
+    """`spotverse obs explain` / `obs markets` and their failure modes."""
+
+    @pytest.fixture(scope="class")
+    def stream_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("obs") / "run.jsonl"
+        code = main(
+            [
+                "obs",
+                "--workload", "synthetic",
+                "--workloads", "3",
+                "--duration-hours", "2",
+                "--seed", "5",
+                "--events", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_explain_renders_causal_chain(self, capsys, stream_path):
+        assert main(["obs", "explain", "wl-000", "--from-events", str(stream_path)]) == 0
+        out = capsys.readouterr().out
+        assert "causal chain for wl-000" in out
+        assert "workload.submitted" in out
+        assert "workload.done" in out
+
+    def test_explain_unknown_workload_lists_known(self, capsys, stream_path):
+        code = main(["obs", "explain", "wl-999", "--from-events", str(stream_path)])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "never appears" in out
+        assert "wl-000" in out  # the error names the known workloads
+
+    def test_markets_from_stream(self, capsys, stream_path):
+        assert main(["obs", "markets", "--from-events", str(stream_path)]) == 0
+        out = capsys.readouterr().out
+        assert "spot_price" in out
+        assert "us-east-1" in out
+
+    def test_empty_stream_fails_gracefully(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        for argv in (
+            ["obs", "--from-events", str(empty)],
+            ["obs", "explain", "wl-000", "--from-events", str(empty)],
+            ["obs", "markets", "--from-events", str(empty)],
+        ):
+            assert main(argv) == 2
+            out = capsys.readouterr().out
+            assert "error:" in out
+            assert "empty" in out
+
+    def test_truncated_stream_fails_gracefully(self, capsys, tmp_path):
+        truncated = tmp_path / "trunc.jsonl"
+        truncated.write_text('{"kind": "event", "seq": 0, "time": 0.0, "ty')
+        for argv in (
+            ["obs", "--from-events", str(truncated)],
+            ["obs", "explain", "wl-000", "--from-events", str(truncated)],
+            ["obs", "markets", "--from-events", str(truncated)],
+        ):
+            assert main(argv) == 2
+            out = capsys.readouterr().out
+            assert "error:" in out
+            assert "trunc.jsonl:1" in out  # names the damaged line
+
+    def test_missing_stream_fails_gracefully(self, capsys, tmp_path):
+        code = main(["obs", "explain", "w", "--from-events", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "error: cannot read" in capsys.readouterr().out
+
+    def test_markets_fresh_simulation(self, capsys):
+        assert main(["obs", "markets", "--days", "0.5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "day(s) of simulated markets" in out
+        assert "spot_price" in out
+
+
 class TestExperimentAndDatasets:
     def test_experiment_fig2(self, capsys):
         assert main(["experiment", "fig2"]) == 0

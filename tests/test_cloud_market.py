@@ -119,6 +119,72 @@ class TestSpotMarket:
         )
 
 
+class TestMarketDeterminism:
+    """Same seed, same trace — the paired-comparison guarantee."""
+
+    def build(self, seed, peak_hour=0.0):
+        return SpotMarket(
+            profile=make_profile(),
+            od_price=1.0,
+            rng=np.random.default_rng(seed),
+            hazard_peak_hour=peak_hour,
+        )
+
+    def test_same_seed_identical_price_trace_and_metrics(self):
+        a, b = self.build(123), self.build(123)
+        a.warmup(300)
+        b.warmup(300)
+        assert list(a.price_trace()) == list(b.price_trace())
+        assert a.metric_history == b.metric_history
+
+    def test_different_seeds_diverge(self):
+        a, b = self.build(123), self.build(124)
+        a.warmup(50)
+        b.warmup(50)
+        assert list(a.price_trace()) != list(b.price_trace())
+
+    def test_provider_market_traces_reproducible_across_builds(self):
+        from repro.cloud.provider import CloudProvider
+
+        def trace(seed):
+            provider = CloudProvider(seed=seed)
+            provider.engine.run_until(12 * HOUR)
+            return list(provider.market("us-east-1", "m5.xlarge").price_trace())
+
+        assert trace(5) == trace(5)
+        assert trace(5) != trace(6)
+
+    def test_geographies_have_phase_shifted_diurnal_peaks(self):
+        from repro.cloud.market import GEOGRAPHY_PEAK_HOURS
+
+        hours = np.arange(0.0, 24.0, 0.25)
+        peak_of = {}
+        for geography, peak_hour in GEOGRAPHY_PEAK_HOURS.items():
+            market = self.build(0, peak_hour=peak_hour)
+            hazards = [market.hazard_at(hour * HOUR) for hour in hours]
+            peak_of[geography] = float(hours[int(np.argmax(hazards))])
+        # Each geography's hazard crests at its own local peak hour...
+        assert peak_of["americas"] == pytest.approx(3.0, abs=0.25)
+        assert peak_of["europe"] == pytest.approx(11.0, abs=0.25)
+        assert peak_of["asia-pacific"] == pytest.approx(19.0, abs=0.25)
+        # ...so no two geographies surge at the same time — the
+        # diversification the paper's multi-region spread exploits.
+        assert len(set(peak_of.values())) == len(peak_of)
+
+    def test_provider_assigns_peak_hours_by_geography(self):
+        from repro.cloud.market import GEOGRAPHY_PEAK_HOURS
+        from repro.cloud.provider import CloudProvider
+
+        provider = CloudProvider(seed=0)
+        for region, expected_geography in (
+            ("us-east-1", "americas"),
+            ("eu-west-1", "europe"),
+            ("ap-southeast-1", "asia-pacific"),
+        ):
+            market = provider.market(region, "m5.xlarge")
+            assert market.hazard_peak_hour == GEOGRAPHY_PEAK_HOURS[expected_geography]
+
+
 class TestCostLedger:
     def test_totals_by_category_tag_region(self):
         ledger = CostLedger()

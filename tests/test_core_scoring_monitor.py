@@ -88,6 +88,30 @@ class TestMonitor:
         assert provider.s3.head_object("spotverse-tools", "spotinfo")
         assert provider.s3.head_object("spotverse-tools", "collector.py")
 
+    def test_snapshot_staleness_ages_across_collect_cycles(self):
+        provider = CloudProvider(seed=2)
+        monitor = Monitor(provider, ["m5.xlarge"], deploy=False)
+        monitor.collect()
+        assert monitor.staleness("m5.xlarge") == 0.0
+        # No collection while the clock advances: every row ages.
+        provider.engine.run_until(3 * HOUR)
+        assert monitor.staleness("m5.xlarge") == pytest.approx(3 * HOUR)
+        for m in monitor.snapshot("m5.xlarge"):
+            assert m.collected_at == 0.0
+            assert m.age(provider.engine.now) == pytest.approx(3 * HOUR)
+        # A fresh collect re-stamps collected_at and resets staleness.
+        monitor.collect()
+        assert monitor.staleness("m5.xlarge") == 0.0
+        for m in monitor.snapshot("m5.xlarge"):
+            assert m.collected_at == pytest.approx(3 * HOUR)
+
+    def test_deployed_monitor_staleness_bounded_by_interval(self):
+        provider = CloudProvider(seed=2)
+        monitor = Monitor(provider, ["m5.xlarge"], collect_interval=5 * MINUTE)
+        provider.engine.run_until(HOUR + 2 * MINUTE)
+        # The schedule keeps the snapshot fresher than one interval.
+        assert 0.0 <= monitor.staleness("m5.xlarge") <= 5 * MINUTE
+
     def test_region_metrics_lookup(self):
         provider = CloudProvider(seed=2)
         monitor = Monitor(provider, ["m5.xlarge"], deploy=False)

@@ -183,7 +183,7 @@ class TestSpans:
 
 
 # ----------------------------------------------------------------------
-# Engine tracer / profiler (replaces trace_log; reset satellite)
+# Engine tracer / profiler (reset satellite)
 # ----------------------------------------------------------------------
 class TestEngineTracer:
     def test_traced_engine_records_labels_and_wall_time(self):
@@ -192,7 +192,7 @@ class TestEngineTracer:
         engine.call_in(2.0, lambda: None, label="b:two")
         engine.run_until(5.0)
         assert engine.fired_events == 2
-        assert engine.trace_log == [(1.0, "a:one"), (2.0, "b:two")]
+        assert engine.tracer.as_tuples() == [(1.0, "a:one"), (2.0, "b:two")]
         assert [r.label for r in engine.tracer.filter(prefix="a:")] == ["a:one"]
         stats = engine.tracer.stats()
         assert stats["a:one"].count == 1
@@ -200,12 +200,12 @@ class TestEngineTracer:
         assert engine.tracer.events_per_second() > 0.0
         assert "events/sec" in engine.tracer.report()
 
-    def test_untraced_engine_keeps_empty_trace_log(self):
+    def test_untraced_engine_has_no_tracer(self):
         engine = SimulationEngine(seed=0)
         engine.call_in(1.0, lambda: None)
         engine.run_until(2.0)
         assert engine.tracer is None
-        assert engine.trace_log == []
+        assert not hasattr(engine, "trace_log")  # legacy tuple view is gone
 
     def test_reset_zeroes_fired_events_and_trace(self):
         engine = SimulationEngine(seed=0, trace=True)
@@ -215,7 +215,7 @@ class TestEngineTracer:
         engine.reset()
         assert engine.fired_events == 0
         assert engine.now == 0.0
-        assert engine.trace_log == []
+        assert engine.tracer.as_tuples() == []
 
 
 # ----------------------------------------------------------------------

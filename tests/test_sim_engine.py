@@ -124,7 +124,7 @@ def test_trace_records_labels():
     engine = SimulationEngine(trace=True)
     engine.call_at(1.0, lambda: None, label="one")
     engine.run_until(2.0)
-    assert engine.trace_log == [(1.0, "one")]
+    assert engine.tracer.as_tuples() == [(1.0, "one")]
 
 
 def test_reset_rewinds_clock_and_drops_events():
