@@ -1,0 +1,185 @@
+"""CI perf guardrail: compare fresh benchmark baselines to committed ones.
+
+Each benchmark run writes a ``BENCH_<name>.json`` (see ``conftest.py``)
+with wall time, simulation throughput, and peak RSS.  This script
+compares a directory of freshly produced baselines against the
+committed ones under ``benchmarks/_baselines/`` and fails (exit 1)
+when a shared benchmark regressed beyond the tolerance band:
+
+* ``wall_seconds`` may grow by at most ``--wall-tol`` (default 1.6x) —
+  CI runners are noisy, so the band is generous; it catches order-of-
+  magnitude regressions, not percent-level jitter.
+* ``sim_events_per_second`` may shrink to no less than ``1/tput-tol``
+  of the committed value (benchmarks with zero recorded events are
+  skipped — nothing to compare).
+* ``peak_rss_bytes`` may grow by at most ``--rss-tol`` (default 2.0x).
+
+Benchmarks present on only one side are reported but never fail the
+check (new benchmarks land without a committed counterpart first).
+Tolerances can also be set via ``SPOTVERSE_BENCH_WALL_TOL``,
+``SPOTVERSE_BENCH_TPUT_TOL`` and ``SPOTVERSE_BENCH_RSS_TOL``.
+
+Usage::
+
+    python benchmarks/check_regression.py --fresh bench-baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List
+
+DEFAULT_WALL_TOL = 1.6
+DEFAULT_TPUT_TOL = 1.6
+DEFAULT_RSS_TOL = 2.0
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One tolerance-band breach for one benchmark."""
+
+    benchmark: str
+    metric: str
+    baseline: float
+    fresh: float
+    limit: str
+
+    def render(self) -> str:
+        """Human-readable one-liner for the CI log."""
+        return (
+            f"{self.benchmark}: {self.metric} {self.baseline:g} -> "
+            f"{self.fresh:g} (allowed {self.limit})"
+        )
+
+
+def compare_payloads(
+    baseline: Dict,
+    fresh: Dict,
+    wall_tol: float = DEFAULT_WALL_TOL,
+    tput_tol: float = DEFAULT_TPUT_TOL,
+    rss_tol: float = DEFAULT_RSS_TOL,
+) -> List[Violation]:
+    """Return every tolerance breach between one baseline/fresh pair."""
+    name = fresh.get("benchmark") or baseline.get("benchmark", "?")
+    violations: List[Violation] = []
+
+    base_wall = float(baseline.get("wall_seconds", 0.0))
+    fresh_wall = float(fresh.get("wall_seconds", 0.0))
+    if base_wall > 0 and fresh_wall > base_wall * wall_tol:
+        violations.append(
+            Violation(name, "wall_seconds", base_wall, fresh_wall, f"<= {wall_tol:g}x")
+        )
+
+    base_tput = float(baseline.get("sim_events_per_second", 0.0))
+    fresh_tput = float(fresh.get("sim_events_per_second", 0.0))
+    if base_tput > 0 and fresh_tput < base_tput / tput_tol:
+        violations.append(
+            Violation(
+                name,
+                "sim_events_per_second",
+                base_tput,
+                fresh_tput,
+                f">= 1/{tput_tol:g}x",
+            )
+        )
+
+    base_rss = float(baseline.get("peak_rss_bytes", 0.0))
+    fresh_rss = float(fresh.get("peak_rss_bytes", 0.0))
+    if base_rss > 0 and fresh_rss > base_rss * rss_tol:
+        violations.append(
+            Violation(name, "peak_rss_bytes", base_rss, fresh_rss, f"<= {rss_tol:g}x")
+        )
+    return violations
+
+
+def _load_dir(directory: Path) -> Dict[str, Dict]:
+    payloads: Dict[str, Dict] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        payloads[path.name] = json.loads(path.read_text())
+    return payloads
+
+
+def check_directories(
+    baseline_dir: Path,
+    fresh_dir: Path,
+    wall_tol: float = DEFAULT_WALL_TOL,
+    tput_tol: float = DEFAULT_TPUT_TOL,
+    rss_tol: float = DEFAULT_RSS_TOL,
+) -> List[Violation]:
+    """Compare every baseline shared by the two directories."""
+    baselines = _load_dir(baseline_dir)
+    fresh = _load_dir(fresh_dir)
+    shared = sorted(set(baselines) & set(fresh))
+    for name in sorted(set(baselines) - set(fresh)):
+        print(f"note: {name} has no fresh counterpart (benchmark not run)")
+    for name in sorted(set(fresh) - set(baselines)):
+        print(f"note: {name} has no committed baseline (new benchmark)")
+    violations: List[Violation] = []
+    for name in shared:
+        violations.extend(
+            compare_payloads(
+                baselines[name],
+                fresh[name],
+                wall_tol=wall_tol,
+                tput_tol=tput_tol,
+                rss_tol=rss_tol,
+            )
+        )
+    return violations
+
+
+def _env_tol(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    return float(raw) if raw else default
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh", required=True, type=Path,
+        help="directory of freshly produced BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=Path(__file__).parent / "_baselines",
+        help="directory of committed baselines (default: benchmarks/_baselines)",
+    )
+    parser.add_argument(
+        "--wall-tol", type=float,
+        default=_env_tol("SPOTVERSE_BENCH_WALL_TOL", DEFAULT_WALL_TOL),
+    )
+    parser.add_argument(
+        "--tput-tol", type=float,
+        default=_env_tol("SPOTVERSE_BENCH_TPUT_TOL", DEFAULT_TPUT_TOL),
+    )
+    parser.add_argument(
+        "--rss-tol", type=float,
+        default=_env_tol("SPOTVERSE_BENCH_RSS_TOL", DEFAULT_RSS_TOL),
+    )
+    args = parser.parse_args(argv)
+    if not args.fresh.is_dir():
+        print(f"error: fresh directory {args.fresh} does not exist")
+        return 2
+    if not args.baseline.is_dir():
+        print(f"error: baseline directory {args.baseline} does not exist")
+        return 2
+    violations = check_directories(
+        args.baseline, args.fresh,
+        wall_tol=args.wall_tol, tput_tol=args.tput_tol, rss_tol=args.rss_tol,
+    )
+    if violations:
+        print(f"{len(violations)} perf regression(s) beyond tolerance:")
+        for violation in violations:
+            print(f"  {violation.render()}")
+        return 1
+    print("benchmark baselines within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

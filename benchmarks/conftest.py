@@ -44,13 +44,18 @@ def _peak_rss_bytes() -> int:
     return peak * 1024
 
 
-def run_once(benchmark, func, *args, **kwargs):
+def run_once(benchmark, func, *args, extra=None, **kwargs):
     """Run *func* once under pytest-benchmark and return its result.
 
     Every :class:`SimulationEngine` the experiment constructs is forced
     to trace so the baseline can report total fired events and
     events/sec; tracing never feeds back into virtual time, so results
     are identical to an untraced run.
+
+    *extra* is an optional mapping merged into the baseline payload —
+    benchmarks use it for derived numbers (e.g. measured speedups).
+    Because it is read *after* the run, the benchmarked function may
+    fill a dict passed here as it executes.
     """
     tracers: List[EngineTracer] = []
     original_init = SimulationEngine.__init__
@@ -66,11 +71,13 @@ def run_once(benchmark, func, *args, **kwargs):
     finally:
         SimulationEngine.__init__ = original_init
     wall = time.perf_counter() - start
-    _write_baseline(benchmark.name, wall, tracers)
+    _write_baseline(benchmark.name, wall, tracers, extra=extra)
     return result
 
 
-def _write_baseline(name: str, wall: float, tracers: List[EngineTracer]) -> Path:
+def _write_baseline(
+    name: str, wall: float, tracers: List[EngineTracer], extra=None
+) -> Path:
     events = sum(len(tracer.records) for tracer in tracers if tracer is not None)
     payload = {
         "benchmark": name,
@@ -80,6 +87,8 @@ def _write_baseline(name: str, wall: float, tracers: List[EngineTracer]) -> Path
         "sim_events_per_second": round(events / wall, 1) if wall > 0 else 0.0,
         "peak_rss_bytes": _peak_rss_bytes(),
     }
+    if extra:
+        payload.update(extra)
     directory = _baseline_dir()
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{name}.json"

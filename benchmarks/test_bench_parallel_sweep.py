@@ -1,0 +1,92 @@
+"""Benchmark: serial vs process-pool execution of independent arms.
+
+Runs the same four-arm sweep (four seeds of a small single-region
+fleet) through ``run_arms`` serially and with ``jobs=4``, asserting the
+pool returns fleet results **identical** to the serial path — arms are
+share-nothing, so fan-out must not change a single number.
+
+The speedup assertion only fires on machines with at least four CPUs;
+single-core CI runners still verify equality and record both wall
+times in the committed baseline.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import run_once
+
+from repro.core.config import SpotVerseConfig
+from repro.experiments.harness import (
+    ArmSpec,
+    indexed_workload_factory,
+    policy_factory,
+    run_arms,
+)
+from repro.strategies.single_region import SingleRegionPolicy
+from repro.workloads.genome_reconstruction import genome_reconstruction_workload
+
+ARMS = 4
+JOBS = 4
+
+#: Minimum parallel speedup demanded when the hardware can deliver it
+#: (4 workers on >= 4 cores; "near-linear" with scheduling slack).
+MIN_SPEEDUP = 2.0
+
+
+def _specs():
+    config = SpotVerseConfig(instance_type="m5.xlarge")
+    return [
+        ArmSpec(
+            name=f"seed-{seed}",
+            policy_factory=policy_factory(SingleRegionPolicy, region="ca-central-1"),
+            config=config,
+            workload_factory=indexed_workload_factory(
+                genome_reconstruction_workload, "w-{:02d}", duration_hours=6.0
+            ),
+            n_workloads=8,
+            seed=seed,
+            max_hours=40.0,
+        )
+        for seed in range(ARMS)
+    ]
+
+
+def test_parallel_arm_sweep(benchmark):
+    serial_start = time.perf_counter()
+    serial = run_arms(_specs(), jobs=1)
+    serial_wall = time.perf_counter() - serial_start
+
+    extra = {
+        "arms": ARMS,
+        "jobs": JOBS,
+        "cpu_count": os.cpu_count() or 1,
+        "serial_wall_seconds": round(serial_wall, 4),
+    }
+
+    def parallel_run():
+        start = time.perf_counter()
+        results = run_arms(_specs(), jobs=JOBS)
+        wall = time.perf_counter() - start
+        # Filled mid-run so run_once picks these up for the baseline.
+        extra["parallel_wall_seconds"] = round(wall, 4)
+        extra["speedup_vs_serial"] = round(serial_wall / wall, 2)
+        return results
+
+    parallel = run_once(benchmark, parallel_run, extra=extra)
+
+    assert list(parallel) == list(serial)
+    for name, serial_arm in serial.items():
+        serial_fleet = serial_arm.fleet
+        parallel_fleet = parallel[name].fleet
+        assert parallel_fleet.total_cost == serial_fleet.total_cost, name
+        assert parallel_fleet.total_interruptions == serial_fleet.total_interruptions, name
+        assert parallel_fleet.makespan_hours == serial_fleet.makespan_hours, name
+
+    if (os.cpu_count() or 1) >= JOBS:
+        assert extra["speedup_vs_serial"] >= MIN_SPEEDUP, (
+            f"4-arm sweep on {os.cpu_count()} CPUs only "
+            f"{extra['speedup_vs_serial']:.2f}x faster with {JOBS} workers "
+            f"(required {MIN_SPEEDUP:g}x)"
+        )

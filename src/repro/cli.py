@@ -148,8 +148,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment_id",
         choices=[experiment_id for experiment_id, _, _ in ALL_EXPERIMENTS],
     )
+    experiment.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan independent experiment arms out over N worker processes",
+    )
 
-    sub.add_parser("report", help="regenerate every paper experiment")
+    report = sub.add_parser("report", help="regenerate every paper experiment")
+    report.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan independent experiment arms out over N worker processes",
+    )
 
     datasets = sub.add_parser("datasets", help="summarize the synthetic spot datasets")
     datasets.add_argument("--days", type=int, default=30)
@@ -385,6 +393,9 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import harness
+
+    harness.set_default_jobs(args.jobs)
     for experiment_id, title, runner in ALL_EXPERIMENTS:
         if experiment_id == args.experiment_id:
             print(f"[{experiment_id}] {title}")
@@ -455,6 +466,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "experiment":
             return _cmd_experiment(args)
         if args.command == "report":
+            from repro.experiments import harness
+
+            harness.set_default_jobs(args.jobs)
             run_all()
             return 0
         if args.command == "datasets":

@@ -11,6 +11,7 @@ Functions, CloudFormation).  The entry point is
 
 from repro.cloud.billing import CostCategory, CostLedger
 from repro.cloud.instances import InstanceType, InstanceTypeCatalog, default_instance_catalog
+from repro.cloud.lattice import MarketLattice, TraceBuffer
 from repro.cloud.market import SpotMarket
 from repro.cloud.pricing import PriceBook, SpotPriceProcess
 from repro.cloud.profiles import MarketProfile, default_market_profiles
@@ -24,12 +25,14 @@ __all__ = [
     "CostLedger",
     "InstanceType",
     "InstanceTypeCatalog",
+    "MarketLattice",
     "MarketProfile",
     "PriceBook",
     "Region",
     "RegionCatalog",
     "SpotMarket",
     "SpotPriceProcess",
+    "TraceBuffer",
     "default_instance_catalog",
     "default_market_profiles",
     "default_region_catalog",

@@ -7,16 +7,30 @@ interruption frequency follow bounded, mean-reverting random walks so
 six-month series show the regional drift visible in the paper's
 Figure 4, while staying inside their calibrated score band (which keeps
 the Table 3 threshold tiers stable).
+
+Markets step in one of two bit-identical ways: the scalar
+:meth:`SpotMarket.step` below, or adopted into a
+:class:`~repro.cloud.lattice.MarketLattice` that advances every market
+per step with vectorized array operations (the provider's default fast
+path).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
 import math
 
+from repro.cloud.lattice import (
+    FREQ_MAX,
+    FREQ_MIN,
+    PLACEMENT_MAX,
+    PLACEMENT_MIN,
+    WALK_REVERSION,
+    TraceBuffer,
+)
 from repro.cloud.pricing import SpotPriceProcess
 from repro.cloud.profiles import MarketProfile, stability_score_from_frequency
 from repro.sim.clock import DAY, HOUR
@@ -24,9 +38,6 @@ from repro.sim.clock import DAY, HOUR
 #: Deterministic per-AZ price skews: AZ-level prices in Figure 2 differ
 #: slightly and persistently inside one region.
 AZ_PRICE_SKEWS = (0.985, 1.0, 1.02)
-
-PLACEMENT_MIN, PLACEMENT_MAX = 1.0, 10.0
-FREQ_MIN, FREQ_MAX = 0.5, 35.0
 
 #: Diurnal swing of the realized interruption hazard around its mean.
 #: Spot reclaims follow datacenter demand, which follows local business
@@ -86,8 +97,13 @@ class SpotMarket:
             FREQ_MIN,
             FREQ_MAX,
         )
-        #: ``(time, placement_score, interruption_freq_pct)`` history.
-        self.metric_history: List[Tuple[float, float, float]] = []
+        #: ``(time, placement_score, interruption_freq_pct)`` history,
+        #: recorded in a chunked columnar buffer (rows read as tuples).
+        self._metric_history = TraceBuffer(3)
+        # Set when a MarketLattice adopts this market; observables then
+        # read the lattice's arrays instead of the scalar attributes.
+        self._lattice = None
+        self._lattice_index = -1
         # Reclaim bursts hit at market-specific phases so markets are
         # not synchronized with each other (but instances within one
         # market are — capacity reclaims are fleet-correlated).
@@ -100,6 +116,19 @@ class SpotMarket:
         #: by the EC2 substrate; only meaningful alongside a finite
         #: profile capacity).
         self.instances_running = 0
+
+    # ------------------------------------------------------------------
+    # Lattice adoption
+    # ------------------------------------------------------------------
+    def _attach_lattice(self, lattice, index: int) -> None:
+        self._lattice = lattice
+        self._lattice_index = index
+        self.price_process._attach_lattice(lattice, index)
+
+    def _detach_lattice(self) -> None:
+        self._lattice = None
+        self._lattice_index = -1
+        self.price_process._detach_lattice()
 
     # ------------------------------------------------------------------
     # Observables
@@ -127,24 +156,50 @@ class SpotMarket:
     @property
     def placement_score(self) -> float:
         """Current Spot Placement Score (1-10)."""
+        if self._lattice is not None:
+            return float(self._lattice.placement[self._lattice_index])
         return self._placement
 
     @property
     def interruption_frequency(self) -> float:
         """Current Interruption Frequency advisor metric (percent)."""
+        if self._lattice is not None:
+            return float(self._lattice.freq[self._lattice_index])
         return self._freq
+
+    @property
+    def metric_history(self) -> TraceBuffer:
+        """``(time, placement_score, interruption_freq_pct)`` history.
+
+        A cheap read-only view over the chunked buffer; snapshot with
+        ``list(...)`` if you need to hold rows across further steps.
+        """
+        if self._lattice is not None:
+            self._lattice.flush()
+        return self._metric_history
+
+    def force_frequency(self, freq_pct: float) -> None:
+        """Override the current Interruption Frequency (scenario/test hook).
+
+        Writes through to the lattice slot when the market is adopted,
+        so the override is honoured on both stepping paths.  The next
+        market step resumes the mean-reverting walk from this value.
+        """
+        self._freq = float(freq_pct)
+        if self._lattice is not None:
+            self._lattice.freq[self._lattice_index] = float(freq_pct)
 
     @property
     def stability_score(self) -> int:
         """Current Stability Score (1-3) bucketed from the frequency."""
-        return stability_score_from_frequency(self._freq)
+        return stability_score_from_frequency(self.interruption_frequency)
 
     @property
     def interruption_hazard_per_hour(self) -> float:
         """Daily-mean hourly interruption hazard for running instances."""
         from repro.cloud.profiles import HAZARD_SCALE
 
-        return self._freq * HAZARD_SCALE * self.profile.hazard_multiplier
+        return self.interruption_frequency * HAZARD_SCALE * self.profile.hazard_multiplier
 
     def hazard_at(self, now: float) -> float:
         """Instantaneous hazard at *now*.
@@ -220,25 +275,31 @@ class SpotMarket:
 
     def step(self, now: float) -> None:
         """Advance price, placement score and frequency one interval."""
+        if self._lattice is not None:
+            raise RuntimeError(
+                "market is adopted by a MarketLattice; step it through the "
+                "lattice (scalar steps would double-consume the prefetched "
+                "noise stream)"
+            )
         self.price_process.step(now)
         # Mean-reverting bounded walks.  Reversion keeps each market in
         # its calibrated band; the noise produces the regional drift of
         # Figure 4.
         self._placement = self._bounded(
             self._placement
-            + 0.10 * (self.profile.placement_mean - self._placement)
+            + WALK_REVERSION * (self.profile.placement_mean - self._placement)
             + self.profile.placement_volatility * float(self._rng.standard_normal()),
             PLACEMENT_MIN,
             PLACEMENT_MAX,
         )
         self._freq = self._bounded(
             self._freq
-            + 0.10 * (self.profile.interruption_freq_pct - self._freq)
+            + WALK_REVERSION * (self.profile.interruption_freq_pct - self._freq)
             + self.profile.freq_volatility * float(self._rng.standard_normal()),
             FREQ_MIN,
             FREQ_MAX,
         )
-        self.metric_history.append((now, self._placement, self._freq))
+        self._metric_history.append((now, self._placement, self._freq))
 
     def warmup(self, steps: int, start_time: float = 0.0) -> None:
         """Step the market *steps* times without an engine.
@@ -250,5 +311,5 @@ class SpotMarket:
             self.step(start_time + (i + 1) * self.step_interval)
 
     def price_trace(self) -> Sequence[Tuple[float, float]]:
-        """Return the recorded ``(time, price)`` series."""
+        """Return the recorded ``(time, price)`` series (read-only view)."""
         return self.price_process.trace()

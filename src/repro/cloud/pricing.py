@@ -11,11 +11,12 @@ auction spikes.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cloud.instances import InstanceType, InstanceTypeCatalog, default_instance_catalog
+from repro.cloud.lattice import TraceBuffer
 from repro.cloud.profiles import MarketProfile
 from repro.cloud.regions import RegionCatalog, default_region_catalog
 
@@ -92,7 +93,20 @@ class SpotPriceProcess:
         # Start at the long-run mean plus one step of noise so traces
         # do not all begin on their mean.
         self._price = self._clamp(self._mean * (1.0 + profile.spot_volatility * rng.standard_normal()))
-        self.history: List[Tuple[float, float]] = []
+        #: ``(time, price)`` history in a chunked columnar buffer.
+        self.history = TraceBuffer(2)
+        # Set when the owning market is adopted by a MarketLattice; the
+        # current price then lives in the lattice's contiguous arrays.
+        self._lattice = None
+        self._lattice_index = -1
+
+    def _attach_lattice(self, lattice, index: int) -> None:
+        self._lattice = lattice
+        self._lattice_index = index
+
+    def _detach_lattice(self) -> None:
+        self._lattice = None
+        self._lattice_index = -1
 
     @property
     def mean(self) -> float:
@@ -102,6 +116,8 @@ class SpotPriceProcess:
     @property
     def current(self) -> float:
         """Current spot price (USD/hour)."""
+        if self._lattice is not None:
+            return float(self._lattice.price[self._lattice_index])
         return self._price
 
     def _clamp(self, price: float) -> float:
@@ -116,5 +132,12 @@ class SpotPriceProcess:
         return self._price
 
     def trace(self) -> Sequence[Tuple[float, float]]:
-        """Return the recorded ``(time, price)`` history."""
-        return tuple(self.history)
+        """Return the recorded ``(time, price)`` history.
+
+        A cheap read-only view over the chunked buffer — no per-call
+        copy.  Rows read as ``(time, price)`` tuples; snapshot with
+        ``list(...)`` to hold them across further steps.
+        """
+        if self._lattice is not None:
+            self._lattice.flush()
+        return self.history

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cloud.billing import CostLedger
 from repro.cloud.instances import InstanceTypeCatalog, default_instance_catalog
+from repro.cloud.lattice import MarketLattice
 from repro.cloud.market import SpotMarket
 from repro.cloud.pricing import PriceBook
 from repro.cloud.profiles import MarketProfileBook, default_market_profiles
@@ -55,6 +56,12 @@ class CloudProvider:
             Off by default — sampling is pure observation (it never
             feeds back into markets or policies) but costs time on
             large sweeps.
+        vectorized_markets: When true (default), adopt every market
+            into a :class:`~repro.cloud.lattice.MarketLattice` and
+            advance them all per step with vectorized array ops.
+            Bit-identical to the scalar path for the same seed (the
+            lattice prefetches each market's noise from its own RNG
+            stream); turn off to force the scalar reference path.
     """
 
     def __init__(
@@ -67,6 +74,7 @@ class CloudProvider:
         seed: int = 0,
         telemetry: Optional[Telemetry] = None,
         observatory: bool = False,
+        vectorized_markets: bool = True,
     ) -> None:
         self.engine = engine or SimulationEngine(seed=seed)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
@@ -97,6 +105,17 @@ class CloudProvider:
                 hazard_peak_hour=GEOGRAPHY_PEAK_HOURS.get(geography, 0.0),
             )
             self._markets[(profile.region, profile.instance_type)] = market
+        # Static per-type index: markets_for_type sits on the Monitor
+        # collect path and every Algorithm-1 evaluation, so it must not
+        # rescan the whole market dict per call.  Availability is fixed
+        # by the profile, so the index never goes stale.
+        self._markets_by_type: Dict[str, List[SpotMarket]] = {}
+        for market in self._markets.values():
+            if market.available:
+                self._markets_by_type.setdefault(market.instance_type, []).append(market)
+        self.lattice: Optional[MarketLattice] = (
+            MarketLattice(list(self._markets.values())) if vectorized_markets else None
+        )
         self._market_task = self.engine.every(
             market_step_interval, self._step_markets, label="markets:step"
         )
@@ -132,16 +151,15 @@ class CloudProvider:
 
     def markets_for_type(self, instance_type: str) -> List[SpotMarket]:
         """Return every *available* market trading *instance_type*."""
-        return [
-            market
-            for (region, itype), market in self._markets.items()
-            if itype == instance_type and market.available
-        ]
+        return list(self._markets_by_type.get(instance_type, ()))
 
     def _step_markets(self) -> None:
         now = self.engine.now
-        for market in self._markets.values():
-            market.step(now)
+        if self.lattice is not None:
+            self.lattice.step(now)
+        else:
+            for market in self._markets.values():
+                market.step(now)
         if self.observatory is not None:
             self.observatory.observe(now, self._markets.values())
 
@@ -149,12 +167,16 @@ class CloudProvider:
         """Pre-roll every market *steps* intervals before t=0 data.
 
         Gives price/metric processes a burn-in so experiments do not
-        all start exactly on the calibrated means.
+        all start exactly on the calibrated means.  Burn-in history is
+        synthetic pre-experiment data and is dropped from the traces.
         """
+        if self.lattice is not None:
+            interval = self.lattice.markets[0].step_interval
+            self.lattice.warmup(steps, start_time=-steps * interval)
+            self.lattice.clear_history()
+            return
         for market in self._markets.values():
             market.warmup(steps, start_time=-steps * market.step_interval)
-            # Burn-in history is synthetic pre-experiment data; keep it
-            # out of recorded traces.
             market.price_process.history.clear()
             market.metric_history.clear()
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cloud.instances import InstanceTypeCatalog, default_instance_catalog
+from repro.cloud.lattice import MarketLattice
 from repro.cloud.market import SpotMarket
 from repro.cloud.pricing import PriceBook
 from repro.cloud.profiles import MarketProfileBook, default_market_profiles
@@ -124,26 +125,38 @@ def generate_placement_dataset(
     price_book = PriceBook(regions, instances)
     streams = RandomStreams(seed)
 
-    records: List[PlacementRecord] = []
+    # Same vectorization as the advisor generator: one lattice pass
+    # over every market, then expand histories into daily records.
+    markets: List[SpotMarket] = []
     for profile in profiles:
         if wanted is not None and profile.instance_type not in wanted:
             continue
         if not profile.available:
             continue
-        market = SpotMarket(
-            profile=profile,
-            od_price=price_book.od_price(profile.region, profile.instance_type),
-            rng=streams.get(f"placement:{profile.region}:{profile.instance_type}"),
-            step_interval=DAY,
+        markets.append(
+            SpotMarket(
+                profile=profile,
+                od_price=price_book.od_price(profile.region, profile.instance_type),
+                rng=streams.get(f"placement:{profile.region}:{profile.instance_type}"),
+                step_interval=DAY,
+            )
         )
+    if markets:
+        lattice = MarketLattice(markets)
         for day in range(days):
-            market.step(day * DAY)
+            lattice.step(day * DAY)
+
+    records: List[PlacementRecord] = []
+    for market in markets:
+        profile = market.profile
+        scores = market.metric_history.column(1)
+        for day in range(days):
             records.append(
                 PlacementRecord(
                     day=day,
                     region=profile.region,
                     instance_type=profile.instance_type,
-                    score=round(market.placement_score, 3),
+                    score=round(float(scores[day]), 3),
                 )
             )
     return PlacementScoreDataset(records, days=days)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cloud.instances import InstanceTypeCatalog, default_instance_catalog
+from repro.cloud.lattice import MarketLattice
 from repro.cloud.market import SpotMarket
 from repro.cloud.pricing import PriceBook
 from repro.cloud.profiles import (
@@ -145,23 +146,39 @@ def generate_advisor_dataset(
     price_book = PriceBook(regions, instances)
     streams = RandomStreams(seed)
 
-    records: List[AdvisorRecord] = []
+    # Build every market, advance them all together through one
+    # MarketLattice (vectorized, bit-identical to per-market scalar
+    # stepping), then expand the recorded series into daily records in
+    # the same per-profile order as before.
+    markets: List[SpotMarket] = []
     for profile in profiles:
         if wanted is not None and profile.instance_type not in wanted:
             continue
         if not profile.available:
             continue
-        itype = instances.get(profile.instance_type)
-        od_price = price_book.od_price(profile.region, profile.instance_type)
-        market = SpotMarket(
-            profile=profile,
-            od_price=od_price,
-            rng=streams.get(f"advisor:{profile.region}:{profile.instance_type}"),
-            step_interval=DAY,
+        markets.append(
+            SpotMarket(
+                profile=profile,
+                od_price=price_book.od_price(profile.region, profile.instance_type),
+                rng=streams.get(f"advisor:{profile.region}:{profile.instance_type}"),
+                step_interval=DAY,
+            )
         )
+    if markets:
+        lattice = MarketLattice(markets)
         for day in range(days):
-            market.step(day * DAY)
-            savings = 100.0 * (1.0 - market.spot_price / od_price)
+            lattice.step(day * DAY)
+
+    records: List[AdvisorRecord] = []
+    for market in markets:
+        profile = market.profile
+        itype = instances.get(profile.instance_type)
+        od_price = market.od_price
+        prices = market.price_process.trace().column(1)
+        freqs = market.metric_history.column(2)
+        for day in range(days):
+            price = float(prices[day])
+            freq = float(freqs[day])
             records.append(
                 AdvisorRecord(
                     day=day,
@@ -169,11 +186,9 @@ def generate_advisor_dataset(
                     instance_type=profile.instance_type,
                     vcpus=itype.vcpus,
                     memory_gib=itype.memory_gib,
-                    savings_pct=round(savings, 2),
-                    interruption_freq_pct=round(market.interruption_frequency, 2),
-                    stability_score=stability_score_from_frequency(
-                        market.interruption_frequency
-                    ),
+                    savings_pct=round(100.0 * (1.0 - price / od_price), 2),
+                    interruption_freq_pct=round(freq, 2),
+                    stability_score=stability_score_from_frequency(freq),
                 )
             )
     return SpotAdvisorDataset(records, days=days)

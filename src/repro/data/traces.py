@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.cloud.instances import InstanceTypeCatalog, default_instance_catalog
+from repro.cloud.lattice import MarketLattice
 from repro.cloud.market import AZ_PRICE_SKEWS, SpotMarket
 from repro.cloud.pricing import PriceBook
 from repro.cloud.profiles import MarketProfileBook, default_market_profiles
@@ -96,33 +97,46 @@ def generate_price_traces(
     streams = RandomStreams(seed)
     steps = int(days * DAY / HOUR)
 
-    traces: List[PriceTrace] = []
+    # Build every market first, then advance them all together through
+    # one MarketLattice — one vectorized pass instead of a scalar walk
+    # per market, bit-identical series either way (each market draws
+    # from its own named stream).
+    markets: List[SpotMarket] = []
+    market_meta = []
     for itype_name in instance_types:
         instances.get(itype_name)  # validate
         for region in regions:
             profile = profiles.get(region.name, itype_name)
             if not profile.available:
                 continue
-            market = SpotMarket(
-                profile=profile,
-                od_price=price_book.od_price(region.name, itype_name),
-                rng=streams.get(f"trace:{region.name}:{itype_name}"),
-                step_interval=HOUR,
-            )
-            market.warmup(steps)
-            times = [time for time, _ in market.price_trace()]
-            region_prices = [price for _, price in market.price_trace()]
-            for az_index, zone in enumerate(region.zones):
-                skew = AZ_PRICE_SKEWS[az_index % len(AZ_PRICE_SKEWS)]
-                traces.append(
-                    PriceTrace(
-                        region=region.name,
-                        az=zone.name,
-                        instance_type=itype_name,
-                        times=list(times),
-                        prices=[price * skew for price in region_prices],
-                    )
+            markets.append(
+                SpotMarket(
+                    profile=profile,
+                    od_price=price_book.od_price(region.name, itype_name),
+                    rng=streams.get(f"trace:{region.name}:{itype_name}"),
+                    step_interval=HOUR,
                 )
+            )
+            market_meta.append((itype_name, region))
+    if markets:
+        lattice = MarketLattice(markets)
+        lattice.warmup(steps, start_time=0.0)
+
+    traces: List[PriceTrace] = []
+    for market, (itype_name, region) in zip(markets, market_meta):
+        times = [time for time, _ in market.price_trace()]
+        region_prices = [price for _, price in market.price_trace()]
+        for az_index, zone in enumerate(region.zones):
+            skew = AZ_PRICE_SKEWS[az_index % len(AZ_PRICE_SKEWS)]
+            traces.append(
+                PriceTrace(
+                    region=region.name,
+                    az=zone.name,
+                    instance_type=itype_name,
+                    times=list(times),
+                    prices=[price * skew for price in region_prices],
+                )
+            )
     return traces
 
 

@@ -5,12 +5,26 @@ Every experiment arm gets its own :class:`~repro.cloud.provider.CloudProvider`
 strategies), a Monitor (SpotVerse's data plane runs regardless of the
 policy, as it would in the paper's shared-account setup), and the
 shared :class:`~repro.core.controller.FleetController`.
+
+Arms are share-nothing by construction, which makes sweeps
+embarrassingly parallel: :func:`run_arms` (and :func:`mean_over_seeds`)
+accept a ``jobs`` knob that fans independent arms out over a process
+pool.  Specs must be picklable to cross the process boundary — build
+them from module-level factories or the :func:`policy_factory` /
+:func:`indexed_workload_factory` helpers below.  Specs that cannot
+travel (non-picklable closures, or a live ``telemetry`` bundle whose
+subscribers must observe the run in *this* process) gracefully fall
+back to serial execution; results are keyed and ordered identically
+either way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from functools import partial
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.cloud.profiles import default_market_profiles
 from repro.cloud.provider import CloudProvider
@@ -30,12 +44,61 @@ PolicyFactory = Callable[[CloudProvider, SpotVerseConfig, Monitor], PlacementPol
 #: Builds workload *i* of the fleet.
 WorkloadFactory = Callable[[int], Workload]
 
+#: Fallback worker count when ``jobs`` is not given anywhere.
+_default_jobs = 1
+
+
+def set_default_jobs(jobs: int) -> None:
+    """Set the process-wide default for ``jobs=None`` calls.
+
+    The CLI's ``--jobs`` knob lands here so every experiment driver in
+    the invocation fans out without each one re-plumbing the argument.
+    """
+    global _default_jobs
+    _default_jobs = max(1, int(jobs))
+
+
+def default_jobs() -> int:
+    """The process-wide default worker count."""
+    return _default_jobs
+
 
 def spotverse_policy(
     provider: CloudProvider, config: SpotVerseConfig, monitor: Monitor
 ) -> PlacementPolicy:
     """The default SpotVerse policy factory (Algorithm 1)."""
     return SpotVerseOptimizer(monitor, config)
+
+
+def _build_policy(provider, config, monitor, *, policy_cls, **kwargs):
+    return policy_cls(**kwargs)
+
+
+def policy_factory(policy_cls, **kwargs) -> PolicyFactory:
+    """A picklable policy factory: ``policy_cls(**kwargs)`` per arm.
+
+    Replaces ``lambda p, c, m: SomePolicy(...)`` closures, which cannot
+    cross the process-pool boundary.
+    """
+    return partial(_build_policy, policy_cls=policy_cls, **kwargs)
+
+
+def _build_indexed_workload(index, *, builder, id_format, **kwargs):
+    return builder(id_format.format(index), **kwargs)
+
+
+def indexed_workload_factory(builder, id_format, **kwargs) -> WorkloadFactory:
+    """A picklable workload factory: ``builder(id_format.format(i))``.
+
+    Args:
+        builder: Module-level workload constructor (e.g.
+            ``genome_reconstruction_workload``).
+        id_format: ``str.format`` pattern for the workload id, applied
+            to the fleet index (e.g. ``"std-{:02d}"``).
+        **kwargs: Extra keyword arguments for *builder* (e.g.
+            ``duration_hours``).
+    """
+    return partial(_build_indexed_workload, builder=builder, id_format=id_format, **kwargs)
 
 
 @dataclass
@@ -57,7 +120,9 @@ class ArmSpec:
         telemetry: Observability hook: a bundle the arm's provider
             emits into (e.g. one wired to a JSONL subscriber, or a
             shared registry when a driver wants cross-arm aggregation).
-            Each arm gets a fresh bundle when omitted.
+            Each arm gets a fresh bundle when omitted.  A shared bundle
+            pins the arm to serial execution — its subscribers live in
+            this process.
         observatory: When true, the arm's provider attaches a market
             observatory (per-market time series + anomaly events).
             Off by default — sweeps don't pay the sampling cost unless
@@ -79,11 +144,17 @@ class ArmSpec:
 
 @dataclass
 class ArmResult:
-    """An arm's outcome plus the provider it ran on (for deep dives)."""
+    """An arm's outcome plus the provider it ran on (for deep dives).
+
+    ``provider`` is ``None`` when the arm executed in a pool worker:
+    live providers (engine heaps, service substrates, open callbacks)
+    do not cross process boundaries — only the measured
+    :class:`~repro.core.result.FleetResult` comes back.
+    """
 
     spec: ArmSpec
     fleet: FleetResult
-    provider: CloudProvider
+    provider: Optional[CloudProvider]
 
     @property
     def name(self) -> str:
@@ -91,8 +162,10 @@ class ArmResult:
         return self.spec.name
 
     @property
-    def telemetry(self) -> Telemetry:
-        """The arm's observability bundle (event bus + metrics)."""
+    def telemetry(self) -> Optional[Telemetry]:
+        """The arm's observability bundle (``None`` for pool-run arms)."""
+        if self.provider is None:
+            return self.spec.telemetry
         return self.provider.telemetry
 
 
@@ -122,43 +195,111 @@ def run_arm(spec: ArmSpec) -> ArmResult:
     return ArmResult(spec=spec, fleet=fleet, provider=provider)
 
 
-def run_arms(specs: Sequence[ArmSpec]) -> Dict[str, ArmResult]:
-    """Run several arms and key the results by arm name."""
+def _run_arm_fleet(spec: ArmSpec) -> FleetResult:
+    """Pool worker: run one arm, ship only the picklable fleet result."""
+    return run_arm(spec).fleet
+
+
+def _parallel_safe(spec: ArmSpec) -> bool:
+    """Whether *spec* can run in a pool worker.
+
+    A live telemetry bundle means the caller wants its subscribers fed
+    from the run — that only works in-process.  Everything else just
+    needs to survive pickling.
+    """
+    if spec.telemetry is not None:
+        return False
+    try:
+        pickle.dumps(spec)
+    except Exception:
+        return False
+    return True
+
+
+def _check_unique_names(specs: Sequence[ArmSpec]) -> None:
+    seen = set()
+    for spec in specs:
+        if spec.name in seen:
+            raise ValueError(f"duplicate arm name {spec.name!r}")
+        seen.add(spec.name)
+
+
+def run_arms(
+    specs: Sequence[ArmSpec], jobs: Optional[int] = None
+) -> Dict[str, ArmResult]:
+    """Run several arms and key the results by arm name.
+
+    Args:
+        specs: The arms, in result order.
+        jobs: Pool worker count; ``None`` uses :func:`default_jobs`
+            (1 unless the CLI's ``--jobs`` raised it), ``1`` forces the
+            serial path.
+    """
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    _check_unique_names(specs)
+    if jobs > 1 and len(specs) > 1:
+        return run_arms_parallel(specs, jobs=jobs)
     results: Dict[str, ArmResult] = {}
     for spec in specs:
-        if spec.name in results:
-            raise ValueError(f"duplicate arm name {spec.name!r}")
         results[spec.name] = run_arm(spec)
     return results
 
 
+def run_arms_parallel(
+    specs: Sequence[ArmSpec], jobs: Optional[int] = None
+) -> Dict[str, ArmResult]:
+    """Fan independent arms out over a process pool.
+
+    Parallel-safe specs run in workers; the rest (non-picklable
+    factories, live telemetry hooks) run serially in this process after
+    the pool drains.  The result dict is keyed and ordered by the input
+    spec order regardless of completion order, and same-seed arms
+    produce results identical to :func:`run_arms` serial execution —
+    every arm owns its provider, engine, and RNG streams.
+    """
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    _check_unique_names(specs)
+    pooled = [spec for spec in specs if _parallel_safe(spec)]
+    fleets: Dict[str, FleetResult] = {}
+    if jobs > 1 and len(pooled) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pooled))) as pool:
+                futures = [(spec, pool.submit(_run_arm_fleet, spec)) for spec in pooled]
+                for spec, future in futures:
+                    fleets[spec.name] = future.result()
+        except (OSError, PermissionError, ImportError):
+            # No usable multiprocessing primitives (sandboxes, missing
+            # /dev/shm, restricted platforms): degrade to serial.
+            fleets.clear()
+    results: Dict[str, ArmResult] = {}
+    for spec in specs:
+        if spec.name in fleets:
+            results[spec.name] = ArmResult(spec=spec, fleet=fleets[spec.name], provider=None)
+        else:
+            results[spec.name] = run_arm(spec)
+    return results
+
+
 def mean_over_seeds(
-    spec: ArmSpec, seeds: Sequence[int]
+    spec: ArmSpec, seeds: Sequence[int], jobs: Optional[int] = None
 ) -> Tuple[float, float, float]:
     """Run an arm at several seeds; return mean (interruptions, hours, cost).
 
     The paper repeats each experiment three times to absorb market
-    variation; this is the equivalent averaging helper.
+    variation; this is the equivalent averaging helper.  Each seed's
+    clone carries *every* field of the spec — including the
+    ``telemetry`` and ``observatory`` hooks — so observability is
+    consistent between single-arm runs and seed sweeps.  With
+    ``jobs > 1`` the seeds fan out over the process pool.
     """
-    interruptions: List[float] = []
-    hours: List[float] = []
-    costs: List[float] = []
-    for seed in seeds:
-        result = run_arm(
-            ArmSpec(
-                name=f"{spec.name}@{seed}",
-                policy_factory=spec.policy_factory,
-                config=spec.config,
-                workload_factory=spec.workload_factory,
-                n_workloads=spec.n_workloads,
-                seed=seed,
-                max_hours=spec.max_hours,
-                profile_overrides=spec.profile_overrides,
-                warmup_steps=spec.warmup_steps,
-            )
-        )
-        interruptions.append(result.fleet.total_interruptions)
-        hours.append(result.fleet.makespan_hours)
-        costs.append(result.fleet.total_cost)
+    clones = [
+        replace(spec, name=f"{spec.name}@{seed}", seed=seed) for seed in seeds
+    ]
+    results = run_arms(clones, jobs=jobs)
+    fleets = [results[clone.name].fleet for clone in clones]
     n = len(seeds)
-    return (sum(interruptions) / n, sum(hours) / n, sum(costs) / n)
+    return (
+        sum(fleet.total_interruptions for fleet in fleets) / n,
+        sum(fleet.makespan_hours for fleet in fleets) / n,
+        sum(fleet.total_cost for fleet in fleets) / n,
+    )

@@ -13,10 +13,16 @@ cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.config import SpotVerseConfig
-from repro.experiments.harness import ArmResult, ArmSpec, run_arms, spotverse_policy
+from repro.experiments.harness import (
+    ArmResult,
+    ArmSpec,
+    indexed_workload_factory,
+    run_arms,
+    spotverse_policy,
+)
 from repro.experiments.reporting import fmt_hours, fmt_money, fmt_pct, pct_change, render_table
 from repro.workloads.genome_reconstruction import genome_reconstruction_workload
 from repro.workloads.ngs_preprocessing import ngs_preprocessing_workload
@@ -76,7 +82,10 @@ class InitialDistributionResult:
 
 
 def run_initial_distribution_experiment(
-    n_workloads: int = 40, seed: int = 7, duration_hours: float = 10.5
+    n_workloads: int = 40,
+    seed: int = 7,
+    duration_hours: float = 10.5,
+    jobs: Optional[int] = None,
 ) -> InitialDistributionResult:
     """Run the four Figure 9 arms."""
     concentrated_config = SpotVerseConfig(
@@ -86,11 +95,11 @@ def run_initial_distribution_experiment(
     )
     distributed_config = SpotVerseConfig(instance_type="m5.xlarge")
     factories = {
-        "standard": lambda i: genome_reconstruction_workload(
-            f"std-{i:02d}", duration_hours=duration_hours
+        "standard": indexed_workload_factory(
+            genome_reconstruction_workload, "std-{:02d}", duration_hours=duration_hours
         ),
-        "checkpoint": lambda i: ngs_preprocessing_workload(
-            f"ckp-{i:02d}", duration_hours=duration_hours
+        "checkpoint": indexed_workload_factory(
+            ngs_preprocessing_workload, "ckp-{:02d}", duration_hours=duration_hours
         ),
     }
     specs = []
@@ -115,7 +124,7 @@ def run_initial_distribution_experiment(
                 seed=seed,
             )
         )
-    arms = run_arms(specs)
+    arms = run_arms(specs, jobs=jobs)
     deltas: Dict[str, Dict[str, float]] = {}
     for kind in factories:
         concentrated = arms[f"{kind}-concentrated"].fleet

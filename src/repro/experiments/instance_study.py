@@ -11,11 +11,18 @@ workload with 40 instances.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.cloud.provider import CloudProvider
 from repro.core.config import SpotVerseConfig
-from repro.experiments.harness import ArmResult, ArmSpec, run_arms, spotverse_policy
+from repro.experiments.harness import (
+    ArmResult,
+    ArmSpec,
+    indexed_workload_factory,
+    policy_factory,
+    run_arms,
+    spotverse_policy,
+)
 from repro.experiments.reporting import fmt_hours, fmt_money, render_table
 from repro.strategies.single_region import SingleRegionPolicy
 from repro.workloads.qiime import standard_general_workload
@@ -108,23 +115,24 @@ def compute_baselines(seed: int = 7) -> Dict[str, str]:
 
 
 def run_instance_study(
-    n_workloads: int = 40, seed: int = 7, duration_hours: float = 10.5
+    n_workloads: int = 40,
+    seed: int = 7,
+    duration_hours: float = 10.5,
+    jobs: Optional[int] = None,
 ) -> InstanceStudyResult:
     """Run single-region vs SpotVerse for every Table 1 specification."""
     computed = compute_baselines(seed=seed)
     specs: List[ArmSpec] = []
     for itype, baseline_region in computed.items():
-        def factory(i: int, itype=itype):
-            return standard_general_workload(
-                f"{itype}-{i:02d}", duration_hours=duration_hours
-            )
-
+        factory = indexed_workload_factory(
+            standard_general_workload,
+            itype + "-{:02d}",
+            duration_hours=duration_hours,
+        )
         specs.append(
             ArmSpec(
                 name=f"{itype}-single",
-                policy_factory=lambda p, c, m, region=baseline_region: SingleRegionPolicy(
-                    region=region
-                ),
+                policy_factory=policy_factory(SingleRegionPolicy, region=baseline_region),
                 config=SpotVerseConfig(instance_type=itype),
                 workload_factory=factory,
                 n_workloads=n_workloads,
@@ -145,4 +153,4 @@ def run_instance_study(
                 seed=seed,
             )
         )
-    return InstanceStudyResult(computed_baselines=computed, arms=run_arms(specs))
+    return InstanceStudyResult(computed_baselines=computed, arms=run_arms(specs, jobs=jobs))

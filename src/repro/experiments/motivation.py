@@ -10,10 +10,16 @@ random failover among them.  Run for both workload categories
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.config import SpotVerseConfig
-from repro.experiments.harness import ArmResult, ArmSpec, run_arms
+from repro.experiments.harness import (
+    ArmResult,
+    ArmSpec,
+    indexed_workload_factory,
+    policy_factory,
+    run_arms,
+)
 from repro.experiments.reporting import fmt_hours, fmt_money, fmt_pct, pct_change, render_table
 from repro.strategies.naive_multi_region import MOTIVATION_REGIONS, NaiveMultiRegionPolicy
 from repro.strategies.single_region import SingleRegionPolicy
@@ -80,16 +86,19 @@ class MotivationResult:
 
 
 def run_motivation_experiment(
-    n_workloads: int = 42, seed: int = 7, duration_hours: float = 10.5
+    n_workloads: int = 42,
+    seed: int = 7,
+    duration_hours: float = 10.5,
+    jobs: Optional[int] = None,
 ) -> MotivationResult:
     """Run the four arms of the motivational experiment."""
     config = SpotVerseConfig(instance_type="m5.xlarge")
     factories = {
-        "standard": lambda i: genome_reconstruction_workload(
-            f"std-{i:02d}", duration_hours=duration_hours
+        "standard": indexed_workload_factory(
+            genome_reconstruction_workload, "std-{:02d}", duration_hours=duration_hours
         ),
-        "checkpoint": lambda i: ngs_preprocessing_workload(
-            f"ckp-{i:02d}", duration_hours=duration_hours
+        "checkpoint": indexed_workload_factory(
+            ngs_preprocessing_workload, "ckp-{:02d}", duration_hours=duration_hours
         ),
     }
     specs = []
@@ -97,7 +106,7 @@ def run_motivation_experiment(
         specs.append(
             ArmSpec(
                 name=f"{kind}-single",
-                policy_factory=lambda p, c, m: SingleRegionPolicy(region="ca-central-1"),
+                policy_factory=policy_factory(SingleRegionPolicy, region="ca-central-1"),
                 config=config,
                 workload_factory=factory,
                 n_workloads=n_workloads,
@@ -107,14 +116,16 @@ def run_motivation_experiment(
         specs.append(
             ArmSpec(
                 name=f"{kind}-multi",
-                policy_factory=lambda p, c, m: NaiveMultiRegionPolicy(MOTIVATION_REGIONS),
+                policy_factory=policy_factory(
+                    NaiveMultiRegionPolicy, regions=MOTIVATION_REGIONS
+                ),
                 config=config,
                 workload_factory=factory,
                 n_workloads=n_workloads,
                 seed=seed,
             )
         )
-    arms = run_arms(specs)
+    arms = run_arms(specs, jobs=jobs)
     deltas: Dict[str, Dict[str, float]] = {}
     for kind in factories:
         single = arms[f"{kind}-single"].fleet

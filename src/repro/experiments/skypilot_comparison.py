@@ -9,10 +9,17 @@ Algorithm 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.config import SpotVerseConfig
-from repro.experiments.harness import ArmResult, ArmSpec, run_arms, spotverse_policy
+from repro.experiments.harness import (
+    ArmResult,
+    ArmSpec,
+    indexed_workload_factory,
+    policy_factory,
+    run_arms,
+    spotverse_policy,
+)
 from repro.experiments.reporting import fmt_hours, fmt_money, render_table
 from repro.strategies.skypilot import SkyPilotPolicy
 from repro.workloads.qiime import standard_general_workload
@@ -77,12 +84,15 @@ class SkyPilotComparisonResult:
 
 
 def run_skypilot_comparison(
-    n_workloads: int = 40, seed: int = 7, duration_hours: float = 10.5
+    n_workloads: int = 40,
+    seed: int = 7,
+    duration_hours: float = 10.5,
+    jobs: Optional[int] = None,
 ) -> SkyPilotComparisonResult:
     """Run both Table 4 arms."""
-    def factory(i: int):
-        return standard_general_workload(f"w-{i:02d}", duration_hours=duration_hours)
-
+    factory = indexed_workload_factory(
+        standard_general_workload, "w-{:02d}", duration_hours=duration_hours
+    )
     specs = [
         ArmSpec(
             name="spotverse",
@@ -94,11 +104,11 @@ def run_skypilot_comparison(
         ),
         ArmSpec(
             name="skypilot",
-            policy_factory=lambda p, c, m: SkyPilotPolicy(instance_type="m5.xlarge"),
+            policy_factory=policy_factory(SkyPilotPolicy, instance_type="m5.xlarge"),
             config=SpotVerseConfig(instance_type="m5.xlarge"),
             workload_factory=factory,
             n_workloads=n_workloads,
             seed=seed,
         ),
     ]
-    return SkyPilotComparisonResult(arms=run_arms(specs))
+    return SkyPilotComparisonResult(arms=run_arms(specs, jobs=jobs))

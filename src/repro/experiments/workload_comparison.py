@@ -10,10 +10,17 @@ on-demand — and two for the checkpoint workload.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import SpotVerseConfig
-from repro.experiments.harness import ArmResult, ArmSpec, run_arms, spotverse_policy
+from repro.experiments.harness import (
+    ArmResult,
+    ArmSpec,
+    indexed_workload_factory,
+    policy_factory,
+    run_arms,
+    spotverse_policy,
+)
 from repro.experiments.reporting import fmt_hours, fmt_money, render_table
 from repro.strategies.on_demand import OnDemandPolicy
 from repro.strategies.single_region import SingleRegionPolicy
@@ -89,7 +96,10 @@ class WorkloadComparisonResult:
 
 
 def run_workload_comparison(
-    n_workloads: int = 40, seed: int = 7, duration_hours: float = 10.5
+    n_workloads: int = 40,
+    seed: int = 7,
+    duration_hours: float = 10.5,
+    jobs: Optional[int] = None,
 ) -> WorkloadComparisonResult:
     """Run all five Figure 7 arms."""
     spotverse_config = SpotVerseConfig(
@@ -98,17 +108,17 @@ def run_workload_comparison(
         start_region=START_REGION,
     )
     baseline_config = SpotVerseConfig(instance_type="m5.xlarge")
-
-    def standard(i: int):
-        return genome_reconstruction_workload(f"std-{i:02d}", duration_hours=duration_hours)
-
-    def checkpoint(i: int):
-        return ngs_preprocessing_workload(f"ckp-{i:02d}", duration_hours=duration_hours)
+    standard = indexed_workload_factory(
+        genome_reconstruction_workload, "std-{:02d}", duration_hours=duration_hours
+    )
+    checkpoint = indexed_workload_factory(
+        ngs_preprocessing_workload, "ckp-{:02d}", duration_hours=duration_hours
+    )
 
     specs = [
         ArmSpec(
             name="standard-single",
-            policy_factory=lambda p, c, m: SingleRegionPolicy(region=START_REGION),
+            policy_factory=policy_factory(SingleRegionPolicy, region=START_REGION),
             config=baseline_config,
             workload_factory=standard,
             n_workloads=n_workloads,
@@ -124,7 +134,7 @@ def run_workload_comparison(
         ),
         ArmSpec(
             name="standard-on-demand",
-            policy_factory=lambda p, c, m: OnDemandPolicy(instance_type="m5.xlarge"),
+            policy_factory=policy_factory(OnDemandPolicy, instance_type="m5.xlarge"),
             config=baseline_config,
             workload_factory=standard,
             n_workloads=n_workloads,
@@ -132,7 +142,7 @@ def run_workload_comparison(
         ),
         ArmSpec(
             name="checkpoint-single",
-            policy_factory=lambda p, c, m: SingleRegionPolicy(region=START_REGION),
+            policy_factory=policy_factory(SingleRegionPolicy, region=START_REGION),
             config=baseline_config,
             workload_factory=checkpoint,
             n_workloads=n_workloads,
@@ -147,4 +157,4 @@ def run_workload_comparison(
             seed=seed,
         ),
     ]
-    return WorkloadComparisonResult(arms=run_arms(specs))
+    return WorkloadComparisonResult(arms=run_arms(specs, jobs=jobs))

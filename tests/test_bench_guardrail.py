@@ -1,0 +1,114 @@
+"""The CI perf guardrail comparator (benchmarks/check_regression.py)."""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_MODULE_PATH = (
+    pathlib.Path(__file__).parent.parent / "benchmarks" / "check_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_regression", _MODULE_PATH)
+check_regression = importlib.util.module_from_spec(_spec)
+# Registered before exec so dataclass string-annotation resolution
+# (from __future__ import annotations) can find the module.
+sys.modules["check_regression"] = check_regression
+_spec.loader.exec_module(check_regression)
+
+
+def _payload(name="bench", wall=1.0, tput=1000.0, rss=100_000_000):
+    return {
+        "benchmark": name,
+        "wall_seconds": wall,
+        "sim_events_per_second": tput,
+        "peak_rss_bytes": rss,
+    }
+
+
+def test_identical_payloads_pass():
+    assert check_regression.compare_payloads(_payload(), _payload()) == []
+
+
+def test_within_tolerance_passes():
+    fresh = _payload(wall=1.5, tput=700.0, rss=150_000_000)
+    assert check_regression.compare_payloads(_payload(), fresh) == []
+
+
+def test_each_metric_breach_detected():
+    slow = check_regression.compare_payloads(_payload(), _payload(wall=2.0))
+    assert [v.metric for v in slow] == ["wall_seconds"]
+    cold = check_regression.compare_payloads(_payload(), _payload(tput=100.0))
+    assert [v.metric for v in cold] == ["sim_events_per_second"]
+    fat = check_regression.compare_payloads(_payload(), _payload(rss=500_000_000))
+    assert [v.metric for v in fat] == ["peak_rss_bytes"]
+    assert "peak_rss_bytes" in fat[0].render()
+
+
+def test_zero_baseline_metrics_are_skipped():
+    baseline = _payload(wall=0.0, tput=0.0, rss=0)
+    fresh = _payload(wall=100.0, tput=0.0, rss=10**12)
+    assert check_regression.compare_payloads(baseline, fresh) == []
+
+
+def test_custom_tolerances():
+    fresh = _payload(wall=1.5)
+    assert check_regression.compare_payloads(_payload(), fresh, wall_tol=1.1)
+    assert not check_regression.compare_payloads(_payload(), fresh, wall_tol=2.0)
+
+
+def _write(directory, payload):
+    path = directory / f"BENCH_{payload['benchmark']}.json"
+    path.write_text(json.dumps(payload))
+
+
+def test_check_directories_compares_shared_files(tmp_path):
+    baseline_dir = tmp_path / "baseline"
+    fresh_dir = tmp_path / "fresh"
+    baseline_dir.mkdir()
+    fresh_dir.mkdir()
+    _write(baseline_dir, _payload("shared"))
+    _write(baseline_dir, _payload("retired"))
+    _write(fresh_dir, _payload("shared", wall=5.0))
+    _write(fresh_dir, _payload("brand_new", wall=99.0))
+    violations = check_regression.check_directories(baseline_dir, fresh_dir)
+    # Only the shared benchmark is enforced; one-sided files are notes.
+    assert [v.benchmark for v in violations] == ["shared"]
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    baseline_dir = tmp_path / "baseline"
+    fresh_dir = tmp_path / "fresh"
+    baseline_dir.mkdir()
+    fresh_dir.mkdir()
+    _write(baseline_dir, _payload("ok"))
+    _write(fresh_dir, _payload("ok"))
+    argv = ["--fresh", str(fresh_dir), "--baseline", str(baseline_dir)]
+    assert check_regression.main(argv) == 0
+    _write(fresh_dir, _payload("ok", wall=10.0))
+    assert check_regression.main(argv) == 1
+    assert "wall_seconds" in capsys.readouterr().out
+    assert check_regression.main(["--fresh", str(tmp_path / "missing")]) == 2
+
+
+def test_repo_baselines_are_valid_json():
+    directory = _MODULE_PATH.parent / "_baselines"
+    names = sorted(path.name for path in directory.glob("BENCH_*.json"))
+    assert names, "committed benchmark baselines are missing"
+    for path in directory.glob("BENCH_*.json"):
+        payload = json.loads(path.read_text())
+        assert payload["benchmark"] == path.stem[len("BENCH_"):]
+        assert payload["wall_seconds"] >= 0
+
+
+@pytest.mark.parametrize("env_name, flag", [
+    ("SPOTVERSE_BENCH_WALL_TOL", "wall_tol"),
+    ("SPOTVERSE_BENCH_TPUT_TOL", "tput_tol"),
+    ("SPOTVERSE_BENCH_RSS_TOL", "rss_tol"),
+])
+def test_env_tolerance_overrides(monkeypatch, env_name, flag):
+    monkeypatch.setenv(env_name, "9.5")
+    assert check_regression._env_tol(env_name, 1.0) == 9.5
+    monkeypatch.delenv(env_name)
+    assert check_regression._env_tol(env_name, 1.0) == 1.0

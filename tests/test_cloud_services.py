@@ -68,7 +68,7 @@ class TestEC2:
         market.profile = type(market.profile)(
             region="us-east-1", instance_type="m5.xlarge", interruption_freq_pct=3000.0
         )
-        market._freq = 3000.0
+        market.force_frequency(3000.0)
         notices = []
         provider.ec2.on_interruption_notice(lambda inst: notices.append(provider.engine.now))
         instance = provider.ec2._launch(
@@ -89,7 +89,7 @@ class TestEC2:
     def test_terminate_during_notice_window_prevents_interrupted_state(self):
         provider = CloudProvider(seed=5)
         market = provider.market("us-east-1", "m5.xlarge")
-        market._freq = 3000.0
+        market.force_frequency(3000.0)
         interrupted = []
         provider.ec2.on_interruption_notice(lambda inst: interrupted.append(inst))
         provider.ec2._launch("us-east-1", "m5.xlarge", InstanceLifecycle.SPOT, tag="w")

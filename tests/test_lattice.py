@@ -1,0 +1,140 @@
+"""Vectorized market lattice: bit-exactness and TraceBuffer semantics."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.lattice import MarketLattice, TraceBuffer
+from repro.cloud.provider import CloudProvider
+from repro.sim.clock import HOUR
+
+
+def _paired_providers(seed=13, **kwargs):
+    scalar = CloudProvider(seed=seed, vectorized_markets=False, **kwargs)
+    vector = CloudProvider(seed=seed, vectorized_markets=True, **kwargs)
+    return scalar, vector
+
+
+def test_vectorized_markets_bit_identical_to_scalar():
+    scalar, vector = _paired_providers()
+    scalar.engine.run_until(50 * HOUR)
+    vector.engine.run_until(50 * HOUR)
+    for key, scalar_market in scalar._markets.items():
+        vector_market = vector._markets[key]
+        assert list(scalar_market.price_trace()) == list(vector_market.price_trace()), key
+        assert list(scalar_market.metric_history) == list(vector_market.metric_history), key
+        assert scalar_market.spot_price == vector_market.spot_price
+        assert scalar_market.placement_score == vector_market.placement_score
+        assert scalar_market.interruption_frequency == vector_market.interruption_frequency
+        assert scalar_market.stability_score == vector_market.stability_score
+
+
+def test_vectorized_warmup_bit_identical_to_scalar():
+    scalar, vector = _paired_providers()
+    scalar.warmup_markets(30)
+    vector.warmup_markets(30)
+    scalar.engine.run_until(10 * HOUR)
+    vector.engine.run_until(10 * HOUR)
+    for key, scalar_market in scalar._markets.items():
+        vector_market = vector._markets[key]
+        assert list(scalar_market.price_trace()) == list(vector_market.price_trace()), key
+        assert scalar_market.interruption_frequency == vector_market.interruption_frequency
+
+
+def test_lattice_survives_noise_block_boundary():
+    # A tiny prefetch block forces several refills within one run; the
+    # series must stay identical to the scalar reference throughout.
+    scalar, vector = _paired_providers()
+    markets = list(vector._markets.values())
+    for market in markets:
+        market._detach_lattice()
+    small = MarketLattice(markets, noise_block=4, history_chunk=3)
+    vector.lattice = small
+    scalar.engine.run_until(25 * HOUR)
+    vector.engine.run_until(25 * HOUR)
+    for key, scalar_market in scalar._markets.items():
+        assert list(scalar_market.price_trace()) == list(
+            vector._markets[key].price_trace()
+        ), key
+
+
+def test_scalar_step_raises_when_adopted():
+    provider = CloudProvider(seed=3)
+    market = next(iter(provider._markets.values()))
+    with pytest.raises(RuntimeError):
+        market.step(HOUR)
+
+
+def test_force_frequency_writes_through_to_lattice():
+    provider = CloudProvider(seed=3)
+    market = next(iter(provider._markets.values()))
+    market.force_frequency(3000.0)
+    assert market.interruption_frequency == 3000.0
+
+
+def test_detach_resumes_scalar_stepping():
+    provider = CloudProvider(seed=5)
+    provider.engine.run_until(5 * HOUR)
+    market = next(iter(provider._markets.values()))
+    price_before = market.spot_price
+    provider.lattice.detach()
+    provider.lattice = None
+    assert market.spot_price == price_before
+    market.step(6 * HOUR)  # no RuntimeError once detached
+    assert len(market.price_trace()) == 6
+
+
+def test_lattice_requires_markets_and_uniform_interval():
+    with pytest.raises(ValueError):
+        MarketLattice([])
+    provider = CloudProvider(seed=5)
+    markets = list(provider._markets.values())
+    provider.lattice.detach()
+    markets[0].step_interval = 2 * HOUR
+    with pytest.raises(ValueError):
+        MarketLattice(markets).warmup(3)
+
+
+def test_trace_returns_live_view_not_copy():
+    provider = CloudProvider(seed=9)
+    market = next(iter(provider._markets.values()))
+    provider.engine.run_until(3 * HOUR)
+    view = market.price_process.trace()
+    assert view is market.price_process.trace()
+    assert len(view) == 3
+    provider.engine.run_until(5 * HOUR)
+    # The view tracks later appends instead of freezing a copy.
+    assert len(market.price_process.trace()) == 5
+
+
+def test_trace_buffer_reads_like_tuple_list():
+    buffer = TraceBuffer(2, capacity=2)
+    rows = [(0.0, 1.5), (1.0, 2.5), (2.0, 3.5)]
+    for row in rows:
+        buffer.append(row)  # third append crosses the growth boundary
+    assert len(buffer) == 3
+    assert buffer[0] == rows[0]
+    assert buffer[-1] == rows[-1]
+    assert buffer[1:] == rows[1:]
+    assert list(buffer) == rows
+    assert buffer == rows
+    assert [time for time, _ in buffer] == [0.0, 1.0, 2.0]
+    with pytest.raises(IndexError):
+        buffer[3]
+
+
+def test_trace_buffer_columns_and_equality():
+    buffer = TraceBuffer(2)
+    buffer.extend_columns(np.array([0.0, 1.0]), np.array([5.0, 6.0]))
+    assert buffer.column(1).tolist() == [5.0, 6.0]
+    with pytest.raises(ValueError):
+        buffer.column(1)[0] = 9.9  # read-only view
+    with pytest.raises(ValueError):
+        buffer.extend_columns(np.array([2.0]))  # wrong column count
+    other = TraceBuffer(2)
+    other.append((0.0, 5.0))
+    other.append((1.0, 6.0))
+    assert buffer == other
+    other.append((2.0, 7.0))
+    assert buffer != other
+    buffer.clear()
+    assert len(buffer) == 0 and buffer == []
