@@ -234,6 +234,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         policy = BASELINE_POLICIES[args.strategy](args)
         controller = FleetController(provider, policy, config)
         result = controller.run(fleet, max_hours=args.max_hours)
+        controller.teardown()
     print(result.summary())
     if args.lifelines:
         from repro.experiments.gantt import render_lifelines
@@ -373,6 +374,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         policy = BASELINE_POLICIES[args.strategy](args)
         controller = FleetController(provider, policy, config)
         result = controller.run(fleet, max_hours=args.max_hours)
+        controller.teardown()
 
     print(result.summary())
     print()

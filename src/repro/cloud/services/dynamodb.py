@@ -32,12 +32,20 @@ class Table:
         partition_key: Attribute name of the partition key.
         sort_key: Attribute name of the sort key, or ``None``.
         items: Storage keyed by ``(partition, sort)``.
+        metered: Whether operations on this table charge request units
+            to the ledger.  The paper's data-path tables (metrics,
+            checkpoints) are metered; the fleet control plane's internal
+            state mirror is not, so refactoring controller state into
+            DynamoDB never perturbs the cost model the evaluation
+            compares (its request volume is an implementation detail of
+            the reproduction, not of the paper's billing study).
     """
 
     name: str
     partition_key: str
     sort_key: Optional[str] = None
     items: Dict[Key, Item] = field(default_factory=dict)
+    metered: bool = True
 
     def key_of(self, item: Item) -> Key:
         """Extract this table's key tuple from *item*.
@@ -67,7 +75,11 @@ class DynamoDBService:
         self._tables: Dict[str, Table] = {}
 
     def create_table(
-        self, name: str, partition_key: str, sort_key: Optional[str] = None
+        self,
+        name: str,
+        partition_key: str,
+        sort_key: Optional[str] = None,
+        metered: bool = True,
     ) -> Table:
         """Create a table (idempotent when the schema matches)."""
         existing = self._tables.get(name)
@@ -75,7 +87,9 @@ class DynamoDBService:
             if (existing.partition_key, existing.sort_key) != (partition_key, sort_key):
                 raise ServiceError(f"table {name!r} exists with a different key schema")
             return existing
-        table = Table(name=name, partition_key=partition_key, sort_key=sort_key)
+        table = Table(
+            name=name, partition_key=partition_key, sort_key=sort_key, metered=metered
+        )
         self._tables[name] = table
         return table
 
@@ -85,7 +99,9 @@ class DynamoDBService:
             raise NoSuchTableError(f"no such table: {name!r}")
         return table
 
-    def _charge(self, write: bool, detail: str) -> None:
+    def _charge(self, table: Table, write: bool, detail: str) -> None:
+        if not table.metered:
+            return
         self._provider.ledger.charge(
             time=self._provider.engine.now,
             category=CostCategory.DYNAMODB,
@@ -117,14 +133,14 @@ class DynamoDBService:
                 f"conditional put on table {table_name!r} failed for key {key!r}"
             )
         table.items[key] = dict(item)
-        self._charge(write=True, detail=f"put {table_name}")
+        self._charge(table, write=True, detail=f"put {table_name}")
 
     def get_item(
         self, table_name: str, partition: Any, sort: Any = None
     ) -> Optional[Item]:
         """Fetch one item by key, or ``None`` when absent."""
         table = self._table(table_name)
-        self._charge(write=False, detail=f"get {table_name}")
+        self._charge(table, write=False, detail=f"get {table_name}")
         item = table.items.get((partition, sort))
         return dict(item) if item is not None else None
 
@@ -149,14 +165,14 @@ class DynamoDBService:
             item[table.sort_key] = sort
         item.update(updates or {})
         table.items[key] = item
-        self._charge(write=True, detail=f"update {table_name}")
+        self._charge(table, write=True, detail=f"update {table_name}")
         return dict(item)
 
     def delete_item(self, table_name: str, partition: Any, sort: Any = None) -> None:
         """Delete an item by key (no-op when absent)."""
         table = self._table(table_name)
         table.items.pop((partition, sort), None)
-        self._charge(write=True, detail=f"delete {table_name}")
+        self._charge(table, write=True, detail=f"delete {table_name}")
 
     # ------------------------------------------------------------------
     # Bulk reads
@@ -164,7 +180,7 @@ class DynamoDBService:
     def query(self, table_name: str, partition: Any) -> List[Item]:
         """Return all items sharing *partition*, sorted by sort key."""
         table = self._table(table_name)
-        self._charge(write=False, detail=f"query {table_name}")
+        self._charge(table, write=False, detail=f"query {table_name}")
         matches = [
             dict(item)
             for (pk, _), item in table.items.items()
@@ -179,7 +195,7 @@ class DynamoDBService:
     ) -> List[Item]:
         """Return every item, optionally filtered by *predicate*."""
         table = self._table(table_name)
-        self._charge(write=False, detail=f"scan {table_name}")
+        self._charge(table, write=False, detail=f"scan {table_name}")
         items = (dict(item) for item in table.items.values())
         if predicate is None:
             return list(items)

@@ -10,6 +10,15 @@ implementing Algorithm 1), and the
 
 from repro.core.config import SpotVerseConfig
 from repro.core.controller import FleetController
+from repro.core.fleet import (
+    CapacityService,
+    CheckpointBackend,
+    DynamoCheckpointBackend,
+    EFSCheckpointBackend,
+    FleetStateStore,
+    InterruptionService,
+    LifecycleService,
+)
 from repro.core.monitor import Monitor
 from repro.core.optimizer import SpotVerseOptimizer
 from repro.core.policy import Placement, PlacementPolicy, PolicyContext, PurchasingOption
@@ -18,8 +27,15 @@ from repro.core.scoring import RegionMetrics, combined_score
 from repro.core.spotverse import SpotVerse
 
 __all__ = [
+    "CapacityService",
+    "CheckpointBackend",
+    "DynamoCheckpointBackend",
+    "EFSCheckpointBackend",
     "FleetController",
     "FleetResult",
+    "FleetStateStore",
+    "InterruptionService",
+    "LifecycleService",
     "Monitor",
     "Placement",
     "PlacementPolicy",

@@ -1,15 +1,22 @@
-"""The Controller: executes a placement policy over a fleet.
+"""The Controller: a thin façade over the fleet control-plane services.
 
-Wires the paper's Section 4 control plane onto the simulated cloud:
+Wires the paper's Section 4 control plane onto the simulated cloud by
+composing the :mod:`repro.core.fleet` services:
 
-* an **EventBridge rule** routes spot interruption warnings to the
-  interruption-handler **Lambda**,
-* the handler checkpoints/records and starts a **Step Functions**
-  execution that re-acquires capacity per the policy (with retries for
-  failed requests),
-* a **CloudWatch 15-minute sweep** retries spot requests that stayed
-  ``open``,
-* run logs and checkpoints land in **S3**, progress in **DynamoDB**.
+* a :class:`~repro.core.fleet.state.FleetStateStore` keeps workload /
+  instance / request state durably in **DynamoDB** — the controller
+  object itself holds no fleet state and can be torn down mid-run and
+  rebuilt from the store (:meth:`FleetController.resume`),
+* the :class:`~repro.core.fleet.interruption.InterruptionService`
+  deploys the **EventBridge rule** → interruption-handler **Lambda** →
+  **Step Functions** re-acquire chain,
+* the :class:`~repro.core.fleet.capacity.CapacityService` owns spot
+  requests, on-demand fallback, and the **CloudWatch 15-minute sweep**
+  for requests that stayed ``open``,
+* the :class:`~repro.core.fleet.lifecycle.LifecycleService` owns
+  registration, completion accounting, and result assembly; run logs
+  and checkpoints land in **S3** via the configured
+  :class:`~repro.core.fleet.checkpoint.CheckpointBackend`.
 
 Every strategy in the paper's evaluation — SpotVerse, single-region,
 on-demand, SkyPilot-like — runs through this same controller; only the
@@ -18,20 +25,29 @@ on-demand, SkyPilot-like — runs through this same controller; only the
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from repro.cloud.provider import CloudProvider
-from repro.cloud.services.ec2 import Instance, SpotRequest, SpotRequestState
-from repro.cloud.services.stepfunctions import RetryPolicy
 from repro.core.config import SpotVerseConfig
-from repro.core.execution import ExecutionState, WorkloadExecution
-from repro.core.policy import Placement, PlacementPolicy, PolicyContext, PurchasingOption
+from repro.core.execution import WorkloadExecution
+from repro.core.fleet.capacity import CapacityService
+from repro.core.fleet.checkpoint import (
+    CheckpointBackend,
+    DynamoCheckpointBackend,
+    EFSCheckpointBackend,
+)
+from repro.core.fleet.interruption import InterruptionService
+from repro.core.fleet.lifecycle import LifecycleService
+from repro.core.fleet.state import FleetStateStore
+from repro.core.policy import PlacementPolicy, PolicyContext
 from repro.core.result import FleetResult
 from repro.errors import ExperimentError
-from repro.galaxy.checkpoint import DynamoCheckpointStore
-from repro.obs import EventType
 from repro.sim.clock import HOUR, MINUTE
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cloud.services.ec2 import Instance
+    from repro.core.monitor import Monitor
 
 
 class FleetController:
@@ -43,6 +59,10 @@ class FleetController:
             baseline).
         config: Control-plane configuration.
         monitor: Optional Monitor handed to the policy context.
+        image_id: Optional Galaxy AMI shaping boot times.
+        state_store: Durable fleet state to compose over.  Defaults to
+            a fresh store; pass the store of a torn-down controller to
+            rebuild its control plane (then call :meth:`resume`).
     """
 
     def __init__(
@@ -50,180 +70,74 @@ class FleetController:
         provider: CloudProvider,
         policy: PlacementPolicy,
         config: SpotVerseConfig,
-        monitor: Optional[object] = None,
+        monitor: Optional["Monitor"] = None,
         image_id: Optional[str] = None,
+        state_store: Optional[FleetStateStore] = None,
     ) -> None:
         self._provider = provider
         self._policy = policy
         self._config = config
-        self._image_id = image_id
         self._engine = provider.engine
-        self._telemetry = provider.telemetry
         self._ctx = PolicyContext(
             provider=provider,
             monitor=monitor,
             rng=provider.engine.streams.get(f"controller:{policy.name}"),
         )
-        self._store = DynamoCheckpointStore(provider.dynamodb)
+        self.state_store = state_store if state_store is not None else FleetStateStore(
+            provider.dynamodb
+        )
+        self._backend = self._make_backend(config, provider, self.state_store)
         provider.s3.create_bucket(config.results_bucket, config.results_region)
-        self._efs_artifacts = None
+
+        self._lifecycle = LifecycleService(
+            provider=provider,
+            config=config,
+            store=self.state_store,
+            ctx=self._ctx,
+            backend=self._backend,
+            strategy=policy.name,
+            image_id=image_id,
+        )
+        self._capacity = CapacityService(
+            provider=provider,
+            config=config,
+            store=self.state_store,
+            lifecycle=self._lifecycle,
+        )
+        self._interruption = InterruptionService(
+            provider=provider,
+            policy=policy,
+            store=self.state_store,
+            lifecycle=self._lifecycle,
+            capacity=self._capacity,
+            ctx=self._ctx,
+        )
+        self.state_store.router.bind(self._capacity, self._interruption, provider.ec2)
+
+        # Control-plane wiring (Section 4) targets the store's router,
+        # so it is deployed once per store: a controller rebuilt over an
+        # existing store reuses the live Lambda / rule / state machine /
+        # sweep, exactly as a redeployed serverless stack would.
+        meta = self.state_store.mapping("control-plane")
+        if not meta.get("deployed"):
+            self._interruption.deploy()
+            self._capacity.deploy()
+            meta["deployed"] = True
+
+    @staticmethod
+    def _make_backend(
+        config: SpotVerseConfig, provider: CloudProvider, store: FleetStateStore
+    ) -> CheckpointBackend:
         if config.checkpoint_backend == "efs":
-            from repro.core.execution import EFSCheckpointArtifacts
-
-            self._efs_artifacts = EFSCheckpointArtifacts(
-                provider, config.results_region
+            return EFSCheckpointBackend(
+                provider,
+                config.results_region,
+                fs_registry=store.mapping("efs-filesystems"),
             )
-
-        self._executions: Dict[str, WorkloadExecution] = {}
-        self._by_instance: Dict[str, WorkloadExecution] = {}
-        self._open_requests: Dict[str, str] = {}  # request_id -> workload_id
-        self._done = 0
-
-        # Control-plane wiring (Section 4).
-        provider.lambda_.create_function(
-            "spotverse-interruption-handler",
-            handler=self._interruption_handler,
-            memory_mb=128,
-            simulated_duration=1.0,
-        )
-        provider.eventbridge.put_rule(
-            "spotverse-on-interruption",
-            source="aws.ec2",
-            detail_type="EC2 Spot Instance Interruption Warning",
-        )
-        provider.eventbridge.add_target(
-            "spotverse-on-interruption",
-            provider.lambda_.as_target("spotverse-interruption-handler"),
-        )
-        provider.stepfunctions.create_state_machine(
-            "spotverse-reacquire",
-            task=self._reacquire_task,
-            retry=RetryPolicy(max_attempts=4, interval=30.0, backoff_rate=2.0),
-        )
-        provider.cloudwatch.schedule_rule(
-            "spotverse-open-request-sweep",
-            interval=config.sweep_interval,
-            target=self._sweep_open_requests,
-        )
+        return DynamoCheckpointBackend(provider, config.results_bucket)
 
     # ------------------------------------------------------------------
-    # Acquisition paths
-    # ------------------------------------------------------------------
-    def _acquire(
-        self, execution: WorkloadExecution, placement: Placement, phase: str = "initial"
-    ) -> None:
-        workload_id = execution.workload.workload_id
-        if placement.option is PurchasingOption.ON_DEMAND:
-            fallback_attrs = {"phase": phase}
-            if placement.reason:
-                fallback_attrs["reason"] = placement.reason
-            self._telemetry.bus.emit(
-                EventType.FALLBACK_ON_DEMAND,
-                workload_id=workload_id,
-                region=placement.region,
-                option=PurchasingOption.ON_DEMAND.value,
-                **fallback_attrs,
-            )
-            self._telemetry.metrics.counter(
-                "fallback_on_demand_total", "placements that resolved to on-demand"
-            ).inc(region=placement.region)
-            instance = self._provider.ec2.run_on_demand(
-                placement.region, self._config.instance_type, tag=workload_id
-            )
-            # On-demand instances join the same instance map spot
-            # fulfillments use, so spans and terminations see one
-            # uniform view of running capacity.
-            self._by_instance[instance.instance_id] = execution
-            execution.attach(instance)
-            return
-        request = self._provider.ec2.request_spot_instances(
-            placement.region,
-            self._config.instance_type,
-            tag=workload_id,
-            on_fulfilled=self._on_spot_fulfilled,
-        )
-        self._open_requests[request.request_id] = workload_id
-
-    def _on_spot_fulfilled(self, request: SpotRequest, instance: Instance) -> None:
-        workload_id = self._open_requests.pop(request.request_id, None)
-        if workload_id is None:
-            # Request no longer tracked (workload finished meanwhile).
-            self._provider.ec2.terminate_instances([instance.instance_id])
-            return
-        execution = self._executions[workload_id]
-        if not execution.needs_instance:
-            self._provider.ec2.terminate_instances([instance.instance_id])
-            return
-        self._by_instance[instance.instance_id] = execution
-        execution.attach(instance)
-
-    def _sweep_open_requests(self) -> None:
-        """The 15-minute CloudWatch check for open spot requests.
-
-        One ``describe_spot_requests`` call per sweep, indexed by id —
-        not one per tracked request, which made large fleets quadratic.
-        """
-        open_by_id = {
-            request.request_id: request
-            for request in self._provider.ec2.describe_spot_requests(
-                states=[SpotRequestState.OPEN]
-            )
-        }
-        for request_id, workload_id in list(self._open_requests.items()):
-            request = open_by_id.get(request_id)
-            if request is None:
-                continue
-            execution = self._executions.get(workload_id)
-            if execution is None or not execution.needs_instance:
-                self._provider.ec2.cancel_spot_request(request_id)
-                self._open_requests.pop(request_id, None)
-                continue
-            self._provider.ec2.retry_open_request(
-                request_id, on_fulfilled=self._on_spot_fulfilled
-            )
-
-    # ------------------------------------------------------------------
-    # Interruption path
-    # ------------------------------------------------------------------
-    def _interruption_handler(self, event: Dict[str, Any], context: object) -> str:
-        """Lambda: record the warning, checkpoint, and re-acquire."""
-        instance_id = event.get("detail", {}).get("instance-id", "")
-        execution = self._by_instance.pop(instance_id, None)
-        if execution is None or execution.state is ExecutionState.DONE:
-            return "ignored"
-        lost_region = execution.handle_interruption_notice()
-        self._telemetry.bus.emit(
-            EventType.MIGRATION_STARTED,
-            workload_id=execution.workload.workload_id,
-            region=lost_region,
-            instance_id=instance_id,
-        )
-        self._telemetry.metrics.counter(
-            "migrations_started_total", "reacquisitions kicked off by interruptions"
-        ).inc(region=lost_region)
-        self._provider.stepfunctions.start_execution(
-            "spotverse-reacquire",
-            input={
-                "workload_id": execution.workload.workload_id,
-                "exclude_region": lost_region,
-            },
-        )
-        return "handled"
-
-    def _reacquire_task(self, input: Dict[str, Any]) -> str:
-        """Step Functions task: pick a migration target and request it."""
-        workload_id = input["workload_id"]
-        execution = self._executions[workload_id]
-        if not execution.needs_instance:
-            return "noop"
-        placement = self._policy.migration_placement(
-            execution.workload, input["exclude_region"], self._ctx
-        )
-        self._acquire(execution, placement, phase="migration")
-        return placement.region
-
-    # ------------------------------------------------------------------
-    # Fleet entry point
+    # Fleet entry points
     # ------------------------------------------------------------------
     def run(
         self,
@@ -236,40 +150,12 @@ class FleetController:
         Raises:
             ExperimentError: On duplicate workload ids or an empty fleet.
         """
-        if not workloads:
-            raise ExperimentError("fleet must contain at least one workload")
-        ids = [workload.workload_id for workload in workloads]
-        if len(set(ids)) != len(ids):
-            raise ExperimentError(f"duplicate workload ids in fleet: {ids!r}")
-        already_known = [wid for wid in ids if wid in self._executions]
-        if already_known:
-            raise ExperimentError(
-                f"workload ids already used by an earlier fleet on this "
-                f"controller: {already_known!r}"
-            )
+        self.submit(workloads)
+        return self.wait(workloads, max_hours=max_hours, poll_interval=poll_interval)
 
-        for workload in workloads:
-            execution = WorkloadExecution(
-                workload=workload,
-                provider=self._provider,
-                checkpoint_store=self._store,
-                results_bucket=self._config.results_bucket,
-                boot_delay=self._config.boot_delay,
-                execute_payloads=self._config.execute_payloads,
-                on_complete=self._on_workload_complete,
-                efs_artifacts=self._efs_artifacts,
-                image_id=self._image_id,
-            )
-            self._executions[workload.workload_id] = execution
-            # History-aware policies read live records via the context.
-            self._ctx.records[workload.workload_id] = execution.record
-            self._telemetry.bus.emit(
-                EventType.WORKLOAD_SUBMITTED,
-                workload_id=workload.workload_id,
-                kind=workload.kind.value,
-                segments=len(workload.segment_durations),
-            )
-
+    def submit(self, workloads: Sequence[Workload]) -> None:
+        """Register *workloads* and acquire their initial capacity."""
+        self._lifecycle.register(workloads)
         placements = self._policy.initial_placements(workloads, self._ctx)
         if len(placements) != len(workloads):
             raise ExperimentError(
@@ -277,49 +163,84 @@ class FleetController:
                 f"for {len(workloads)} workloads"
             )
         for workload, placement in zip(workloads, placements):
-            self._acquire(self._executions[workload.workload_id], placement)
+            self._capacity.acquire(
+                self._lifecycle.execution(workload.workload_id), placement
+            )
 
-        # The controller may run several fleets over its lifetime; this
-        # run is complete when *its* workloads have all finished.
-        target = self._done + len(workloads)
+    def wait(
+        self,
+        workloads: Sequence[Workload],
+        max_hours: float = 120.0,
+        poll_interval: float = 5 * MINUTE,
+    ) -> FleetResult:
+        """Drive the engine until *workloads* finish (or the deadline)."""
         deadline = self._engine.now + max_hours * HOUR
-        while self._done < target and self._engine.now < deadline:
+        while not self._lifecycle.all_done(workloads) and self._engine.now < deadline:
             self._engine.run_until(min(self._engine.now + poll_interval, deadline))
-
-        return self._build_result(workloads)
-
-    def _on_workload_complete(self, execution: WorkloadExecution) -> None:
-        self._done += 1
-
-    def _build_result(self, workloads: Sequence[Workload]) -> FleetResult:
-        self._provider.ec2.settle_billing()
-        # Stop anything still running (deadline hit) and release
-        # untracked capacity.
-        for execution in self._executions.values():
-            if execution.instance is not None and execution.instance.is_live:
-                self._provider.ec2.terminate_instances([execution.instance.instance_id])
-        records = []
-        ledger = self._provider.ledger
-        for workload in workloads:
-            execution = self._executions[workload.workload_id]
-            execution.record.cost = ledger.total_for_tag(workload.workload_id)
-            records.append(execution.record)
-        return FleetResult(
-            strategy=self._policy.name,
-            records=records,
-            total_cost=ledger.total(),
-            instance_cost=ledger.instance_total(),
-            overhead_cost=ledger.overhead_total(),
-            ended_at=self._engine.now,
-        )
+        return self._lifecycle.build_result(workloads)
 
     # ------------------------------------------------------------------
-    # Introspection (used by tests)
+    # Teardown / restore (crash recovery over the durable store)
     # ------------------------------------------------------------------
+    def teardown(self) -> None:
+        """Discard this controller's in-process state, mid-run.
+
+        Pending boot/segment timers are cancelled (they lived in the
+        dead process) and the router endpoints detach.  The cloud-side
+        wiring and every byte of fleet state stay put — build a new
+        controller over ``state_store`` and :meth:`resume` to continue.
+        """
+        self._lifecycle.teardown()
+        self.state_store.router.unbind()
+
+    def resume(
+        self,
+        workloads: Sequence[Workload],
+        max_hours: float = 120.0,
+        poll_interval: float = 5 * MINUTE,
+    ) -> FleetResult:
+        """Rebuild executions from the state store and finish the run.
+
+        Args:
+            workloads: Definitions of the stored workloads (state is
+                durable; definitions are code the client re-supplies).
+        """
+        self._lifecycle.restore(workloads)
+        return self.wait(workloads, max_hours=max_hours, poll_interval=poll_interval)
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests and tools)
+    # ------------------------------------------------------------------
+    @property
+    def services(self) -> Dict[str, object]:
+        """The composed control-plane services, by role."""
+        return {
+            "capacity": self._capacity,
+            "interruption": self._interruption,
+            "lifecycle": self._lifecycle,
+            "state": self.state_store,
+        }
+
+    @property
+    def checkpoint_backend(self) -> CheckpointBackend:
+        """The active checkpoint backend."""
+        return self._backend
+
     def execution(self, workload_id: str) -> WorkloadExecution:
         """Return the execution for *workload_id*."""
-        return self._executions[workload_id]
+        return self._lifecycle.execution(workload_id)
 
-    def register_instance(self, instance: Instance, execution: WorkloadExecution) -> None:
+    def register_instance(self, instance: "Instance", execution: WorkloadExecution) -> None:
         """Track an externally attached instance (tests/tools)."""
-        self._by_instance[instance.instance_id] = execution
+        self.state_store.bind_instance(instance, execution.workload.workload_id)
+
+    @property
+    def _by_instance(self) -> Dict[str, WorkloadExecution]:
+        """Live ``instance_id -> execution`` view over the state store."""
+        bindings = self.state_store.instance_bindings()
+        return {
+            instance_id: execution
+            for instance_id, workload_id in bindings.items()
+            for execution in [self._lifecycle.find(workload_id)]
+            if execution is not None
+        }

@@ -3,60 +3,33 @@
 A :class:`WorkloadExecution` binds one workload to whatever instance
 currently runs it.  Segments are scheduled one at a time on the engine;
 an interruption cancels the in-flight segment and — depending on the
-workload's kind — either keeps completed segments (checkpoint, saved to
-DynamoDB and uploaded to S3 during the two-minute notice) or discards
-everything (standard).
+workload's kind — either keeps completed segments (checkpoint, persisted
+through the fleet's :class:`~repro.core.fleet.checkpoint.CheckpointBackend`
+during the two-minute notice) or discards everything (standard).
+
+Everything an execution knows — record, state, progress, pending timer
+due-times — is mirrored into the fleet's
+:class:`~repro.core.fleet.state.FleetStateStore` after each transition,
+so a torn-down controller can rebuild the execution mid-flight via
+:meth:`WorkloadExecution.restore`.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.cloud.services.ec2 import Instance, InstanceLifecycle
 from repro.core.result import WorkloadRecord
 from repro.errors import WorkloadError
-from repro.galaxy.checkpoint import CheckpointStore
 from repro.obs import EventType
 from repro.sim.events import Event
 from repro.workloads.base import Workload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cloud.provider import CloudProvider
-
-
-class EFSCheckpointArtifacts:
-    """Regional EFS mounts for interruption-time checkpoint state.
-
-    The Section 7 storage alternative: each region workloads run in
-    gets a file system on first use, with a replica toward the results
-    region so the control plane can read state without S3.  Writes are
-    intra-region (fast — they comfortably fit the two-minute notice
-    window), and replication cost replaces the S3 cross-region
-    transfer charge.
-    """
-
-    def __init__(self, provider: "CloudProvider", results_region: str) -> None:
-        self._provider = provider
-        self._results_region = results_region
-        self._fs_by_region: dict = {}
-
-    def write(self, region: str, path: str, checkpoint_bytes: int, tag: str) -> None:
-        """Write a checkpoint of *checkpoint_bytes* from *region*."""
-        fs = self._fs_by_region.get(region)
-        if fs is None:
-            fs = self._provider.efs.create_file_system(region)
-            if region != self._results_region:
-                self._provider.efs.create_replica(fs.fs_id, self._results_region)
-            self._fs_by_region[region] = fs
-        self._provider.efs.write_file(
-            fs.fs_id,
-            path,
-            body=b"\x00" * min(checkpoint_bytes, 1 << 20),
-            source_region=region,
-            tag=tag,
-            logical_bytes=checkpoint_bytes,
-        )
+    from repro.core.fleet.checkpoint import CheckpointBackend
+    from repro.core.fleet.state import FleetStateStore
 
 
 class ExecutionState(enum.Enum):
@@ -75,35 +48,37 @@ class WorkloadExecution:
     Args:
         workload: The workload definition.
         provider: The simulated cloud (engine, S3, ledger access).
-        checkpoint_store: Progress store for checkpoint workloads.
-        results_bucket: S3 bucket for checkpoint/log uploads.
+        backend: Checkpoint backend (progress + artifact persistence).
+        results_bucket: S3 bucket for run-log uploads.
         boot_delay: Seconds from instance attach to first segment.
         execute_payloads: Run the workload's real payload per segment.
         on_complete: Callback fired once when the workload finishes.
+        fleet_state: Optional durable state store this execution mirrors
+            itself into after every transition.
     """
 
     def __init__(
         self,
         workload: Workload,
         provider: "CloudProvider",
-        checkpoint_store: CheckpointStore,
+        backend: "CheckpointBackend",
         results_bucket: str,
         boot_delay: float,
         execute_payloads: bool,
         on_complete: Callable[["WorkloadExecution"], None],
-        efs_artifacts: Optional[EFSCheckpointArtifacts] = None,
+        fleet_state: Optional["FleetStateStore"] = None,
         image_id: Optional[str] = None,
     ) -> None:
         self.workload = workload
         self._provider = provider
         self._engine = provider.engine
         self._telemetry = provider.telemetry
-        self._store = checkpoint_store
+        self._backend = backend
         self._bucket = results_bucket
         self._boot_delay = boot_delay
         self._execute_payloads = execute_payloads
         self._on_complete = on_complete
-        self._efs_artifacts = efs_artifacts
+        self._fleet_state = fleet_state
         self._image_id = image_id
         self.state = ExecutionState.WAITING
         self.instance: Optional[Instance] = None
@@ -115,6 +90,95 @@ class WorkloadExecution:
         )
         self._segment_event: Optional[Event] = None
         self._boot_event: Optional[Event] = None
+        self._segment_due: Optional[float] = None
+        self._boot_due: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Durable mirror
+    # ------------------------------------------------------------------
+    def state_item(self) -> Dict[str, Any]:
+        """Full durable state, for the fleet state store."""
+        return {
+            "workload_id": self.workload.workload_id,
+            "state": self.state.value,
+            "completed_segments": self.completed_segments,
+            "instance_id": self.instance.instance_id if self.instance else None,
+            "boot_due": self._boot_due,
+            "segment_due": self._segment_due,
+            "record": self.record.to_item(),
+        }
+
+    def _sync(self) -> None:
+        """Mirror current state into the fleet state store, if any."""
+        if self._fleet_state is not None:
+            self._fleet_state.save_execution(self)
+
+    def detach_timers(self) -> None:
+        """Cancel in-process timers without touching durable state.
+
+        Crash semantics for a controller teardown: the engine events
+        die, but their due times stay in the store so :meth:`restore`
+        can re-arm them at the original absolute times.
+        """
+        if self._segment_event is not None:
+            self._segment_event.cancel()
+            self._segment_event = None
+        if self._boot_event is not None:
+            self._boot_event.cancel()
+            self._boot_event = None
+
+    @classmethod
+    def restore(
+        cls,
+        item: Dict[str, Any],
+        workload: Workload,
+        provider: "CloudProvider",
+        backend: "CheckpointBackend",
+        results_bucket: str,
+        boot_delay: float,
+        execute_payloads: bool,
+        on_complete: Callable[["WorkloadExecution"], None],
+        fleet_state: "FleetStateStore",
+        image_id: Optional[str] = None,
+    ) -> "WorkloadExecution":
+        """Rebuild an execution from its stored :meth:`state_item`.
+
+        Pending boot/segment timers are re-armed at their stored
+        absolute due times, so the restored execution's future is
+        identical to the torn-down one's.
+        """
+        execution = cls(
+            workload=workload,
+            provider=provider,
+            backend=backend,
+            results_bucket=results_bucket,
+            boot_delay=boot_delay,
+            execute_payloads=execute_payloads,
+            on_complete=on_complete,
+            fleet_state=fleet_state,
+            image_id=image_id,
+        )
+        execution.state = ExecutionState(item["state"])
+        execution.completed_segments = item["completed_segments"]
+        execution.record = WorkloadRecord.from_item(item["record"])
+        if item["instance_id"] is not None:
+            execution.instance = provider.ec2.describe_instance(item["instance_id"])
+        execution._boot_due = item["boot_due"]
+        execution._segment_due = item["segment_due"]
+        wid = workload.workload_id
+        if execution.state is ExecutionState.BOOTING and execution._boot_due is not None:
+            execution._boot_event = provider.engine.call_at(
+                execution._boot_due,
+                execution._begin_running,
+                label=f"exec:{wid}:boot",
+            )
+        if execution.state is ExecutionState.RUNNING and execution._segment_due is not None:
+            execution._segment_event = provider.engine.call_at(
+                execution._segment_due,
+                execution._segment_done,
+                label=f"exec:{wid}:seg{execution.completed_segments}",
+            )
+        return execution
 
     # ------------------------------------------------------------------
     # Instance lifecycle
@@ -171,14 +235,17 @@ class WorkloadExecution:
             # Launching where the Galaxy AMI has not been propagated
             # provisions from scratch via user-data (Section 4).
             boot += self._provider.ami.boot_penalty(self._image_id, instance.region)
+        self._boot_due = self._engine.now + boot
         self._boot_event = self._engine.call_in(
             boot,
             self._begin_running,
             label=f"exec:{self.workload.workload_id}:boot",
         )
+        self._sync()
 
     def _begin_running(self) -> None:
         self._boot_event = None
+        self._boot_due = None
         self.state = ExecutionState.RUNNING
         self._telemetry.bus.emit(
             EventType.WORKLOAD_RUNNING,
@@ -195,7 +262,7 @@ class WorkloadExecution:
         if self.workload.checkpointable:
             # Resume from the latest durable checkpoint (the replacement
             # instance downloads state the dying instance uploaded).
-            restored = self._store.load(self.workload.workload_id)
+            restored = self._backend.load_progress(self.workload.workload_id)
             if restored > self.completed_segments:
                 self.completed_segments = restored
             if restored > 0 and self.record.attempts > 1:
@@ -215,14 +282,17 @@ class WorkloadExecution:
         if not remaining:
             self._complete()
             return
+        self._segment_due = self._engine.now + remaining[0]
         self._segment_event = self._engine.call_in(
             remaining[0],
             self._segment_done,
             label=f"exec:{self.workload.workload_id}:seg{self.completed_segments}",
         )
+        self._sync()
 
     def _segment_done(self) -> None:
         self._segment_event = None
+        self._segment_due = None
         index = self.completed_segments
         self.completed_segments += 1
         self._telemetry.metrics.counter(
@@ -233,7 +303,7 @@ class WorkloadExecution:
         if self.workload.checkpointable:
             # Per-segment progress tracking in DynamoDB (the paper's
             # per-file status updates).
-            self._store.save(
+            self._backend.save_progress(
                 self.workload.workload_id,
                 self.completed_segments,
                 detail={"region": self.instance.region if self.instance else ""},
@@ -277,6 +347,7 @@ class WorkloadExecution:
             tag=self.workload.workload_id,
         )
         self.instance = None
+        self._sync()
         self._on_complete(self)
 
     # ------------------------------------------------------------------
@@ -286,8 +357,8 @@ class WorkloadExecution:
         """React to the two-minute warning; returns the lost region.
 
         Cancels in-flight work, persists a final checkpoint (checkpoint
-        workloads upload their state to S3 within the notice window),
-        or resets progress (standard workloads).
+        workloads push their state through the backend within the
+        notice window), or resets progress (standard workloads).
         """
         if self.instance is None:
             raise WorkloadError(
@@ -300,11 +371,13 @@ class WorkloadExecution:
         if self._segment_event is not None:
             self._segment_event.cancel()
             self._segment_event = None
+        self._segment_due = None
         if self._boot_event is not None:
             self._boot_event.cancel()
             self._boot_event = None
+        self._boot_due = None
         if self.workload.checkpointable:
-            self._store.save(
+            self._backend.save_progress(
                 self.workload.workload_id,
                 self.completed_segments,
                 detail={"interrupted_in": region},
@@ -315,7 +388,7 @@ class WorkloadExecution:
                 region=region,
                 segments=self.completed_segments,
                 bytes=self.workload.checkpoint_bytes,
-                backend="efs" if self._efs_artifacts is not None else "s3",
+                backend=self._backend.name,
             )
             self._telemetry.metrics.counter(
                 "checkpoint_saves_total", "interruption-time checkpoint persists"
@@ -323,34 +396,21 @@ class WorkloadExecution:
             self._telemetry.metrics.counter(
                 "checkpoint_bytes_total", "checkpoint payload bytes persisted"
             ).inc(float(self.workload.checkpoint_bytes))
-            if self._efs_artifacts is not None:
-                # Section 7 alternative: an intra-region EFS write,
-                # replicated toward the results region out-of-band.
-                self._efs_artifacts.write(
-                    region,
-                    f"checkpoints/{self.workload.workload_id}/"
-                    f"{self.record.n_interruptions}.bin",
-                    self.workload.checkpoint_bytes,
-                    tag=self.workload.workload_id,
-                )
-            else:
-                # Checkpoint state upload during the notice window;
-                # paying cross-region transfer when the bucket lives
-                # elsewhere (the paper's S3 implementation).
-                self._provider.s3.put_object(
-                    self._bucket,
-                    f"checkpoints/{self.workload.workload_id}/"
-                    f"{self.record.n_interruptions}.bin",
-                    body=b"\x00" * min(self.workload.checkpoint_bytes, 1 << 20),
-                    metadata={"actual_bytes": str(self.workload.checkpoint_bytes)},
-                    source_region=region,
-                    tag=self.workload.workload_id,
-                )
-                self._charge_full_checkpoint_transfer(region)
+            # Checkpoint state persisted during the notice window; the
+            # backend decides between the paper's S3 upload (paying
+            # cross-region transfer when the bucket lives elsewhere)
+            # and the Section 7 EFS write.
+            self._backend.persist_artifact(
+                self.workload.workload_id,
+                self.record.n_interruptions,
+                self.workload.checkpoint_bytes,
+                region,
+            )
         else:
             self.completed_segments = 0
         self.instance = None
         self.state = ExecutionState.INTERRUPTED
+        self._sync()
         return region
 
     def _charge_input_download(self, dest_region: str) -> None:
@@ -370,27 +430,6 @@ class WorkloadExecution:
             detail=f"input download {bucket_region}->{dest_region} "
             f"{self.workload.workload_id}",
         )
-
-    def _charge_full_checkpoint_transfer(self, source_region: str) -> None:
-        """Charge transfer for the checkpoint's full logical size.
-
-        The stored object is capped at 1 MiB to keep memory flat, so
-        the remaining bytes are charged directly.
-        """
-        from repro.cloud.billing import S3_CROSS_REGION_TRANSFER_PRICE, CostCategory
-
-        stored = min(self.workload.checkpoint_bytes, 1 << 20)
-        remaining = self.workload.checkpoint_bytes - stored
-        bucket_region = self._provider.s3.bucket_region(self._bucket)
-        if remaining > 0 and source_region != bucket_region:
-            self._provider.ledger.charge(
-                time=self._engine.now,
-                category=CostCategory.S3_TRANSFER,
-                amount=(remaining / (1024 ** 3)) * S3_CROSS_REGION_TRANSFER_PRICE,
-                region=source_region,
-                tag=self.workload.workload_id,
-                detail=f"checkpoint transfer remainder {self.workload.workload_id}",
-            )
 
     @property
     def needs_instance(self) -> bool:

@@ -1,0 +1,39 @@
+"""The decomposed fleet control plane (paper Section 4).
+
+Composable services behind the :class:`~repro.core.controller.FleetController`
+façade:
+
+* :class:`~repro.core.fleet.state.FleetStateStore` — workload /
+  instance / request state, durably in the simulated DynamoDB, plus the
+  :class:`~repro.core.fleet.state.ControlPlaneRouter` the cloud-side
+  wiring targets;
+* :class:`~repro.core.fleet.capacity.CapacityService` — spot requests,
+  the 15-minute open-request sweep, on-demand fallback;
+* :class:`~repro.core.fleet.interruption.InterruptionService` — the
+  EventBridge → Lambda → Step Functions re-acquire path;
+* :class:`~repro.core.fleet.lifecycle.LifecycleService` — registration,
+  completion accounting, result assembly, and crash/teardown restore;
+* :class:`~repro.core.fleet.checkpoint.CheckpointBackend` — one
+  protocol over the paper's S3 and EFS checkpoint storage designs.
+"""
+
+from repro.core.fleet.capacity import CapacityService
+from repro.core.fleet.checkpoint import (
+    CheckpointBackend,
+    DynamoCheckpointBackend,
+    EFSCheckpointBackend,
+)
+from repro.core.fleet.interruption import InterruptionService
+from repro.core.fleet.lifecycle import LifecycleService
+from repro.core.fleet.state import ControlPlaneRouter, FleetStateStore
+
+__all__ = [
+    "CapacityService",
+    "CheckpointBackend",
+    "ControlPlaneRouter",
+    "DynamoCheckpointBackend",
+    "EFSCheckpointBackend",
+    "FleetStateStore",
+    "InterruptionService",
+    "LifecycleService",
+]

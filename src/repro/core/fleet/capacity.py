@@ -1,0 +1,172 @@
+"""CapacityService: spot requests, the open-request sweep, fallback.
+
+Owns every path that turns a policy :class:`~repro.core.policy.Placement`
+into running capacity:
+
+* **on-demand fallback** — launch immediately and attach;
+* **spot requests** — file the request and track it durably in the
+  :class:`~repro.core.fleet.state.FleetStateStore`; the EC2 fulfillment
+  callback routes back in through the store's
+  :class:`~repro.core.fleet.state.ControlPlaneRouter`, so a request
+  filed by one controller incarnation can be consumed by the next;
+* **the 15-minute sweep** (Section 4) — retry requests that stayed
+  ``open`` and prune or cancel the ones nobody needs any more.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cloud.services.ec2 import Instance, SpotRequest, SpotRequestState
+from repro.core.policy import Placement, PurchasingOption
+from repro.obs import EventType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cloud.provider import CloudProvider
+    from repro.core.config import SpotVerseConfig
+    from repro.core.execution import WorkloadExecution
+    from repro.core.fleet.lifecycle import LifecycleService
+    from repro.core.fleet.state import FleetStateStore
+
+
+class CapacityService:
+    """Acquires and recycles instances for the fleet.
+
+    Args:
+        provider: The simulated cloud.
+        config: Control-plane configuration.
+        store: Durable fleet state (request tracking, bindings).
+        lifecycle: Registry resolving workload ids to live executions.
+    """
+
+    def __init__(
+        self,
+        provider: "CloudProvider",
+        config: "SpotVerseConfig",
+        store: "FleetStateStore",
+        lifecycle: "LifecycleService",
+    ) -> None:
+        self._provider = provider
+        self._config = config
+        self._store = store
+        self._lifecycle = lifecycle
+        self._telemetry = provider.telemetry
+
+    def deploy(self) -> None:
+        """Schedule the CloudWatch open-request sweep (once per store).
+
+        A rebuilt control plane skips this: the rule from the first
+        deployment still targets the store's router, and re-scheduling
+        would shift the sweep's phase.
+        """
+        if "spotverse-open-request-sweep" in self._provider.cloudwatch.scheduled_rules():
+            return
+        self._provider.cloudwatch.schedule_rule(
+            "spotverse-open-request-sweep",
+            interval=self._config.sweep_interval,
+            target=self._store.router.sweep,
+        )
+
+    # ------------------------------------------------------------------
+    # Acquisition paths
+    # ------------------------------------------------------------------
+    def acquire(
+        self, execution: "WorkloadExecution", placement: Placement, phase: str = "initial"
+    ) -> None:
+        """Turn a placement into capacity for *execution*."""
+        workload_id = execution.workload.workload_id
+        if placement.option is PurchasingOption.ON_DEMAND:
+            fallback_attrs = {"phase": phase}
+            if placement.reason:
+                fallback_attrs["reason"] = placement.reason
+            self._telemetry.bus.emit(
+                EventType.FALLBACK_ON_DEMAND,
+                workload_id=workload_id,
+                region=placement.region,
+                option=PurchasingOption.ON_DEMAND.value,
+                **fallback_attrs,
+            )
+            self._telemetry.metrics.counter(
+                "fallback_on_demand_total", "placements that resolved to on-demand"
+            ).inc(region=placement.region)
+            instance = self._provider.ec2.run_on_demand(
+                placement.region, self._config.instance_type, tag=workload_id
+            )
+            # On-demand instances join the same instance bindings spot
+            # fulfillments use, so spans and terminations see one
+            # uniform view of running capacity.
+            self._store.bind_instance(instance, workload_id)
+            execution.attach(instance)
+            return
+        request = self._provider.ec2.request_spot_instances(
+            placement.region,
+            self._config.instance_type,
+            tag=workload_id,
+            on_fulfilled=self._store.router.spot_fulfilled,
+        )
+        self._store.track_request(request, workload_id)
+
+    def on_spot_fulfilled(self, request: SpotRequest, instance: Instance) -> None:
+        """A tracked spot request launched an instance; attach or discard."""
+        workload_id = self._store.pop_request(request.request_id)
+        if workload_id is None:
+            # Request no longer tracked (workload finished meanwhile).
+            self._discard(request, instance, reason="untracked-request")
+            return
+        execution = self._lifecycle.find(workload_id)
+        if execution is None or not execution.needs_instance:
+            self._discard(request, instance, reason="workload-satisfied")
+            return
+        self._store.bind_instance(instance, workload_id)
+        execution.attach(instance)
+
+    def _discard(self, request: SpotRequest, instance: Instance, reason: str) -> None:
+        """Terminate a late fulfillment nothing is waiting for."""
+        self._telemetry.bus.emit(
+            EventType.CAPACITY_DISCARDED,
+            workload_id=request.tag,
+            region=instance.region,
+            instance_id=instance.instance_id,
+            request_id=request.request_id,
+            option=instance.lifecycle.value,
+            reason=reason,
+        )
+        self._telemetry.metrics.counter(
+            "capacity_discarded_total", "late fulfillments terminated unused"
+        ).inc(region=instance.region)
+        self._provider.ec2.terminate_instances([instance.instance_id])
+
+    # ------------------------------------------------------------------
+    # The 15-minute sweep
+    # ------------------------------------------------------------------
+    def sweep_open_requests(self) -> None:
+        """The CloudWatch check for requests that stayed ``open``.
+
+        One ``describe_spot_requests`` call per sweep, indexed by id —
+        not one per tracked request, which made large fleets quadratic.
+        Tracked requests that left ``open`` without being fulfilled
+        (cancelled or failed) are pruned, so dead entries no longer
+        accumulate across the run.
+        """
+        open_by_id = {
+            request.request_id: request
+            for request in self._provider.ec2.describe_spot_requests(
+                states=[SpotRequestState.OPEN]
+            )
+        }
+        for request_id, workload_id in self._store.tracked_requests():
+            request = open_by_id.get(request_id)
+            if request is None:
+                # Fulfillments are untracked on attach, so a tracked
+                # request that is no longer open was cancelled or
+                # failed: drop the stale entry.
+                self._store.pop_request(request_id)
+                continue
+            execution = self._lifecycle.find(workload_id)
+            if execution is None or not execution.needs_instance:
+                self._provider.ec2.cancel_spot_request(request_id)
+                self._store.pop_request(request_id)
+                continue
+            self._provider.ec2.retry_open_request(
+                request_id, on_fulfilled=self._store.router.spot_fulfilled
+            )

@@ -1,0 +1,238 @@
+"""Durable fleet state in the simulated DynamoDB.
+
+The paper's Section 4 control plane keeps *all* durable state in
+DynamoDB: the serverless components (Lambdas, the Step Functions
+re-acquire machine) are stateless and can die or redeploy at any time.
+:class:`FleetStateStore` reproduces that property for the fleet
+controller — workload progress, instance bindings, and open spot
+requests live in DynamoDB tables rather than in-process dicts, so a
+controller can be torn down mid-run and a fresh one rebuilt from the
+store alone (see ``LifecycleService.restore``).
+
+The store's tables are *unmetered* (see
+:class:`~repro.cloud.services.dynamodb.Table`): the paper bills its
+checkpoint/metrics tables, which stay metered, but the state mirror's
+request volume is a reproduction artifact and must not perturb the
+cost model the evaluation compares.
+
+:class:`ControlPlaneRouter` is the non-durable half: the stand-in for
+the *deployed* serverless endpoints.  Cloud-side wiring (EventBridge
+targets, the CloudWatch sweep rule, EC2 fulfillment callbacks) holds a
+reference to the router's stable methods, and the router forwards to
+whichever service instances are currently bound — exactly how a real
+Lambda survives a control-plane redeploy: the endpoint is stable, the
+code behind it is replaced.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, MutableMapping, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.cloud.services.dynamodb import DynamoDBService
+    from repro.cloud.services.ec2 import Instance, SpotRequest
+    from repro.core.execution import WorkloadExecution
+
+#: Distinguishes the tables of independent controllers sharing one
+#: provider (each controller gets its own store unless one is passed in).
+_STORE_COUNTER = itertools.count()
+
+
+class _MetaMapping(MutableMapping):
+    """Dict-like view over one partition of the store's meta table.
+
+    Lets components (e.g. the EFS checkpoint backend's per-region file
+    system registry) keep small key-value state durably without knowing
+    about DynamoDB.
+    """
+
+    def __init__(self, store: "FleetStateStore", section: str) -> None:
+        self._store = store
+        self._section = section
+
+    def __getitem__(self, key: str) -> Any:
+        item = self._store._dynamodb.get_item(self._store.meta_table, self._section, key)
+        if item is None:
+            raise KeyError(key)
+        return item["value"]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._store._dynamodb.put_item(
+            self._store.meta_table,
+            {"section": self._section, "key": key, "value": value},
+        )
+
+    def __delitem__(self, key: str) -> None:
+        self.__getitem__(key)  # raise KeyError when absent
+        self._store._dynamodb.delete_item(self._store.meta_table, self._section, key)
+
+    def __iter__(self) -> Iterator[str]:
+        rows = self._store._dynamodb.query(self._store.meta_table, self._section)
+        return iter([row["key"] for row in rows])
+
+    def __len__(self) -> int:
+        return len(list(iter(self)))
+
+
+class FleetStateStore:
+    """Workload / instance / request state, durably in DynamoDB.
+
+    Args:
+        dynamodb: The simulated DynamoDB service to keep state in.
+        namespace: Table-name namespace; controllers default to a fresh
+            one so independent fleets never share state.  Pass the same
+            store object to a new controller to rebuild from it.
+    """
+
+    def __init__(self, dynamodb: "DynamoDBService", namespace: Optional[str] = None) -> None:
+        self._dynamodb = dynamodb
+        self.namespace = namespace if namespace is not None else f"ctl{next(_STORE_COUNTER):03d}"
+        prefix = f"spotverse-fleet-{self.namespace}"
+        self.workloads_table = f"{prefix}-workloads"
+        self.instances_table = f"{prefix}-instances"
+        self.requests_table = f"{prefix}-requests"
+        self.meta_table = f"{prefix}-meta"
+        dynamodb.create_table(self.workloads_table, partition_key="workload_id", metered=False)
+        dynamodb.create_table(self.instances_table, partition_key="instance_id", metered=False)
+        dynamodb.create_table(self.requests_table, partition_key="request_id", metered=False)
+        dynamodb.create_table(
+            self.meta_table, partition_key="section", sort_key="key", metered=False
+        )
+        self.router = ControlPlaneRouter()
+
+    # ------------------------------------------------------------------
+    # Workload state
+    # ------------------------------------------------------------------
+    def save_execution(self, execution: "WorkloadExecution") -> None:
+        """Persist one execution's full durable state (upsert)."""
+        self._dynamodb.put_item(self.workloads_table, execution.state_item())
+
+    def workload_item(self, workload_id: str) -> Optional[Dict[str, Any]]:
+        """The stored state of one workload, or ``None``."""
+        return self._dynamodb.get_item(self.workloads_table, workload_id)
+
+    def workload_items(self) -> List[Dict[str, Any]]:
+        """Every stored workload, in registration order."""
+        return self._dynamodb.scan(self.workloads_table)
+
+    def workload_ids(self) -> List[str]:
+        """Stored workload ids, in registration order."""
+        return [item["workload_id"] for item in self.workload_items()]
+
+    def has_workload(self, workload_id: str) -> bool:
+        """Whether *workload_id* is registered."""
+        return self.workload_item(workload_id) is not None
+
+    def done_count(self) -> int:
+        """How many stored workloads have finished."""
+        return sum(1 for item in self.workload_items() if item["state"] == "done")
+
+    # ------------------------------------------------------------------
+    # Instance bindings
+    # ------------------------------------------------------------------
+    def bind_instance(self, instance: "Instance", workload_id: str) -> None:
+        """Record that *instance* runs *workload_id*."""
+        self._dynamodb.put_item(
+            self.instances_table,
+            {"instance_id": instance.instance_id, "workload_id": workload_id},
+        )
+
+    def pop_instance(self, instance_id: str) -> Optional[str]:
+        """Remove and return the workload bound to *instance_id*."""
+        item = self._dynamodb.get_item(self.instances_table, instance_id)
+        if item is None:
+            return None
+        self._dynamodb.delete_item(self.instances_table, instance_id)
+        return item["workload_id"]
+
+    def instance_bindings(self) -> Dict[str, str]:
+        """Current ``instance_id -> workload_id`` map."""
+        return {
+            item["instance_id"]: item["workload_id"]
+            for item in self._dynamodb.scan(self.instances_table)
+        }
+
+    # ------------------------------------------------------------------
+    # Spot request tracking
+    # ------------------------------------------------------------------
+    def track_request(self, request: "SpotRequest", workload_id: str) -> None:
+        """Track an open spot request filed for *workload_id*."""
+        self._dynamodb.put_item(
+            self.requests_table,
+            {"request_id": request.request_id, "workload_id": workload_id},
+        )
+
+    def pop_request(self, request_id: str) -> Optional[str]:
+        """Remove and return the workload a request was filed for."""
+        item = self._dynamodb.get_item(self.requests_table, request_id)
+        if item is None:
+            return None
+        self._dynamodb.delete_item(self.requests_table, request_id)
+        return item["workload_id"]
+
+    def tracked_requests(self) -> List[Tuple[str, str]]:
+        """``(request_id, workload_id)`` pairs, in filing order."""
+        return [
+            (item["request_id"], item["workload_id"])
+            for item in self._dynamodb.scan(self.requests_table)
+        ]
+
+    # ------------------------------------------------------------------
+    # Meta state
+    # ------------------------------------------------------------------
+    def mapping(self, section: str) -> MutableMapping:
+        """A durable dict-like view over one meta-table partition."""
+        return _MetaMapping(self, section)
+
+
+class ControlPlaneRouter:
+    """Stable dispatch endpoints for the fleet services.
+
+    All cloud-side wiring targets the router, never a service instance
+    directly, so pending deliveries (EventBridge events, EC2
+    fulfillment callbacks, Step Functions attempts, the CloudWatch
+    sweep) keep working across a controller teardown/rebuild.
+    """
+
+    def __init__(self) -> None:
+        self._capacity = None
+        self._interruption = None
+        self._ec2 = None
+
+    def bind(self, capacity, interruption, ec2) -> None:
+        """Point the endpoints at freshly constructed services."""
+        self._capacity = capacity
+        self._interruption = interruption
+        self._ec2 = ec2
+
+    def unbind(self) -> None:
+        """Detach the services (controller torn down)."""
+        self._capacity = None
+        self._interruption = None
+
+    # -- endpoints ------------------------------------------------------
+    def spot_fulfilled(self, request, instance) -> None:
+        """EC2 ``on_fulfilled`` callback endpoint."""
+        if self._capacity is not None:
+            self._capacity.on_spot_fulfilled(request, instance)
+        elif self._ec2 is not None:
+            # No controller bound: nothing can use the capacity.
+            self._ec2.terminate_instances([instance.instance_id])
+
+    def sweep(self) -> None:
+        """CloudWatch 15-minute sweep endpoint."""
+        if self._capacity is not None:
+            self._capacity.sweep_open_requests()
+
+    def interruption_event(self, event: Dict[str, Any], context: object) -> str:
+        """Interruption-handler Lambda endpoint."""
+        if self._interruption is None:
+            return "ignored"
+        return self._interruption.handle_event(event, context)
+
+    def reacquire(self, input: Dict[str, Any]) -> str:
+        """Step Functions re-acquire task endpoint."""
+        if self._interruption is None:
+            return "noop"
+        return self._interruption.reacquire_task(input)

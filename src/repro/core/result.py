@@ -57,6 +57,40 @@ class WorkloadRecord:
             return None
         return self.completed_at - self.submitted_at
 
+    # ------------------------------------------------------------------
+    # Durable form (the fleet state store keeps records in DynamoDB)
+    # ------------------------------------------------------------------
+    def to_item(self) -> Dict[str, object]:
+        """Plain-data form for the fleet state store."""
+        return {
+            "workload_id": self.workload_id,
+            "kind": self.kind.value,
+            "submitted_at": self.submitted_at,
+            "completed_at": self.completed_at,
+            "interruptions": [list(pair) for pair in self.interruptions],
+            "regions": list(self.regions),
+            "attempt_starts": list(self.attempt_starts),
+            "attempts": self.attempts,
+            "on_demand_attempts": self.on_demand_attempts,
+            "cost": self.cost,
+        }
+
+    @classmethod
+    def from_item(cls, item: Dict[str, object]) -> "WorkloadRecord":
+        """Rebuild a record from its :meth:`to_item` form."""
+        return cls(
+            workload_id=item["workload_id"],
+            kind=WorkloadKind(item["kind"]),
+            submitted_at=item["submitted_at"],
+            completed_at=item["completed_at"],
+            interruptions=[(time, region) for time, region in item["interruptions"]],
+            regions=list(item["regions"]),
+            attempt_starts=list(item["attempt_starts"]),
+            attempts=item["attempts"],
+            on_demand_attempts=item["on_demand_attempts"],
+            cost=item["cost"],
+        )
+
 
 @dataclass
 class FleetResult:

@@ -191,6 +191,10 @@ def run_arm(spec: ArmSpec) -> ArmResult:
     controller = FleetController(provider, policy, spec.config, monitor=monitor)
     workloads = [spec.workload_factory(index) for index in range(spec.n_workloads)]
     fleet = controller.run(workloads, max_hours=spec.max_hours)
+    # Unbind the control plane before shutdown: a late engine callback
+    # (sweep tick, straggler fulfillment) must hit the router's inert
+    # path, not a half-dismantled service.
+    controller.teardown()
     provider.shutdown()
     return ArmResult(spec=spec, fleet=fleet, provider=provider)
 

@@ -6,6 +6,12 @@ interruption notice.  :class:`DynamoCheckpointStore` reproduces that
 against the simulated DynamoDB (with a conditional write so a stale,
 about-to-die instance can never roll progress backwards);
 :class:`InMemoryCheckpointStore` serves unit tests and standalone runs.
+
+These stores track *progress* only.  The fleet control plane composes
+them with artifact persistence (the checkpoint bytes themselves) behind
+:class:`repro.core.fleet.checkpoint.CheckpointBackend`, which is what
+executions talk to; the S3 and EFS artifact designs both keep their
+progress in one of the stores below.
 """
 
 from __future__ import annotations

@@ -42,6 +42,7 @@ class EventType(enum.Enum):
     CHECKPOINT_SAVED = "checkpoint.saved"
     CHECKPOINT_RESTORED = "checkpoint.restored"
     WORKLOAD_DONE = "workload.done"
+    CAPACITY_DISCARDED = "capacity.discarded"
     MARKET_ANOMALY = "market.anomaly"
     DECISION_EVALUATED = "decision.evaluated"
 

@@ -6,6 +6,7 @@ from repro.cloud.provider import CloudProvider
 from repro.cloud.services.ami import COPY_DURATION, MISSING_IMAGE_BOOT_PENALTY
 from repro.core import SpotVerse, SpotVerseConfig
 from repro.core.execution import WorkloadExecution
+from repro.core.fleet import DynamoCheckpointBackend
 from repro.errors import ServiceError
 from repro.galaxy.checkpoint import InMemoryCheckpointStore
 from repro.sim.clock import HOUR
@@ -78,7 +79,9 @@ class TestBootIntegration:
             execution = WorkloadExecution(
                 workload=synthetic_workload(f"w-{region}", duration_hours=1.0, n_segments=1),
                 provider=provider,
-                checkpoint_store=InMemoryCheckpointStore(),
+                backend=DynamoCheckpointBackend(
+                    provider, "results", progress_store=InMemoryCheckpointStore()
+                ),
                 results_bucket="results",
                 boot_delay=100.0,
                 execute_payloads=False,

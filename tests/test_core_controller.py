@@ -7,6 +7,7 @@ from repro.cloud.services.ec2 import InstanceState
 from repro.core.config import SpotVerseConfig
 from repro.core.controller import FleetController
 from repro.core.execution import ExecutionState, WorkloadExecution
+from repro.core.fleet import DynamoCheckpointBackend
 from repro.core.monitor import Monitor
 from repro.core.optimizer import SpotVerseOptimizer
 from repro.core.result import FleetResult, WorkloadRecord
@@ -31,7 +32,7 @@ def make_execution(provider, workload, completions, boot_delay=60.0, payloads=Fa
     execution = WorkloadExecution(
         workload=workload,
         provider=provider,
-        checkpoint_store=store,
+        backend=DynamoCheckpointBackend(provider, "results", progress_store=store),
         results_bucket="results",
         boot_delay=boot_delay,
         execute_payloads=payloads,

@@ -1,0 +1,277 @@
+"""Unit and integration tests for the decomposed fleet control plane."""
+
+import pytest
+
+from repro.cloud.provider import CloudProvider
+from repro.cloud.services.ec2 import InstanceState, SpotRequestState
+from repro.core.config import SpotVerseConfig
+from repro.core.controller import FleetController
+from repro.core.fleet import (
+    DynamoCheckpointBackend,
+    EFSCheckpointBackend,
+    FleetStateStore,
+)
+from repro.errors import ExperimentError
+from repro.galaxy.checkpoint import InMemoryCheckpointStore
+from repro.obs import EventType
+from repro.sim.clock import HOUR
+from repro.strategies import OnDemandPolicy, SingleRegionPolicy
+from repro.workloads.base import synthetic_workload
+from repro.workloads.ngs_preprocessing import ngs_preprocessing_workload
+
+
+@pytest.fixture()
+def provider():
+    p = CloudProvider(seed=4)
+    p.warmup_markets(24)
+    return p
+
+
+class TestFleetStateStore:
+    def test_tables_are_unmetered(self, provider):
+        store = FleetStateStore(provider.dynamodb)
+        before = provider.ledger.total()
+        instance = provider.ec2.run_on_demand("us-east-1", "m5.xlarge")
+        store.bind_instance(instance, "w")
+        store.instance_bindings()
+        store.mapping("meta")["k"] = 1
+        assert provider.ledger.total() == before
+
+    def test_instance_bindings_roundtrip(self, provider):
+        store = FleetStateStore(provider.dynamodb)
+        instance = provider.ec2.run_on_demand("us-east-1", "m5.xlarge")
+        store.bind_instance(instance, "w")
+        assert store.instance_bindings() == {instance.instance_id: "w"}
+        assert store.pop_instance(instance.instance_id) == "w"
+        assert store.pop_instance(instance.instance_id) is None
+        assert store.instance_bindings() == {}
+
+    def test_request_tracking_keeps_filing_order(self, provider):
+        store = FleetStateStore(provider.dynamodb)
+        requests = [
+            provider.ec2.request_spot_instances("us-east-1", "m5.xlarge", tag=f"w{i}")
+            for i in range(3)
+        ]
+        for i, request in enumerate(requests):
+            store.track_request(request, f"w{i}")
+        assert store.tracked_requests() == [
+            (request.request_id, f"w{i}") for i, request in enumerate(requests)
+        ]
+        assert store.pop_request(requests[1].request_id) == "w1"
+        assert store.pop_request(requests[1].request_id) is None
+        assert [wid for _, wid in store.tracked_requests()] == ["w0", "w2"]
+
+    def test_meta_mapping_behaves_like_a_dict(self, provider):
+        store = FleetStateStore(provider.dynamodb)
+        mapping = store.mapping("efs-filesystems")
+        mapping["us-east-1"] = "fs-0"
+        mapping["eu-west-1"] = "fs-1"
+        assert mapping["us-east-1"] == "fs-0"
+        assert mapping.get("nope") is None
+        assert sorted(mapping) == ["eu-west-1", "us-east-1"]
+        assert len(mapping) == 2
+        del mapping["us-east-1"]
+        with pytest.raises(KeyError):
+            mapping["us-east-1"]
+        # Sections are isolated partitions of one meta table.
+        assert "eu-west-1" not in store.mapping("other-section")
+
+    def test_namespaces_isolate_controllers(self, provider):
+        a = FleetStateStore(provider.dynamodb)
+        b = FleetStateStore(provider.dynamodb)
+        assert a.namespace != b.namespace
+        instance = provider.ec2.run_on_demand("us-east-1", "m5.xlarge")
+        a.bind_instance(instance, "w")
+        assert b.instance_bindings() == {}
+
+
+class TestCapacityService:
+    def make_controller(self, provider, policy=None):
+        config = SpotVerseConfig(instance_type="m5.xlarge")
+        policy = policy or SingleRegionPolicy(region="ca-central-1")
+        return FleetController(provider, policy, config), config
+
+    def test_untracked_fulfillment_is_discarded_with_telemetry(self, provider):
+        controller, _ = self.make_controller(provider)
+        capacity = controller.services["capacity"]
+        request = provider.ec2.request_spot_instances(
+            "us-east-1", "m5.xlarge", tag="ghost"
+        )
+        instance = provider.ec2.run_on_demand("us-east-1", "m5.xlarge", tag="ghost")
+        capacity.on_spot_fulfilled(request, instance)
+        assert instance.state is InstanceState.TERMINATED
+        events = provider.telemetry.bus.events(EventType.CAPACITY_DISCARDED)
+        assert len(events) == 1
+        assert events[0].attrs["reason"] == "untracked-request"
+        assert events[0].workload_id == "ghost"
+        assert events[0].instance_id == instance.instance_id
+
+    def test_satisfied_workload_fulfillment_is_discarded(self, provider):
+        controller, _ = self.make_controller(provider)
+        controller.submit([synthetic_workload("w", duration_hours=1.0)])
+        # Give the workload on-demand capacity, so the late spot
+        # fulfillment arrives for an already-satisfied workload.
+        execution = controller.execution("w")
+        execution.attach(provider.ec2.run_on_demand("ca-central-1", "m5.xlarge", tag="w"))
+        request = provider.ec2.request_spot_instances("ca-central-1", "m5.xlarge", tag="w")
+        controller.state_store.track_request(request, "w")
+        late = provider.ec2.run_on_demand("ca-central-1", "m5.xlarge", tag="w")
+        controller.services["capacity"].on_spot_fulfilled(request, late)
+        assert late.state is InstanceState.TERMINATED
+        events = provider.telemetry.bus.events(EventType.CAPACITY_DISCARDED)
+        assert [e.attrs["reason"] for e in events] == ["workload-satisfied"]
+        assert controller.state_store.pop_request(request.request_id) is None
+
+    def test_sweep_prunes_requests_that_left_open_unfulfilled(self, provider):
+        controller, _ = self.make_controller(provider)
+        controller.submit([synthetic_workload("w", duration_hours=1.0)])
+        (request_id, _), = controller.state_store.tracked_requests()
+        # Cancelled outside the controller: the request leaves OPEN
+        # without ever being fulfilled.  Pre-fix, its tracking entry
+        # lingered forever; the sweep now prunes it.
+        provider.ec2.cancel_spot_request(request_id)
+        controller.services["capacity"].sweep_open_requests()
+        assert controller.state_store.tracked_requests() == []
+
+    def test_sweep_cancels_requests_nobody_needs(self, provider):
+        controller, _ = self.make_controller(provider)
+        controller.submit([synthetic_workload("w", duration_hours=1.0)])
+        (request_id, _), = controller.state_store.tracked_requests()
+        execution = controller.execution("w")
+        execution.attach(provider.ec2.run_on_demand("ca-central-1", "m5.xlarge", tag="w"))
+        assert not execution.needs_instance
+        controller.services["capacity"].sweep_open_requests()
+        request = next(
+            r
+            for r in provider.ec2.describe_spot_requests()
+            if r.request_id == request_id
+        )
+        assert request.state is SpotRequestState.CANCELLED
+        assert controller.state_store.tracked_requests() == []
+        cancelled = provider.telemetry.bus.events(EventType.SPOT_REQUEST_CANCELLED)
+        assert [e.request_id for e in cancelled] == [request_id]
+
+
+class TestCheckpointBackends:
+    def test_dynamo_backend_progress_and_artifacts(self, provider):
+        provider.s3.create_bucket("results", "us-east-1")
+        progress = InMemoryCheckpointStore()
+        backend = DynamoCheckpointBackend(provider, "results", progress_store=progress)
+        assert backend.name == "s3"
+        assert backend.save_progress("w", 2, detail={"region": "us-east-1"})
+        assert backend.load_progress("w") == 2
+        assert backend.progress_detail("w") == {"region": "us-east-1"}
+        backend.persist_artifact("w", 1, 512, region="us-east-1")
+        assert provider.s3.list_objects("results", prefix="checkpoints/w/") == [
+            "checkpoints/w/1.bin"
+        ]
+
+    def test_efs_backend_lazily_provisions_per_region(self, provider):
+        backend = EFSCheckpointBackend(provider, results_region="us-east-1")
+        assert backend.name == "efs"
+        assert provider.efs.file_systems() == []
+        backend.persist_artifact("w", 1, 1024, region="eu-west-1")
+        backend.persist_artifact("w", 2, 1024, region="eu-west-1")
+        # One file system per region, however many artifacts.
+        assert len(provider.efs.file_systems()) == 1
+        backend.persist_artifact("w", 3, 1024, region="ap-southeast-2")
+        assert len(provider.efs.file_systems()) == 2
+
+    def test_efs_backend_home_region_has_no_replica(self, provider):
+        backend = EFSCheckpointBackend(provider, results_region="us-east-1")
+        backend.persist_artifact("w", 1, 1024, region="us-east-1")
+        (fs_id,) = provider.efs.file_systems()
+        assert provider.efs.list_files(fs_id) == ["checkpoints/w/1.bin"]
+
+    def test_efs_backend_durable_registry_survives_rebuild(self, provider):
+        store = FleetStateStore(provider.dynamodb)
+        registry = store.mapping("efs-filesystems")
+        first = EFSCheckpointBackend(
+            provider, results_region="us-east-1", fs_registry=registry
+        )
+        first.persist_artifact("w", 1, 1024, region="eu-west-1")
+        assert len(provider.efs.file_systems()) == 1
+        # A rebuilt control plane constructs a fresh backend over the
+        # same durable registry: no new file system is provisioned.
+        second = EFSCheckpointBackend(
+            provider, results_region="us-east-1", fs_registry=store.mapping("efs-filesystems")
+        )
+        second.persist_artifact("w", 2, 1024, region="eu-west-1")
+        assert len(provider.efs.file_systems()) == 1
+
+    def test_efs_fleet_emits_efs_backend_events(self, provider):
+        config = SpotVerseConfig(instance_type="m5.xlarge", checkpoint_backend="efs")
+        controller = FleetController(
+            provider, SingleRegionPolicy(region="ca-central-1"), config
+        )
+        workloads = [
+            ngs_preprocessing_workload(f"w{i}", duration_hours=8.0) for i in range(6)
+        ]
+        result = controller.run(workloads, max_hours=72)
+        assert result.all_complete
+        saves = provider.telemetry.bus.events(EventType.CHECKPOINT_SAVED)
+        assert saves, "expected at least one interruption-time checkpoint"
+        assert {e.attrs["backend"] for e in saves} == {"efs"}
+        assert len(provider.efs.file_systems()) >= 1
+
+
+class TestControllerRestart:
+    def test_rebuild_from_store_finishes_fleet(self, provider):
+        config = SpotVerseConfig(instance_type="m5.xlarge")
+        policy = SingleRegionPolicy(region="ca-central-1")
+        controller = FleetController(provider, policy, config)
+        workloads = [synthetic_workload(f"w{i}", duration_hours=4.0) for i in range(4)]
+        controller.submit(workloads)
+        provider.engine.run_until(provider.engine.now + HOUR)
+        store = controller.state_store
+        controller.teardown()
+        rebuilt = FleetController(provider, policy, config, state_store=store)
+        result = rebuilt.resume(workloads, max_hours=72)
+        assert result.all_complete
+        assert {r.workload_id for r in result.records} == {w.workload_id for w in workloads}
+
+    def test_teardown_leaves_cloud_wiring_deployed(self, provider):
+        config = SpotVerseConfig()
+        controller = FleetController(provider, OnDemandPolicy(), config)
+        store = controller.state_store
+        controller.teardown()
+        assert "spotverse-open-request-sweep" in provider.cloudwatch.scheduled_rules()
+        assert "spotverse-interruption-handler" in provider.lambda_.functions()
+        # Rebuilding over the same store must not redeploy (the sweep
+        # rule would double up / shift phase).
+        FleetController(provider, OnDemandPolicy(), config, state_store=store)
+        assert provider.cloudwatch.scheduled_rules().count(
+            "spotverse-open-request-sweep"
+        ) == 1
+
+    def test_resume_requires_definitions_for_stored_workloads(self, provider):
+        config = SpotVerseConfig()
+        controller = FleetController(provider, OnDemandPolicy(), config)
+        workloads = [synthetic_workload("w", duration_hours=1.0)]
+        controller.submit(workloads)
+        store = controller.state_store
+        controller.teardown()
+        rebuilt = FleetController(provider, OnDemandPolicy(), config, state_store=store)
+        with pytest.raises(ExperimentError):
+            rebuilt.resume([])
+
+    def test_restore_rejected_on_populated_controller(self, provider):
+        config = SpotVerseConfig()
+        controller = FleetController(provider, OnDemandPolicy(), config)
+        workloads = [synthetic_workload("w", duration_hours=1.0)]
+        controller.submit(workloads)
+        with pytest.raises(ExperimentError):
+            controller.resume(workloads)
+
+    def test_unbound_router_discards_fulfillments(self, provider):
+        config = SpotVerseConfig(instance_type="m5.xlarge")
+        policy = SingleRegionPolicy(region="ca-central-1")
+        controller = FleetController(provider, policy, config)
+        controller.submit([synthetic_workload("w", duration_hours=1.0)])
+        controller.teardown()
+        # With no control plane bound, a late fulfillment has no owner:
+        # the router terminates it instead of leaking a running instance.
+        request = provider.ec2.request_spot_instances("ca-central-1", "m5.xlarge", tag="w")
+        instance = provider.ec2.run_on_demand("ca-central-1", "m5.xlarge", tag="w")
+        controller.state_store.router.spot_fulfilled(request, instance)
+        assert instance.state is InstanceState.TERMINATED

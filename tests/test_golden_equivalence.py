@@ -1,0 +1,53 @@
+"""Golden-equivalence gate for the decomposed fleet control plane.
+
+The committed fixture was produced by the monolithic pre-refactor
+``FleetController`` (see ``tests/golden_scenarios.py``).  Every float is
+compared with ``==``: the service decomposition must not move a single
+bit of any ``FleetResult`` — cost, interruption times, migration
+regions, completion times — for SpotVerse or any baseline policy, on
+either checkpoint backend.
+
+The restart tests assert the tentpole's durability property on top:
+tearing the controller down mid-run and rebuilding it from the
+``FleetStateStore`` alone must also reproduce the fixture bit for bit.
+"""
+
+import json
+
+import pytest
+
+from tests.golden_scenarios import (
+    FIXTURE_PATH,
+    SCENARIOS,
+    result_to_dict,
+    run_scenario,
+    run_scenario_restarted,
+)
+
+
+@pytest.fixture(scope="module")
+def fixture():
+    assert FIXTURE_PATH.exists(), (
+        "golden fixture missing; regenerate ONLY from a pre-refactor "
+        "monolith build: PYTHONPATH=src python -m tests.golden_scenarios"
+    )
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_bit_identical_to_monolith(name, fixture):
+    assert result_to_dict(run_scenario(name)) == fixture[name]
+
+
+@pytest.mark.parametrize("name", ["single-region", "spotverse-efs"])
+def test_restart_mid_run_is_bit_identical(name, fixture):
+    # single-region: the interruption-heaviest scenario (S3 backend);
+    # spotverse-efs: exercises EFS file-system registry restore.
+    assert result_to_dict(run_scenario_restarted(name)) == fixture[name]
+
+
+def test_fixture_has_expected_shape(fixture):
+    assert set(fixture) == set(SCENARIOS)
+    for name, payload in fixture.items():
+        assert len(payload["records"]) == 6, name
+        assert all(r["completed_at"] is not None for r in payload["records"]), name
