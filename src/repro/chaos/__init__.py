@@ -1,0 +1,65 @@
+"""Deterministic fault injection and resilience verification.
+
+The chaos subsystem stresses the fleet control plane the way real
+multi-region spot operations do: regions black out, reclaim storms
+sweep correlated markets, control-plane APIs throttle, event deliveries
+drop, and checkpoint artifacts arrive corrupted.  Campaigns are seeded
+and replayable — the same ``(policy, campaign, seed)`` triple yields a
+byte-identical resilience scorecard.
+
+Layers:
+
+* :mod:`repro.chaos.campaign` — declarative, serialisable campaign
+  specs (:class:`Injection` / :class:`CampaignSpec`) plus the built-in
+  :func:`default_campaign` and seeded :func:`random_campaign`.
+* :mod:`repro.chaos.faults` — the :class:`ChaosController` substrates
+  consult at each injection point.
+* :mod:`repro.chaos.invariants` — post-run resilience assertions and
+  the scorecard.
+* :mod:`repro.chaos.runner` — :func:`run_campaign`, the end-to-end
+  entry point behind ``spotverse chaos run``.
+"""
+
+from repro.chaos.campaign import (
+    FAULT_KINDS,
+    CampaignSpec,
+    Injection,
+    default_campaign,
+    random_campaign,
+)
+from repro.chaos.faults import ChaosController
+from repro.chaos.invariants import (
+    InvariantResult,
+    build_scorecard,
+    check_invariants,
+    render_scorecard,
+)
+from repro.chaos.runner import (
+    DEFAULT_MAX_HOURS,
+    DEFAULT_SEED,
+    DEFAULT_WARMUP_STEPS,
+    POLICY_NAMES,
+    ChaosRunOutcome,
+    default_fleet,
+    run_campaign,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "CampaignSpec",
+    "ChaosController",
+    "ChaosRunOutcome",
+    "DEFAULT_MAX_HOURS",
+    "DEFAULT_SEED",
+    "DEFAULT_WARMUP_STEPS",
+    "InvariantResult",
+    "Injection",
+    "POLICY_NAMES",
+    "build_scorecard",
+    "check_invariants",
+    "default_campaign",
+    "default_fleet",
+    "random_campaign",
+    "render_scorecard",
+    "run_campaign",
+]

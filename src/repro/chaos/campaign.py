@@ -1,0 +1,256 @@
+"""Declarative, seeded chaos campaigns.
+
+A campaign is a tuple of :class:`Injection` records — *what* fails,
+*when* (a fixed sim time or an event trigger), for *how long*, and at
+what *rate*.  Campaigns are pure data: they carry no RNG state and no
+wall-clock, so the same spec against the same provider seed replays
+bit-for-bit.  Randomised campaigns (:func:`random_campaign`) draw their
+shape from a seeded generator up front and then *are* plain specs.
+
+Fault taxonomy (``Injection.kind``):
+
+======================== ====================================================
+``region-blackout``      Spot capacity in one region vanishes: running spot
+                         instances there are reclaimed when the window opens
+                         and no spot request fulfills until it closes.
+``reclaim-storm``        Correlated cross-region reclaim: each running spot
+                         instance is interrupted with probability ``rate``
+                         at time ``at`` (instantaneous).
+``dynamodb-throttle``    Item operations raise ``ThrottlingError`` with
+                         probability ``rate``.
+``dynamodb-conditional`` Conditional writes fail their check with
+                         probability ``rate``.
+``lambda-error``         Invocations raise ``LambdaError`` with probability
+                         ``rate`` (after billing, like a real crash).
+``eventbridge-drop``     Rule deliveries are dropped with probability
+                         ``rate``; the bus redelivers with backoff and
+                         dead-letters past max attempts.
+``eventbridge-delay``    Rule deliveries gain ``delay`` extra seconds with
+                         probability ``rate``.
+``checkpoint-write-error``  Checkpoint-artifact writes (S3/EFS keys under
+                         ``checkpoints/``) raise ``ServiceUnavailableError``
+                         with probability ``rate``.
+``checkpoint-corruption``  Stored checkpoint artifacts are truncated and
+                         bit-flipped with probability ``rate``; integrity
+                         verification must catch them on restore.
+``ec2-request-error``    ``request_spot_instances`` raises
+                         ``RequestLimitExceededError`` with probability
+                         ``rate``.
+``controller-kill``      The fleet controller process dies at ``at`` and is
+                         rebuilt from the state store (driven by the chaos
+                         runner, not the substrates).
+======================== ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ChaosError
+from repro.sim.clock import HOUR, MINUTE
+
+#: Every injection kind the subsystem understands.
+FAULT_KINDS = (
+    "region-blackout",
+    "reclaim-storm",
+    "dynamodb-throttle",
+    "dynamodb-conditional",
+    "lambda-error",
+    "eventbridge-drop",
+    "eventbridge-delay",
+    "checkpoint-write-error",
+    "checkpoint-corruption",
+    "ec2-request-error",
+    "controller-kill",
+)
+
+#: Kinds that act once at ``at`` rather than over a window.
+INSTANT_KINDS = ("reclaim-storm", "controller-kill")
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One fault injection.
+
+    Attributes:
+        kind: Fault kind (see module docs).
+        at: Sim time (seconds) the window opens.  For triggered
+            injections this is a delay *after* the trigger fires.
+        duration: Window length in seconds (ignored for instant kinds).
+        rate: Per-operation fault probability in ``[0, 1]``.
+        region: Region the fault targets (blackouts require one).
+        regions: Region set for ``reclaim-storm`` (None = all).
+        delay: Extra delivery latency for ``eventbridge-delay``.
+        trigger: Optional telemetry wire name (e.g.
+            ``"spot.interruption_warning"``); the window opens ``at``
+            seconds after the ``trigger_count``-th matching event.
+        trigger_count: Which occurrence of *trigger* arms the window.
+        label: Stable suffix for the injection's RNG stream; defaults
+            to ``"<kind>#<index>"`` so reordering a campaign is the
+            only way to change its draws.
+    """
+
+    kind: str
+    at: float = 0.0
+    duration: float = 0.0
+    rate: float = 1.0
+    region: Optional[str] = None
+    regions: Optional[Tuple[str, ...]] = None
+    delay: float = 0.0
+    trigger: Optional[str] = None
+    trigger_count: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ChaosError(
+                f"unknown fault kind {self.kind!r}; expected one of {sorted(FAULT_KINDS)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ChaosError(f"{self.kind}: rate must be in [0, 1], got {self.rate}")
+        if self.at < 0.0 or self.duration < 0.0 or self.delay < 0.0:
+            raise ChaosError(f"{self.kind}: at/duration/delay must be >= 0")
+        if self.kind == "region-blackout" and not self.region:
+            raise ChaosError("region-blackout requires a region")
+        if self.trigger_count < 1:
+            raise ChaosError(f"{self.kind}: trigger_count must be >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (defaults omitted)."""
+        record: Dict[str, Any] = {"kind": self.kind}
+        for spec in fields(self):
+            if spec.name == "kind":
+                continue
+            value = getattr(self, spec.name)
+            if value != spec.default:
+                record[spec.name] = list(value) if isinstance(value, tuple) else value
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "Injection":
+        """Rebuild an injection from its :meth:`to_dict` form."""
+        payload = dict(record)
+        if payload.get("regions") is not None:
+            payload["regions"] = tuple(payload["regions"])
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named, ordered set of injections."""
+
+    name: str
+    injections: Tuple[Injection, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "injections", tuple(self.injections))
+
+    @property
+    def kills(self) -> Tuple[float, ...]:
+        """Sorted ``controller-kill`` times (driven by the runner)."""
+        return tuple(
+            sorted(inj.at for inj in self.injections if inj.kind == "controller-kill")
+        )
+
+    def without_kills(self) -> "CampaignSpec":
+        """The same campaign minus ``controller-kill`` injections."""
+        return CampaignSpec(
+            name=self.name,
+            injections=tuple(
+                inj for inj in self.injections if inj.kind != "controller-kill"
+            ),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "name": self.name,
+            "injections": [inj.to_dict() for inj in self.injections],
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "CampaignSpec":
+        """Rebuild a campaign from its :meth:`to_dict` form."""
+        return cls(
+            name=str(record["name"]),
+            injections=tuple(
+                Injection.from_dict(item) for item in record.get("injections", ())
+            ),
+        )
+
+
+def default_campaign() -> CampaignSpec:
+    """The standard battery: every substrate fault over the first day.
+
+    Sized for the small fleets the chaos runner and CI smoke job use
+    (hour-scale workloads): every failure mode fires at least once,
+    windows overlap the fleet's busiest phase, and a region blackout
+    hits ``ca-central-1`` — the cheapest-mean region most single-region
+    baselines pin themselves to.
+    """
+    return CampaignSpec(
+        name="default",
+        injections=(
+            Injection(kind="ec2-request-error", at=15 * MINUTE, duration=3 * HOUR, rate=0.5),
+            Injection(kind="dynamodb-throttle", at=30 * MINUTE, duration=2 * HOUR, rate=0.4),
+            Injection(kind="checkpoint-write-error", at=30 * MINUTE, duration=4 * HOUR, rate=0.4),
+            Injection(kind="checkpoint-corruption", at=0.0, duration=24 * HOUR, rate=0.3),
+            Injection(kind="dynamodb-conditional", at=HOUR, duration=HOUR, rate=0.3),
+            Injection(kind="lambda-error", at=HOUR, duration=2 * HOUR, rate=0.3),
+            Injection(
+                kind="eventbridge-delay", at=1.5 * HOUR, duration=3 * HOUR, rate=0.5, delay=20.0
+            ),
+            Injection(kind="eventbridge-drop", at=2 * HOUR, duration=2 * HOUR, rate=0.35),
+            Injection(kind="reclaim-storm", at=4 * HOUR, rate=0.5),
+            Injection(
+                kind="region-blackout", at=6 * HOUR, duration=1.5 * HOUR, region="ca-central-1"
+            ),
+        ),
+    )
+
+
+def random_campaign(
+    seed: int,
+    regions: Tuple[str, ...],
+    horizon_hours: float = 12.0,
+    n_injections: int = 6,
+) -> CampaignSpec:
+    """Generate a randomised campaign from a seed.
+
+    The generator is consumed entirely at build time, so the returned
+    spec is plain data and replays like any hand-written campaign.
+
+    Args:
+        seed: Seed for the campaign-shape generator.
+        regions: Candidate regions for targeted faults.
+        horizon_hours: Injections land in ``[0, horizon_hours)``.
+        n_injections: Number of injections to draw.
+    """
+    import numpy as np
+
+    if not regions:
+        raise ChaosError("random_campaign requires at least one candidate region")
+    rng = np.random.default_rng(seed)
+    drawable = tuple(kind for kind in FAULT_KINDS if kind != "controller-kill")
+    injections = []
+    for index in range(int(n_injections)):
+        kind = drawable[int(rng.integers(len(drawable)))]
+        at = float(rng.uniform(0.0, horizon_hours * HOUR))
+        duration = 0.0 if kind in INSTANT_KINDS else float(rng.uniform(0.5, 3.0)) * HOUR
+        injection = Injection(
+            kind=kind,
+            at=at,
+            duration=duration,
+            rate=float(rng.uniform(0.2, 0.8)),
+            region=(
+                regions[int(rng.integers(len(regions)))]
+                if kind == "region-blackout"
+                else None
+            ),
+            delay=float(rng.uniform(5.0, 60.0)) if kind == "eventbridge-delay" else 0.0,
+            label=f"{kind}#rand{index}",
+        )
+        injections.append(injection)
+    injections.sort(key=lambda inj: (inj.at, inj.kind))
+    return CampaignSpec(name=f"random-{seed}", injections=tuple(injections))

@@ -1,0 +1,256 @@
+"""Post-run resilience invariants and the chaos scorecard.
+
+After a chaos campaign finishes, :func:`check_invariants` asserts the
+properties the control plane must preserve *no matter what was
+injected*: every submitted workload reached a terminal state, nothing
+is still running or billing past the end of the run, no segment was
+completed twice, checkpoint progress only ever moved forward (except
+through an explicit integrity fallback), and the telemetry stream
+itself stayed causally valid.
+
+:func:`build_scorecard` folds the verdicts together with deterministic
+fault/retry/dead-letter accounting into a plain JSON-serialisable dict
+— the replayable artifact ``spotverse chaos run`` prints and
+``spotverse chaos report`` re-reads.  Nothing in the scorecard depends
+on wall-clock, so the same seed and campaign produce byte-identical
+output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Sequence
+
+from repro.obs import EventType
+from repro.obs.export import validate_stream
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chaos.campaign import CampaignSpec
+    from repro.cloud.provider import CloudProvider
+    from repro.core.fleet.state import FleetStateStore
+    from repro.core.result import FleetResult
+    from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """Verdict of one invariant check."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"name": self.name, "passed": self.passed}
+        if self.detail:
+            record["detail"] = self.detail
+        return record
+
+
+def _result(name: str, problems: List[str]) -> InvariantResult:
+    return InvariantResult(
+        name=name,
+        passed=not problems,
+        detail="; ".join(problems[:5]) + ("; ..." if len(problems) > 5 else ""),
+    )
+
+
+def check_invariants(
+    provider: "CloudProvider",
+    store: "FleetStateStore",
+    result: "FleetResult",
+    workloads: Sequence["Workload"],
+) -> List[InvariantResult]:
+    """Assert the resilience invariants over a finished run.
+
+    Args:
+        provider: The provider the run executed against (telemetry,
+            EC2 state, and the billing ledger are read from it).
+        store: The fleet's durable state store.
+        result: The run's :class:`FleetResult`.
+        workloads: The submitted workload definitions.
+
+    Returns:
+        One :class:`InvariantResult` per invariant, in a stable order.
+    """
+    events = provider.telemetry.bus.events()
+    stored = {item["workload_id"]: item for item in store.workload_items()}
+    segments_by_id = {w.workload_id: len(w.segment_durations) for w in workloads}
+    results: List[InvariantResult] = []
+
+    # 1. Every submitted workload reached the terminal "done" state.
+    problems = []
+    for workload in workloads:
+        item = stored.get(workload.workload_id)
+        if item is None:
+            problems.append(f"{workload.workload_id}: not in the state store")
+        elif item["state"] != "done":
+            problems.append(f"{workload.workload_id}: state={item['state']!r}")
+    results.append(_result("workloads-terminal", problems))
+
+    # 2. Exactly one completion per workload, with every segment done
+    #    exactly once (no double-completed segments).
+    problems = []
+    done_counts: Dict[str, int] = {}
+    for event in events:
+        if event.type is EventType.WORKLOAD_DONE:
+            done_counts[event.workload_id] = done_counts.get(event.workload_id, 0) + 1
+    for workload_id, total in sorted(segments_by_id.items()):
+        count = done_counts.get(workload_id, 0)
+        if count != 1:
+            problems.append(f"{workload_id}: {count} workload.done events")
+        item = stored.get(workload_id)
+        if item is not None and item["completed_segments"] != total:
+            problems.append(
+                f"{workload_id}: {item['completed_segments']}/{total} segments stored"
+            )
+    results.append(_result("single-completion", problems))
+
+    # 3. No instance outlives the run (nothing orphaned and running).
+    problems = []
+    for instance in provider.ec2.describe_instances():
+        if instance.is_live or instance.end_time is None:
+            problems.append(f"{instance.instance_id}: still live in {instance.region}")
+    results.append(_result("instances-terminated", problems))
+
+    # 4. No charge accrued past the end of the run — terminated capacity
+    #    must stop billing.
+    problems = []
+    for entry in provider.ledger.entries:
+        if entry.time > result.ended_at:
+            problems.append(
+                f"{entry.category.value} ${entry.amount:.4f} at t={entry.time:.0f} "
+                f"(run ended t={result.ended_at:.0f})"
+            )
+    results.append(_result("no-billing-past-end", problems))
+
+    # 5. Stale instance bindings may survive a completed workload, but
+    #    none may point at live capacity.
+    problems = []
+    for instance_id, workload_id in sorted(store.instance_bindings().items()):
+        instance = provider.ec2.describe_instance(instance_id)
+        item = stored.get(workload_id)
+        if instance.is_live and (item is None or item["state"] != "done"):
+            problems.append(f"{instance_id} -> {workload_id}: bound and live")
+    results.append(_result("bindings-settled", problems))
+
+    # 6. Checkpoint progress is monotonic per workload, except through
+    #    an explicit integrity fallback (which resets the floor).
+    problems = []
+    floor: Dict[str, int] = {}
+    for event in events:
+        if event.type is EventType.CHECKPOINT_FALLBACK:
+            floor[event.workload_id] = int(event.attrs.get("to_segments", 0))
+        elif event.type is EventType.CHECKPOINT_SAVED:
+            segments = int(event.attrs.get("segments", 0))
+            if segments < floor.get(event.workload_id, 0):
+                problems.append(
+                    f"{event.workload_id}: checkpoint went backwards "
+                    f"{floor[event.workload_id]} -> {segments} (seq={event.seq})"
+                )
+            else:
+                floor[event.workload_id] = segments
+    results.append(_result("checkpoint-monotonic", problems))
+
+    # 7. The telemetry stream's ordering/causality guarantees held.
+    results.append(_result("stream-valid", validate_stream(events)))
+
+    return results
+
+
+# ----------------------------------------------------------------------
+# Scorecard
+# ----------------------------------------------------------------------
+def build_scorecard(
+    provider: "CloudProvider",
+    store: "FleetStateStore",
+    result: "FleetResult",
+    workloads: Sequence["Workload"],
+    campaign: "CampaignSpec",
+    policy: str,
+    seed: int,
+    extra_invariants: Sequence[InvariantResult] = (),
+) -> Dict[str, Any]:
+    """Assemble the deterministic chaos scorecard for one run."""
+    invariants = list(check_invariants(provider, store, result, workloads))
+    invariants.extend(extra_invariants)
+    events = provider.telemetry.bus.events()
+    faults_by_kind: Dict[str, int] = {}
+    retries = dead_letters = fallbacks = reconciled = 0
+    for event in events:
+        if event.type is EventType.CHAOS_FAULT_INJECTED:
+            kind = str(event.attrs.get("kind", "unknown"))
+            faults_by_kind[kind] = faults_by_kind.get(kind, 0) + 1
+        elif event.type is EventType.RESILIENCE_RETRY:
+            retries += 1
+        elif event.type is EventType.RESILIENCE_DEAD_LETTER:
+            dead_letters += 1
+        elif event.type is EventType.CHECKPOINT_FALLBACK:
+            fallbacks += 1
+        elif event.type is EventType.MIGRATION_STARTED and event.attrs.get("reconciled"):
+            reconciled += 1
+    per_workload = {}
+    stored = {item["workload_id"]: item for item in store.workload_items()}
+    for record in result.records:
+        item = stored.get(record.workload_id, {})
+        per_workload[record.workload_id] = {
+            "state": item.get("state", "unknown"),
+            "segments": item.get("completed_segments", 0),
+            "interruptions": record.n_interruptions,
+            "attempts": record.attempts,
+            "on_demand_attempts": record.on_demand_attempts,
+            "regions": list(record.regions),
+            "cost": record.cost,
+        }
+    return {
+        "campaign": campaign.to_dict(),
+        "policy": policy,
+        "seed": seed,
+        "invariants": [inv.to_dict() for inv in invariants],
+        "all_passed": all(inv.passed for inv in invariants),
+        "faults": {
+            "by_kind": dict(sorted(faults_by_kind.items())),
+            "total": sum(faults_by_kind.values()),
+            "retries": retries,
+            "dead_letters": dead_letters,
+            "checkpoint_fallbacks": fallbacks,
+            "reconciled_interruptions": reconciled,
+        },
+        "totals": {
+            "total_cost": result.total_cost,
+            "instance_cost": result.instance_cost,
+            "overhead_cost": result.overhead_cost,
+            "ended_at": result.ended_at,
+            "interruptions": sum(r.n_interruptions for r in result.records),
+        },
+        "workloads": per_workload,
+    }
+
+
+def render_scorecard(scorecard: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`build_scorecard` dict."""
+    lines = [
+        f"chaos campaign   : {scorecard['campaign']['name']} "
+        f"({len(scorecard['campaign'].get('injections', []))} injections)",
+        f"policy / seed    : {scorecard['policy']} / {scorecard['seed']}",
+        f"faults injected  : {scorecard['faults']['total']} "
+        f"(retries {scorecard['faults']['retries']}, "
+        f"dead letters {scorecard['faults']['dead_letters']}, "
+        f"checkpoint fallbacks {scorecard['faults']['checkpoint_fallbacks']}, "
+        f"reconciled {scorecard['faults']['reconciled_interruptions']})",
+    ]
+    for kind, count in scorecard["faults"]["by_kind"].items():
+        lines.append(f"  {kind:<24s} {count}")
+    lines.append("invariants:")
+    for inv in scorecard["invariants"]:
+        mark = "PASS" if inv["passed"] else "FAIL"
+        suffix = f" — {inv['detail']}" if inv.get("detail") and not inv["passed"] else ""
+        lines.append(f"  [{mark}] {inv['name']}{suffix}")
+    totals = scorecard["totals"]
+    lines.append(
+        f"totals           : ${totals['total_cost']:.2f} "
+        f"({totals['interruptions']} interruptions, ended t={totals['ended_at']:.0f}s)"
+    )
+    verdict = "ALL INVARIANTS PASSED" if scorecard["all_passed"] else "INVARIANT VIOLATIONS"
+    lines.append(f"verdict          : {verdict}")
+    return "\n".join(lines)

@@ -1,0 +1,261 @@
+"""End-to-end chaos campaign runs.
+
+:func:`run_campaign` assembles the same fleet scenario the golden
+equivalence suite uses (mixed standard + checkpointable workloads, one
+policy, a seeded provider), installs a
+:class:`~repro.chaos.faults.ChaosController` for the requested
+campaign, runs the fleet to completion — executing any
+``controller-kill`` injections as real teardown/rebuild cycles over the
+durable state store — and returns the run's resilience scorecard.
+
+Everything is driven by the engine's seeded RNG streams, so the same
+``(policy, campaign, seed)`` triple produces a byte-identical scorecard
+on every invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.campaign import CampaignSpec, default_campaign
+from repro.chaos.faults import ChaosController
+from repro.chaos.invariants import InvariantResult, build_scorecard
+from repro.cloud.provider import CloudProvider
+from repro.core.config import SpotVerseConfig
+from repro.core.controller import FleetController
+from repro.core.monitor import Monitor
+from repro.core.optimizer import SpotVerseOptimizer
+from repro.core.result import FleetResult
+from repro.errors import ChaosError
+from repro.sim.clock import HOUR
+from repro.strategies import (
+    CheapestMigrationPolicy,
+    DeadlineAwarePolicy,
+    NaiveMultiRegionPolicy,
+    OnDemandPolicy,
+    SingleRegionPolicy,
+    SkyPilotPolicy,
+)
+from repro.workloads.base import Workload, synthetic_workload
+from repro.workloads.ngs_preprocessing import ngs_preprocessing_workload
+
+DEFAULT_SEED = 11
+DEFAULT_WARMUP_STEPS = 24
+DEFAULT_MAX_HOURS = 72.0
+
+#: Policies a chaos run can target (the golden-scenario roster).
+POLICY_NAMES: Tuple[str, ...] = (
+    "spotverse",
+    "spotverse-efs",
+    "single-region",
+    "naive-multi-region",
+    "on-demand",
+    "skypilot",
+    "cheapest-migration",
+    "deadline",
+)
+
+_MONITOR_POLICIES = ("spotverse", "spotverse-efs", "cheapest-migration", "deadline")
+
+
+def default_fleet() -> List[Workload]:
+    """The golden scenario fleet: 3 standard + 3 checkpointable jobs."""
+    fleet: List[Workload] = [
+        synthetic_workload(f"std-{i}", duration_hours=6.0, n_segments=6) for i in range(3)
+    ]
+    fleet += [
+        ngs_preprocessing_workload(f"ckpt-{i}", duration_hours=6.0, n_segments=6)
+        for i in range(3)
+    ]
+    return fleet
+
+
+def _make_config(name: str) -> SpotVerseConfig:
+    if name == "spotverse-efs":
+        return SpotVerseConfig(instance_type="m5.xlarge", checkpoint_backend="efs")
+    return SpotVerseConfig(instance_type="m5.xlarge")
+
+
+def _make_policy(name: str, config: SpotVerseConfig, monitor: Optional[Monitor]):
+    if name in ("spotverse", "spotverse-efs"):
+        return SpotVerseOptimizer(monitor, config)
+    if name == "cheapest-migration":
+        return CheapestMigrationPolicy(monitor, config)
+    if name == "deadline":
+        return DeadlineAwarePolicy(monitor, config)
+    if name == "single-region":
+        return SingleRegionPolicy(region="ca-central-1")
+    if name == "naive-multi-region":
+        return NaiveMultiRegionPolicy()
+    if name == "on-demand":
+        return OnDemandPolicy(instance_type=config.instance_type)
+    if name == "skypilot":
+        return SkyPilotPolicy(instance_type=config.instance_type)
+    raise ChaosError(
+        f"unknown policy {name!r}; choose one of {', '.join(POLICY_NAMES)}"
+    )
+
+
+@dataclass
+class ChaosRunOutcome:
+    """What one chaos run produced.
+
+    Attributes:
+        scorecard: Deterministic JSON-serialisable resilience scorecard.
+        result: The underlying :class:`FleetResult`.
+    """
+
+    scorecard: Dict[str, Any]
+    result: FleetResult
+
+    @property
+    def all_passed(self) -> bool:
+        return bool(self.scorecard["all_passed"])
+
+
+def _execute(
+    policy_name: str,
+    campaign: CampaignSpec,
+    seed: int,
+    max_hours: float,
+    warmup_steps: int,
+    workloads: Optional[Sequence[Workload]],
+    apply_kills: bool,
+):
+    """One full run; returns live objects for scorecard assembly."""
+    config = _make_config(policy_name)
+    provider = CloudProvider(seed=seed)
+    provider.warmup_markets(warmup_steps)
+    monitor = (
+        Monitor(provider, [config.instance_type], collect_interval=config.collect_interval)
+        if policy_name in _MONITOR_POLICIES
+        else None
+    )
+    policy = _make_policy(policy_name, config, monitor)
+    controller = FleetController(provider, policy, config, monitor=monitor)
+    fleet = list(workloads) if workloads is not None else default_fleet()
+
+    # The controller-kill offsets are executed here (process-level
+    # faults); everything else is the chaos controller's business.
+    chaos = ChaosController(provider, campaign.without_kills())
+    chaos.install()
+    kills = campaign.kills if apply_kills else ()
+    if not kills:
+        result = controller.run(fleet, max_hours=max_hours)
+    else:
+        controller.submit(fleet)
+        engine = provider.engine
+        for offset in kills:
+            target = chaos.started_at + offset
+            if target > engine.now:
+                engine.run_until(target)
+            store = controller.state_store
+            controller.teardown()
+            del controller
+            controller = FleetController(
+                provider, policy, config, monitor=monitor, state_store=store
+            )
+            controller.restore(fleet)
+        result = controller.wait(fleet, max_hours=max_hours)
+    chaos.deactivate()
+    return provider, controller.state_store, result, fleet
+
+
+def run_campaign(
+    policy: str = "spotverse",
+    campaign: Optional[CampaignSpec] = None,
+    seed: int = DEFAULT_SEED,
+    max_hours: float = DEFAULT_MAX_HOURS,
+    warmup_steps: int = DEFAULT_WARMUP_STEPS,
+    workloads: Optional[Sequence[Workload]] = None,
+    verify_resume_equivalence: bool = False,
+) -> ChaosRunOutcome:
+    """Run *campaign* against *policy* and score the outcome.
+
+    Args:
+        policy: One of :data:`POLICY_NAMES`.
+        campaign: Fault campaign; :func:`default_campaign` when omitted.
+        seed: Master engine seed (drives markets and chaos streams).
+        max_hours: Fleet deadline in virtual hours.
+        warmup_steps: Market burn-in steps before the fleet starts.
+        workloads: Fleet override; :func:`default_fleet` when omitted.
+        verify_resume_equivalence: When the campaign contains
+            ``controller-kill`` injections, additionally run the same
+            campaign *without* kills and require a bit-identical
+            :class:`FleetResult` — crash recovery must not change the
+            outcome.  (Only meaningful with kills scheduled outside
+            rate-based fault windows; recovery's extra store reads
+            otherwise consume window RNG draws.)
+
+    Returns:
+        A :class:`ChaosRunOutcome` with the deterministic scorecard.
+    """
+    campaign = campaign if campaign is not None else default_campaign()
+    provider, store, result, fleet = _execute(
+        policy, campaign, seed, max_hours, warmup_steps, workloads, apply_kills=True
+    )
+    extra: List[InvariantResult] = []
+    if verify_resume_equivalence and campaign.kills:
+        baseline_provider, _, baseline, _ = _execute(
+            policy, campaign, seed, max_hours, warmup_steps, workloads, apply_kills=False
+        )
+        baseline_provider.shutdown()
+        extra.append(_compare_results(result, baseline))
+    scorecard = build_scorecard(
+        provider=provider,
+        store=store,
+        result=result,
+        workloads=fleet,
+        campaign=campaign,
+        policy=policy,
+        seed=seed,
+        extra_invariants=extra,
+    )
+    provider.shutdown()
+    return ChaosRunOutcome(scorecard=scorecard, result=result)
+
+
+def _compare_results(killed: FleetResult, baseline: FleetResult) -> InvariantResult:
+    """Bit-equality of a killed-and-recovered run vs. its baseline."""
+    problems: List[str] = []
+    for field_name in ("total_cost", "instance_cost", "overhead_cost", "ended_at"):
+        lhs, rhs = getattr(killed, field_name), getattr(baseline, field_name)
+        if lhs != rhs:
+            problems.append(f"{field_name}: {lhs!r} != {rhs!r}")
+    killed_records = {record.workload_id: record for record in killed.records}
+    for record in baseline.records:
+        other = killed_records.get(record.workload_id)
+        if other is None:
+            problems.append(f"{record.workload_id}: missing from recovered run")
+        elif (other.completed_at, other.cost, other.attempts, other.regions) != (
+            record.completed_at,
+            record.cost,
+            record.attempts,
+            record.regions,
+        ):
+            problems.append(f"{record.workload_id}: record diverged")
+    return InvariantResult(
+        name="resume-equivalence",
+        passed=not problems,
+        detail="; ".join(problems[:5]),
+    )
+
+
+def scorecards_equal(lhs: Dict[str, Any], rhs: Dict[str, Any]) -> bool:
+    """Whether two scorecards are identical (replay determinism check)."""
+    return lhs == rhs
+
+
+# Deadline horizon re-export used by callers sizing run_until targets.
+__all__ = [
+    "ChaosRunOutcome",
+    "DEFAULT_MAX_HOURS",
+    "DEFAULT_SEED",
+    "DEFAULT_WARMUP_STEPS",
+    "HOUR",
+    "POLICY_NAMES",
+    "default_fleet",
+    "run_campaign",
+    "scorecards_equal",
+]

@@ -8,6 +8,7 @@ Subcommands::
     spotverse experiment  # regenerate one of the paper's tables/figures
     spotverse report      # regenerate every experiment
     spotverse datasets    # summarize the synthetic spot datasets
+    spotverse chaos       # fault-injection campaigns + resilience scorecards
 
 Every command is deterministic given ``--seed``.
 """
@@ -18,6 +19,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.chaos.runner import POLICY_NAMES as CHAOS_POLICY_NAMES
 from repro.cloud.provider import CloudProvider
 from repro.core.config import SpotVerseConfig
 from repro.core.controller import FleetController
@@ -157,6 +159,49 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="fan independent experiment arms out over N worker processes",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run seeded fault-injection campaigns and verify resilience invariants",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_run = chaos_sub.add_parser(
+        "run",
+        help="run one campaign against one policy; exits 1 on invariant violations",
+    )
+    chaos_run.add_argument(
+        "--policy", default="spotverse",
+        choices=sorted(CHAOS_POLICY_NAMES),
+    )
+    chaos_run.add_argument(
+        "--campaign", default=None, metavar="PATH",
+        help="campaign spec JSON (default: the built-in default campaign)",
+    )
+    chaos_run.add_argument(
+        "--random", type=int, default=None, metavar="SEED",
+        help="generate a randomised campaign from SEED instead of --campaign",
+    )
+    chaos_run.add_argument("--seed", type=int, default=11,
+                           help="master engine seed (markets + chaos streams)")
+    chaos_run.add_argument("--max-hours", type=float, default=72.0)
+    chaos_run.add_argument(
+        "--verify-resume", action="store_true",
+        help="with controller-kill injections, also require bit-identical "
+             "results versus an unkilled run of the same campaign",
+    )
+    chaos_run.add_argument(
+        "--export", default=None, metavar="PATH",
+        help="write the scorecard JSON (replayable: same seed, same bytes)",
+    )
+    chaos_report = chaos_sub.add_parser(
+        "report",
+        help="render a saved scorecard JSON written by `chaos run --export`",
+    )
+    chaos_report.add_argument("scorecard", metavar="PATH")
+    chaos_report.add_argument(
+        "--workload", default=None, metavar="ID",
+        help="show one workload's chaos outcome instead of the full scorecard",
     )
 
     datasets = sub.add_parser("datasets", help="summarize the synthetic spot datasets")
@@ -406,6 +451,106 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 2  # unreachable: argparse validates choices
 
 
+def _load_campaign(args: argparse.Namespace):
+    """Resolve the campaign for ``chaos run``, or None after an error."""
+    import json
+
+    from repro.chaos import CampaignSpec, default_campaign, random_campaign
+    from repro.cloud.regions import default_region_catalog
+
+    if args.random is not None and args.campaign is not None:
+        print("error: --campaign and --random are mutually exclusive")
+        return None
+    if args.random is not None:
+        regions = tuple(default_region_catalog().names())
+        return random_campaign(args.random, regions)
+    if args.campaign is None:
+        return default_campaign()
+    try:
+        with open(args.campaign) as handle:
+            payload = json.load(handle)
+        return CampaignSpec.from_dict(payload)
+    except OSError as exc:
+        print(f"error: cannot read campaign {args.campaign!r}: {exc}")
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"error: campaign {args.campaign!r} is not a valid campaign spec: {exc}")
+    return None
+
+
+def _cmd_chaos_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.chaos import render_scorecard, run_campaign
+
+    campaign = _load_campaign(args)
+    if campaign is None:
+        return 2
+    outcome = run_campaign(
+        policy=args.policy,
+        campaign=campaign,
+        seed=args.seed,
+        max_hours=args.max_hours,
+        verify_resume_equivalence=args.verify_resume,
+    )
+    print(render_scorecard(outcome.scorecard))
+    if args.export:
+        try:
+            with open(args.export, "w") as handle:
+                json.dump(outcome.scorecard, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write scorecard {args.export!r}: {exc}")
+            return 2
+        print(f"scorecard written to {args.export}")
+    return 0 if outcome.all_passed else 1
+
+
+def _cmd_chaos_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.chaos import render_scorecard
+
+    try:
+        with open(args.scorecard) as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"error: cannot read scorecard {args.scorecard!r}: {exc}")
+        return 2
+    if not text.strip():
+        print(f"error: scorecard {args.scorecard!r} is empty (was the export interrupted?)")
+        return 2
+    try:
+        scorecard = json.loads(text)
+    except ValueError as exc:
+        print(f"error: scorecard {args.scorecard!r} is not valid JSON: {exc}")
+        return 2
+    if not isinstance(scorecard, dict) or "invariants" not in scorecard:
+        print(f"error: {args.scorecard!r} is not a chaos scorecard (missing 'invariants')")
+        return 2
+    if args.workload is not None:
+        workloads = scorecard.get("workloads", {})
+        entry = workloads.get(args.workload)
+        if entry is None:
+            known = ", ".join(sorted(workloads)) or "none"
+            print(
+                f"error: workload {args.workload!r} not in this scorecard "
+                f"(known workloads: {known})"
+            )
+            return 2
+        print(f"{args.workload} under campaign {scorecard['campaign']['name']!r}:")
+        for key, value in entry.items():
+            print(f"  {key:<18s} {value}")
+        return 0
+    print(render_scorecard(scorecard))
+    return 0 if scorecard.get("all_passed") else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.chaos_command == "run":
+        return _cmd_chaos_run(args)
+    return _cmd_chaos_report(args)
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.data import generate_advisor_dataset, generate_placement_dataset
 
@@ -473,6 +618,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             harness.set_default_jobs(args.jobs)
             run_all()
             return 0
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "datasets":
             return _cmd_datasets(args)
     except BrokenPipeError:

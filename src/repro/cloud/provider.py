@@ -89,6 +89,11 @@ class CloudProvider:
         self.profiles = profiles or default_market_profiles(self.regions, self.instances)
         self.price_book = PriceBook(self.regions, self.instances)
         self.ledger = CostLedger()
+        # Chaos hook.  ``None`` means every substrate takes its infallible
+        # fast path (no RNG draws, no extra charges) — zero-fault runs are
+        # bit-identical to pre-chaos builds.  ``repro.chaos`` installs a
+        # controller here via :meth:`attach_chaos`.
+        self.chaos = None
 
         from repro.cloud.market import GEOGRAPHY_PEAK_HOURS
 
@@ -132,6 +137,16 @@ class CloudProvider:
         self.cloudformation = CloudFormationService(self)
         self.efs = EFSService(self)
         self.ami = AMIService(self)
+
+    def attach_chaos(self, chaos) -> None:
+        """Install a chaos controller; substrates consult it on every call.
+
+        Raises:
+            CloudError: If a controller is already attached.
+        """
+        if self.chaos is not None:
+            raise CloudError("a chaos controller is already attached to this provider")
+        self.chaos = chaos
 
     # ------------------------------------------------------------------
     # Markets

@@ -1,0 +1,128 @@
+"""Bounded retry with exponential backoff and jitter.
+
+:class:`RetryPolicy` started life inside the Step Functions substrate
+(the paper's reacquire machine retries with backoff).  The chaos
+subsystem generalises it into the client-side resilience primitive used
+by every fleet service that talks to a fallible substrate: the state
+store's DynamoDB writes, EventBridge redelivery, spot-request filing,
+and checkpoint-artifact persistence all share the same schedule.
+
+Two retry shapes exist in the control plane:
+
+* **Synchronous** (:func:`call_with_retries`): the caller is inside an
+  engine callback and cannot advance sim time, so attempts run
+  back-to-back.  This models a client library's tight retry loop, whose
+  wall-clock delays are far below the engine's event granularity.
+* **Asynchronous**: the caller owns an engine handle and schedules the
+  next attempt via ``engine.call_in(policy.delay_before_attempt(...))``
+  — used where redelivery genuinely takes sim time (EventBridge,
+  spot-request refiling, artifact uploads).
+
+With ``jitter == 0`` (the default) and no RNG the schedule is exactly
+the pre-chaos Step Functions one, which keeps zero-fault runs
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple, Type
+
+from repro.obs.events import EventType
+from repro.sim.clock import SECOND
+
+
+@dataclass
+class RetryPolicy:
+    """Retry configuration shared by Step Functions and chaos clients.
+
+    Attributes:
+        max_attempts: Total attempts including the first.
+        interval: Seconds before the first retry.
+        backoff_rate: Multiplier applied to the interval per retry.
+        jitter: Fraction of the backoff delay added uniformly at random
+            (``0.5`` adds up to +50%).  Requires an ``rng`` at call
+            time; without one the delay is deterministic.
+    """
+
+    max_attempts: int = 3
+    interval: float = 10 * SECOND
+    backoff_rate: float = 2.0
+    jitter: float = 0.0
+
+    def delay_before_attempt(self, attempt: int, rng=None) -> float:
+        """Delay preceding *attempt* (attempt 2 waits ``interval``).
+
+        Args:
+            attempt: 1-based attempt number; attempt 1 never waits.
+            rng: Optional ``numpy.random.Generator`` for jitter.  Only
+                consulted when both *rng* and ``jitter`` are set, so
+                jitter-free callers draw nothing.
+        """
+        if attempt <= 1:
+            return 0.0
+        base = self.interval * (self.backoff_rate ** (attempt - 2))
+        if self.jitter > 0.0 and rng is not None:
+            return base * (1.0 + self.jitter * float(rng.random()))
+        return base
+
+
+def call_with_retries(
+    fn: Callable[[], Any],
+    policy: RetryPolicy,
+    *,
+    retryable: Tuple[Type[BaseException], ...],
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    on_exhausted: Optional[Callable[[BaseException], Any]] = None,
+) -> Any:
+    """Call *fn*, retrying synchronously on *retryable* errors.
+
+    Args:
+        fn: Zero-argument callable to invoke.
+        policy: Attempt budget (delays are notional — see module docs).
+        retryable: Exception classes worth another attempt; anything
+            else propagates immediately.
+        on_retry: Called with ``(attempt, error)`` before each retry.
+        on_exhausted: Called with the final error once the budget is
+            spent; its return value becomes the call's result.  When
+            omitted the final error is re-raised.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except retryable as exc:
+            if attempt >= policy.max_attempts:
+                if on_exhausted is not None:
+                    return on_exhausted(exc)
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+
+
+def note_retry(telemetry, scope: str, attempt: int, error: BaseException, workload_id: str = "") -> None:
+    """Record one client-side retry in the telemetry stream."""
+    telemetry.bus.emit(
+        EventType.RESILIENCE_RETRY,
+        workload_id=workload_id,
+        scope=scope,
+        attempt=attempt,
+        error=f"{error.__class__.__name__}: {error}",
+    )
+    telemetry.metrics.counter(
+        "resilience_retries_total", "client-side retries against chaos faults"
+    ).inc(scope=scope)
+
+
+def note_dead_letter(telemetry, scope: str, detail: str, workload_id: str = "") -> None:
+    """Record work abandoned past its retry budget (dead-letter accounting)."""
+    telemetry.bus.emit(
+        EventType.RESILIENCE_DEAD_LETTER,
+        workload_id=workload_id,
+        scope=scope,
+        detail=detail,
+    )
+    telemetry.metrics.counter(
+        "resilience_dead_letters_total", "operations dropped past max retry attempts"
+    ).inc(scope=scope)

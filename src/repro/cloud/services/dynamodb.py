@@ -14,7 +14,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cloud.billing import CostCategory, DYNAMODB_READ_PRICE, DYNAMODB_WRITE_PRICE
-from repro.errors import ConditionalCheckFailedError, NoSuchTableError, ServiceError
+from repro.errors import (
+    ConditionalCheckFailedError,
+    NoSuchTableError,
+    ServiceError,
+    ThrottlingError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cloud.provider import CloudProvider
@@ -74,6 +79,24 @@ class DynamoDBService:
         self._provider = provider
         self._tables: Dict[str, Table] = {}
 
+    @property
+    def provider(self) -> "CloudProvider":
+        """The owning provider (clients reach telemetry/chaos through it)."""
+        return self._provider
+
+    def _chaos_gate(self, op: str, table_name: str, conditional: bool = False) -> None:
+        """Raise an injected fault for one item operation, if any."""
+        chaos = self._provider.chaos
+        if chaos is None:
+            return
+        verdict = chaos.dynamodb_fault(op, conditional)
+        if verdict == "throttle":
+            raise ThrottlingError(f"{op} on table {table_name!r} throttled")
+        if verdict == "conditional-check":
+            raise ConditionalCheckFailedError(
+                f"injected conditional-check failure: {op} on table {table_name!r}"
+            )
+
     def create_table(
         self,
         name: str,
@@ -127,6 +150,7 @@ class DynamoDBService:
                 mirroring DynamoDB conditional expressions.
         """
         table = self._table(table_name)
+        self._chaos_gate("put_item", table_name, conditional=condition is not None)
         key = table.key_of(item)
         if condition is not None and not condition(table.items.get(key)):
             raise ConditionalCheckFailedError(
@@ -140,6 +164,7 @@ class DynamoDBService:
     ) -> Optional[Item]:
         """Fetch one item by key, or ``None`` when absent."""
         table = self._table(table_name)
+        self._chaos_gate("get_item", table_name)
         self._charge(table, write=False, detail=f"get {table_name}")
         item = table.items.get((partition, sort))
         return dict(item) if item is not None else None
@@ -154,6 +179,7 @@ class DynamoDBService:
     ) -> Item:
         """Merge *updates* into an item, creating it if needed."""
         table = self._table(table_name)
+        self._chaos_gate("update_item", table_name, conditional=condition is not None)
         key = (partition, sort)
         existing = table.items.get(key)
         if condition is not None and not condition(existing):
@@ -171,6 +197,7 @@ class DynamoDBService:
     def delete_item(self, table_name: str, partition: Any, sort: Any = None) -> None:
         """Delete an item by key (no-op when absent)."""
         table = self._table(table_name)
+        self._chaos_gate("delete_item", table_name)
         table.items.pop((partition, sort), None)
         self._charge(table, write=True, detail=f"delete {table_name}")
 
@@ -180,6 +207,7 @@ class DynamoDBService:
     def query(self, table_name: str, partition: Any) -> List[Item]:
         """Return all items sharing *partition*, sorted by sort key."""
         table = self._table(table_name)
+        self._chaos_gate("query", table_name)
         self._charge(table, write=False, detail=f"query {table_name}")
         matches = [
             dict(item)
@@ -195,6 +223,7 @@ class DynamoDBService:
     ) -> List[Item]:
         """Return every item, optionally filtered by *predicate*."""
         table = self._table(table_name)
+        self._chaos_gate("scan", table_name)
         self._charge(table, write=False, detail=f"scan {table_name}")
         items = (dict(item) for item in table.items.values())
         if predicate is None:

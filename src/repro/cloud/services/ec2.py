@@ -34,6 +34,7 @@ from repro.cloud.interruptions import (
 from repro.errors import (
     CapacityError,
     InstanceNotFoundError,
+    RequestLimitExceededError,
     SpotRequestError,
 )
 from repro.obs import EventType
@@ -205,6 +206,11 @@ class EC2Service:
             raise CapacityError(
                 f"instance type {instance_type!r} is not offered in region {region!r}"
             )
+        chaos = self._provider.chaos
+        if chaos is not None and chaos.ec2_request_fault(region):
+            raise RequestLimitExceededError(
+                f"RequestSpotInstances rejected in {region!r} (injected API error)"
+            )
         request = SpotRequest(
             request_id=f"sir-{next(self._request_counter):06d}",
             region=region,
@@ -264,6 +270,12 @@ class EC2Service:
         """One fulfillment attempt: maybe schedule a launch."""
         market = self._provider.market(request.region, request.instance_type)
         request.attempts += 1
+        chaos = self._provider.chaos
+        if chaos is not None and chaos.region_blacked_out(request.region):
+            # Region blackout: no spot capacity at all.  The request
+            # stays OPEN and the controller's sweep retries it after
+            # the window closes.
+            return
         score = market.placement_score
         # Placement score drives launch success: score 10 ~ certain,
         # score 1 ~ coin flip.  Matches AWS guidance that higher scores
@@ -284,6 +296,9 @@ class EC2Service:
         def fulfill() -> None:
             if request.state is not SpotRequestState.OPEN:
                 return
+            fulfill_chaos = self._provider.chaos
+            if fulfill_chaos is not None and fulfill_chaos.region_blacked_out(request.region):
+                return  # blackout opened while the launch was in flight
             instance = self._launch(
                 request.region, request.instance_type, InstanceLifecycle.SPOT, request.tag
             )
@@ -391,6 +406,38 @@ class EC2Service:
             lambda: self._finalize_interruption(instance),
             label=f"ec2:reclaim:{instance.instance_id}",
         )
+
+    def force_interruptions(
+        self,
+        regions: Optional[Sequence[str]] = None,
+        fraction: float = 1.0,
+        rng=None,
+    ) -> int:
+        """Interrupt running spot instances on demand (chaos primitives).
+
+        Region blackouts pass ``fraction=1.0`` with one region; reclaim
+        storms pass a probability and their own RNG stream.  Instances
+        already inside a notice window are skipped.  Iteration follows
+        insertion order of the instance table, which is deterministic
+        for a given seed.
+
+        Returns:
+            The number of instances that received a warning.
+        """
+        wanted = set(regions) if regions is not None else None
+        count = 0
+        for instance in list(self._instances.values()):
+            if not instance.is_live or instance.state is InstanceState.INTERRUPTING:
+                continue
+            if instance.lifecycle is not InstanceLifecycle.SPOT:
+                continue
+            if wanted is not None and instance.region not in wanted:
+                continue
+            if fraction < 1.0 and rng is not None and float(rng.random()) >= fraction:
+                continue
+            self._begin_interruption(instance)
+            count += 1
+        return count
 
     def _finalize_interruption(self, instance: Instance) -> None:
         if instance.state is not InstanceState.INTERRUPTING:

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.cloud.billing import CostCategory
-from repro.errors import ServiceError
+from repro.errors import ServiceError, ServiceUnavailableError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cloud.provider import CloudProvider
@@ -44,6 +44,7 @@ class EFSFile:
     path: str
     body: bytes
     written_at: float
+    metadata: Dict[str, str] = field(default_factory=dict)
 
     @property
     def size(self) -> int:
@@ -117,6 +118,7 @@ class EFSService:
         source_region: Optional[str] = None,
         tag: str = "",
         logical_bytes: Optional[int] = None,
+        metadata: Optional[Dict[str, str]] = None,
     ) -> EFSFile:
         """Write *body* under *path*, charging storage (and replication).
 
@@ -127,6 +129,9 @@ class EFSService:
             logical_bytes: Bill for this many bytes instead of
                 ``len(body)`` (callers cap stored payloads to keep
                 memory flat, as the S3 substrate does).
+            metadata: Free-form string metadata stored alongside the
+                file (checkpoint checksums live here; injected
+                corruption touches only the body).
 
         Raises:
             ServiceError: When writing from outside the FS's region.
@@ -138,7 +143,15 @@ class EFSService:
                 f"{source_region!r} (use a replica)"
             )
         now = self._engine.now
-        file = EFSFile(path=path, body=bytes(body), written_at=now)
+        stored = bytes(body)
+        chaos = self._provider.chaos
+        if chaos is not None:
+            if chaos.checkpoint_write_fault("efs", path):
+                raise ServiceUnavailableError(f"efs write efs://{fs_id}/{path} unavailable")
+            corrupted = chaos.corrupt_checkpoint("efs", path, stored)
+            if corrupted is not None:
+                stored = corrupted
+        file = EFSFile(path=path, body=stored, written_at=now, metadata=dict(metadata or {}))
         fs.files[path] = file
         billed_bytes = logical_bytes if logical_bytes is not None else file.size
         size_gb = billed_bytes / _GB
@@ -192,6 +205,14 @@ class EFSService:
     def list_files(self, fs_id: str, prefix: str = "") -> List[str]:
         """Paths in the source file system starting with *prefix*."""
         return sorted(path for path in self._fs(fs_id).files if path.startswith(prefix))
+
+    def peek_file(self, fs_id: str, path: str) -> Optional[EFSFile]:
+        """Control-plane read of *path* with no mount check or charge.
+
+        Used by checkpoint integrity verification against the source
+        file system; returns ``None`` when the file is absent.
+        """
+        return self._fs(fs_id).files.get(path)
 
     def file_systems(self) -> List[str]:
         """All file-system ids, sorted."""

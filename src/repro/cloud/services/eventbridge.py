@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
+from repro.cloud.retry import RetryPolicy, note_dead_letter, note_retry
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cloud.provider import CloudProvider
 
@@ -19,6 +21,11 @@ Target = Callable[[Dict[str, Any]], Any]
 
 #: Seconds between an event being put and targets receiving it.
 DELIVERY_LATENCY = 0.5
+
+#: Redelivery schedule for deliveries dropped by chaos injection; past
+#: ``max_attempts`` the event is dead-lettered (and a periodic sweep
+#: reconciles any control-plane state the lost event should have moved).
+REDELIVERY_POLICY = RetryPolicy(max_attempts=4, interval=15.0, backoff_rate=2.0, jitter=0.5)
 
 
 @dataclass
@@ -61,6 +68,7 @@ class EventBridgeService:
         self._engine = provider.engine
         self._rules: Dict[str, Rule] = {}
         self.delivered_count = 0
+        self.dead_letter_count = 0
         self.event_log: List[Dict[str, Any]] = []
 
     def put_rule(
@@ -107,14 +115,51 @@ class EventBridgeService:
             if not rule.matches(event):
                 continue
             for target in list(rule.targets):
-                self._engine.call_in(
-                    DELIVERY_LATENCY,
-                    lambda target=target: self._deliver(target, event),
-                    label=f"eventbridge:{rule.name}",
-                )
+                self._dispatch(rule.name, target, event, attempt=1)
         return event
 
-    def _deliver(self, target: Target, event: Dict[str, Any]) -> None:
+    def _dispatch(
+        self, rule_name: str, target: Target, event: Dict[str, Any], attempt: int
+    ) -> None:
+        """Schedule delivery attempt *attempt* (1 = the original put)."""
+        chaos = self._provider.chaos
+        if attempt == 1:
+            delay = DELIVERY_LATENCY
+        else:
+            delay = REDELIVERY_POLICY.delay_before_attempt(attempt, rng=chaos.retry_rng)
+        if chaos is not None:
+            delay += chaos.eventbridge_extra_delay(rule_name)
+        self._engine.call_in(
+            delay,
+            lambda: self._deliver(target, event, rule_name=rule_name, attempt=attempt),
+            label=f"eventbridge:{rule_name}",
+        )
+
+    def _deliver(
+        self,
+        target: Target,
+        event: Dict[str, Any],
+        rule_name: str = "",
+        attempt: int = 1,
+    ) -> None:
+        chaos = self._provider.chaos
+        if chaos is not None and chaos.eventbridge_dropped(rule_name):
+            if attempt < REDELIVERY_POLICY.max_attempts:
+                note_retry(
+                    self._provider.telemetry,
+                    f"eventbridge:{rule_name}",
+                    attempt,
+                    RuntimeError("delivery dropped"),
+                )
+                self._dispatch(rule_name, target, event, attempt + 1)
+            else:
+                self.dead_letter_count += 1
+                note_dead_letter(
+                    self._provider.telemetry,
+                    f"eventbridge:{rule_name}",
+                    f"delivery dropped after {attempt} attempts",
+                )
+            return
         self.delivered_count += 1
         target(event)
 

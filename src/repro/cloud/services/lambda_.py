@@ -120,6 +120,14 @@ class LambdaService:
             message = f"lambda {name!r} timed out after {function.timeout:.0f}s"
             self.error_log.append(message)
             raise LambdaError(message)
+        chaos = self._provider.chaos
+        if chaos is not None and chaos.lambda_fault(name):
+            # Injected crash: billed like a real invocation that died
+            # before returning (the chaos model's Lambda failure mode).
+            function.failures += 1
+            message = f"lambda {name!r} failed: injected invocation error"
+            self.error_log.append(message)
+            raise LambdaError(message)
         try:
             result = function.handler(event or {}, context)
         except LambdaError:

@@ -18,7 +18,7 @@ from repro.cloud.billing import (
     S3_CROSS_REGION_TRANSFER_PRICE,
     S3_STORAGE_PRICE_GB_MONTH,
 )
-from repro.errors import NoSuchBucketError, NoSuchKeyError
+from repro.errors import NoSuchBucketError, NoSuchKeyError, ServiceUnavailableError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cloud.provider import CloudProvider
@@ -107,7 +107,15 @@ class S3Service:
         """
         bucket_obj = self._bucket(bucket)
         now = self._provider.engine.now
-        obj = S3Object(key=key, body=bytes(body), metadata=dict(metadata or {}), put_time=now)
+        stored = bytes(body)
+        chaos = self._provider.chaos
+        if chaos is not None:
+            if chaos.checkpoint_write_fault("s3", key):
+                raise ServiceUnavailableError(f"s3 put s3://{bucket}/{key} unavailable")
+            corrupted = chaos.corrupt_checkpoint("s3", key, stored)
+            if corrupted is not None:
+                stored = corrupted
+        obj = S3Object(key=key, body=stored, metadata=dict(metadata or {}), put_time=now)
         bucket_obj.objects[key] = obj
         size_gb = obj.size / _GB
         self._provider.ledger.charge(
@@ -151,6 +159,15 @@ class S3Service:
     def head_object(self, bucket: str, key: str) -> bool:
         """Whether *key* exists in *bucket* (no charge)."""
         return key in self._bucket(bucket).objects
+
+    def peek_object(self, bucket: str, key: str) -> Optional[S3Object]:
+        """Control-plane read of *key* with no ledger charge.
+
+        Used by checkpoint integrity verification, which must not
+        perturb the billed cost model the paper's evaluation compares.
+        Returns ``None`` when the key is absent.
+        """
+        return self._bucket(bucket).objects.get(key)
 
     def delete_object(self, bucket: str, key: str) -> None:
         """Delete *key*; deleting a missing key is a no-op (as on AWS)."""

@@ -15,8 +15,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from repro.cloud.billing import STEP_FUNCTIONS_TRANSITION_PRICE, CostCategory
+from repro.cloud.retry import RetryPolicy
 from repro.errors import StateMachineError
-from repro.sim.clock import SECOND
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cloud.provider import CloudProvider
@@ -32,25 +32,16 @@ class ExecutionStatus(enum.Enum):
     FAILED = "failed"
 
 
-@dataclass
-class RetryPolicy:
-    """Retry configuration for the machine's task state.
-
-    Attributes:
-        max_attempts: Total attempts including the first.
-        interval: Seconds before the first retry.
-        backoff_rate: Multiplier applied to the interval per retry.
-    """
-
-    max_attempts: int = 3
-    interval: float = 10 * SECOND
-    backoff_rate: float = 2.0
-
-    def delay_before_attempt(self, attempt: int) -> float:
-        """Delay preceding *attempt* (attempt 2 waits ``interval``)."""
-        if attempt <= 1:
-            return 0.0
-        return self.interval * (self.backoff_rate ** (attempt - 2))
+# RetryPolicy moved to :mod:`repro.cloud.retry` when the chaos subsystem
+# generalised it for all client-side resilience; re-exported here because
+# this module is its historical home.
+__all__ = [
+    "ExecutionStatus",
+    "RetryPolicy",
+    "Execution",
+    "StateMachine",
+    "StepFunctionsService",
+]
 
 
 @dataclass

@@ -193,19 +193,23 @@ class FleetController:
         self._lifecycle.teardown()
         self.state_store.router.unbind()
 
-    def resume(
-        self,
-        workloads: Sequence[Workload],
-        max_hours: float = 120.0,
-        poll_interval: float = 5 * MINUTE,
-    ) -> FleetResult:
-        """Rebuild executions from the state store and finish the run.
+    def restore(self, workloads: Sequence[Workload]) -> None:
+        """Rebuild executions from the state store without running.
 
         Args:
             workloads: Definitions of the stored workloads (state is
                 durable; definitions are code the client re-supplies).
         """
         self._lifecycle.restore(workloads)
+
+    def resume(
+        self,
+        workloads: Sequence[Workload],
+        max_hours: float = 120.0,
+        poll_interval: float = 5 * MINUTE,
+    ) -> FleetResult:
+        """Rebuild executions from the state store and finish the run."""
+        self.restore(workloads)
         return self.wait(workloads, max_hours=max_hours, poll_interval=poll_interval)
 
     # ------------------------------------------------------------------

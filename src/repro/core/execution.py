@@ -19,9 +19,10 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
+from repro.cloud.retry import note_dead_letter
 from repro.cloud.services.ec2 import Instance, InstanceLifecycle
 from repro.core.result import WorkloadRecord
-from repro.errors import WorkloadError
+from repro.errors import ThrottlingError, WorkloadError
 from repro.obs import EventType
 from repro.sim.events import Event
 from repro.workloads.base import Workload
@@ -243,7 +244,24 @@ class WorkloadExecution:
         )
         self._sync()
 
+    def _instance_lost(self) -> bool:
+        """Whether chaos killed the instance under a still-armed timer.
+
+        Without faults the interruption notice always cancels pending
+        timers before the instance dies, so this can only be true when
+        a chaos controller dropped that notice on the floor; the
+        reconcile sweep repairs the execution at its next tick.
+        """
+        return (
+            self._provider.chaos is not None
+            and self.instance is not None
+            and not self.instance.is_live
+        )
+
     def _begin_running(self) -> None:
+        if self._instance_lost():
+            self._boot_event = None
+            return
         self._boot_event = None
         self._boot_due = None
         self.state = ExecutionState.RUNNING
@@ -262,7 +280,7 @@ class WorkloadExecution:
         if self.workload.checkpointable:
             # Resume from the latest durable checkpoint (the replacement
             # instance downloads state the dying instance uploaded).
-            restored = self._backend.load_progress(self.workload.workload_id)
+            restored = self._restore_progress()
             if restored > self.completed_segments:
                 self.completed_segments = restored
             if restored > 0 and self.record.attempts > 1:
@@ -276,6 +294,47 @@ class WorkloadExecution:
                     "checkpoint_restores_total", "resumes from a durable checkpoint"
                 ).inc()
         self._schedule_next_segment()
+
+    def _restore_progress(self) -> int:
+        """Checkpoint restore with integrity verification under chaos.
+
+        The fault-free path is exactly one ``load_progress`` call.  When
+        faults are injected, the recorded progress count may point at an
+        artifact whose bytes were corrupted in flight; the replacement
+        instance then falls back to the newest artifact whose checksum
+        still verifies, re-running the segments in between — the
+        measurable price of the corruption.
+        """
+        workload_id = self.workload.workload_id
+        try:
+            restored = self._backend.load_progress(workload_id)
+        except ThrottlingError as exc:
+            # Progress unreadable through every retry: resume from the
+            # in-memory count rather than stalling the replacement.
+            note_dead_letter(
+                self._telemetry, "checkpoint:load", str(exc), workload_id=workload_id
+            )
+            restored = self.completed_segments
+        if self._provider.chaos is None or self.record.attempts <= 1:
+            return restored
+        check = self._backend.verify_artifacts(workload_id)
+        if check is None or check.newest_valid:
+            return restored
+        self._telemetry.bus.emit(
+            EventType.CHECKPOINT_FALLBACK,
+            workload_id=workload_id,
+            region=self.instance.region if self.instance else "",
+            from_segments=restored,
+            to_segments=check.valid_segments,
+            corrupt=check.corrupt_count,
+        )
+        self._telemetry.metrics.counter(
+            "checkpoint_fallbacks_total",
+            "restores demoted to an older valid checkpoint",
+        ).inc()
+        if self.completed_segments > check.valid_segments:
+            self.completed_segments = check.valid_segments
+        return min(restored, check.valid_segments)
 
     def _schedule_next_segment(self) -> None:
         remaining = self.workload.remaining_after(self.completed_segments)
@@ -291,6 +350,12 @@ class WorkloadExecution:
         self._sync()
 
     def _segment_done(self) -> None:
+        if self._instance_lost():
+            # The instance died mid-segment and the notice was dropped:
+            # the segment cannot have finished.  Freeze progression and
+            # let the reconcile sweep restage the workload.
+            self._segment_event = None
+            return
         self._segment_event = None
         self._segment_due = None
         index = self.completed_segments
@@ -405,6 +470,7 @@ class WorkloadExecution:
                 self.record.n_interruptions,
                 self.workload.checkpoint_bytes,
                 region,
+                segments=self.completed_segments,
             )
         else:
             self.completed_segments = 0

@@ -17,8 +17,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.cloud.retry import RetryPolicy, note_dead_letter, note_retry
 from repro.cloud.services.ec2 import Instance, SpotRequest, SpotRequestState
 from repro.core.policy import Placement, PurchasingOption
+from repro.errors import RequestLimitExceededError, ThrottlingError
 from repro.obs import EventType
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -27,6 +29,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.execution import WorkloadExecution
     from repro.core.fleet.lifecycle import LifecycleService
     from repro.core.fleet.state import FleetStateStore
+
+#: Backoff schedule for ``RequestSpotInstances`` calls rejected by an
+#: injected EC2 API fault; past ``max_attempts`` the workload falls back
+#: to on-demand so it still reaches a terminal state.
+SPOT_REQUEST_RETRY_POLICY = RetryPolicy(
+    max_attempts=4, interval=30.0, backoff_rate=2.0, jitter=0.5
+)
 
 
 class CapacityService:
@@ -74,37 +83,100 @@ class CapacityService:
         self, execution: "WorkloadExecution", placement: Placement, phase: str = "initial"
     ) -> None:
         """Turn a placement into capacity for *execution*."""
-        workload_id = execution.workload.workload_id
         if placement.option is PurchasingOption.ON_DEMAND:
-            fallback_attrs = {"phase": phase}
-            if placement.reason:
-                fallback_attrs["reason"] = placement.reason
-            self._telemetry.bus.emit(
-                EventType.FALLBACK_ON_DEMAND,
-                workload_id=workload_id,
-                region=placement.region,
-                option=PurchasingOption.ON_DEMAND.value,
-                **fallback_attrs,
-            )
-            self._telemetry.metrics.counter(
-                "fallback_on_demand_total", "placements that resolved to on-demand"
-            ).inc(region=placement.region)
-            instance = self._provider.ec2.run_on_demand(
-                placement.region, self._config.instance_type, tag=workload_id
-            )
-            # On-demand instances join the same instance bindings spot
-            # fulfillments use, so spans and terminations see one
-            # uniform view of running capacity.
-            self._store.bind_instance(instance, workload_id)
-            execution.attach(instance)
+            self._launch_on_demand(execution, placement, phase)
             return
-        request = self._provider.ec2.request_spot_instances(
-            placement.region,
-            self._config.instance_type,
-            tag=workload_id,
-            on_fulfilled=self._store.router.spot_fulfilled,
+        self._file_spot_request(execution, placement, phase, attempt=1)
+
+    def _launch_on_demand(
+        self, execution: "WorkloadExecution", placement: Placement, phase: str
+    ) -> None:
+        workload_id = execution.workload.workload_id
+        fallback_attrs = {"phase": phase}
+        if placement.reason:
+            fallback_attrs["reason"] = placement.reason
+        self._telemetry.bus.emit(
+            EventType.FALLBACK_ON_DEMAND,
+            workload_id=workload_id,
+            region=placement.region,
+            option=PurchasingOption.ON_DEMAND.value,
+            **fallback_attrs,
         )
+        self._telemetry.metrics.counter(
+            "fallback_on_demand_total", "placements that resolved to on-demand"
+        ).inc(region=placement.region)
+        instance = self._provider.ec2.run_on_demand(
+            placement.region, self._config.instance_type, tag=workload_id
+        )
+        # On-demand instances join the same instance bindings spot
+        # fulfillments use, so spans and terminations see one
+        # uniform view of running capacity.
+        self._store.bind_instance(instance, workload_id)
+        execution.attach(instance)
+
+    def _file_spot_request(
+        self,
+        execution: "WorkloadExecution",
+        placement: Placement,
+        phase: str,
+        attempt: int,
+    ) -> None:
+        """File a spot request, backing off on injected API rejections.
+
+        Retries are scheduled through the engine (the real call would be
+        retried by a later Lambda/Step Functions attempt); when the
+        schedule is exhausted the workload falls back to on-demand with
+        reason ``"spot-api-exhausted"`` so it still terminates.
+        """
+        workload_id = execution.workload.workload_id
+        try:
+            request = self._provider.ec2.request_spot_instances(
+                placement.region,
+                self._config.instance_type,
+                tag=workload_id,
+                on_fulfilled=self._store.router.spot_fulfilled,
+            )
+        except RequestLimitExceededError as exc:
+            scope = f"ec2:request-spot:{placement.region}"
+            if attempt >= SPOT_REQUEST_RETRY_POLICY.max_attempts:
+                note_dead_letter(
+                    self._telemetry,
+                    scope,
+                    f"spot request API exhausted after {attempt} attempts",
+                    workload_id=workload_id,
+                )
+                self._launch_on_demand(
+                    execution,
+                    Placement(
+                        region=placement.region,
+                        option=PurchasingOption.ON_DEMAND,
+                        reason="spot-api-exhausted",
+                    ),
+                    phase,
+                )
+                return
+            note_retry(self._telemetry, scope, attempt, exc, workload_id=workload_id)
+            chaos = self._provider.chaos
+            rng = chaos.retry_rng if chaos is not None else None
+            delay = SPOT_REQUEST_RETRY_POLICY.delay_before_attempt(attempt + 1, rng=rng)
+            self._provider.engine.call_in(
+                delay,
+                lambda: self._retry_spot_request(execution, placement, phase, attempt + 1),
+                label=f"capacity:retry-spot:{workload_id}",
+            )
+            return
         self._store.track_request(request, workload_id)
+
+    def _retry_spot_request(
+        self,
+        execution: "WorkloadExecution",
+        placement: Placement,
+        phase: str,
+        attempt: int,
+    ) -> None:
+        if not execution.needs_instance:
+            return
+        self._file_spot_request(execution, placement, phase, attempt)
 
     def on_spot_fulfilled(self, request: SpotRequest, instance: Instance) -> None:
         """A tracked spot request launched an instance; attach or discard."""
@@ -148,6 +220,14 @@ class CapacityService:
         (cancelled or failed) are pruned, so dead entries no longer
         accumulate across the run.
         """
+        try:
+            self._sweep_once()
+        except ThrottlingError as exc:
+            # The store stayed throttled through every retry: skip this
+            # tick; the next sweep sees the same durable state.
+            note_dead_letter(self._telemetry, "capacity:sweep", str(exc))
+
+    def _sweep_once(self) -> None:
         open_by_id = {
             request.request_id: request
             for request in self._provider.ec2.describe_spot_requests(

@@ -15,21 +15,91 @@ Both backends keep *progress* (the monotonic completed-segment count)
 in a :class:`~repro.galaxy.checkpoint.CheckpointStore` — DynamoDB by
 default, exactly as the paper does even when artifacts go to EFS — and
 differ only in where the interruption-time *artifact* bytes land.
+
+Resilience: every artifact carries a SHA-256 checksum and the segment
+count it encodes in its (corruption-proof) metadata, so a replacement
+instance can detect an artifact whose bytes were damaged in flight and
+fall back to the newest one that still verifies
+(:meth:`CheckpointBackend.verify_artifacts`).  Writes rejected by an
+injected storage outage are retried on a backoff schedule and
+dead-lettered past it; progress reads/writes retry synchronously
+against injected DynamoDB throttling.  None of this runs — not one
+extra call — when no chaos controller is attached, because the
+injected error types are never raised then.
 """
 
 from __future__ import annotations
 
+import hashlib
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Any, Dict, MutableMapping, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, MutableMapping, Optional, Tuple
 
+from repro.cloud.retry import RetryPolicy, call_with_retries, note_dead_letter, note_retry
+from repro.errors import ServiceUnavailableError, ThrottlingError
 from repro.galaxy.checkpoint import CheckpointStore, DynamoCheckpointStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cloud.provider import CloudProvider
 
+#: Synchronous retry schedule for progress reads/writes against an
+#: injected DynamoDB throttle (no simulated time passes in-event).
+PROGRESS_RETRY_POLICY = RetryPolicy(max_attempts=5, interval=0.0, backoff_rate=1.0)
+
+#: Backoff schedule for artifact writes rejected by an injected storage
+#: outage; past ``max_attempts`` the artifact is dead-lettered (the
+#: checkpoint chain tolerates gaps — older artifacts still verify).
+ARTIFACT_RETRY_POLICY = RetryPolicy(max_attempts=4, interval=5.0, backoff_rate=2.0, jitter=0.5)
+
+
+def _checksum(body: bytes) -> str:
+    return hashlib.sha256(body).hexdigest()
+
+
+@dataclass(frozen=True)
+class ArtifactCheck:
+    """Outcome of verifying a workload's checkpoint artifacts.
+
+    Attributes:
+        newest_valid: Whether the most recent artifact's checksum holds
+            (the fault-free case; no fallback needed).
+        valid_segments: Segment count recorded by the newest artifact
+            that verifies (0 when none does).
+        corrupt_count: Artifacts newer than the first valid one whose
+            bytes no longer match their checksum.
+    """
+
+    newest_valid: bool
+    valid_segments: int
+    corrupt_count: int
+
+
+def _check_entries(
+    entries: List[Tuple[int, bytes, Dict[str, str]]]
+) -> Optional[ArtifactCheck]:
+    """Verify ``(sequence, body, metadata)`` artifacts, newest first."""
+    if not entries:
+        return None
+    entries.sort(key=lambda entry: entry[0], reverse=True)
+    corrupt = 0
+    for index, (_sequence, body, metadata) in enumerate(entries):
+        expected = metadata.get("sha256", "")
+        if expected and _checksum(body) == expected:
+            return ArtifactCheck(
+                newest_valid=index == 0,
+                valid_segments=int(metadata.get("segments", "0")),
+                corrupt_count=corrupt,
+            )
+        corrupt += 1
+    return ArtifactCheck(newest_valid=False, valid_segments=0, corrupt_count=corrupt)
+
 
 class CheckpointBackend(ABC):
     """Progress tracking plus interruption-time artifact persistence.
+
+    Subclasses must set ``_provider`` (the simulated cloud) and
+    ``_progress`` (the :class:`CheckpointStore`) in their ``__init__``;
+    the progress methods and retry plumbing here use both.
 
     Attributes:
         name: Stable backend identifier used as the ``backend`` attr of
@@ -37,24 +107,78 @@ class CheckpointBackend(ABC):
     """
 
     name: str = ""
+    _provider: "CloudProvider"
+    _progress: CheckpointStore
 
-    @abstractmethod
+    # ------------------------------------------------------------------
+    # Progress (shared: DynamoDB in both designs)
+    # ------------------------------------------------------------------
     def save_progress(
         self, workload_id: str, completed_segments: int, detail: Optional[Dict[str, Any]] = None
     ) -> bool:
-        """Record monotonic per-segment progress; see ``CheckpointStore.save``."""
+        """Record monotonic per-segment progress; see ``CheckpointStore.save``.
 
-    @abstractmethod
+        Injected throttling is retried in place; a write exhausted past
+        the schedule is dropped (the next segment's save supersedes it).
+        """
+        telemetry = self._provider.telemetry
+
+        def exhausted(exc: BaseException) -> bool:
+            note_dead_letter(
+                telemetry, "checkpoint:progress-save", str(exc), workload_id=workload_id
+            )
+            return False
+
+        return call_with_retries(
+            lambda: self._progress.save(workload_id, completed_segments, detail=detail),
+            PROGRESS_RETRY_POLICY,
+            retryable=ThrottlingError,
+            on_retry=lambda attempt, exc: note_retry(
+                telemetry, "checkpoint:progress-save", attempt, exc, workload_id=workload_id
+            ),
+            on_exhausted=exhausted,
+        )
+
     def load_progress(self, workload_id: str) -> int:
-        """Latest completed-segment count (0 when never saved)."""
+        """Latest completed-segment count (0 when never saved).
 
-    @abstractmethod
+        Raises:
+            ThrottlingError: When injected throttling outlasted every
+                retry; the caller falls back to its in-memory count.
+        """
+        telemetry = self._provider.telemetry
+        return call_with_retries(
+            lambda: self._progress.load(workload_id),
+            PROGRESS_RETRY_POLICY,
+            retryable=ThrottlingError,
+            on_retry=lambda attempt, exc: note_retry(
+                telemetry, "checkpoint:progress-load", attempt, exc, workload_id=workload_id
+            ),
+        )
+
     def progress_detail(self, workload_id: str) -> Dict[str, Any]:
         """Detail payload of the latest progress write."""
+        telemetry = self._provider.telemetry
+        return call_with_retries(
+            lambda: self._progress.detail(workload_id),
+            PROGRESS_RETRY_POLICY,
+            retryable=ThrottlingError,
+            on_retry=lambda attempt, exc: note_retry(
+                telemetry, "checkpoint:progress-load", attempt, exc, workload_id=workload_id
+            ),
+        )
 
+    # ------------------------------------------------------------------
+    # Artifacts
+    # ------------------------------------------------------------------
     @abstractmethod
     def persist_artifact(
-        self, workload_id: str, sequence: int, checkpoint_bytes: int, region: str
+        self,
+        workload_id: str,
+        sequence: int,
+        checkpoint_bytes: int,
+        region: str,
+        segments: int = 0,
     ) -> None:
         """Persist the interruption-time checkpoint state itself.
 
@@ -64,7 +188,44 @@ class CheckpointBackend(ABC):
                 interruption count, so paths never collide).
             checkpoint_bytes: Logical checkpoint size to bill.
             region: Region the dying instance writes from.
+            segments: Completed-segment count the artifact encodes,
+                recorded in metadata for integrity fallback.
         """
+
+    @abstractmethod
+    def verify_artifacts(self, workload_id: str) -> Optional[ArtifactCheck]:
+        """Checksum-verify the workload's artifacts, newest first.
+
+        Uses uncharged control-plane reads so verification never
+        perturbs the billed cost model.  Returns ``None`` when the
+        workload has no artifacts at all.
+        """
+
+    def _persist_with_retries(
+        self, write: Callable[[], None], scope: str, workload_id: str, attempt: int = 1
+    ) -> None:
+        """Run *write*, rescheduling it on an injected storage outage."""
+        try:
+            write()
+        except ServiceUnavailableError as exc:
+            telemetry = self._provider.telemetry
+            if attempt >= ARTIFACT_RETRY_POLICY.max_attempts:
+                note_dead_letter(
+                    telemetry,
+                    scope,
+                    f"checkpoint artifact write lost after {attempt} attempts",
+                    workload_id=workload_id,
+                )
+                return
+            note_retry(telemetry, scope, attempt, exc, workload_id=workload_id)
+            chaos = self._provider.chaos
+            rng = chaos.retry_rng if chaos is not None else None
+            delay = ARTIFACT_RETRY_POLICY.delay_before_attempt(attempt + 1, rng=rng)
+            self._provider.engine.call_in(
+                delay,
+                lambda: self._persist_with_retries(write, scope, workload_id, attempt + 1),
+                label=f"checkpoint:retry:{workload_id}",
+            )
 
 
 class DynamoCheckpointBackend(CheckpointBackend):
@@ -98,42 +259,62 @@ class DynamoCheckpointBackend(CheckpointBackend):
             else DynamoCheckpointStore(provider.dynamodb)
         )
 
-    def save_progress(
-        self, workload_id: str, completed_segments: int, detail: Optional[Dict[str, Any]] = None
-    ) -> bool:
-        return self._progress.save(workload_id, completed_segments, detail=detail)
-
-    def load_progress(self, workload_id: str) -> int:
-        return self._progress.load(workload_id)
-
-    def progress_detail(self, workload_id: str) -> Dict[str, Any]:
-        return self._progress.detail(workload_id)
-
     def persist_artifact(
-        self, workload_id: str, sequence: int, checkpoint_bytes: int, region: str
+        self,
+        workload_id: str,
+        sequence: int,
+        checkpoint_bytes: int,
+        region: str,
+        segments: int = 0,
     ) -> None:
         from repro.cloud.billing import S3_CROSS_REGION_TRANSFER_PRICE, CostCategory
 
-        self._provider.s3.put_object(
-            self._bucket,
-            f"checkpoints/{workload_id}/{sequence}.bin",
-            body=b"\x00" * min(checkpoint_bytes, 1 << 20),
-            metadata={"actual_bytes": str(checkpoint_bytes)},
-            source_region=region,
-            tag=workload_id,
-        )
         stored = min(checkpoint_bytes, 1 << 20)
-        remaining = checkpoint_bytes - stored
-        bucket_region = self._provider.s3.bucket_region(self._bucket)
-        if remaining > 0 and region != bucket_region:
-            self._provider.ledger.charge(
-                time=self._provider.engine.now,
-                category=CostCategory.S3_TRANSFER,
-                amount=(remaining / (1024 ** 3)) * S3_CROSS_REGION_TRANSFER_PRICE,
-                region=region,
+        body = b"\x00" * stored
+        metadata = {
+            "actual_bytes": str(checkpoint_bytes),
+            "sha256": _checksum(body),
+            "segments": str(segments),
+        }
+
+        def write() -> None:
+            self._provider.s3.put_object(
+                self._bucket,
+                f"checkpoints/{workload_id}/{sequence}.bin",
+                body=body,
+                metadata=metadata,
+                source_region=region,
                 tag=workload_id,
-                detail=f"checkpoint transfer remainder {workload_id}",
             )
+            remaining = checkpoint_bytes - stored
+            bucket_region = self._provider.s3.bucket_region(self._bucket)
+            if remaining > 0 and region != bucket_region:
+                self._provider.ledger.charge(
+                    time=self._provider.engine.now,
+                    category=CostCategory.S3_TRANSFER,
+                    amount=(remaining / (1024 ** 3)) * S3_CROSS_REGION_TRANSFER_PRICE,
+                    region=region,
+                    tag=workload_id,
+                    detail=f"checkpoint transfer remainder {workload_id}",
+                )
+
+        self._persist_with_retries(write, scope="checkpoint:s3", workload_id=workload_id)
+
+    def verify_artifacts(self, workload_id: str) -> Optional[ArtifactCheck]:
+        prefix = f"checkpoints/{workload_id}/"
+        entries: List[Tuple[int, bytes, Dict[str, str]]] = []
+        for key in self._provider.s3.list_objects(self._bucket, prefix):
+            stem = key[len(prefix):]
+            if not stem.endswith(".bin"):
+                continue
+            try:
+                sequence = int(stem[:-4])
+            except ValueError:
+                continue
+            obj = self._provider.s3.peek_object(self._bucket, key)
+            if obj is not None:
+                entries.append((sequence, obj.body, obj.metadata))
+        return _check_entries(entries)
 
 
 class EFSCheckpointBackend(CheckpointBackend):
@@ -175,32 +356,63 @@ class EFSCheckpointBackend(CheckpointBackend):
         )
         self._fs_by_region: MutableMapping = fs_registry if fs_registry is not None else {}
 
-    def save_progress(
-        self, workload_id: str, completed_segments: int, detail: Optional[Dict[str, Any]] = None
-    ) -> bool:
-        return self._progress.save(workload_id, completed_segments, detail=detail)
-
-    def load_progress(self, workload_id: str) -> int:
-        return self._progress.load(workload_id)
-
-    def progress_detail(self, workload_id: str) -> Dict[str, Any]:
-        return self._progress.detail(workload_id)
-
     def persist_artifact(
-        self, workload_id: str, sequence: int, checkpoint_bytes: int, region: str
+        self,
+        workload_id: str,
+        sequence: int,
+        checkpoint_bytes: int,
+        region: str,
+        segments: int = 0,
     ) -> None:
-        fs_id = self._fs_by_region.get(region)
-        if fs_id is None:
-            fs = self._provider.efs.create_file_system(region)
-            if region != self._results_region:
-                self._provider.efs.create_replica(fs.fs_id, self._results_region)
-            fs_id = fs.fs_id
-            self._fs_by_region[region] = fs_id
-        self._provider.efs.write_file(
-            fs_id,
-            f"checkpoints/{workload_id}/{sequence}.bin",
-            body=b"\x00" * min(checkpoint_bytes, 1 << 20),
-            source_region=region,
-            tag=workload_id,
-            logical_bytes=checkpoint_bytes,
-        )
+        try:
+            fs_id = self._fs_by_region.get(region)
+            if fs_id is None:
+                fs = self._provider.efs.create_file_system(region)
+                if region != self._results_region:
+                    self._provider.efs.create_replica(fs.fs_id, self._results_region)
+                fs_id = fs.fs_id
+                self._fs_by_region[region] = fs_id
+        except ThrottlingError as exc:
+            # The durable fs registry stayed throttled through every
+            # retry: this artifact is lost (older ones still verify).
+            note_dead_letter(
+                self._provider.telemetry, "checkpoint:efs", str(exc), workload_id=workload_id
+            )
+            return
+        stored = min(checkpoint_bytes, 1 << 20)
+        body = b"\x00" * stored
+        metadata = {
+            "actual_bytes": str(checkpoint_bytes),
+            "sha256": _checksum(body),
+            "segments": str(segments),
+        }
+
+        def write() -> None:
+            self._provider.efs.write_file(
+                fs_id,
+                f"checkpoints/{workload_id}/{sequence}.bin",
+                body=body,
+                source_region=region,
+                tag=workload_id,
+                logical_bytes=checkpoint_bytes,
+                metadata=metadata,
+            )
+
+        self._persist_with_retries(write, scope="checkpoint:efs", workload_id=workload_id)
+
+    def verify_artifacts(self, workload_id: str) -> Optional[ArtifactCheck]:
+        prefix = f"checkpoints/{workload_id}/"
+        entries: List[Tuple[int, bytes, Dict[str, str]]] = []
+        for fs_id in sorted(str(fs) for fs in self._fs_by_region.values()):
+            for path in self._provider.efs.list_files(fs_id, prefix):
+                stem = path[len(prefix):]
+                if not stem.endswith(".bin"):
+                    continue
+                try:
+                    sequence = int(stem[:-4])
+                except ValueError:
+                    continue
+                file = self._provider.efs.peek_file(fs_id, path)
+                if file is not None:
+                    entries.append((sequence, file.body, file.metadata))
+        return _check_entries(entries)

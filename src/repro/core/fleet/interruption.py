@@ -17,8 +17,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict
 
+from repro.cloud.retry import note_dead_letter
 from repro.cloud.services.stepfunctions import RetryPolicy
 from repro.core.execution import ExecutionState
+from repro.errors import ThrottlingError
 from repro.obs import EventType
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -124,3 +126,89 @@ class InterruptionService:
         )
         self._capacity.acquire(execution, placement, phase="migration")
         return placement.region
+
+    # ------------------------------------------------------------------
+    # Reconciliation (fault repair)
+    # ------------------------------------------------------------------
+    def reconcile_missed_interruptions(self) -> int:
+        """Repair event-path losses the sweep can observe durably.
+
+        The normal reaction chain (EventBridge → Lambda → Step
+        Functions) can lose work under injected faults: a delivery
+        dropped past its redelivery budget, or a handler Lambda that
+        crashed after the instance binding was already popped.  This
+        sweep walks the live executions — not the store's bindings,
+        which a half-finished handler may have consumed — and repairs
+        two symptoms:
+
+        * an execution that believes it is booting/running on an
+          instance that is no longer alive (a missed interruption);
+        * an execution waiting for capacity with no tracked spot
+          request and no pending retry to produce one (a stranded
+          workload).
+
+        Gated on a chaos controller being attached: fault-free runs
+        must stay bit-identical, and the golden failure-injection
+        tests rely on the unrepaired behavior.
+
+        Returns:
+            Number of executions repaired this sweep.
+        """
+        if self._provider.chaos is None:
+            return 0
+        try:
+            return self._reconcile_once()
+        except ThrottlingError as exc:
+            # Durable state stayed unreadable through every retry; the
+            # next sweep sees the same symptoms and repairs them then.
+            note_dead_letter(self._telemetry, "reconcile:sweep", str(exc))
+            return 0
+
+    def _reconcile_once(self) -> int:
+        repaired = 0
+        reacquiring = set()
+        for execution in self._lifecycle.executions():
+            instance = execution.instance
+            if instance is None or instance.is_live:
+                continue
+            if execution.state not in (ExecutionState.BOOTING, ExecutionState.RUNNING):
+                continue
+            workload_id = execution.workload.workload_id
+            self._store.pop_instance(instance.instance_id)
+            lost_region = execution.handle_interruption_notice()
+            self._telemetry.bus.emit(
+                EventType.MIGRATION_STARTED,
+                workload_id=workload_id,
+                region=lost_region,
+                instance_id=instance.instance_id,
+                reconciled=True,
+            )
+            self._telemetry.metrics.counter(
+                "reconciled_interruptions_total",
+                "missed interruptions repaired by the sweep",
+            ).inc(region=lost_region)
+            self._provider.stepfunctions.start_execution(
+                "spotverse-reacquire",
+                input={"workload_id": workload_id, "exclude_region": lost_region},
+            )
+            reacquiring.add(workload_id)
+            repaired += 1
+        tracked = {workload_id for _, workload_id in self._store.tracked_requests()}
+        for execution in self._lifecycle.executions():
+            workload_id = execution.workload.workload_id
+            if (
+                not execution.needs_instance
+                or workload_id in tracked
+                or workload_id in reacquiring
+            ):
+                continue
+            self._telemetry.metrics.counter(
+                "reconciled_stranded_total",
+                "stranded capacity waits restarted by the sweep",
+            ).inc()
+            self._provider.stepfunctions.start_execution(
+                "spotverse-reacquire",
+                input={"workload_id": workload_id, "exclude_region": ""},
+            )
+            repaired += 1
+        return repaired

@@ -27,7 +27,10 @@ code behind it is replaced.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Any, Dict, Iterator, List, MutableMapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, MutableMapping, Optional, Tuple
+
+from repro.cloud.retry import RetryPolicy, call_with_retries, note_dead_letter, note_retry
+from repro.errors import ThrottlingError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.cloud.services.dynamodb import DynamoDBService
@@ -37,6 +40,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
 #: Distinguishes the tables of independent controllers sharing one
 #: provider (each controller gets its own store unless one is passed in).
 _STORE_COUNTER = itertools.count()
+
+#: Synchronous retry schedule for store reads/writes against an injected
+#: DynamoDB throttle.  The retries happen inside the calling event (no
+#: simulated time passes), so only ``max_attempts`` matters here.
+STORE_RETRY_POLICY = RetryPolicy(max_attempts=5, interval=0.0, backoff_rate=1.0)
 
 
 class _MetaMapping(MutableMapping):
@@ -52,23 +60,39 @@ class _MetaMapping(MutableMapping):
         self._section = section
 
     def __getitem__(self, key: str) -> Any:
-        item = self._store._dynamodb.get_item(self._store.meta_table, self._section, key)
+        item = self._store._read(
+            lambda: self._store._dynamodb.get_item(
+                self._store.meta_table, self._section, key
+            ),
+            scope=f"fleet-state:meta:{self._section}",
+        )
         if item is None:
             raise KeyError(key)
         return item["value"]
 
     def __setitem__(self, key: str, value: Any) -> None:
-        self._store._dynamodb.put_item(
-            self._store.meta_table,
-            {"section": self._section, "key": key, "value": value},
+        self._store._write(
+            lambda: self._store._dynamodb.put_item(
+                self._store.meta_table,
+                {"section": self._section, "key": key, "value": value},
+            ),
+            scope=f"fleet-state:meta:{self._section}",
         )
 
     def __delitem__(self, key: str) -> None:
         self.__getitem__(key)  # raise KeyError when absent
-        self._store._dynamodb.delete_item(self._store.meta_table, self._section, key)
+        self._store._write(
+            lambda: self._store._dynamodb.delete_item(
+                self._store.meta_table, self._section, key
+            ),
+            scope=f"fleet-state:meta:{self._section}",
+        )
 
     def __iter__(self) -> Iterator[str]:
-        rows = self._store._dynamodb.query(self._store.meta_table, self._section)
+        rows = self._store._read(
+            lambda: self._store._dynamodb.query(self._store.meta_table, self._section),
+            scope=f"fleet-state:meta:{self._section}",
+        )
         return iter([row["key"] for row in rows])
 
     def __len__(self) -> int:
@@ -102,19 +126,59 @@ class FleetStateStore:
         self.router = ControlPlaneRouter()
 
     # ------------------------------------------------------------------
+    # Resilient store access
+    # ------------------------------------------------------------------
+    # Store traffic is the control plane's most frequent DynamoDB use,
+    # so it is the first casualty of an injected throttle window.  Both
+    # helpers retry in place (no simulated time passes inside an event);
+    # a write exhausted past ``STORE_RETRY_POLICY.max_attempts`` is
+    # dropped with a dead letter — the mirror self-heals on the next
+    # ``_sync`` — while an exhausted read re-raises, because callers
+    # cannot act on state they never saw.
+
+    def _write(self, fn: Callable[[], Any], scope: str) -> None:
+        telemetry = self._dynamodb.provider.telemetry
+        call_with_retries(
+            fn,
+            STORE_RETRY_POLICY,
+            retryable=ThrottlingError,
+            on_retry=lambda attempt, exc: note_retry(telemetry, scope, attempt, exc),
+            on_exhausted=lambda exc: note_dead_letter(telemetry, scope, str(exc)),
+        )
+
+    def _read(self, fn: Callable[[], Any], scope: str) -> Any:
+        telemetry = self._dynamodb.provider.telemetry
+        return call_with_retries(
+            fn,
+            STORE_RETRY_POLICY,
+            retryable=ThrottlingError,
+            on_retry=lambda attempt, exc: note_retry(telemetry, scope, attempt, exc),
+        )
+
+    # ------------------------------------------------------------------
     # Workload state
     # ------------------------------------------------------------------
     def save_execution(self, execution: "WorkloadExecution") -> None:
         """Persist one execution's full durable state (upsert)."""
-        self._dynamodb.put_item(self.workloads_table, execution.state_item())
+        item = execution.state_item()
+        self._write(
+            lambda: self._dynamodb.put_item(self.workloads_table, item),
+            scope="fleet-state:save-execution",
+        )
 
     def workload_item(self, workload_id: str) -> Optional[Dict[str, Any]]:
         """The stored state of one workload, or ``None``."""
-        return self._dynamodb.get_item(self.workloads_table, workload_id)
+        return self._read(
+            lambda: self._dynamodb.get_item(self.workloads_table, workload_id),
+            scope="fleet-state:workload-item",
+        )
 
     def workload_items(self) -> List[Dict[str, Any]]:
         """Every stored workload, in registration order."""
-        return self._dynamodb.scan(self.workloads_table)
+        return self._read(
+            lambda: self._dynamodb.scan(self.workloads_table),
+            scope="fleet-state:workload-items",
+        )
 
     def workload_ids(self) -> List[str]:
         """Stored workload ids, in registration order."""
@@ -133,50 +197,70 @@ class FleetStateStore:
     # ------------------------------------------------------------------
     def bind_instance(self, instance: "Instance", workload_id: str) -> None:
         """Record that *instance* runs *workload_id*."""
-        self._dynamodb.put_item(
-            self.instances_table,
-            {"instance_id": instance.instance_id, "workload_id": workload_id},
+        self._write(
+            lambda: self._dynamodb.put_item(
+                self.instances_table,
+                {"instance_id": instance.instance_id, "workload_id": workload_id},
+            ),
+            scope="fleet-state:bind-instance",
         )
 
     def pop_instance(self, instance_id: str) -> Optional[str]:
         """Remove and return the workload bound to *instance_id*."""
-        item = self._dynamodb.get_item(self.instances_table, instance_id)
+        item = self._read(
+            lambda: self._dynamodb.get_item(self.instances_table, instance_id),
+            scope="fleet-state:pop-instance",
+        )
         if item is None:
             return None
-        self._dynamodb.delete_item(self.instances_table, instance_id)
+        self._write(
+            lambda: self._dynamodb.delete_item(self.instances_table, instance_id),
+            scope="fleet-state:pop-instance",
+        )
         return item["workload_id"]
 
     def instance_bindings(self) -> Dict[str, str]:
         """Current ``instance_id -> workload_id`` map."""
-        return {
-            item["instance_id"]: item["workload_id"]
-            for item in self._dynamodb.scan(self.instances_table)
-        }
+        rows = self._read(
+            lambda: self._dynamodb.scan(self.instances_table),
+            scope="fleet-state:instance-bindings",
+        )
+        return {item["instance_id"]: item["workload_id"] for item in rows}
 
     # ------------------------------------------------------------------
     # Spot request tracking
     # ------------------------------------------------------------------
     def track_request(self, request: "SpotRequest", workload_id: str) -> None:
         """Track an open spot request filed for *workload_id*."""
-        self._dynamodb.put_item(
-            self.requests_table,
-            {"request_id": request.request_id, "workload_id": workload_id},
+        self._write(
+            lambda: self._dynamodb.put_item(
+                self.requests_table,
+                {"request_id": request.request_id, "workload_id": workload_id},
+            ),
+            scope="fleet-state:track-request",
         )
 
     def pop_request(self, request_id: str) -> Optional[str]:
         """Remove and return the workload a request was filed for."""
-        item = self._dynamodb.get_item(self.requests_table, request_id)
+        item = self._read(
+            lambda: self._dynamodb.get_item(self.requests_table, request_id),
+            scope="fleet-state:pop-request",
+        )
         if item is None:
             return None
-        self._dynamodb.delete_item(self.requests_table, request_id)
+        self._write(
+            lambda: self._dynamodb.delete_item(self.requests_table, request_id),
+            scope="fleet-state:pop-request",
+        )
         return item["workload_id"]
 
     def tracked_requests(self) -> List[Tuple[str, str]]:
         """``(request_id, workload_id)`` pairs, in filing order."""
-        return [
-            (item["request_id"], item["workload_id"])
-            for item in self._dynamodb.scan(self.requests_table)
-        ]
+        rows = self._read(
+            lambda: self._dynamodb.scan(self.requests_table),
+            scope="fleet-state:tracked-requests",
+        )
+        return [(item["request_id"], item["workload_id"]) for item in rows]
 
     # ------------------------------------------------------------------
     # Meta state
@@ -224,6 +308,10 @@ class ControlPlaneRouter:
         """CloudWatch 15-minute sweep endpoint."""
         if self._capacity is not None:
             self._capacity.sweep_open_requests()
+        if self._interruption is not None:
+            # Repair interruptions whose event-path handling was lost to
+            # injected faults (dropped deliveries, crashed Lambdas).
+            self._interruption.reconcile_missed_interruptions()
 
     def interruption_event(self, event: Dict[str, Any], context: object) -> str:
         """Interruption-handler Lambda endpoint."""

@@ -9,14 +9,20 @@ latest snapshot through :meth:`Monitor.snapshot`.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Sequence
 
+from repro.cloud.retry import RetryPolicy, call_with_retries, note_dead_letter, note_retry
 from repro.core.scoring import RegionMetrics
-from repro.errors import CloudError
+from repro.errors import CloudError, LambdaError, ThrottlingError
 from repro.sim.clock import MINUTE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cloud.provider import CloudProvider
+
+#: In-event retry budget for the collector's DynamoDB traffic.  A
+#: snapshot row that still throttles after this is dropped (the next
+#: cycle rewrites it); a snapshot *read* that exhausts retries raises.
+MONITOR_RETRY_POLICY = RetryPolicy(max_attempts=5, interval=0.0, backoff_rate=1.0)
 
 METRICS_TABLE = "spotverse-metrics"
 NAMESPACE = "SpotVerse"
@@ -78,10 +84,37 @@ class Monitor:
             provider.cloudwatch.schedule_rule(
                 "spotverse-collect-metrics",
                 interval=collect_interval,
-                target=lambda: provider.lambda_.invoke("spotverse-metrics-collector"),
+                target=self._invoke_collector,
             )
             # Prime the table so the Optimizer has data at t=0.
             self.collect()
+
+    def _invoke_collector(self) -> None:
+        """Scheduled collector invocation; a crashed cycle is skipped.
+
+        A real CloudWatch-scheduled Lambda that errors logs a failed
+        invocation and the schedule simply fires again next interval —
+        the Optimizer reads one-cycle-staler data, nothing crashes.
+        """
+        try:
+            self._provider.lambda_.invoke("spotverse-metrics-collector")
+        except LambdaError as exc:
+            note_dead_letter(self._provider.telemetry, "monitor:collector", str(exc))
+
+    def _put_snapshot_row(self, item: Dict[str, Any]) -> None:
+        """Write one snapshot row, riding out DynamoDB throttling."""
+        telemetry = self._provider.telemetry
+        call_with_retries(
+            lambda: self._provider.dynamodb.put_item(METRICS_TABLE, item),
+            MONITOR_RETRY_POLICY,
+            retryable=ThrottlingError,
+            on_retry=lambda attempt, exc: note_retry(
+                telemetry, "monitor:put-metrics", attempt, exc
+            ),
+            on_exhausted=lambda exc: note_dead_letter(
+                telemetry, "monitor:put-metrics", str(exc)
+            ),
+        )
 
     def collect(self) -> int:
         """Collect one snapshot for every watched market; returns rows written."""
@@ -90,8 +123,7 @@ class Monitor:
         for instance_type in self._instance_types:
             for market in self._provider.markets_for_type(instance_type):
                 od_price = self._provider.price_book.od_price(market.region, instance_type)
-                self._provider.dynamodb.put_item(
-                    METRICS_TABLE,
+                self._put_snapshot_row(
                     {
                         "region": market.region,
                         "instance_type": instance_type,
@@ -127,8 +159,17 @@ class Monitor:
         Raises:
             CloudError: If the type has never been collected.
         """
-        rows = self._provider.dynamodb.scan(
-            METRICS_TABLE, predicate=lambda item: item["instance_type"] == instance_type
+        telemetry = self._provider.telemetry
+        rows = call_with_retries(
+            lambda: self._provider.dynamodb.scan(
+                METRICS_TABLE,
+                predicate=lambda item: item["instance_type"] == instance_type,
+            ),
+            MONITOR_RETRY_POLICY,
+            retryable=ThrottlingError,
+            on_retry=lambda attempt, exc: note_retry(
+                telemetry, "monitor:snapshot", attempt, exc
+            ),
         )
         if not rows:
             raise CloudError(

@@ -64,6 +64,22 @@ class ConditionalCheckFailedError(ServiceError):
     """Raised when a DynamoDB conditional write fails its condition."""
 
 
+class ThrottlingError(ServiceError):
+    """Raised when a simulated service throttles a request (retryable)."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """Raised when a simulated service transiently rejects a request."""
+
+
+class RequestLimitExceededError(SpotRequestError):
+    """Raised when the EC2 request API transiently rejects a spot request."""
+
+
+class ChaosError(ReproError):
+    """Raised for invalid chaos campaign specifications."""
+
+
 class LambdaError(ServiceError):
     """Raised when a simulated Lambda invocation fails."""
 

@@ -24,7 +24,7 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from functools import partial
-from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.cloud.profiles import default_market_profiles
 from repro.cloud.provider import CloudProvider
@@ -36,6 +36,9 @@ from repro.core.policy import PlacementPolicy
 from repro.core.result import FleetResult
 from repro.obs import Telemetry
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chaos.campaign import CampaignSpec
 
 #: Builds the policy for an arm.  Receives the provider, the arm's
 #: config, and a live Monitor.
@@ -127,6 +130,11 @@ class ArmSpec:
             observatory (per-market time series + anomaly events).
             Off by default — sweeps don't pay the sampling cost unless
             a driver wants the market view.
+        campaign: Optional chaos campaign installed on the arm's
+            provider after warmup (``controller-kill`` injections are
+            runner-level faults and are ignored here).  ``None`` — the
+            default — means a fault-free arm, bit-identical to
+            pre-chaos builds.
     """
 
     name: str
@@ -140,6 +148,7 @@ class ArmSpec:
     warmup_steps: int = 48
     telemetry: Optional[Telemetry] = None
     observatory: bool = False
+    campaign: Optional["CampaignSpec"] = None
 
 
 @dataclass
@@ -189,6 +198,10 @@ def run_arm(spec: ArmSpec) -> ArmResult:
     )
     policy = spec.policy_factory(provider, spec.config, monitor)
     controller = FleetController(provider, policy, spec.config, monitor=monitor)
+    if spec.campaign is not None:
+        from repro.chaos.faults import ChaosController
+
+        ChaosController(provider, spec.campaign.without_kills()).install()
     workloads = [spec.workload_factory(index) for index in range(spec.n_workloads)]
     fleet = controller.run(workloads, max_hours=spec.max_hours)
     # Unbind the control plane before shutdown: a late engine callback

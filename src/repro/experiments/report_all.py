@@ -82,9 +82,9 @@ def run_all(stream=None) -> None:
     """Run every experiment, printing each rendered report to *stream*."""
     stream = stream or sys.stdout
     for experiment_id, title, runner in ALL_EXPERIMENTS:
-        started = time.time()
+        started = time.perf_counter()
         result = runner()
-        elapsed = time.time() - started
+        elapsed = time.perf_counter() - started
         print(f"{'=' * 72}", file=stream)
         print(f"[{experiment_id}] {title}  (ran in {elapsed:.1f}s)", file=stream)
         print(f"{'=' * 72}", file=stream)

@@ -45,6 +45,12 @@ class EventType(enum.Enum):
     CAPACITY_DISCARDED = "capacity.discarded"
     MARKET_ANOMALY = "market.anomaly"
     DECISION_EVALUATED = "decision.evaluated"
+    CHAOS_WINDOW_OPENED = "chaos.window_opened"
+    CHAOS_WINDOW_CLOSED = "chaos.window_closed"
+    CHAOS_FAULT_INJECTED = "chaos.fault_injected"
+    RESILIENCE_RETRY = "resilience.retry"
+    RESILIENCE_DEAD_LETTER = "resilience.dead_letter"
+    CHECKPOINT_FALLBACK = "checkpoint.fallback"
 
 
 #: Wire name -> member, for decoding JSONL streams.

@@ -389,6 +389,41 @@ class RunReport:
                 counts[event.region or "?"] += 1
         return sorted(counts.items(), key=lambda item: (-item[1], item[0]))
 
+    def chaos_stats(self) -> Optional[Dict[str, object]]:
+        """Fault-injection + resilience accounting, or None without chaos.
+
+        Gated on chaos/resilience events being present in the stream so
+        zero-fault run reports render byte-identically to pre-chaos
+        builds.
+        """
+        fault_kinds: Dict[str, int] = defaultdict(int)
+        windows = retries = dead_letters = fallbacks = reconciled = 0
+        for event in self.events:
+            if event.type is EventType.CHAOS_WINDOW_OPENED:
+                windows += 1
+            elif event.type is EventType.CHAOS_FAULT_INJECTED:
+                fault_kinds[str(event.attrs.get("kind", "?"))] += 1
+            elif event.type is EventType.RESILIENCE_RETRY:
+                retries += 1
+            elif event.type is EventType.RESILIENCE_DEAD_LETTER:
+                dead_letters += 1
+            elif event.type is EventType.CHECKPOINT_FALLBACK:
+                fallbacks += 1
+            elif event.type is EventType.MIGRATION_STARTED and event.attrs.get(
+                "reconciled"
+            ):
+                reconciled += 1
+        if not (windows or fault_kinds or retries or dead_letters or fallbacks):
+            return None
+        return {
+            "windows": windows,
+            "faults_by_kind": dict(sorted(fault_kinds.items())),
+            "retries": retries,
+            "dead_letters": dead_letters,
+            "checkpoint_fallbacks": fallbacks,
+            "reconciled_interruptions": reconciled,
+        }
+
     def migration_stats(self) -> Tuple[int, int, float]:
         """``(started, completed, mean latency seconds)``."""
         started = self._count(EventType.MIGRATION_STARTED)
@@ -458,6 +493,23 @@ class RunReport:
                     ["region", "count"],
                     [[region, str(count)] for region, count in interruption_rows],
                 )
+            )
+
+        chaos = self.chaos_stats()
+        if chaos is not None:
+            lines.append("")
+            lines.append("chaos / resilience:")
+            lines.append(
+                f"  fault windows     : {chaos['windows']} opened, "
+                f"{sum(chaos['faults_by_kind'].values())} faults injected"
+            )
+            for kind, count in chaos["faults_by_kind"].items():
+                lines.append(f"    {kind:<24s} {count}")
+            lines.append(
+                f"  client resilience : {chaos['retries']} retries, "
+                f"{chaos['dead_letters']} dead letters, "
+                f"{chaos['checkpoint_fallbacks']} checkpoint fallbacks, "
+                f"{chaos['reconciled_interruptions']} reconciled interruptions"
             )
 
         if self.decisions:

@@ -1,0 +1,136 @@
+"""Edge cases of the shared retry primitive (``repro.cloud.retry``)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.retry import RetryPolicy, call_with_retries
+from repro.errors import ServiceError, ThrottlingError
+
+
+class TestDelayBeforeAttempt:
+    def test_attempt_one_never_waits(self):
+        policy = RetryPolicy(max_attempts=5, interval=30.0, backoff_rate=2.0)
+        assert policy.delay_before_attempt(1) == 0.0
+
+    def test_attempt_zero_and_negative_never_wait(self):
+        policy = RetryPolicy(interval=30.0)
+        assert policy.delay_before_attempt(0) == 0.0
+        assert policy.delay_before_attempt(-3) == 0.0
+
+    def test_second_attempt_waits_one_interval(self):
+        policy = RetryPolicy(interval=30.0, backoff_rate=2.0)
+        assert policy.delay_before_attempt(2) == 30.0
+
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(interval=10.0, backoff_rate=3.0)
+        assert policy.delay_before_attempt(3) == 30.0
+        assert policy.delay_before_attempt(4) == 90.0
+
+    def test_no_jitter_draws_nothing_without_rng(self):
+        policy = RetryPolicy(interval=10.0, jitter=0.5)
+        # jitter configured but no rng passed: deterministic base delay
+        assert policy.delay_before_attempt(2) == 10.0
+
+    def test_jitter_zero_ignores_rng(self):
+        rng = np.random.default_rng(0)
+        policy = RetryPolicy(interval=10.0, jitter=0.0)
+        before = rng.bit_generator.state
+        assert policy.delay_before_attempt(2, rng=rng) == 10.0
+        assert rng.bit_generator.state == before  # no draw consumed
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(interval=10.0, jitter=0.5)
+        rng = np.random.default_rng(7)
+        for attempt in range(2, 8):
+            base = policy.interval * policy.backoff_rate ** (attempt - 2)
+            delay = policy.delay_before_attempt(attempt, rng=rng)
+            assert base <= delay <= base * 1.5
+
+
+class TestCallWithRetries:
+    def test_success_first_try_calls_nothing_else(self):
+        hooks = []
+        result = call_with_retries(
+            lambda: "ok",
+            RetryPolicy(max_attempts=3),
+            retryable=(ThrottlingError,),
+            on_retry=lambda attempt, exc: hooks.append(("retry", attempt)),
+            on_exhausted=lambda exc: hooks.append(("exhausted", exc)),
+        )
+        assert result == "ok"
+        assert hooks == []
+
+    def test_retries_until_success(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ThrottlingError("throttled")
+            return calls["n"]
+
+        retries = []
+        result = call_with_retries(
+            flaky,
+            RetryPolicy(max_attempts=5),
+            retryable=(ThrottlingError,),
+            on_retry=lambda attempt, exc: retries.append(attempt),
+        )
+        assert result == 3
+        assert retries == [1, 2]
+
+    def test_max_attempts_exhaustion_raises_last_error(self):
+        errors = [ThrottlingError(f"boom {i}") for i in range(3)]
+
+        def always_fails():
+            raise errors[len(seen)]
+
+        seen = []
+        with pytest.raises(ThrottlingError) as excinfo:
+            call_with_retries(
+                always_fails,
+                RetryPolicy(max_attempts=3),
+                retryable=(ThrottlingError,),
+                on_retry=lambda attempt, exc: seen.append(exc),
+            )
+        # the surfaced error is the *last* attempt's, not the first's
+        assert excinfo.value is errors[2]
+        assert seen == errors[:2]
+
+    def test_on_exhausted_result_replaces_raise(self):
+        def always_fails():
+            raise ThrottlingError("nope")
+
+        result = call_with_retries(
+            always_fails,
+            RetryPolicy(max_attempts=2),
+            retryable=(ThrottlingError,),
+            on_exhausted=lambda exc: "fallback",
+        )
+        assert result == "fallback"
+
+    def test_max_attempts_one_never_retries(self):
+        retries = []
+        with pytest.raises(ThrottlingError):
+            call_with_retries(
+                lambda: (_ for _ in ()).throw(ThrottlingError("once")),
+                RetryPolicy(max_attempts=1),
+                retryable=(ThrottlingError,),
+                on_retry=lambda attempt, exc: retries.append(attempt),
+            )
+        assert retries == []
+
+    def test_non_retryable_error_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def fails_differently():
+            calls["n"] += 1
+            raise ServiceError("not retryable")
+
+        with pytest.raises(ServiceError):
+            call_with_retries(
+                fails_differently,
+                RetryPolicy(max_attempts=5),
+                retryable=(ThrottlingError,),
+            )
+        assert calls["n"] == 1
