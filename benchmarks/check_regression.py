@@ -14,6 +14,19 @@ when a shared benchmark regressed beyond the tolerance band:
   skipped — nothing to compare).
 * ``peak_rss_bytes`` may grow by at most ``--rss-tol`` (default 2.0x).
 
+Two derived metrics are enforced when both sides carry them:
+
+* ``speedup_vs_serial`` (the parallel-sweep benchmark) is hardware-
+  aware.  When baseline *and* fresh runs had at least ``jobs`` CPUs,
+  the fresh speedup may shrink to no less than ``1/tput-tol`` of the
+  committed one.  When either side ran on fewer cores the harness
+  degrades to serial execution, so the check only demands the fresh
+  "speedup" stay above :data:`SPEEDUP_FLOOR` — a 1-core runner
+  reporting ~0.35x means pool overhead is being paid for time-sliced
+  arms, which is exactly the mis-fire this band catches.
+* ``profiler_overhead_x`` (instrumented vs. uninstrumented wall time)
+  may grow by at most ``--wall-tol``.
+
 Benchmarks present on only one side are reported but never fail the
 check (new benchmarks land without a committed counterpart first).
 Tolerances can also be set via ``SPOTVERSE_BENCH_WALL_TOL``,
@@ -37,6 +50,11 @@ from typing import Dict, List
 DEFAULT_WALL_TOL = 1.6
 DEFAULT_TPUT_TOL = 1.6
 DEFAULT_RSS_TOL = 2.0
+
+#: Minimum ``speedup_vs_serial`` on hosts where the parallel harness
+#: degrades to the serial path (fewer cores than requested workers):
+#: near 1.0x with slack for timer noise, never pool-thrash territory.
+SPEEDUP_FLOOR = 0.65
 
 
 @dataclass(frozen=True)
@@ -93,6 +111,47 @@ def compare_payloads(
     if base_rss > 0 and fresh_rss > base_rss * rss_tol:
         violations.append(
             Violation(name, "peak_rss_bytes", base_rss, fresh_rss, f"<= {rss_tol:g}x")
+        )
+
+    base_speedup = float(baseline.get("speedup_vs_serial", 0.0))
+    fresh_speedup = float(fresh.get("speedup_vs_serial", 0.0))
+    if base_speedup > 0 and fresh_speedup > 0:
+        jobs = int(fresh.get("jobs", 0))
+        base_parallel = jobs > 0 and int(baseline.get("cpu_count", 0)) >= jobs
+        fresh_parallel = jobs > 0 and int(fresh.get("cpu_count", 0)) >= jobs
+        if base_parallel and fresh_parallel:
+            if fresh_speedup < base_speedup / tput_tol:
+                violations.append(
+                    Violation(
+                        name,
+                        "speedup_vs_serial",
+                        base_speedup,
+                        fresh_speedup,
+                        f">= 1/{tput_tol:g}x",
+                    )
+                )
+        elif fresh_speedup < SPEEDUP_FLOOR:
+            violations.append(
+                Violation(
+                    name,
+                    "speedup_vs_serial",
+                    base_speedup,
+                    fresh_speedup,
+                    f">= {SPEEDUP_FLOOR:g} (serial fallback on low-core host)",
+                )
+            )
+
+    base_overhead = float(baseline.get("profiler_overhead_x", 0.0))
+    fresh_overhead = float(fresh.get("profiler_overhead_x", 0.0))
+    if base_overhead > 0 and fresh_overhead > base_overhead * wall_tol:
+        violations.append(
+            Violation(
+                name,
+                "profiler_overhead_x",
+                base_overhead,
+                fresh_overhead,
+                f"<= {wall_tol:g}x",
+            )
         )
     return violations
 

@@ -7,11 +7,13 @@ the shape assertions, not statistical timing.
 Each :func:`run_once` call also writes a machine-readable baseline,
 ``BENCH_<test name>.json``, holding the wall time, the simulation
 throughput (fired engine events per wall second, via
-:class:`~repro.sim.trace.EngineTracer`), and the process's peak RSS.
-CI uploads these as artifacts so perf regressions show up as diffable
-numbers, not vibes.  The output directory defaults to
-``benchmarks/_baselines`` and can be pointed elsewhere with
-``SPOTVERSE_BENCH_DIR``.
+:class:`~repro.sim.trace.EngineTracer`), and the process's peak RSS —
+plus a ``PROFILE_<test name>.json`` hot-path artifact aggregating
+every engine's trace into the attributed profile
+``spotverse obs profile --from-profile`` renders.  CI uploads these as
+artifacts so perf regressions show up as diffable numbers, not vibes.
+The output directory defaults to ``benchmarks/_baselines`` and can be
+pointed elsewhere with ``SPOTVERSE_BENCH_DIR``.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ import time
 from pathlib import Path
 from typing import List
 
+from repro.obs.profiler import HotPathProfile
 from repro.sim.engine import SimulationEngine
 from repro.sim.trace import EngineTracer
 
@@ -91,6 +94,11 @@ def _write_baseline(
         payload.update(extra)
     directory = _baseline_dir()
     directory.mkdir(parents=True, exist_ok=True)
+    profile = HotPathProfile.from_tracers(tracers)
+    if profile.fired_events:
+        (directory / f"PROFILE_{name}.json").write_text(
+            json.dumps(profile.to_payload(), indent=2, sort_keys=True) + "\n"
+        )
     path = directory / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

@@ -5,9 +5,15 @@ fleet) through ``run_arms`` serially and with ``jobs=4``, asserting the
 pool returns fleet results **identical** to the serial path — arms are
 share-nothing, so fan-out must not change a single number.
 
-The speedup assertion only fires on machines with at least four CPUs;
-single-core CI runners still verify equality and record both wall
-times in the committed baseline.
+The speedup assertion is hardware-adaptive: machines with at least
+four CPUs must deliver near-linear speedup, while low-core runners —
+where ``run_arms_parallel`` caps pool workers at the core count and
+degrades to serial execution — must come in close to 1.0x (paying
+fork/pickle overhead to time-slice arms on one core used to measure
+~0.35x "speedup" and mis-fire the guardrail).  Both classes verify
+result equality and record wall times plus ``cpu_count`` in the
+committed baseline so ``check_regression.py`` knows which band to
+enforce.
 """
 
 from __future__ import annotations
@@ -34,6 +40,11 @@ JOBS = 4
 #: (4 workers on >= 4 cores; "near-linear" with scheduling slack).
 MIN_SPEEDUP = 2.0
 
+#: Minimum "speedup" on hosts with fewer cores than JOBS, where the
+#: harness degrades to the serial path: the second (serial) measurement
+#: must land near 1.0x, with slack for timer noise on shared runners.
+MIN_FALLBACK_SPEEDUP = 0.65
+
 
 def _specs():
     config = SpotVerseConfig(instance_type="m5.xlarge")
@@ -54,27 +65,29 @@ def _specs():
 
 
 def test_parallel_arm_sweep(benchmark):
-    serial_start = time.perf_counter()
-    serial = run_arms(_specs(), jobs=1)
-    serial_wall = time.perf_counter() - serial_start
+    extra = {"arms": ARMS, "jobs": JOBS, "cpu_count": os.cpu_count() or 1}
+    runs = {}
 
-    extra = {
-        "arms": ARMS,
-        "jobs": JOBS,
-        "cpu_count": os.cpu_count() or 1,
-        "serial_wall_seconds": round(serial_wall, 4),
-    }
-
-    def parallel_run():
-        start = time.perf_counter()
-        results = run_arms(_specs(), jobs=JOBS)
-        wall = time.perf_counter() - start
+    def sweep():
+        # Both measurements live inside the benchmarked function so
+        # they run under the same instrumentation regime (run_once
+        # forces engine tracing); a serial leg timed outside would
+        # skew the speedup ratio by exactly the tracing overhead.
+        serial_start = time.perf_counter()
+        runs["serial"] = run_arms(_specs(), jobs=1)
+        serial_wall = time.perf_counter() - serial_start
+        parallel_start = time.perf_counter()
+        runs["parallel"] = run_arms(_specs(), jobs=JOBS)
+        parallel_wall = time.perf_counter() - parallel_start
         # Filled mid-run so run_once picks these up for the baseline.
-        extra["parallel_wall_seconds"] = round(wall, 4)
-        extra["speedup_vs_serial"] = round(serial_wall / wall, 2)
-        return results
+        extra["serial_wall_seconds"] = round(serial_wall, 4)
+        extra["parallel_wall_seconds"] = round(parallel_wall, 4)
+        extra["speedup_vs_serial"] = round(serial_wall / parallel_wall, 2)
+        return runs["parallel"]
 
-    parallel = run_once(benchmark, parallel_run, extra=extra)
+    run_once(benchmark, sweep, extra=extra)
+    serial = runs["serial"]
+    parallel = runs["parallel"]
 
     assert list(parallel) == list(serial)
     for name, serial_arm in serial.items():
@@ -89,4 +102,10 @@ def test_parallel_arm_sweep(benchmark):
             f"4-arm sweep on {os.cpu_count()} CPUs only "
             f"{extra['speedup_vs_serial']:.2f}x faster with {JOBS} workers "
             f"(required {MIN_SPEEDUP:g}x)"
+        )
+    else:
+        assert extra["speedup_vs_serial"] >= MIN_FALLBACK_SPEEDUP, (
+            f"low-core serial fallback ran {extra['speedup_vs_serial']:.2f}x vs "
+            f"serial on {os.cpu_count()} CPU(s) — the pool is being used where "
+            f"it cannot pay off (required {MIN_FALLBACK_SPEEDUP:g}x)"
         )

@@ -1,0 +1,74 @@
+"""Profiler-overhead bench: instrumented vs. plain fig3 scenario.
+
+Runs the motivation experiment with the same seed with no engine
+tracer (the production fast path) and under ``run_once``, which forces
+every engine to trace so the hot-path profile can be attributed.  The
+ratio of the two wall times is committed as ``profiler_overhead_x``
+and guarded by ``check_regression.py``: instrumentation that starts
+costing materially more than the committed overhead fails CI even when
+absolute wall time stays inside the generous noise band.
+
+Each leg is the **best of two** timed runs after a shared untimed
+warm-up — a single-shot ratio on a busy 1-core runner can swing 2x
+from scheduler noise and allocator state left by earlier benchmarks,
+which is exactly the false-positive the guardrail must not produce.
+
+The two modes must also produce identical experiment deltas —
+profiling is read-only and must never perturb virtual time, RNG
+streams, or event order.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.experiments.motivation import run_motivation_experiment
+
+N_WORKLOADS = 42
+SEED = 7
+TIMED_RUNS = 2
+
+#: Hard ceiling on instrumented/plain wall ratio.  Per-event tracing
+#: costs two ``perf_counter`` calls and one record append; anything
+#: past this means the instrumentation grew a hot-path regression.
+MAX_OVERHEAD_X = 1.5
+
+
+def _best_of(n):
+    """Run the experiment *n* times; return (best wall, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(n):
+        start = time.perf_counter()
+        result = run_motivation_experiment(n_workloads=N_WORKLOADS, seed=SEED)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_profiler_overhead(benchmark):
+    run_motivation_experiment(n_workloads=N_WORKLOADS, seed=SEED)  # warm-up
+    plain_wall, plain = _best_of(TIMED_RUNS)
+
+    extra = {"plain_wall_seconds": round(plain_wall, 4)}
+
+    def instrumented_run():
+        wall, result = _best_of(TIMED_RUNS)
+        # Filled mid-run so run_once folds these into the baseline.
+        extra["instrumented_wall_seconds"] = round(wall, 4)
+        extra["profiler_overhead_x"] = (
+            round(wall / plain_wall, 2) if plain_wall > 0 else 0.0
+        )
+        return result
+
+    instrumented = run_once(benchmark, instrumented_run, extra=extra)
+
+    assert instrumented.deltas == plain.deltas, (
+        "tracing perturbed the experiment: instrumented and plain runs of "
+        "the same seed disagree"
+    )
+    assert extra["profiler_overhead_x"] <= MAX_OVERHEAD_X, (
+        f"engine tracing costs {extra['profiler_overhead_x']:.2f}x the plain "
+        f"run (allowed {MAX_OVERHEAD_X:g}x)"
+    )

@@ -121,7 +121,9 @@ def _build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--profile", action="store_true",
                      help="also print the engine's wall-clock profile "
                           "(events/sec, hottest callback labels)")
-    obs_sub = obs.add_subparsers(dest="obs_command", metavar="{explain,markets}")
+    obs_sub = obs.add_subparsers(
+        dest="obs_command", metavar="{explain,markets,profile,trace,slo}"
+    )
     explain = obs_sub.add_parser(
         "explain",
         help="render one workload's causal chain (decisions, interruptions, "
@@ -144,6 +146,43 @@ def _build_parser() -> argparse.ArgumentParser:
     markets.add_argument("--seed", type=int, default=42)
     markets.add_argument("--width", type=int, default=32,
                          help="character width of the sparklines")
+    profile = obs_sub.add_parser(
+        "profile",
+        help="attributed engine hot-path profile: wall time, event counts, and "
+             "heap churn per label group and owning subsystem",
+    )
+    profile.add_argument("--top", type=int, default=5,
+                         help="how many hot label groups to list")
+    profile.add_argument("--from-profile", default=None, metavar="PATH",
+                         help="render a committed PROFILE_<name>.json artifact; "
+                              "no fleet runs")
+    profile.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the profile artifact as JSON")
+    trace = obs_sub.add_parser(
+        "trace",
+        help="render one workload's cross-service causal tree: "
+             "submit -> placed -> (interrupt -> reacquire)* -> done, "
+             "with per-hop sim-time latency and the critical path",
+    )
+    trace.add_argument("workload_id", help="workload to trace, e.g. wl-003")
+    trace.add_argument("--chaos", action="store_true",
+                       help="run under the default chaos campaign (controller kills "
+                            "excluded) so retry and dead-letter hops appear")
+    trace.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the workload's recorded hops as JSON")
+    slo = obs_sub.add_parser(
+        "slo",
+        help="evaluate sim-time latency SLOs into a scorecard; exits 1 on breach",
+    )
+    slo.add_argument("--spec", default=None, metavar="PATH",
+                     help="SLO spec JSON (default: the built-in fleet objectives)")
+    slo.add_argument("--from-events", default=None, metavar="PATH",
+                     help="score a saved JSONL stream instead of running a fleet")
+    slo.add_argument("--export-metrics", default=None, metavar="PATH",
+                     help="write the run's metrics in Prometheus text exposition "
+                          "format (live runs only)")
+    slo.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the scorecard as JSON")
 
     experiment = sub.add_parser("experiment", help="regenerate one paper experiment")
     experiment.add_argument(
@@ -380,23 +419,8 @@ def _cmd_obs_markets(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_obs(args: argparse.Namespace) -> int:
-    from repro.obs import RunReport, Telemetry, write_jsonl
-
-    obs_command = getattr(args, "obs_command", None)
-    if obs_command == "explain":
-        return _cmd_obs_explain(args)
-    if obs_command == "markets":
-        return _cmd_obs_markets(args)
-
-    if args.from_events:
-        stream = _load_stream(args.from_events)
-        if stream is None:
-            return 2
-        report = RunReport(stream.events, stream.samples)
-        print(report.render(gantt_width=args.gantt_width))
-        return 0
-
+def _run_obs_fleet(args: argparse.Namespace, provider: CloudProvider):
+    """Run the fleet the parent ``obs`` flags describe on *provider*."""
     factory = WORKLOAD_FACTORIES[args.workload]
     fleet = [
         factory(f"wl-{i:03d}", duration_hours=args.duration_hours)
@@ -408,18 +432,180 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         initial_distribution=not args.no_initial_distribution,
         start_region=args.start_region,
     )
+    if args.strategy == "spotverse":
+        return SpotVerse(provider, config).run(fleet, max_hours=args.max_hours)
+    provider.warmup_markets(48)
+    policy = BASELINE_POLICIES[args.strategy](args)
+    controller = FleetController(provider, policy, config)
+    result = controller.run(fleet, max_hours=args.max_hours)
+    controller.teardown()
+    return result
+
+
+def _cmd_obs_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.profiler import HotPathProfile, attach_profiler
+
+    if args.from_profile:
+        try:
+            with open(args.from_profile) as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            print(f"error: cannot read profile {args.from_profile!r}: {exc}")
+            return 2
+        except ValueError as exc:
+            print(f"error: profile {args.from_profile!r} is not valid JSON: {exc}")
+            return 2
+        profile = HotPathProfile.from_payload(payload)
+        if not profile.entries():
+            print(f"error: profile {args.from_profile!r} has no entries")
+            return 2
+        print(profile.report(top=args.top))
+        return 0
+
+    provider = CloudProvider(seed=args.seed)
+    profiler = attach_profiler(provider.engine)
+    result = _run_obs_fleet(args, provider)
+    profile = profiler.profile()
+    print(result.summary())
+    print()
+    print(profile.report(top=args.top))
+    if args.json:
+        try:
+            with open(args.json, "w") as handle:
+                json.dump(profile.to_payload(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write profile {args.json!r}: {exc}")
+            return 2
+        print()
+        print(f"profile artifact written to {args.json}")
+    return 0 if result.all_complete else 1
+
+
+def _cmd_obs_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.tracing import render_trace
+
+    provider = CloudProvider(seed=args.seed, tracing=True)
+    if args.chaos:
+        from repro.chaos import ChaosController, default_campaign
+
+        # Controller kills are process-level faults the chaos runner
+        # executes; a single in-process run traces everything else.
+        ChaosController(provider, default_campaign().without_kills()).install()
+    _run_obs_fleet(args, provider)
+    tracer = provider.telemetry.tracer
+    hops = tracer.hops_for(args.workload_id)
+    if not hops:
+        known = ", ".join(sorted(tracer.trace_ids())) or "none"
+        print(
+            f"error: no trace recorded for workload {args.workload_id!r} "
+            f"(known traces: {known})"
+        )
+        return 2
+    print(render_trace(hops, args.workload_id))
+    if args.json:
+        try:
+            with open(args.json, "w") as handle:
+                json.dump(
+                    [hop.to_dict() for hop in hops], handle, indent=2, sort_keys=True
+                )
+                handle.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write hops {args.json!r}: {exc}")
+            return 2
+        print()
+        print(f"hop records written to {args.json}")
+    return 0
+
+
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.slo import SLOSpec, default_slo_spec, evaluate_slo_from_events
+
+    spec = default_slo_spec()
+    if args.spec:
+        try:
+            with open(args.spec) as handle:
+                payload = json.load(handle)
+            spec = SLOSpec.from_dict(payload)
+        except OSError as exc:
+            print(f"error: cannot read SLO spec {args.spec!r}: {exc}")
+            return 2
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            print(f"error: SLO spec {args.spec!r} is not a valid spec: {exc}")
+            return 2
+
+    if args.from_events:
+        if args.export_metrics:
+            print("error: --export-metrics needs a live run (drop --from-events)")
+            return 2
+        stream = _load_stream(args.from_events)
+        if stream is None:
+            return 2
+        scorecard = evaluate_slo_from_events(spec, stream.events)
+        print(scorecard.render())
+    else:
+        provider = CloudProvider(seed=args.seed)
+        result = _run_obs_fleet(args, provider)
+        scorecard = evaluate_slo_from_events(spec, list(provider.telemetry.bus))
+        print(result.summary())
+        print()
+        print(scorecard.render())
+        if args.export_metrics:
+            try:
+                with open(args.export_metrics, "w") as handle:
+                    handle.write(provider.telemetry.metrics.exposition())
+            except OSError as exc:
+                print(f"error: cannot write metrics {args.export_metrics!r}: {exc}")
+                return 2
+            print()
+            print(f"metrics exposition written to {args.export_metrics}")
+    if args.json:
+        try:
+            with open(args.json, "w") as handle:
+                json.dump(scorecard.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write scorecard {args.json!r}: {exc}")
+            return 2
+        print()
+        print(f"scorecard written to {args.json}")
+    return 0 if scorecard.all_passed else 1
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import RunReport, Telemetry, write_jsonl
+
+    obs_command = getattr(args, "obs_command", None)
+    if obs_command == "explain":
+        return _cmd_obs_explain(args)
+    if obs_command == "markets":
+        return _cmd_obs_markets(args)
+    if obs_command == "profile":
+        return _cmd_obs_profile(args)
+    if obs_command == "trace":
+        return _cmd_obs_trace(args)
+    if obs_command == "slo":
+        return _cmd_obs_slo(args)
+
+    if args.from_events:
+        stream = _load_stream(args.from_events)
+        if stream is None:
+            return 2
+        report = RunReport(stream.events, stream.samples)
+        print(report.render(gantt_width=args.gantt_width))
+        return 0
+
     telemetry = Telemetry()
     provider = CloudProvider(seed=args.seed, telemetry=telemetry, observatory=True)
     if args.profile:
         provider.engine.trace = True
-    if args.strategy == "spotverse":
-        result = SpotVerse(provider, config).run(fleet, max_hours=args.max_hours)
-    else:
-        provider.warmup_markets(48)
-        policy = BASELINE_POLICIES[args.strategy](args)
-        controller = FleetController(provider, policy, config)
-        result = controller.run(fleet, max_hours=args.max_hours)
-        controller.teardown()
+    result = _run_obs_fleet(args, provider)
 
     print(result.summary())
     print()

@@ -62,6 +62,10 @@ class CloudProvider:
             Bit-identical to the scalar path for the same seed (the
             lattice prefetches each market's noise from its own RNG
             stream); turn off to force the scalar reference path.
+        tracing: When true, enable cross-service causal tracing on the
+            telemetry bundle (``telemetry.tracer``).  Off by default:
+            every instrumentation site then reduces to one ``None``
+            check, and runs stay bit-identical to untraced builds.
     """
 
     def __init__(
@@ -75,10 +79,13 @@ class CloudProvider:
         telemetry: Optional[Telemetry] = None,
         observatory: bool = False,
         vectorized_markets: bool = True,
+        tracing: bool = False,
     ) -> None:
         self.engine = engine or SimulationEngine(seed=seed)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.telemetry.bus.attach_clock(lambda: self.engine.now)
+        if tracing:
+            self.telemetry.enable_tracing()
         self.observatory: Optional[MarketObservatory] = None
         if observatory:
             self.observatory = MarketObservatory(

@@ -388,6 +388,18 @@ class EC2Service:
         self._telemetry.metrics.counter(
             "interruptions_total", "two-minute interruption warnings"
         ).inc(region=instance.region)
+        tracer = self._telemetry.tracer
+        warn_ctx = None
+        if tracer is not None:
+            parent = tracer.peek(("instance", instance.instance_id))
+            warn_ctx = tracer.event(
+                "ec2:interruption-warning",
+                "interruption",
+                trace_id=instance.tag or None,
+                parent=parent,
+                region=instance.region,
+                instance_id=instance.instance_id,
+            )
         self._provider.eventbridge.put_event(
             source="aws.ec2",
             detail_type="EC2 Spot Instance Interruption Warning",
@@ -398,6 +410,7 @@ class EC2Service:
                 "instance-type": instance.instance_type,
                 "tag": instance.tag,
             },
+            trace=warn_ctx,
         )
         for callback in list(self._notice_callbacks):
             callback(instance)
@@ -447,6 +460,17 @@ class EC2Service:
         instance.state = InstanceState.INTERRUPTED
         instance.end_time = now
         self._release_capacity(instance)
+        tracer = self._telemetry.tracer
+        if tracer is not None:
+            attach_ctx = tracer.take(("instance", instance.instance_id))
+            if attach_ctx is not None:
+                tracer.event(
+                    "ec2:reclaim",
+                    "interruption",
+                    parent=attach_ctx,
+                    region=instance.region,
+                    instance_id=instance.instance_id,
+                )
         self._telemetry.bus.emit(
             EventType.INSTANCE_RECLAIMED,
             workload_id=instance.tag,

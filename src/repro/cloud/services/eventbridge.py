@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from repro.cloud.retry import RetryPolicy, note_dead_letter, note_retry
+from repro.obs.tracing import TraceContext
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cloud.provider import CloudProvider
@@ -101,9 +102,19 @@ class EventBridgeService:
         self._rules[rule_name].enabled = True
 
     def put_event(
-        self, source: str, detail_type: str, detail: Optional[Dict[str, Any]] = None
+        self,
+        source: str,
+        detail_type: str,
+        detail: Optional[Dict[str, Any]] = None,
+        trace: Optional[TraceContext] = None,
     ) -> Dict[str, Any]:
-        """Publish an event; matching targets fire after the latency."""
+        """Publish an event; matching targets fire after the latency.
+
+        Args:
+            trace: Optional causal-trace context of the publisher;
+                delivery hops (including redeliveries and drops)
+                parent under it when tracing is enabled.
+        """
         event = {
             "source": source,
             "detail-type": detail_type,
@@ -115,11 +126,16 @@ class EventBridgeService:
             if not rule.matches(event):
                 continue
             for target in list(rule.targets):
-                self._dispatch(rule.name, target, event, attempt=1)
+                self._dispatch(rule.name, target, event, attempt=1, trace=trace)
         return event
 
     def _dispatch(
-        self, rule_name: str, target: Target, event: Dict[str, Any], attempt: int
+        self,
+        rule_name: str,
+        target: Target,
+        event: Dict[str, Any],
+        attempt: int,
+        trace: Optional[TraceContext] = None,
     ) -> None:
         """Schedule delivery attempt *attempt* (1 = the original put)."""
         chaos = self._provider.chaos
@@ -131,7 +147,9 @@ class EventBridgeService:
             delay += chaos.eventbridge_extra_delay(rule_name)
         self._engine.call_in(
             delay,
-            lambda: self._deliver(target, event, rule_name=rule_name, attempt=attempt),
+            lambda: self._deliver(
+                target, event, rule_name=rule_name, attempt=attempt, trace=trace
+            ),
             label=f"eventbridge:{rule_name}",
         )
 
@@ -141,26 +159,57 @@ class EventBridgeService:
         event: Dict[str, Any],
         rule_name: str = "",
         attempt: int = 1,
+        trace: Optional[TraceContext] = None,
     ) -> None:
+        telemetry = self._provider.telemetry
+        tracer = telemetry.tracer
         chaos = self._provider.chaos
         if chaos is not None and chaos.eventbridge_dropped(rule_name):
             if attempt < REDELIVERY_POLICY.max_attempts:
+                if tracer is not None and trace is not None:
+                    tracer.event(
+                        f"eventbridge:{rule_name}",
+                        "eventbridge",
+                        parent=trace,
+                        status="dropped",
+                        attempt=attempt,
+                    )
                 note_retry(
-                    self._provider.telemetry,
+                    telemetry,
                     f"eventbridge:{rule_name}",
                     attempt,
                     RuntimeError("delivery dropped"),
                 )
-                self._dispatch(rule_name, target, event, attempt + 1)
+                self._dispatch(rule_name, target, event, attempt + 1, trace=trace)
             else:
                 self.dead_letter_count += 1
+                if tracer is not None and trace is not None:
+                    tracer.event(
+                        f"eventbridge:{rule_name}",
+                        "eventbridge",
+                        parent=trace,
+                        status="dead_letter",
+                        attempt=attempt,
+                    )
                 note_dead_letter(
-                    self._provider.telemetry,
+                    telemetry,
                     f"eventbridge:{rule_name}",
                     f"delivery dropped after {attempt} attempts",
                 )
             return
         self.delivered_count += 1
+        telemetry.metrics.counter(
+            "eventbridge_deliveries_total", "EventBridge target deliveries"
+        ).inc(rule=rule_name or "unnamed")
+        if tracer is not None and trace is not None:
+            with tracer.hop(
+                f"eventbridge:{rule_name}",
+                "eventbridge",
+                parent=trace,
+                attempt=attempt,
+            ):
+                target(event)
+            return
         target(event)
 
     def rules(self) -> List[Rule]:

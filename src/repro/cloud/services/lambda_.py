@@ -115,6 +115,23 @@ class LambdaService:
             amount=gb_seconds * LAMBDA_GB_SECOND_PRICE + LAMBDA_REQUEST_PRICE,
             detail=f"lambda {name}",
         )
+        tracer = self._provider.telemetry.tracer
+        if tracer is not None and tracer.current is not None:
+            # Only invocations on an active causal chain get a hop;
+            # anonymous invocations stay out of every trace tree.
+            with tracer.hop(
+                f"lambda:{name}", "lambda", request_id=context.aws_request_id
+            ):
+                return self._execute(function, name, event, context)
+        return self._execute(function, name, event, context)
+
+    def _execute(
+        self,
+        function: LambdaFunction,
+        name: str,
+        event: Optional[Dict[str, Any]],
+        context: LambdaContext,
+    ) -> Any:
         if function.simulated_duration > function.timeout:
             function.failures += 1
             message = f"lambda {name!r} timed out after {function.timeout:.0f}s"

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 from repro.cloud.billing import STEP_FUNCTIONS_TRANSITION_PRICE, CostCategory
 from repro.cloud.retry import RetryPolicy
 from repro.errors import StateMachineError
+from repro.obs.tracing import TraceContext, traced_resume
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cloud.provider import CloudProvider
@@ -67,6 +68,9 @@ class Execution:
     error: str = ""
     on_success: Optional[Callable[[Any], None]] = None
     on_failure: Optional[Callable[[str], None]] = None
+    #: Causal-trace context of the caller that started this execution;
+    #: each attempt's hop parents under it when tracing is enabled.
+    trace: Optional[TraceContext] = None
 
 
 @dataclass
@@ -112,11 +116,13 @@ class StepFunctionsService:
     ) -> Execution:
         """Start an execution; attempts run asynchronously with backoff."""
         machine = self.get_state_machine(name)
+        tracer = self._provider.telemetry.tracer
         execution = Execution(
             execution_id=f"exec-{next(self._execution_counter):08d}",
             input=dict(input or {}),
             on_success=on_success,
             on_failure=on_failure,
+            trace=tracer.current if tracer is not None else None,
         )
         machine.executions.append(execution)
         self._schedule_attempt(machine, execution)
@@ -144,17 +150,34 @@ class StepFunctionsService:
             return
         execution.attempts += 1
         self._charge_transition(machine.name)
+        tracer = self._provider.telemetry.tracer
+        ctx = None
+        if tracer is not None and execution.trace is not None:
+            ctx = tracer.begin(
+                f"sfn:{machine.name}",
+                "sfn",
+                parent=execution.trace,
+                attempt=execution.attempts,
+                execution_id=execution.execution_id,
+            )
         try:
-            result = machine.task(execution.input)
+            with traced_resume(tracer, ctx):
+                result = machine.task(execution.input)
         except Exception as exc:
             if execution.attempts >= machine.retry.max_attempts:
+                if tracer is not None:
+                    tracer.end(ctx, status="dead_letter", error=exc.__class__.__name__)
                 execution.status = ExecutionStatus.FAILED
                 execution.error = f"{exc.__class__.__name__}: {exc}"
                 if execution.on_failure is not None:
                     execution.on_failure(execution.error)
                 return
+            if tracer is not None:
+                tracer.end(ctx, status="retry", error=exc.__class__.__name__)
             self._schedule_attempt(machine, execution)
             return
+        if tracer is not None:
+            tracer.end(ctx)
         execution.status = ExecutionStatus.SUCCEEDED
         execution.output = result
         if execution.on_success is not None:

@@ -15,13 +15,14 @@ into running capacity:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.cloud.retry import RetryPolicy, note_dead_letter, note_retry
 from repro.cloud.services.ec2 import Instance, SpotRequest, SpotRequestState
 from repro.core.policy import Placement, PurchasingOption
 from repro.errors import RequestLimitExceededError, ThrottlingError
 from repro.obs import EventType
+from repro.obs.tracing import TraceContext, traced_hop, traced_resume
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cloud.provider import CloudProvider
@@ -83,10 +84,19 @@ class CapacityService:
         self, execution: "WorkloadExecution", placement: Placement, phase: str = "initial"
     ) -> None:
         """Turn a placement into capacity for *execution*."""
-        if placement.option is PurchasingOption.ON_DEMAND:
-            self._launch_on_demand(execution, placement, phase)
-            return
-        self._file_spot_request(execution, placement, phase, attempt=1)
+        workload_id = execution.workload.workload_id
+        with traced_hop(
+            self._telemetry.tracer,
+            "capacity:acquire",
+            "capacity",
+            trace_id=workload_id,
+            phase=phase,
+            region=placement.region,
+        ):
+            if placement.option is PurchasingOption.ON_DEMAND:
+                self._launch_on_demand(execution, placement, phase)
+                return
+            self._file_spot_request(execution, placement, phase, attempt=1)
 
     def _launch_on_demand(
         self, execution: "WorkloadExecution", placement: Placement, phase: str
@@ -108,6 +118,16 @@ class CapacityService:
         instance = self._provider.ec2.run_on_demand(
             placement.region, self._config.instance_type, tag=workload_id
         )
+        tracer = self._telemetry.tracer
+        if tracer is not None:
+            ctx = tracer.event(
+                "ec2:run-on-demand",
+                "capacity",
+                trace_id=workload_id,
+                region=placement.region,
+                instance_id=instance.instance_id,
+            )
+            tracer.link(("instance", instance.instance_id), ctx)
         # On-demand instances join the same instance bindings spot
         # fulfillments use, so spans and terminations see one
         # uniform view of running capacity.
@@ -129,6 +149,7 @@ class CapacityService:
         reason ``"spot-api-exhausted"`` so it still terminates.
         """
         workload_id = execution.workload.workload_id
+        tracer = self._telemetry.tracer
         try:
             request = self._provider.ec2.request_spot_instances(
                 placement.region,
@@ -139,6 +160,15 @@ class CapacityService:
         except RequestLimitExceededError as exc:
             scope = f"ec2:request-spot:{placement.region}"
             if attempt >= SPOT_REQUEST_RETRY_POLICY.max_attempts:
+                if tracer is not None:
+                    tracer.event(
+                        "ec2:request-spot",
+                        "capacity",
+                        trace_id=workload_id,
+                        status="dead_letter",
+                        attempt=attempt,
+                        region=placement.region,
+                    )
                 note_dead_letter(
                     self._telemetry,
                     scope,
@@ -155,16 +185,38 @@ class CapacityService:
                     phase,
                 )
                 return
+            if tracer is not None:
+                tracer.event(
+                    "ec2:request-spot",
+                    "capacity",
+                    trace_id=workload_id,
+                    status="throttled",
+                    attempt=attempt,
+                    region=placement.region,
+                )
             note_retry(self._telemetry, scope, attempt, exc, workload_id=workload_id)
             chaos = self._provider.chaos
             rng = chaos.retry_rng if chaos is not None else None
             delay = SPOT_REQUEST_RETRY_POLICY.delay_before_attempt(attempt + 1, rng=rng)
+            resume_ctx = tracer.current if tracer is not None else None
             self._provider.engine.call_in(
                 delay,
-                lambda: self._retry_spot_request(execution, placement, phase, attempt + 1),
+                lambda: self._retry_spot_request(
+                    execution, placement, phase, attempt + 1, resume_ctx
+                ),
                 label=f"capacity:retry-spot:{workload_id}",
             )
             return
+        if tracer is not None:
+            ctx = tracer.begin(
+                "spot:await-fulfillment",
+                "capacity",
+                trace_id=workload_id,
+                region=placement.region,
+                request_id=request.request_id,
+                attempt=attempt,
+            )
+            tracer.link(("spot-request", request.request_id), ctx)
         self._store.track_request(request, workload_id)
 
     def _retry_spot_request(
@@ -173,24 +225,49 @@ class CapacityService:
         placement: Placement,
         phase: str,
         attempt: int,
+        resume_ctx: Optional[TraceContext] = None,
     ) -> None:
         if not execution.needs_instance:
             return
-        self._file_spot_request(execution, placement, phase, attempt)
+        with traced_resume(self._telemetry.tracer, resume_ctx):
+            self._file_spot_request(execution, placement, phase, attempt)
 
     def on_spot_fulfilled(self, request: SpotRequest, instance: Instance) -> None:
         """A tracked spot request launched an instance; attach or discard."""
+        tracer = self._telemetry.tracer
+        await_ctx = (
+            tracer.take(("spot-request", request.request_id))
+            if tracer is not None
+            else None
+        )
         workload_id = self._store.pop_request(request.request_id)
         if workload_id is None:
             # Request no longer tracked (workload finished meanwhile).
+            if tracer is not None:
+                tracer.end(await_ctx, status="discarded", reason="untracked-request")
             self._discard(request, instance, reason="untracked-request")
             return
         execution = self._lifecycle.find(workload_id)
         if execution is None or not execution.needs_instance:
+            if tracer is not None:
+                tracer.end(await_ctx, status="discarded", reason="workload-satisfied")
             self._discard(request, instance, reason="workload-satisfied")
             return
-        self._store.bind_instance(instance, workload_id)
-        execution.attach(instance)
+        if tracer is not None:
+            tracer.end(await_ctx, instance_id=instance.instance_id)
+        with traced_resume(tracer, await_ctx):
+            with traced_hop(
+                tracer,
+                "capacity:attach",
+                "capacity",
+                trace_id=workload_id,
+                region=instance.region,
+                instance_id=instance.instance_id,
+            ) as attach_ctx:
+                if tracer is not None:
+                    tracer.link(("instance", instance.instance_id), attach_ctx)
+                self._store.bind_instance(instance, workload_id)
+                execution.attach(instance)
 
     def _discard(self, request: SpotRequest, instance: Instance, reason: str) -> None:
         """Terminate a late fulfillment nothing is waiting for."""

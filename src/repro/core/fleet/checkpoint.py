@@ -38,6 +38,8 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, MutableMapping, Opt
 from repro.cloud.retry import RetryPolicy, call_with_retries, note_dead_letter, note_retry
 from repro.errors import ServiceUnavailableError, ThrottlingError
 from repro.galaxy.checkpoint import CheckpointStore, DynamoCheckpointStore
+from repro.obs.events import EventType
+from repro.obs.tracing import TraceContext, traced_resume
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cloud.provider import CloudProvider
@@ -202,14 +204,36 @@ class CheckpointBackend(ABC):
         """
 
     def _persist_with_retries(
-        self, write: Callable[[], None], scope: str, workload_id: str, attempt: int = 1
+        self,
+        write: Callable[[], None],
+        scope: str,
+        workload_id: str,
+        attempt: int = 1,
+        started: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
     ) -> None:
-        """Run *write*, rescheduling it on an injected storage outage."""
+        """Run *write*, rescheduling it on an injected storage outage.
+
+        The first call captures the sim time (and, when tracing is on,
+        the ambient trace context) so retried writes report their full
+        submit-to-landed latency and stay on the causal chain.
+        """
+        telemetry = self._provider.telemetry
+        tracer = telemetry.tracer
+        if started is None:
+            started = self._provider.engine.now
+            if tracer is not None and trace is None:
+                trace = tracer.current
         try:
-            write()
+            with traced_resume(tracer, trace if attempt > 1 else None):
+                write()
         except ServiceUnavailableError as exc:
-            telemetry = self._provider.telemetry
             if attempt >= ARTIFACT_RETRY_POLICY.max_attempts:
+                if tracer is not None and trace is not None:
+                    tracer.event(
+                        scope, "lifecycle", parent=trace,
+                        status="dead_letter", attempt=attempt,
+                    )
                 note_dead_letter(
                     telemetry,
                     scope,
@@ -217,14 +241,42 @@ class CheckpointBackend(ABC):
                     workload_id=workload_id,
                 )
                 return
+            if tracer is not None and trace is not None:
+                tracer.event(
+                    scope, "lifecycle", parent=trace, status="retry", attempt=attempt
+                )
             note_retry(telemetry, scope, attempt, exc, workload_id=workload_id)
             chaos = self._provider.chaos
             rng = chaos.retry_rng if chaos is not None else None
             delay = ARTIFACT_RETRY_POLICY.delay_before_attempt(attempt + 1, rng=rng)
             self._provider.engine.call_in(
                 delay,
-                lambda: self._persist_with_retries(write, scope, workload_id, attempt + 1),
+                lambda: self._persist_with_retries(
+                    write, scope, workload_id, attempt + 1, started, trace
+                ),
                 label=f"checkpoint:retry:{workload_id}",
+            )
+            return
+        latency = self._provider.engine.now - started
+        telemetry.metrics.histogram(
+            "checkpoint_write_latency_seconds",
+            "sim-time latency of checkpoint artifact writes",
+        ).observe(latency, backend=self.name)
+        if attempt > 1:
+            # Fault-free writes land synchronously and stay silent; an
+            # event only appears when the asynchronous retry path ran,
+            # so pre-existing fault-free streams are unchanged.
+            if tracer is not None and trace is not None:
+                tracer.event(
+                    scope, "lifecycle", parent=trace,
+                    attempt=attempt, latency=latency,
+                )
+            telemetry.bus.emit(
+                EventType.CHECKPOINT_PERSISTED,
+                workload_id=workload_id,
+                scope=scope,
+                attempts=attempt,
+                latency=latency,
             )
 
 

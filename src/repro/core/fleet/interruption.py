@@ -22,6 +22,7 @@ from repro.cloud.services.stepfunctions import RetryPolicy
 from repro.core.execution import ExecutionState
 from repro.errors import ThrottlingError
 from repro.obs import EventType
+from repro.obs.tracing import traced_hop
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cloud.provider import CloudProvider
@@ -96,24 +97,31 @@ class InterruptionService:
         )
         if execution is None or execution.state is ExecutionState.DONE:
             return "ignored"
-        lost_region = execution.handle_interruption_notice()
-        self._telemetry.bus.emit(
-            EventType.MIGRATION_STARTED,
-            workload_id=execution.workload.workload_id,
-            region=lost_region,
+        with traced_hop(
+            self._telemetry.tracer,
+            "interruption:handle",
+            "interruption",
+            trace_id=execution.workload.workload_id,
             instance_id=instance_id,
-        )
-        self._telemetry.metrics.counter(
-            "migrations_started_total", "reacquisitions kicked off by interruptions"
-        ).inc(region=lost_region)
-        self._provider.stepfunctions.start_execution(
-            "spotverse-reacquire",
-            input={
-                "workload_id": execution.workload.workload_id,
-                "exclude_region": lost_region,
-            },
-        )
-        return "handled"
+        ):
+            lost_region = execution.handle_interruption_notice()
+            self._telemetry.bus.emit(
+                EventType.MIGRATION_STARTED,
+                workload_id=execution.workload.workload_id,
+                region=lost_region,
+                instance_id=instance_id,
+            )
+            self._telemetry.metrics.counter(
+                "migrations_started_total", "reacquisitions kicked off by interruptions"
+            ).inc(region=lost_region)
+            self._provider.stepfunctions.start_execution(
+                "spotverse-reacquire",
+                input={
+                    "workload_id": execution.workload.workload_id,
+                    "exclude_region": lost_region,
+                },
+            )
+            return "handled"
 
     def reacquire_task(self, input: Dict[str, Any]) -> str:
         """Step Functions task: pick a migration target and request it."""
@@ -187,10 +195,18 @@ class InterruptionService:
                 "reconciled_interruptions_total",
                 "missed interruptions repaired by the sweep",
             ).inc(region=lost_region)
-            self._provider.stepfunctions.start_execution(
-                "spotverse-reacquire",
-                input={"workload_id": workload_id, "exclude_region": lost_region},
-            )
+            with traced_hop(
+                self._telemetry.tracer,
+                "interruption:reconcile",
+                "interruption",
+                trace_id=workload_id,
+                instance_id=instance.instance_id,
+                region=lost_region,
+            ):
+                self._provider.stepfunctions.start_execution(
+                    "spotverse-reacquire",
+                    input={"workload_id": workload_id, "exclude_region": lost_region},
+                )
             reacquiring.add(workload_id)
             repaired += 1
         tracked = {workload_id for _, workload_id in self._store.tracked_requests()}
@@ -206,9 +222,15 @@ class InterruptionService:
                 "reconciled_stranded_total",
                 "stranded capacity waits restarted by the sweep",
             ).inc()
-            self._provider.stepfunctions.start_execution(
-                "spotverse-reacquire",
-                input={"workload_id": workload_id, "exclude_region": ""},
-            )
+            with traced_hop(
+                self._telemetry.tracer,
+                "interruption:restrand",
+                "interruption",
+                trace_id=workload_id,
+            ):
+                self._provider.stepfunctions.start_execution(
+                    "spotverse-reacquire",
+                    input={"workload_id": workload_id, "exclude_region": ""},
+                )
             repaired += 1
         return repaired

@@ -118,6 +118,16 @@ class LifecycleService:
             self._store.save_execution(execution)
             # History-aware policies read live records via the context.
             self._ctx.records[workload.workload_id] = execution.record
+            tracer = self._telemetry.tracer
+            if tracer is not None:
+                # Root hop of the workload's causal tree; closed by the
+                # tracer's WORKLOAD_DONE subscription.
+                tracer.open_root(
+                    workload.workload_id,
+                    "workload:submit",
+                    "lifecycle",
+                    kind=workload.kind.value,
+                )
             self._telemetry.bus.emit(
                 EventType.WORKLOAD_SUBMITTED,
                 workload_id=workload.workload_id,

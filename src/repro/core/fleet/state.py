@@ -138,6 +138,11 @@ class FleetStateStore:
 
     def _write(self, fn: Callable[[], Any], scope: str) -> None:
         telemetry = self._dynamodb.provider.telemetry
+        tracer = telemetry.tracer
+        if tracer is not None and tracer.current is not None:
+            # Store traffic off a causal chain (setup, bookkeeping
+            # sweeps) stays out of every trace tree.
+            tracer.event(scope, "dynamodb")
         call_with_retries(
             fn,
             STORE_RETRY_POLICY,

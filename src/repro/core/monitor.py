@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Sequence
 from repro.cloud.retry import RetryPolicy, call_with_retries, note_dead_letter, note_retry
 from repro.core.scoring import RegionMetrics
 from repro.errors import CloudError, LambdaError, ThrottlingError
+from repro.obs.tracing import traced_hop
 from repro.sim.clock import MINUTE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -118,6 +119,12 @@ class Monitor:
 
     def collect(self) -> int:
         """Collect one snapshot for every watched market; returns rows written."""
+        with traced_hop(
+            self._provider.telemetry.tracer, "monitor:collect", "monitor", trace_id="monitor"
+        ):
+            return self._collect_once()
+
+    def _collect_once(self) -> int:
         now = self._provider.engine.now
         written = 0
         for instance_type in self._instance_types:

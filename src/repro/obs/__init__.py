@@ -27,12 +27,29 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Sample
 from repro.obs.observatory import Anomaly, MarketObservatory
+from repro.obs.profiler import (
+    HotPathProfile,
+    HotPathProfiler,
+    ProfileEntry,
+    attach_profiler,
+    subsystem_for,
+)
 from repro.obs.provenance import (
     DecisionLog,
     DecisionRecord,
     RegionEvaluation,
     decisions_from_events,
     render_explanation,
+)
+from repro.obs.slo import (
+    SLOResult,
+    SLOScorecard,
+    SLOSpec,
+    SLOTarget,
+    default_slo_spec,
+    evaluate_slo,
+    evaluate_slo_from_events,
+    latency_series,
 )
 from repro.obs.spans import (
     EngineTracer,
@@ -42,6 +59,15 @@ from repro.obs.spans import (
     build_spans,
 )
 from repro.obs.timeseries import Bucket, RingSeries, TimeSeriesStore
+from repro.obs.tracing import (
+    CausalTracer,
+    HopRecord,
+    TraceContext,
+    critical_path,
+    render_trace,
+    traced_hop,
+    traced_resume,
+)
 
 
 class Telemetry:
@@ -71,6 +97,24 @@ class Telemetry:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.timeseries = timeseries if timeseries is not None else TimeSeriesStore()
         self.decisions = DecisionLog(bus=self.bus)
+        #: Opt-in cross-service causal tracer; ``None`` (the default)
+        #: keeps every instrumentation site on its untraced fast path.
+        self.tracer: Optional[CausalTracer] = None
+
+    def enable_tracing(self) -> CausalTracer:
+        """Attach a :class:`CausalTracer` driven by the bus clock.
+
+        Idempotent.  The tracer also watches the bus so each
+        workload's root hop closes when its ``WORKLOAD_DONE`` arrives.
+        """
+        if self.tracer is None:
+            tracer = CausalTracer(clock=self.bus.now)
+            self.tracer = tracer
+            self.bus.subscribe(
+                lambda event: tracer.close_root(event.workload_id),
+                types=[EventType.WORKLOAD_DONE],
+            )
+        return self.tracer
 
     def report(self) -> RunReport:
         """Snapshot the current state into a renderable run report."""
@@ -84,6 +128,7 @@ class Telemetry:
 __all__ = [
     "Anomaly",
     "Bucket",
+    "CausalTracer",
     "Counter",
     "DecisionLog",
     "DecisionRecord",
@@ -92,24 +137,43 @@ __all__ = [
     "EventType",
     "Gauge",
     "Histogram",
+    "HopRecord",
+    "HotPathProfile",
+    "HotPathProfiler",
     "LabelStats",
     "MarketObservatory",
     "MetricsRegistry",
+    "ProfileEntry",
     "RegionEvaluation",
     "RingSeries",
     "RunReport",
+    "SLOResult",
+    "SLOScorecard",
+    "SLOSpec",
+    "SLOTarget",
     "Sample",
     "Span",
     "Telemetry",
     "TelemetryEvent",
     "TelemetryStream",
     "TimeSeriesStore",
+    "TraceContext",
     "WorkloadSpanTree",
+    "attach_profiler",
     "build_spans",
+    "critical_path",
     "decisions_from_events",
+    "default_slo_spec",
+    "evaluate_slo",
+    "evaluate_slo_from_events",
+    "latency_series",
     "read_jsonl",
     "render_explanation",
     "render_gantt",
+    "render_trace",
+    "subsystem_for",
+    "traced_hop",
+    "traced_resume",
     "validate_stream",
     "write_jsonl",
 ]

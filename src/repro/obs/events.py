@@ -51,6 +51,10 @@ class EventType(enum.Enum):
     RESILIENCE_RETRY = "resilience.retry"
     RESILIENCE_DEAD_LETTER = "resilience.dead_letter"
     CHECKPOINT_FALLBACK = "checkpoint.fallback"
+    #: Emitted only when an artifact write needed asynchronous retries,
+    #: carrying the sim-time write latency; synchronous fault-free
+    #: persists stay silent so pre-existing streams are unchanged.
+    CHECKPOINT_PERSISTED = "checkpoint.persisted"
 
 
 #: Wire name -> member, for decoding JSONL streams.

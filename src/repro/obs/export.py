@@ -32,6 +32,7 @@ from repro.errors import ReproError
 from repro.obs.events import EventType, TelemetryEvent
 from repro.obs.metrics import Sample
 from repro.obs.provenance import DecisionRecord, decisions_from_events
+from repro.obs.slo import latency_series, series_stats
 from repro.obs.spans import WorkloadSpanTree, build_spans
 from repro.obs.timeseries import TimeSeriesStore
 from repro.sim.clock import HOUR
@@ -424,6 +425,32 @@ class RunReport:
             "reconciled_interruptions": reconciled,
         }
 
+    def latency_stats(self) -> Dict[str, Dict[str, float]]:
+        """count/p50/p95/max per latency family (empty families omitted)."""
+        return {
+            name: series_stats(values)
+            for name, values in latency_series(self.events).items()
+            if values
+        }
+
+    def resilience_rows(self) -> List[Tuple[str, int, int]]:
+        """``(scope, retries, dead_letters)`` from the resilience counters.
+
+        Derived from the first-class ``resilience_retries_total`` /
+        ``resilience_dead_letters_total`` metric samples, so offline
+        reports see the same per-scope breakdown a live bundle does.
+        """
+        retries: Dict[str, int] = defaultdict(int)
+        dead: Dict[str, int] = defaultdict(int)
+        for sample in self.samples:
+            scope = dict(sample.labels).get("scope", "?")
+            if sample.name == "resilience_retries_total":
+                retries[scope] += int(sample.value)
+            elif sample.name == "resilience_dead_letters_total":
+                dead[scope] += int(sample.value)
+        scopes = sorted(set(retries) | set(dead))
+        return [(scope, retries.get(scope, 0), dead.get(scope, 0)) for scope in scopes]
+
     def migration_stats(self) -> Tuple[int, int, float]:
         """``(started, completed, mean latency seconds)``."""
         started = self._count(EventType.MIGRATION_STARTED)
@@ -492,6 +519,40 @@ class RunReport:
                 _table(
                     ["region", "count"],
                     [[region, str(count)] for region, count in interruption_rows],
+                )
+            )
+
+        latencies = self.latency_stats()
+        if latencies:
+            lines.append("")
+            lines.append("service latency (sim time):")
+            lines.append(
+                _table(
+                    ["metric", "samples", "p50", "p95", "max"],
+                    [
+                        [
+                            name,
+                            str(int(stats["count"])),
+                            f"{stats['p50'] / 60.0:.1f}m",
+                            f"{stats['p95'] / 60.0:.1f}m",
+                            f"{stats['max'] / 60.0:.1f}m",
+                        ]
+                        for name, stats in latencies.items()
+                    ],
+                )
+            )
+
+        resilience_rows = self.resilience_rows()
+        if resilience_rows:
+            lines.append("")
+            lines.append("resilience by scope:")
+            lines.append(
+                _table(
+                    ["scope", "retries", "dead letters"],
+                    [
+                        [scope, str(retries), str(dead)]
+                        for scope, retries, dead in resilience_rows
+                    ],
                 )
             )
 

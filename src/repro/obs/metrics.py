@@ -253,3 +253,42 @@ class MetricsRegistry:
             else:
                 lines.append(f"{sample.name}{label_part} {sample.value:g}")
         return "\n".join(lines)
+
+    #: Quantiles the exposition publishes per histogram series.
+    EXPOSITION_QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+    def exposition(self) -> str:
+        """Prometheus text exposition format (``# HELP``/``# TYPE`` + series).
+
+        Counters and gauges export as-is; histograms export as
+        Prometheus *summaries* — per-series ``{quantile="..."}`` lines
+        (nearest-rank over the raw observations) plus ``_sum`` and
+        ``_count``.  This is the payload the upcoming ``spotverse
+        serve`` mode will put behind ``/metrics``.
+        """
+        lines: List[str] = []
+        for name in self.names():
+            instrument = self._instruments[name]
+            kind = instrument.kind  # type: ignore[attr-defined]
+            help_text = getattr(instrument, "help", "")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {'summary' if kind == 'histogram' else kind}")
+            if kind == "histogram":
+                for key, series in sorted(instrument._series.items()):  # type: ignore[attr-defined]
+                    base = ",".join(f'{k}="{v}"' for k, v in key)
+                    n = len(series.values)
+                    for quantile in self.EXPOSITION_QUANTILES:
+                        rank = max(0, min(n - 1, round(quantile * (n - 1)))) if n else 0
+                        value = series.values[rank] if n else 0.0
+                        joined = f'{base},quantile="{quantile:g}"' if base else f'quantile="{quantile:g}"'
+                        lines.append(f"{name}{{{joined}}} {value:g}")
+                    label_part = f"{{{base}}}" if base else ""
+                    lines.append(f"{name}_sum{label_part} {series.total:g}")
+                    lines.append(f"{name}_count{label_part} {n}")
+            else:
+                for key, value in sorted(instrument.series().items()):  # type: ignore[attr-defined]
+                    base = ",".join(f'{k}="{v}"' for k, v in key)
+                    label_part = f"{{{base}}}" if base else ""
+                    lines.append(f"{name}{label_part} {value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,429 @@
+"""Cross-service causal tracing for the fleet control plane.
+
+A single workload's life now crosses every simulated service: the
+lifecycle service registers it, the capacity service files spot
+requests (with throttle retries and dead-letter fallbacks), EC2
+fulfills, interruption warnings ride EventBridge redelivery into a
+Lambda, the handler checkpoints through DynamoDB/S3/EFS and starts a
+Step Functions re-acquire machine — which calls back into capacity.
+:class:`CausalTracer` follows that chain end to end.
+
+Mechanics
+---------
+Hops are recorded against *sim time* and linked two ways:
+
+* **Ambient stack** — synchronous nesting.  ``with tracer.hop(...)``
+  pushes a :class:`TraceContext`; any hop opened while it is on the
+  stack parents to it automatically.  This is how an EventBridge
+  delivery parents the Lambda invocation it triggers, and how the
+  Step Functions task parents the ``capacity:acquire`` it performs.
+* **Links** — asynchronous continuation.  The scheduling site stores
+  its context under a correlation key (``("spot-request", id)``,
+  ``("instance", id)``); the completion site picks it up with
+  :meth:`CausalTracer.take` / :meth:`CausalTracer.peek`.  This is how
+  a fulfillment callback minutes of sim time later still parents to
+  the request that asked for it.
+
+Every instrumentation site is gated on ``telemetry.tracer is None``
+(mirroring ``provider.chaos``): with tracing disabled there is exactly
+one attribute load and a ``None`` check on the hot paths, no hop
+objects, no RNG draws, no scheduling changes — runs stay bit-identical
+to untraced builds.  Hops only ever *read* the sim clock.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
+
+
+class TraceContext(NamedTuple):
+    """An addressable point in a causal tree (one open or closed hop)."""
+
+    trace_id: str
+    hop_id: int
+
+
+@dataclass
+class HopRecord:
+    """One hop in a causal chain.
+
+    Attributes:
+        hop_id: Deterministic id, assigned in creation order.
+        parent_id: The hop this one was caused by (``None`` for roots).
+        trace_id: The tree this hop belongs to (usually a workload id).
+        name: What happened (``"capacity:acquire"``, ``"sfn:spotverse-reacquire"``).
+        service: The subsystem that performed it.
+        start: Sim time the hop opened.
+        end: Sim time it closed (``None`` while still open).
+        status: ``"ok"`` or a failure mode (``"throttled"``,
+            ``"dropped"``, ``"dead_letter"``, ``"error"``, ...).
+        attrs: Free-form details (attempt numbers, regions, reasons).
+    """
+
+    hop_id: int
+    parent_id: Optional[int]
+    trace_id: str
+    name: str
+    service: str
+    start: float
+    end: Optional[float] = None
+    status: str = "ok"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def latency(self) -> float:
+        """Sim seconds from open to close (0.0 while open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "hop_id": self.hop_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "service": self.service,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+        }
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        return payload
+
+
+class CausalTracer:
+    """Collects :class:`HopRecord` trees across the control plane.
+
+    Args:
+        clock: Zero-argument callable returning the current sim time
+            (the telemetry bus clock, once the provider attaches it).
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self.hops: List[HopRecord] = []
+        self._by_id: Dict[int, HopRecord] = {}
+        self._next_id = 0
+        self._stack: List[TraceContext] = []
+        self._links: Dict[Any, TraceContext] = {}
+        self._roots: Dict[str, TraceContext] = {}
+
+    # ------------------------------------------------------------------
+    # Core recording
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Optional[TraceContext]:
+        """The innermost open hop on the ambient stack, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def begin(
+        self,
+        name: str,
+        service: str,
+        trace_id: Optional[str] = None,
+        parent: Optional[TraceContext] = None,
+        **attrs: Any,
+    ) -> TraceContext:
+        """Open a hop and return its context.
+
+        Parenting resolves in priority order: explicit *parent*, then
+        the ambient stack, then — when a *trace_id* is given — that
+        trace's root hop.
+        """
+        if parent is None:
+            parent = self.current
+        if parent is None and trace_id is not None:
+            parent = self._roots.get(trace_id)
+        resolved_trace = trace_id if trace_id is not None else (
+            parent.trace_id if parent is not None else ""
+        )
+        hop = HopRecord(
+            hop_id=self._next_id,
+            parent_id=parent.hop_id if parent is not None else None,
+            trace_id=resolved_trace,
+            name=name,
+            service=service,
+            start=self._clock(),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self.hops.append(hop)
+        self._by_id[hop.hop_id] = hop
+        return TraceContext(trace_id=resolved_trace, hop_id=hop.hop_id)
+
+    def end(self, ctx: Optional[TraceContext], status: str = "ok", **attrs: Any) -> None:
+        """Close the hop behind *ctx* (idempotent; ``None`` is a no-op)."""
+        if ctx is None:
+            return
+        hop = self._by_id.get(ctx.hop_id)
+        if hop is None or hop.end is not None:
+            return
+        hop.end = self._clock()
+        hop.status = status
+        if attrs:
+            hop.attrs.update(attrs)
+
+    def event(
+        self,
+        name: str,
+        service: str,
+        trace_id: Optional[str] = None,
+        parent: Optional[TraceContext] = None,
+        status: str = "ok",
+        **attrs: Any,
+    ) -> TraceContext:
+        """Record an instantaneous hop (opened and closed at now)."""
+        ctx = self.begin(name, service, trace_id=trace_id, parent=parent, **attrs)
+        self.end(ctx, status=status)
+        return ctx
+
+    @contextmanager
+    def hop(
+        self,
+        name: str,
+        service: str,
+        trace_id: Optional[str] = None,
+        parent: Optional[TraceContext] = None,
+        **attrs: Any,
+    ):
+        """Open a hop for the duration of a synchronous block.
+
+        The hop sits on the ambient stack while the block runs, so any
+        hop opened inside parents to it.  An escaping exception closes
+        it with ``status="error"``.
+        """
+        ctx = self.begin(name, service, trace_id=trace_id, parent=parent, **attrs)
+        self._stack.append(ctx)
+        try:
+            yield ctx
+        except BaseException as exc:
+            self.end(ctx, status="error", error=type(exc).__name__)
+            raise
+        else:
+            self.end(ctx)
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def resume(self, ctx: Optional[TraceContext]):
+        """Re-enter a captured context so nested hops parent under it.
+
+        Used by asynchronous continuations (scheduled retries, service
+        deliveries): the scheduling site captures :attr:`current`, the
+        callback resumes it.  Resuming ``None`` is a no-op.
+        """
+        if ctx is None:
+            yield None
+            return
+        self._stack.append(ctx)
+        try:
+            yield ctx
+        finally:
+            self._stack.pop()
+
+    # ------------------------------------------------------------------
+    # Roots + async links
+    # ------------------------------------------------------------------
+    def open_root(self, trace_id: str, name: str, service: str, **attrs: Any) -> TraceContext:
+        """Open (or return the existing) root hop of a trace."""
+        existing = self._roots.get(trace_id)
+        if existing is not None:
+            return existing
+        ctx = self.begin(name, service, trace_id=trace_id, parent=None, **attrs)
+        self._roots[trace_id] = ctx
+        return ctx
+
+    def root(self, trace_id: str) -> Optional[TraceContext]:
+        """The root context of *trace_id*, if one was opened."""
+        return self._roots.get(trace_id)
+
+    def close_root(self, trace_id: str, status: str = "ok", **attrs: Any) -> None:
+        """Close a trace's root hop (no-op for unknown traces)."""
+        self.end(self._roots.get(trace_id), status=status, **attrs)
+
+    def link(self, key: Any, ctx: Optional[TraceContext]) -> None:
+        """Store *ctx* under a correlation *key* for a later continuation."""
+        if ctx is not None:
+            self._links[key] = ctx
+
+    def take(self, key: Any) -> Optional[TraceContext]:
+        """Remove and return the context linked under *key*."""
+        return self._links.pop(key, None)
+
+    def peek(self, key: Any) -> Optional[TraceContext]:
+        """Return the context linked under *key* without removing it."""
+        return self._links.get(key)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def trace_ids(self) -> List[str]:
+        """Distinct trace ids seen, in first-hop order."""
+        seen: Dict[str, None] = {}
+        for hop in self.hops:
+            if hop.trace_id and hop.trace_id not in seen:
+                seen[hop.trace_id] = None
+        return list(seen)
+
+    def hops_for(self, trace_id: str) -> List[HopRecord]:
+        """Every hop of one trace, in creation order."""
+        return [hop for hop in self.hops if hop.trace_id == trace_id]
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable dump of every recorded hop."""
+        return {"hops": [hop.to_dict() for hop in self.hops]}
+
+
+# ----------------------------------------------------------------------
+# Null-safe instrumentation helpers (the service-side idiom)
+# ----------------------------------------------------------------------
+def traced_hop(
+    tracer: Optional[CausalTracer],
+    name: str,
+    service: str,
+    trace_id: Optional[str] = None,
+    parent: Optional[TraceContext] = None,
+    **attrs: Any,
+):
+    """``tracer.hop(...)`` when tracing is on; a no-op context otherwise."""
+    if tracer is None:
+        return nullcontext(None)
+    return tracer.hop(name, service, trace_id=trace_id, parent=parent, **attrs)
+
+
+def traced_resume(tracer: Optional[CausalTracer], ctx: Optional[TraceContext]):
+    """``tracer.resume(ctx)`` when tracing is on; a no-op context otherwise."""
+    if tracer is None or ctx is None:
+        return nullcontext(None)
+    return tracer.resume(ctx)
+
+
+# ----------------------------------------------------------------------
+# Tree assembly + rendering
+# ----------------------------------------------------------------------
+_RETRY_STATUSES = {"throttled", "dropped", "retry", "error"}
+
+
+def build_causal_tree(
+    hops: Iterable[HopRecord],
+) -> Tuple[List[HopRecord], Dict[int, List[HopRecord]]]:
+    """Group *hops* into (roots, children-by-parent) in creation order.
+
+    A hop whose parent is not among *hops* (cross-trace parenting)
+    is treated as a root of this tree.
+    """
+    hops = list(hops)
+    ids = {hop.hop_id for hop in hops}
+    roots: List[HopRecord] = []
+    children: Dict[int, List[HopRecord]] = {}
+    for hop in hops:
+        if hop.parent_id is None or hop.parent_id not in ids:
+            roots.append(hop)
+        else:
+            children.setdefault(hop.parent_id, []).append(hop)
+    return roots, children
+
+
+def critical_path(hops: Iterable[HopRecord]) -> List[HopRecord]:
+    """The root-to-leaf chain ending at the hop that finishes last.
+
+    Open hops count as ending at their start time.  Empty input gives
+    an empty path.
+    """
+    hops = list(hops)
+    if not hops:
+        return []
+    by_id = {hop.hop_id: hop for hop in hops}
+
+    def _ends(hop: HopRecord) -> float:
+        return hop.end if hop.end is not None else hop.start
+
+    last = max(hops, key=lambda hop: (_ends(hop), hop.hop_id))
+    path = [last]
+    cursor = last
+    while cursor.parent_id is not None and cursor.parent_id in by_id:
+        cursor = by_id[cursor.parent_id]
+        path.append(cursor)
+    path.reverse()
+    return path
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 3600.0:
+        return f"{seconds / 3600.0:.2f}h"
+    if seconds >= 60.0:
+        return f"{seconds / 60.0:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+def _hop_line(hop: HopRecord) -> str:
+    status = "" if hop.status == "ok" else f" [{hop.status}]"
+    open_marker = "" if hop.end is not None else " (open)"
+    attrs = ""
+    if hop.attrs:
+        rendered = " ".join(f"{key}={value}" for key, value in sorted(hop.attrs.items()))
+        attrs = f"  {{{rendered}}}"
+    return (
+        f"{hop.name} <{hop.service}> t={hop.start:.1f}s "
+        f"+{_format_duration(hop.latency)}{status}{open_marker}{attrs}"
+    )
+
+
+def render_trace(hops: Iterable[HopRecord], trace_id: str = "") -> str:
+    """Render one trace as an indented causal tree + critical path.
+
+    Args:
+        hops: The trace's hops (e.g. ``tracer.hops_for(workload_id)``).
+        trace_id: Label for the header (cosmetic).
+    """
+    hops = list(hops)
+    if not hops:
+        return f"no hops recorded for trace {trace_id!r}"
+    roots, children = build_causal_tree(hops)
+    lines: List[str] = []
+    retries = sum(
+        1
+        for hop in hops
+        if hop.status in _RETRY_STATUSES or int(hop.attrs.get("attempt", 1)) > 1
+    )
+    dead_letters = sum(1 for hop in hops if hop.status == "dead_letter")
+    first = min(hop.start for hop in hops)
+    last = max(hop.end if hop.end is not None else hop.start for hop in hops)
+    lines.append(
+        f"trace {trace_id or hops[0].trace_id or '<untraced>'}: {len(hops)} hops, "
+        f"{retries} retried, {dead_letters} dead-lettered, "
+        f"span {first:.1f}s -> {last:.1f}s"
+    )
+
+    def _walk(hop: HopRecord, prefix: str, is_last: bool) -> None:
+        connector = "`-" if is_last else "|-"
+        lines.append(f"{prefix}{connector} {_hop_line(hop)}")
+        child_prefix = prefix + ("   " if is_last else "|  ")
+        kids = children.get(hop.hop_id, [])
+        for index, kid in enumerate(kids):
+            _walk(kid, child_prefix, index == len(kids) - 1)
+
+    for index, root in enumerate(roots):
+        _walk(root, "", index == len(roots) - 1)
+
+    path = critical_path(hops)
+    if path:
+        total = (path[-1].end if path[-1].end is not None else path[-1].start) - path[0].start
+        lines.append("")
+        lines.append(
+            f"critical path ({len(path)} hops, {_format_duration(total)}):"
+        )
+        previous_end = path[0].start
+        for hop in path:
+            ends = hop.end if hop.end is not None else hop.start
+            segment = max(0.0, ends - previous_end)
+            lines.append(
+                f"  {hop.name} <{hop.service}> +{_format_duration(segment)}"
+                + ("" if hop.status == "ok" else f" [{hop.status}]")
+            )
+            previous_end = ends
+    return "\n".join(lines)

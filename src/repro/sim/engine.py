@@ -145,6 +145,9 @@ class SimulationEngine:
         if self._running:
             raise SimulationError("run_until called re-entrantly from a callback")
         self._running = True
+        tracer = self.tracer
+        run_started = perf_counter() if tracer is not None else 0.0
+        fired_before = self._fired_events
         try:
             while True:
                 next_time = self._queue.peek_time()
@@ -158,12 +161,19 @@ class SimulationEngine:
             self._now = time
         finally:
             self._running = False
+            if tracer is not None:
+                tracer.note_run(
+                    perf_counter() - run_started, self._fired_events - fired_before
+                )
 
     def run_until_idle(self, max_time: Optional[float] = None) -> None:
         """Execute events until the queue is empty (or *max_time*)."""
         if self._running:
             raise SimulationError("run_until_idle called re-entrantly from a callback")
         self._running = True
+        tracer = self.tracer
+        run_started = perf_counter() if tracer is not None else 0.0
+        fired_before = self._fired_events
         try:
             while True:
                 next_time = self._queue.peek_time()
@@ -179,18 +189,35 @@ class SimulationEngine:
                 self._fire(event)
         finally:
             self._running = False
+            if tracer is not None:
+                tracer.note_run(
+                    perf_counter() - run_started, self._fired_events - fired_before
+                )
 
     def _fire(self, event: Event) -> None:
-        """Invoke one callback, recording it when tracing is on."""
+        """Invoke one callback, recording it when tracing is on.
+
+        With a tracer attached, each record carries the callback's wall
+        time *and* its heap churn (events it scheduled); with tracing
+        off, the callback is invoked directly — no timing, no counters,
+        so untraced runs stay bit-identical to pre-instrumentation
+        builds.
+        """
         tracer = self.tracer
         if tracer is None:
             event.callback()
             return
+        pushed_before = self._queue.pushes
         started = perf_counter()
         try:
             event.callback()
         finally:
-            tracer.record(event.time, event.label, perf_counter() - started)
+            tracer.record(
+                event.time,
+                event.label,
+                perf_counter() - started,
+                self._queue.pushes - pushed_before,
+            )
 
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero.

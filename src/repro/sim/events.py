@@ -72,12 +72,18 @@ class Event:
 
 
 class EventQueue:
-    """Deterministic min-heap of :class:`Event` objects."""
+    """Deterministic min-heap of :class:`Event` objects.
+
+    Attributes:
+        pushes: Lifetime count of scheduled events — the heap-churn
+            odometer the engine profiler diffs around each callback.
+    """
 
     def __init__(self) -> None:
         self._heap: list = []
         self._counter = itertools.count()
         self._live = 0
+        self.pushes = 0
 
     def __len__(self) -> int:
         return self._live
@@ -97,6 +103,7 @@ class EventQueue:
         )
         heapq.heappush(self._heap, (event.sort_key(), event))
         self._live += 1
+        self.pushes += 1
         return event
 
     def peek_time(self) -> Optional[float]:

@@ -32,6 +32,14 @@ class TraceRecord(NamedTuple):
     time: float  # virtual timestamp
     label: str  # scheduling label ("" when unlabeled)
     wall: float  # wall-clock seconds spent in the callback
+    scheduled: int = 0  # events the callback pushed onto the heap
+
+
+class RunWindow(NamedTuple):
+    """One ``run_until`` / ``run_until_idle`` invocation."""
+
+    wall: float  # wall-clock seconds the loop ran
+    fired: int  # callbacks executed inside the loop
 
 
 @dataclass
@@ -41,6 +49,7 @@ class LabelStats:
     group: str
     count: int = 0
     wall_total: float = 0.0
+    scheduled_total: int = 0
 
     @property
     def wall_mean(self) -> float:
@@ -75,6 +84,7 @@ class EngineTracer:
 
     def __init__(self, group: Optional[Callable[[str], str]] = None) -> None:
         self.records: List[TraceRecord] = []
+        self.runs: List[RunWindow] = []
         self._group = group or default_group
         self._wall_first: Optional[float] = None
         self._wall_last: Optional[float] = None
@@ -82,13 +92,17 @@ class EngineTracer:
     # ------------------------------------------------------------------
     # Recording (called by the engine's hot loop)
     # ------------------------------------------------------------------
-    def record(self, time: float, label: str, wall: float) -> None:
+    def record(self, time: float, label: str, wall: float, scheduled: int = 0) -> None:
         """Append one fired callback."""
         now = _time.perf_counter()
         if self._wall_first is None:
             self._wall_first = now - wall
         self._wall_last = now
-        self.records.append(TraceRecord(time, label, wall))
+        self.records.append(TraceRecord(time, label, wall, scheduled))
+
+    def note_run(self, wall: float, fired: int) -> None:
+        """Record one engine run window (a ``run_until*`` invocation)."""
+        self.runs.append(RunWindow(wall, fired))
 
     # ------------------------------------------------------------------
     # Filterable trace
@@ -145,6 +159,7 @@ class EngineTracer:
                 entry = by_group[group] = LabelStats(group=group)
             entry.count += 1
             entry.wall_total += record.wall
+            entry.scheduled_total += record.scheduled
         return by_group
 
     def report(self, top: int = 12) -> str:
@@ -166,5 +181,6 @@ class EngineTracer:
     def clear(self) -> None:
         """Drop all records and reset the wall window."""
         self.records.clear()
+        self.runs.clear()
         self._wall_first = None
         self._wall_last = None

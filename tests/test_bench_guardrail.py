@@ -102,6 +102,55 @@ def test_repo_baselines_are_valid_json():
         assert payload["wall_seconds"] >= 0
 
 
+def _sweep_payload(speedup, cpu_count, jobs=4):
+    payload = _payload("parallel", wall=1.0)
+    payload["speedup_vs_serial"] = speedup
+    payload["cpu_count"] = cpu_count
+    payload["jobs"] = jobs
+    return payload
+
+
+def test_speedup_enforced_between_many_core_runs():
+    baseline = _sweep_payload(3.0, cpu_count=8)
+    ok = _sweep_payload(2.2, cpu_count=8)
+    assert check_regression.compare_payloads(baseline, ok) == []
+    collapsed = _sweep_payload(1.2, cpu_count=8)
+    violations = check_regression.compare_payloads(baseline, collapsed)
+    assert [v.metric for v in violations] == ["speedup_vs_serial"]
+
+
+def test_speedup_low_core_run_only_checks_serial_fallback_floor():
+    # Baseline from an 8-core runner, fresh run on 1 core: near-linear
+    # speedup is impossible there, so only the fallback floor applies.
+    baseline = _sweep_payload(3.0, cpu_count=8)
+    serial_fallback = _sweep_payload(0.97, cpu_count=1)
+    assert check_regression.compare_payloads(baseline, serial_fallback) == []
+    # The historical 1-core mis-fire: the pool time-slicing four
+    # workers on one CPU measured 0.35x — that must now fail.
+    thrash = _sweep_payload(0.35, cpu_count=1)
+    violations = check_regression.compare_payloads(baseline, thrash)
+    assert [v.metric for v in violations] == ["speedup_vs_serial"]
+    assert "serial fallback" in violations[0].render()
+
+
+def test_speedup_ignored_when_either_side_lacks_it():
+    assert check_regression.compare_payloads(
+        _payload(), _sweep_payload(0.2, cpu_count=1)
+    ) == []
+
+
+def test_profiler_overhead_enforced():
+    baseline = _payload("overhead")
+    baseline["profiler_overhead_x"] = 1.1
+    ok = _payload("overhead")
+    ok["profiler_overhead_x"] = 1.3
+    assert check_regression.compare_payloads(baseline, ok) == []
+    bloated = _payload("overhead")
+    bloated["profiler_overhead_x"] = 2.5
+    violations = check_regression.compare_payloads(baseline, bloated)
+    assert [v.metric for v in violations] == ["profiler_overhead_x"]
+
+
 @pytest.mark.parametrize("env_name, flag", [
     ("SPOTVERSE_BENCH_WALL_TOL", "wall_tol"),
     ("SPOTVERSE_BENCH_TPUT_TOL", "tput_tol"),

@@ -1,5 +1,7 @@
 """Tests for the spotverse CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -193,6 +195,101 @@ class TestObsSubcommands:
         out = capsys.readouterr().out
         assert "day(s) of simulated markets" in out
         assert "spot_price" in out
+
+
+class TestObsDeepCommands:
+    """`spotverse obs profile|trace|slo` (PR 6's deep-observability CLI)."""
+
+    #: Parent obs flags describing a tiny, fast fleet.
+    _SMALL = [
+        "obs",
+        "--workload", "synthetic",
+        "--workloads", "2",
+        "--duration-hours", "2",
+        "--max-hours", "24",
+        "--seed", "7",
+    ]
+
+    def test_profile_runs_and_round_trips_artifact(self, capsys, tmp_path):
+        artifact = tmp_path / "profile.json"
+        code = main(self._SMALL + ["profile", "--top", "3", "--json", str(artifact)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hot label group" in out
+        assert "subsystem" in out
+        payload = json.loads(artifact.read_text())
+        assert payload["entries"]
+        # Render the committed artifact without running a fleet.
+        assert main(["obs", "profile", "--from-profile", str(artifact)]) == 0
+        assert "hot label group" in capsys.readouterr().out
+
+    def test_profile_rejects_bad_artifact(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert main(["obs", "profile", "--from-profile", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_trace_renders_causal_tree(self, capsys, tmp_path):
+        hops = tmp_path / "hops.json"
+        assert main(self._SMALL + ["trace", "wl-001", "--json", str(hops)]) == 0
+        out = capsys.readouterr().out
+        assert "trace wl-001" in out
+        assert "workload:submit" in out
+        assert "critical path" in out
+        assert json.loads(hops.read_text())
+
+    def test_trace_unknown_workload_lists_known(self, capsys):
+        assert main(self._SMALL + ["trace", "wl-999"]) == 2
+        out = capsys.readouterr().out
+        assert "error: no trace recorded" in out
+        assert "wl-000" in out
+
+    def test_slo_default_spec_with_exports(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.prom"
+        card = tmp_path / "scorecard.json"
+        code = main(
+            self._SMALL
+            + ["slo", "--export-metrics", str(metrics), "--json", str(card)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SLO scorecard" in out
+        assert "# TYPE" in metrics.read_text()
+        assert json.loads(card.read_text())["results"]
+
+    def test_slo_breached_spec_exits_nonzero(self, capsys, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "name": "breach",
+                    "targets": [
+                        {
+                            "metric": "submit_to_placed_seconds",
+                            "threshold": 0.001,
+                            "objective": 0.99,
+                        }
+                    ],
+                }
+            )
+        )
+        assert main(self._SMALL + ["slo", "--spec", str(spec)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "SLO BREACH" in out
+
+    def test_slo_scores_saved_stream(self, capsys, tmp_path):
+        stream = tmp_path / "run.jsonl"
+        assert main(self._SMALL + ["--events", str(stream)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "slo", "--from-events", str(stream)]) == 0
+        assert "SLO scorecard" in capsys.readouterr().out
+
+    def test_slo_rejects_invalid_spec(self, capsys, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"name": "x", "targets": []}))
+        assert main(["obs", "slo", "--spec", str(spec)]) == 2
+        assert "error:" in capsys.readouterr().out
 
 
 class TestExperimentAndDatasets:

@@ -1,0 +1,136 @@
+"""Edge cases for Histogram percentiles and RingSeries downsampling.
+
+The SLO engine leans on nearest-rank percentiles and the observatory
+leans on ring compaction; both must behave at the boundaries — empty
+series, one sample, degenerate (all-equal) distributions, and the
+ring's wrap-around/compaction path.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import Histogram
+from repro.obs.timeseries import RingSeries
+
+
+class TestHistogramPercentileEdges:
+    def test_empty_series_returns_zero(self):
+        hist = Histogram("latency_seconds")
+        for p in (0.0, 50.0, 95.0, 100.0):
+            assert hist.percentile(p) == 0.0
+        assert hist.count() == 0
+        assert hist.sum() == 0.0
+        assert hist.mean() == 0.0
+
+    def test_out_of_range_percentile_raises(self):
+        hist = Histogram("latency_seconds")
+        hist.observe(1.0)
+        with pytest.raises(ReproError):
+            hist.percentile(-0.1)
+        with pytest.raises(ReproError):
+            hist.percentile(100.1)
+
+    def test_single_sample_is_every_percentile(self):
+        hist = Histogram("latency_seconds")
+        hist.observe(42.0)
+        for p in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert hist.percentile(p) == 42.0
+        assert hist.mean() == 42.0
+
+    def test_all_equal_values_are_every_percentile(self):
+        hist = Histogram("latency_seconds")
+        for _ in range(100):
+            hist.observe(7.5)
+        for p in (0.0, 25.0, 50.0, 95.0, 100.0):
+            assert hist.percentile(p) == 7.5
+        assert hist.count() == 100
+        assert hist.sum() == pytest.approx(750.0)
+
+    def test_nearest_rank_on_known_distribution(self):
+        hist = Histogram("latency_seconds")
+        # Inserted out of order; the series keeps itself sorted.
+        for value in (50.0, 10.0, 40.0, 20.0, 30.0):
+            hist.observe(value)
+        assert hist.percentile(0.0) == 10.0
+        assert hist.percentile(50.0) == 30.0
+        assert hist.percentile(100.0) == 50.0
+        # Nearest rank, not interpolation: p75 of 5 samples rounds to
+        # index 3 (the 4th value).
+        assert hist.percentile(75.0) == 40.0
+
+    def test_labelled_series_are_independent(self):
+        hist = Histogram("latency_seconds")
+        hist.observe(1.0, region="eu-west-1")
+        hist.observe(100.0, region="us-east-1")
+        assert hist.percentile(50.0, region="eu-west-1") == 1.0
+        assert hist.percentile(50.0, region="us-east-1") == 100.0
+        assert hist.percentile(50.0, region="ap-south-1") == 0.0
+
+
+class TestRingSeriesEdges:
+    def test_capacity_validation(self):
+        for bad in (0, 2, 3, 5, -8):
+            with pytest.raises(ReproError):
+                RingSeries(capacity=bad)
+
+    def test_empty_series(self):
+        series = RingSeries(capacity=8)
+        assert len(series) == 0
+        assert series.buckets() == []
+        assert series.values() == []
+        assert series.latest() is None
+        assert series.span() == (0.0, 0.0)
+        assert series.n_samples == 0
+
+    def test_single_sample(self):
+        series = RingSeries(capacity=8)
+        series.append(10.0, 3.5)
+        assert len(series) == 1
+        assert series.n_samples == 1
+        bucket = series.latest()
+        assert bucket.value == 3.5
+        assert bucket.lo == bucket.hi == 3.5
+        assert bucket.count == 1
+        assert series.span() == (10.0, 10.0)
+
+    def test_all_equal_values_survive_compaction(self):
+        series = RingSeries(capacity=4)
+        for i in range(50):
+            series.append(float(i), 2.25)
+        assert len(series) <= series.capacity
+        assert series.stride > 1  # compaction happened
+        for bucket in series.buckets():
+            assert bucket.value == 2.25
+            assert bucket.lo == 2.25
+            assert bucket.hi == 2.25
+
+    def test_wraparound_preserves_samples_span_and_mass(self):
+        series = RingSeries(capacity=8)
+        n = 1000
+        for i in range(n):
+            series.append(float(i), float(i))
+        assert series.n_samples == n
+        assert len(series) <= series.capacity
+        # Coverage: the compacted series still spans every sample.
+        assert series.span() == (0.0, float(n - 1))
+        # Mass: no raw sample is ever dropped by compaction.
+        assert sum(bucket.count for bucket in series.buckets()) == n
+        # Count-weighted mean survives folding exactly.
+        weighted = sum(b.value * b.count for b in series.buckets())
+        assert weighted / n == pytest.approx((n - 1) / 2.0)
+        # Extremes are preserved bucket-locally.
+        assert series.buckets()[0].lo == 0.0
+        assert series.buckets()[-1].hi == float(n - 1)
+        # Buckets stay in time order.
+        times = series.times()
+        assert times == sorted(times)
+
+    def test_stride_doubles_per_compaction(self):
+        series = RingSeries(capacity=4)
+        assert series.stride == 1
+        for i in range(4):
+            series.append(float(i), 1.0)
+        assert series.stride == 2  # filled once, compacted once
+        for i in range(4, 12):
+            series.append(float(i), 1.0)
+        assert series.stride == 4

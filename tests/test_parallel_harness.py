@@ -1,5 +1,6 @@
 """Process-pool arm execution: equality with serial, spec plumbing."""
 
+import os
 import pickle
 
 import pytest
@@ -58,11 +59,17 @@ def test_parallel_results_equal_serial():
     serial = run_arms(specs, jobs=1)
     parallel = run_arms_parallel(specs, jobs=2)
     assert list(parallel) == [spec.name for spec in specs]
+    # On a multi-core host the arms cross the pool and shed their
+    # provider; a 1-core host takes the serial fallback and keeps it.
+    pooled = (os.cpu_count() or 1) >= 2
     for name in serial:
         assert _fleet_equal(serial[name].fleet, parallel[name].fleet), name
         assert serial[name].provider is not None
-        assert parallel[name].provider is None
-        assert parallel[name].telemetry is None
+        if pooled:
+            assert parallel[name].provider is None
+            assert parallel[name].telemetry is None
+        else:
+            assert parallel[name].provider is not None
 
 
 def test_non_picklable_spec_falls_back_to_serial():
