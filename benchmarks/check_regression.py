@@ -25,7 +25,8 @@ Two derived metrics are enforced when both sides carry them:
   reporting ~0.35x means pool overhead is being paid for time-sliced
   arms, which is exactly the mis-fire this band catches.
 * ``profiler_overhead_x`` (instrumented vs. uninstrumented wall time)
-  may grow by at most ``--wall-tol``.
+  and ``streaming_overhead_x`` (live-export vs. plain wall time) may
+  each grow by at most ``--wall-tol``.
 
 Benchmarks present on only one side are reported but never fail the
 check (new benchmarks land without a committed counterpart first).
@@ -141,18 +142,19 @@ def compare_payloads(
                 )
             )
 
-    base_overhead = float(baseline.get("profiler_overhead_x", 0.0))
-    fresh_overhead = float(fresh.get("profiler_overhead_x", 0.0))
-    if base_overhead > 0 and fresh_overhead > base_overhead * wall_tol:
-        violations.append(
-            Violation(
-                name,
-                "profiler_overhead_x",
-                base_overhead,
-                fresh_overhead,
-                f"<= {wall_tol:g}x",
+    for overhead_metric in ("profiler_overhead_x", "streaming_overhead_x"):
+        base_overhead = float(baseline.get(overhead_metric, 0.0))
+        fresh_overhead = float(fresh.get(overhead_metric, 0.0))
+        if base_overhead > 0 and fresh_overhead > base_overhead * wall_tol:
+            violations.append(
+                Violation(
+                    name,
+                    overhead_metric,
+                    base_overhead,
+                    fresh_overhead,
+                    f"<= {wall_tol:g}x",
+                )
             )
-        )
     return violations
 
 

@@ -14,8 +14,9 @@ Layers:
   :func:`default_campaign` and seeded :func:`random_campaign`.
 * :mod:`repro.chaos.faults` — the :class:`ChaosController` substrates
   consult at each injection point.
-* :mod:`repro.chaos.invariants` — post-run resilience assertions and
-  the scorecard.
+* :mod:`repro.chaos.invariants` — incremental invariant checks (live
+  via :class:`OnlineInvariantMonitor`, or folded post-run) and the
+  scorecard.
 * :mod:`repro.chaos.runner` — :func:`run_campaign`, the end-to-end
   entry point behind ``spotverse chaos run``.
 """
@@ -30,6 +31,8 @@ from repro.chaos.campaign import (
 from repro.chaos.faults import ChaosController
 from repro.chaos.invariants import (
     InvariantResult,
+    OnlineInvariantMonitor,
+    OnlineViolation,
     build_scorecard,
     check_invariants,
     render_scorecard,
@@ -54,6 +57,8 @@ __all__ = [
     "DEFAULT_WARMUP_STEPS",
     "InvariantResult",
     "Injection",
+    "OnlineInvariantMonitor",
+    "OnlineViolation",
     "POLICY_NAMES",
     "build_scorecard",
     "check_invariants",

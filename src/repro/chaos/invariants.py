@@ -1,12 +1,19 @@
-"""Post-run resilience invariants and the chaos scorecard.
+"""Resilience invariants — online during the run, folded after it.
 
-After a chaos campaign finishes, :func:`check_invariants` asserts the
-properties the control plane must preserve *no matter what was
-injected*: every submitted workload reached a terminal state, nothing
-is still running or billing past the end of the run, no segment was
-completed twice, checkpoint progress only ever moved forward (except
-through an explicit integrity fallback), and the telemetry stream
-itself stayed causally valid.
+Each invariant is a small stateful check object with two faces:
+
+* :meth:`InvariantCheck.observe` — fed every telemetry event as it
+  arrives; returns any *new* problem strings the event just proved,
+  which is what lets the live plane surface a violation at the
+  sim-time it happens instead of minutes later at teardown;
+* :meth:`InvariantCheck.finalize` — the post-run verdict over the
+  provider/store/result state, returning the complete problem list.
+
+:func:`check_invariants` is now literally a fold of the event stream
+through a fresh :class:`OnlineInvariantMonitor` followed by
+``finalize`` — the same objects, the same order, the same strings —
+so the post-run scorecard is bit-identical to the pre-refactor
+implementation whether or not anything watched the run live.
 
 :func:`build_scorecard` folds the verdicts together with deterministic
 fault/retry/dead-letter accounting into a plain JSON-serialisable dict
@@ -19,16 +26,17 @@ output.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, List, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
 
-from repro.obs import EventType
-from repro.obs.export import validate_stream
+from repro.obs import EventType, TelemetryEvent
+from repro.obs.export import StreamValidator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.chaos.campaign import CampaignSpec
     from repro.cloud.provider import CloudProvider
     from repro.core.fleet.state import FleetStateStore
     from repro.core.result import FleetResult
+    from repro.obs.events import EventBus
     from repro.workloads.base import Workload
 
 
@@ -55,6 +63,311 @@ def _result(name: str, problems: List[str]) -> InvariantResult:
     )
 
 
+@dataclass(frozen=True)
+class OnlineViolation:
+    """One invariant problem surfaced at the sim-time it occurred."""
+
+    time: float
+    name: str
+    detail: str
+    seq: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "name": self.name,
+            "detail": self.detail,
+            "seq": self.seq,
+        }
+
+
+class RunContext:
+    """Post-run state handed to every check's ``finalize``.
+
+    Lazily materialises the store/workload indexes the finalize passes
+    share, so building a context is free for callers that never
+    finalize (a live monitor on a crashed run).
+    """
+
+    def __init__(
+        self,
+        provider: "CloudProvider",
+        store: "FleetStateStore",
+        result: "FleetResult",
+        workloads: Sequence["Workload"],
+    ) -> None:
+        self.provider = provider
+        self.store = store
+        self.result = result
+        self.workloads = workloads
+        self._stored: Optional[Dict[str, Dict[str, Any]]] = None
+
+    @property
+    def stored(self) -> Dict[str, Dict[str, Any]]:
+        """State-store items keyed by workload id (built once)."""
+        if self._stored is None:
+            self._stored = {
+                item["workload_id"]: item for item in self.store.workload_items()
+            }
+        return self._stored
+
+    @property
+    def segments_by_id(self) -> Dict[str, int]:
+        """Expected segment counts per submitted workload."""
+        return {w.workload_id: len(w.segment_durations) for w in self.workloads}
+
+
+class InvariantCheck:
+    """Base: an invariant with an online face and a post-run face."""
+
+    name = "invariant"
+
+    def observe(self, event: TelemetryEvent) -> List[str]:
+        """Fold one event; return problems this event just proved."""
+        return []
+
+    def finalize(self, ctx: RunContext) -> List[str]:
+        """Complete problem list over the finished run."""
+        raise NotImplementedError
+
+
+class WorkloadsTerminalCheck(InvariantCheck):
+    """Every submitted workload reached the terminal "done" state."""
+
+    name = "workloads-terminal"
+
+    def finalize(self, ctx: RunContext) -> List[str]:
+        problems = []
+        for workload in ctx.workloads:
+            item = ctx.stored.get(workload.workload_id)
+            if item is None:
+                problems.append(f"{workload.workload_id}: not in the state store")
+            elif item["state"] != "done":
+                problems.append(f"{workload.workload_id}: state={item['state']!r}")
+        return problems
+
+
+class SingleCompletionCheck(InvariantCheck):
+    """Exactly one completion per workload, every segment done once.
+
+    Online, a *second* ``workload.done`` for the same workload is a
+    violation the moment it lands; missing completions and stored
+    segment mismatches are only decidable at finalize.
+    """
+
+    name = "single-completion"
+
+    def __init__(self) -> None:
+        self.done_counts: Dict[str, int] = {}
+
+    def observe(self, event: TelemetryEvent) -> List[str]:
+        if event.type is not EventType.WORKLOAD_DONE:
+            return []
+        count = self.done_counts.get(event.workload_id, 0) + 1
+        self.done_counts[event.workload_id] = count
+        if count > 1:
+            return [f"{event.workload_id}: {count} workload.done events"]
+        return []
+
+    def finalize(self, ctx: RunContext) -> List[str]:
+        problems = []
+        for workload_id, total in sorted(ctx.segments_by_id.items()):
+            count = self.done_counts.get(workload_id, 0)
+            if count != 1:
+                problems.append(f"{workload_id}: {count} workload.done events")
+            item = ctx.stored.get(workload_id)
+            if item is not None and item["completed_segments"] != total:
+                problems.append(
+                    f"{workload_id}: {item['completed_segments']}/{total} segments stored"
+                )
+        return problems
+
+
+class InstancesTerminatedCheck(InvariantCheck):
+    """No instance outlives the run (nothing orphaned and running)."""
+
+    name = "instances-terminated"
+
+    def finalize(self, ctx: RunContext) -> List[str]:
+        return [
+            f"{instance.instance_id}: still live in {instance.region}"
+            for instance in ctx.provider.ec2.describe_instances()
+            if instance.is_live or instance.end_time is None
+        ]
+
+
+class NoBillingPastEndCheck(InvariantCheck):
+    """No charge accrued past the end of the run."""
+
+    name = "no-billing-past-end"
+
+    def finalize(self, ctx: RunContext) -> List[str]:
+        return [
+            f"{entry.category.value} ${entry.amount:.4f} at t={entry.time:.0f} "
+            f"(run ended t={ctx.result.ended_at:.0f})"
+            for entry in ctx.provider.ledger.entries
+            if entry.time > ctx.result.ended_at
+        ]
+
+
+class BindingsSettledCheck(InvariantCheck):
+    """No stale instance binding may point at live capacity."""
+
+    name = "bindings-settled"
+
+    def finalize(self, ctx: RunContext) -> List[str]:
+        problems = []
+        for instance_id, workload_id in sorted(ctx.store.instance_bindings().items()):
+            instance = ctx.provider.ec2.describe_instance(instance_id)
+            item = ctx.stored.get(workload_id)
+            if instance.is_live and (item is None or item["state"] != "done"):
+                problems.append(f"{instance_id} -> {workload_id}: bound and live")
+        return problems
+
+
+class CheckpointMonotonicCheck(InvariantCheck):
+    """Checkpoint progress only moves forward (modulo explicit fallback).
+
+    Fully online: the violating save event *is* the violation, so the
+    post-run problem list is just everything observed, in event order.
+    """
+
+    name = "checkpoint-monotonic"
+
+    def __init__(self) -> None:
+        self.floor: Dict[str, int] = {}
+        self.problems: List[str] = []
+
+    def observe(self, event: TelemetryEvent) -> List[str]:
+        if event.type is EventType.CHECKPOINT_FALLBACK:
+            self.floor[event.workload_id] = int(event.attrs.get("to_segments", 0))
+        elif event.type is EventType.CHECKPOINT_SAVED:
+            segments = int(event.attrs.get("segments", 0))
+            if segments < self.floor.get(event.workload_id, 0):
+                problem = (
+                    f"{event.workload_id}: checkpoint went backwards "
+                    f"{self.floor[event.workload_id]} -> {segments} (seq={event.seq})"
+                )
+                self.problems.append(problem)
+                return [problem]
+            self.floor[event.workload_id] = segments
+        return []
+
+    def finalize(self, ctx: RunContext) -> List[str]:
+        return list(self.problems)
+
+
+class StreamValidCheck(InvariantCheck):
+    """The telemetry stream's ordering/causality guarantees held."""
+
+    name = "stream-valid"
+
+    def __init__(self) -> None:
+        self.validator = StreamValidator()
+
+    def observe(self, event: TelemetryEvent) -> List[str]:
+        return self.validator.observe(event)
+
+    def finalize(self, ctx: RunContext) -> List[str]:
+        return list(self.validator.problems)
+
+
+def default_checks() -> List[InvariantCheck]:
+    """Fresh check objects in the canonical scorecard order."""
+    return [
+        WorkloadsTerminalCheck(),
+        SingleCompletionCheck(),
+        InstancesTerminatedCheck(),
+        NoBillingPastEndCheck(),
+        BindingsSettledCheck(),
+        CheckpointMonotonicCheck(),
+        StreamValidCheck(),
+    ]
+
+
+class OnlineInvariantMonitor:
+    """Runs every invariant check incrementally as events arrive.
+
+    Attach to a live bus (``attach``) or feed a saved stream through
+    :meth:`observe`; violations are recorded with the sim-time of the
+    offending event and handed to ``on_violation`` (the flight
+    recorder's snapshot hook) the moment they are proven.  After the
+    run, :meth:`finalize` produces the exact scorecard
+    :func:`check_invariants` would — same objects, same fold.
+    """
+
+    def __init__(
+        self,
+        workloads: Sequence["Workload"] = (),
+        on_violation: Optional[Callable[[OnlineViolation], None]] = None,
+    ) -> None:
+        self.workloads = list(workloads)
+        self.checks = default_checks()
+        self.violations: List[OnlineViolation] = []
+        self.on_violation = on_violation
+        self._unsubscribe: Optional[Callable[[], None]] = None
+        self._next_seq: Optional[int] = None
+        self._pending: Dict[int, TelemetryEvent] = {}
+
+    def observe(self, event: TelemetryEvent) -> None:
+        """Fold one event through every check, strictly in seq order.
+
+        Bus fan-out is re-entrant: a subscriber ahead of the monitor
+        that emits while handling event *n* delivers event *n+1* here
+        before *n* itself arrives.  A post-run ``bus.events()`` fold
+        never sees that inversion, so to keep online verdicts
+        bit-identical the monitor holds early arrivals in a small
+        reorder buffer and releases them once the gap fills.
+        """
+        if self._next_seq is None:
+            self._next_seq = event.seq
+        if event.seq != self._next_seq:
+            self._pending[event.seq] = event
+            return
+        self._fold(event)
+        self._next_seq += 1
+        while self._next_seq in self._pending:
+            self._fold(self._pending.pop(self._next_seq))
+            self._next_seq += 1
+
+    def _fold(self, event: TelemetryEvent) -> None:
+        for check in self.checks:
+            for problem in check.observe(event):
+                violation = OnlineViolation(
+                    time=event.time, name=check.name, detail=problem, seq=event.seq
+                )
+                self.violations.append(violation)
+                if self.on_violation is not None:
+                    self.on_violation(violation)
+
+    def attach(self, bus: "EventBus") -> None:
+        """Replay the bus's history, then follow it live.
+
+        Replay-then-subscribe guarantees the monitor sees exactly the
+        events a post-run ``bus.events()`` fold would, no matter how
+        late in the run it was attached.
+        """
+        for event in bus.events():
+            self.observe(event)
+        self._unsubscribe = bus.subscribe(self.observe)
+
+    def detach(self) -> None:
+        """Stop following the bus (idempotent)."""
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    def finalize(
+        self,
+        provider: "CloudProvider",
+        store: "FleetStateStore",
+        result: "FleetResult",
+    ) -> List[InvariantResult]:
+        """Post-run verdicts, bit-identical to :func:`check_invariants`."""
+        ctx = RunContext(provider, store, result, self.workloads)
+        return [_result(check.name, check.finalize(ctx)) for check in self.checks]
+
+
 def check_invariants(
     provider: "CloudProvider",
     store: "FleetStateStore",
@@ -72,90 +385,15 @@ def check_invariants(
 
     Returns:
         One :class:`InvariantResult` per invariant, in a stable order.
+
+    This is the batch fold over :class:`OnlineInvariantMonitor`: a
+    fresh monitor fed the full event stream finalizes to the same
+    verdicts a live-attached one accumulates.
     """
-    events = provider.telemetry.bus.events()
-    stored = {item["workload_id"]: item for item in store.workload_items()}
-    segments_by_id = {w.workload_id: len(w.segment_durations) for w in workloads}
-    results: List[InvariantResult] = []
-
-    # 1. Every submitted workload reached the terminal "done" state.
-    problems = []
-    for workload in workloads:
-        item = stored.get(workload.workload_id)
-        if item is None:
-            problems.append(f"{workload.workload_id}: not in the state store")
-        elif item["state"] != "done":
-            problems.append(f"{workload.workload_id}: state={item['state']!r}")
-    results.append(_result("workloads-terminal", problems))
-
-    # 2. Exactly one completion per workload, with every segment done
-    #    exactly once (no double-completed segments).
-    problems = []
-    done_counts: Dict[str, int] = {}
-    for event in events:
-        if event.type is EventType.WORKLOAD_DONE:
-            done_counts[event.workload_id] = done_counts.get(event.workload_id, 0) + 1
-    for workload_id, total in sorted(segments_by_id.items()):
-        count = done_counts.get(workload_id, 0)
-        if count != 1:
-            problems.append(f"{workload_id}: {count} workload.done events")
-        item = stored.get(workload_id)
-        if item is not None and item["completed_segments"] != total:
-            problems.append(
-                f"{workload_id}: {item['completed_segments']}/{total} segments stored"
-            )
-    results.append(_result("single-completion", problems))
-
-    # 3. No instance outlives the run (nothing orphaned and running).
-    problems = []
-    for instance in provider.ec2.describe_instances():
-        if instance.is_live or instance.end_time is None:
-            problems.append(f"{instance.instance_id}: still live in {instance.region}")
-    results.append(_result("instances-terminated", problems))
-
-    # 4. No charge accrued past the end of the run — terminated capacity
-    #    must stop billing.
-    problems = []
-    for entry in provider.ledger.entries:
-        if entry.time > result.ended_at:
-            problems.append(
-                f"{entry.category.value} ${entry.amount:.4f} at t={entry.time:.0f} "
-                f"(run ended t={result.ended_at:.0f})"
-            )
-    results.append(_result("no-billing-past-end", problems))
-
-    # 5. Stale instance bindings may survive a completed workload, but
-    #    none may point at live capacity.
-    problems = []
-    for instance_id, workload_id in sorted(store.instance_bindings().items()):
-        instance = provider.ec2.describe_instance(instance_id)
-        item = stored.get(workload_id)
-        if instance.is_live and (item is None or item["state"] != "done"):
-            problems.append(f"{instance_id} -> {workload_id}: bound and live")
-    results.append(_result("bindings-settled", problems))
-
-    # 6. Checkpoint progress is monotonic per workload, except through
-    #    an explicit integrity fallback (which resets the floor).
-    problems = []
-    floor: Dict[str, int] = {}
-    for event in events:
-        if event.type is EventType.CHECKPOINT_FALLBACK:
-            floor[event.workload_id] = int(event.attrs.get("to_segments", 0))
-        elif event.type is EventType.CHECKPOINT_SAVED:
-            segments = int(event.attrs.get("segments", 0))
-            if segments < floor.get(event.workload_id, 0):
-                problems.append(
-                    f"{event.workload_id}: checkpoint went backwards "
-                    f"{floor[event.workload_id]} -> {segments} (seq={event.seq})"
-                )
-            else:
-                floor[event.workload_id] = segments
-    results.append(_result("checkpoint-monotonic", problems))
-
-    # 7. The telemetry stream's ordering/causality guarantees held.
-    results.append(_result("stream-valid", validate_stream(events)))
-
-    return results
+    monitor = OnlineInvariantMonitor(workloads)
+    for event in provider.telemetry.bus.events():
+        monitor.observe(event)
+    return monitor.finalize(provider, store, result)
 
 
 # ----------------------------------------------------------------------
@@ -170,9 +408,19 @@ def build_scorecard(
     policy: str,
     seed: int,
     extra_invariants: Sequence[InvariantResult] = (),
+    monitor: Optional[OnlineInvariantMonitor] = None,
 ) -> Dict[str, Any]:
-    """Assemble the deterministic chaos scorecard for one run."""
-    invariants = list(check_invariants(provider, store, result, workloads))
+    """Assemble the deterministic chaos scorecard for one run.
+
+    When a live *monitor* followed the run, its ``finalize`` supplies
+    the verdicts directly (no re-fold of the stream); otherwise the
+    batch :func:`check_invariants` fold runs here.  Both paths produce
+    identical scorecards by construction.
+    """
+    if monitor is not None:
+        invariants = list(monitor.finalize(provider, store, result))
+    else:
+        invariants = list(check_invariants(provider, store, result, workloads))
     invariants.extend(extra_invariants)
     events = provider.telemetry.bus.events()
     faults_by_kind: Dict[str, int] = {}

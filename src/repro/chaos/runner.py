@@ -20,7 +20,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.chaos.campaign import CampaignSpec, default_campaign
 from repro.chaos.faults import ChaosController
-from repro.chaos.invariants import InvariantResult, build_scorecard
+from repro.chaos.invariants import (
+    InvariantResult,
+    OnlineInvariantMonitor,
+    build_scorecard,
+)
 from repro.cloud.provider import CloudProvider
 from repro.core.config import SpotVerseConfig
 from repro.core.controller import FleetController
@@ -122,11 +126,35 @@ def _execute(
     warmup_steps: int,
     workloads: Optional[Sequence[Workload]],
     apply_kills: bool,
+    stream_dir: Optional[str] = None,
+    blackbox_dir: Optional[str] = None,
 ):
-    """One full run; returns live objects for scorecard assembly."""
+    """One full run; returns live objects for scorecard assembly.
+
+    With *stream_dir*, a :class:`~repro.obs.live.LivePlane` streams the
+    run's telemetry into segmented JSONL there (bus trimming stays off:
+    the scorecard's post-run folds need the full stream).  With
+    *blackbox_dir*, a :class:`~repro.obs.flight.FlightRecorder` arms on
+    invariant breaches, dead-letters, and engine exceptions, and always
+    leaves a ``BLACKBOX_final.json`` run-end snapshot.  Either way an
+    :class:`OnlineInvariantMonitor` follows the bus, so the returned
+    monitor's violations carry the sim-times at which they occurred.
+    """
     config = _make_config(policy_name)
     provider = CloudProvider(seed=seed)
     provider.warmup_markets(warmup_steps)
+    recorder = None
+    plane = None
+    if blackbox_dir is not None:
+        from repro.obs.flight import FlightRecorder
+
+        recorder = FlightRecorder(provider.telemetry, directory=blackbox_dir)
+        recorder.watch_dead_letters()
+        recorder.guard_engine(provider.engine)
+    if stream_dir is not None:
+        from repro.obs.live import LivePlane
+
+        plane = LivePlane(provider.telemetry, directory=stream_dir, recorder=recorder)
     monitor = (
         Monitor(provider, [config.instance_type], collect_interval=config.collect_interval)
         if policy_name in _MONITOR_POLICIES
@@ -135,6 +163,15 @@ def _execute(
     policy = _make_policy(policy_name, config, monitor)
     controller = FleetController(provider, policy, config, monitor=monitor)
     fleet = list(workloads) if workloads is not None else default_fleet()
+    invariant_monitor = OnlineInvariantMonitor(
+        fleet,
+        on_violation=recorder.on_invariant_violation if recorder is not None else None,
+    )
+    invariant_monitor.attach(provider.telemetry.bus)
+    if recorder is not None:
+        recorder.add_context(
+            "fleet_states", controller.state_store.state_counts
+        )
 
     # The controller-kill offsets are executed here (process-level
     # faults); everything else is the chaos controller's business.
@@ -159,7 +196,13 @@ def _execute(
             controller.restore(fleet)
         result = controller.wait(fleet, max_hours=max_hours)
     chaos.deactivate()
-    return provider, controller.state_store, result, fleet
+    invariant_monitor.detach()
+    if plane is not None:
+        plane.close()
+    if recorder is not None:
+        recorder.snapshot_final()
+        recorder.close()
+    return provider, controller.state_store, result, fleet, invariant_monitor
 
 
 def run_campaign(
@@ -170,6 +213,8 @@ def run_campaign(
     warmup_steps: int = DEFAULT_WARMUP_STEPS,
     workloads: Optional[Sequence[Workload]] = None,
     verify_resume_equivalence: bool = False,
+    stream_dir: Optional[str] = None,
+    blackbox_dir: Optional[str] = None,
 ) -> ChaosRunOutcome:
     """Run *campaign* against *policy* and score the outcome.
 
@@ -187,17 +232,32 @@ def run_campaign(
             outcome.  (Only meaningful with kills scheduled outside
             rate-based fault windows; recovery's extra store reads
             otherwise consume window RNG draws.)
+        stream_dir: Stream the run's telemetry into segmented JSONL
+            here while it executes (``spotverse obs watch --dir``
+            tails it).  The resume-equivalence baseline run, when any,
+            never exports.
+        blackbox_dir: Arm a flight recorder writing ``BLACKBOX_*.json``
+            artifacts here on invariant breach, dead-letter, or engine
+            exception (plus an unconditional run-end snapshot).
 
     Returns:
         A :class:`ChaosRunOutcome` with the deterministic scorecard.
     """
     campaign = campaign if campaign is not None else default_campaign()
-    provider, store, result, fleet = _execute(
-        policy, campaign, seed, max_hours, warmup_steps, workloads, apply_kills=True
+    provider, store, result, fleet, monitor = _execute(
+        policy,
+        campaign,
+        seed,
+        max_hours,
+        warmup_steps,
+        workloads,
+        apply_kills=True,
+        stream_dir=stream_dir,
+        blackbox_dir=blackbox_dir,
     )
     extra: List[InvariantResult] = []
     if verify_resume_equivalence and campaign.kills:
-        baseline_provider, _, baseline, _ = _execute(
+        baseline_provider, _, baseline, _, _ = _execute(
             policy, campaign, seed, max_hours, warmup_steps, workloads, apply_kills=False
         )
         baseline_provider.shutdown()
@@ -211,6 +271,7 @@ def run_campaign(
         policy=policy,
         seed=seed,
         extra_invariants=extra,
+        monitor=monitor,
     )
     provider.shutdown()
     return ChaosRunOutcome(scorecard=scorecard, result=result)

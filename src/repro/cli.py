@@ -122,7 +122,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="also print the engine's wall-clock profile "
                           "(events/sec, hottest callback labels)")
     obs_sub = obs.add_subparsers(
-        dest="obs_command", metavar="{explain,markets,profile,trace,slo}"
+        dest="obs_command", metavar="{explain,markets,profile,trace,slo,watch}"
     )
     explain = obs_sub.add_parser(
         "explain",
@@ -183,6 +183,33 @@ def _build_parser() -> argparse.ArgumentParser:
                           "format (live runs only)")
     slo.add_argument("--json", default=None, metavar="PATH",
                      help="also write the scorecard as JSON")
+    watch = obs_sub.add_parser(
+        "watch",
+        help="refreshing terminal dashboard over a live run or a growing "
+             "segmented stream: fleet rollup, window rates, SLO status, "
+             "anomaly/violation feed",
+    )
+    watch.add_argument("--from-events", default=None, metavar="PATH",
+                       help="render a snapshot of a finished JSONL stream")
+    watch.add_argument("--dir", default=None, metavar="DIR", dest="stream_dir",
+                       help="tail a segmented stream directory "
+                            "(written live by the observability plane)")
+    watch.add_argument("--live", action="store_true",
+                       help="run the fleet the parent obs flags describe and "
+                            "refresh the dashboard as it executes")
+    watch.add_argument("--once", action="store_true",
+                       help="render a single snapshot and exit (CI mode)")
+    watch.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                       help="wall-clock refresh interval when following a "
+                            "growing stream")
+    watch.add_argument("--refresh-hours", type=float, default=6.0,
+                       help="sim-hours between dashboard refreshes with --live")
+    watch.add_argument("--window-hours", type=float, default=1.0,
+                       help="tumbling aggregation window width in sim-hours")
+    watch.add_argument("--show-windows", type=int, default=6,
+                       help="recent windows listed in the rate table")
+    watch.add_argument("--show-feed", type=int, default=8,
+                       help="feed entries listed")
 
     experiment = sub.add_parser("experiment", help="regenerate one paper experiment")
     experiment.add_argument(
@@ -232,6 +259,17 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos_run.add_argument(
         "--export", default=None, metavar="PATH",
         help="write the scorecard JSON (replayable: same seed, same bytes)",
+    )
+    chaos_run.add_argument(
+        "--export-stream", default=None, metavar="DIR",
+        help="stream the run's telemetry into segmented JSONL under DIR "
+             "while it executes (tail it with `spotverse obs watch --dir DIR`)",
+    )
+    chaos_run.add_argument(
+        "--blackbox", default=None, metavar="DIR",
+        help="arm a flight recorder writing BLACKBOX_*.json artifacts under "
+             "DIR on invariant breach, dead-letter, or engine exception "
+             "(plus a run-end snapshot)",
     )
     chaos_report = chaos_sub.add_parser(
         "report",
@@ -578,6 +616,98 @@ def _cmd_obs_slo(args: argparse.Namespace) -> int:
     return 0 if scorecard.all_passed else 1
 
 
+def _stream_complete(directory: str) -> bool:
+    """Whether a segmented stream's manifest says the run ended."""
+    import json
+    import os
+
+    try:
+        with open(os.path.join(directory, "manifest.json")) as handle:
+            return bool(json.load(handle).get("complete"))
+    except (OSError, ValueError):
+        return False
+
+
+def _cmd_obs_watch(args: argparse.Namespace) -> int:
+    import os
+    import time
+
+    from repro.obs.watch import WatchState, render_dashboard
+    from repro.sim.clock import HOUR
+
+    sources = [bool(args.from_events), bool(args.stream_dir), args.live]
+    if sum(sources) != 1:
+        print("error: pick exactly one of --from-events, --dir, or --live")
+        return 2
+    window_seconds = args.window_hours * HOUR
+
+    if args.live:
+        provider = CloudProvider(seed=args.seed, observatory=True)
+        state = WatchState(window_seconds=window_seconds)
+        provider.telemetry.bus.subscribe(state.observe)
+
+        def _refresh() -> None:
+            print(render_dashboard(
+                state,
+                source=f"live run (seed {args.seed})",
+                show_windows=args.show_windows,
+                show_feed=args.show_feed,
+            ))
+            print()
+
+        if not args.once:
+            provider.engine.every(
+                args.refresh_hours * HOUR, _refresh, label="obs-watch-refresh"
+            )
+        result = _run_obs_fleet(args, provider)
+        state.complete = True
+        print(render_dashboard(
+            state,
+            source=f"live run (seed {args.seed}, finished)",
+            show_windows=args.show_windows,
+            show_feed=args.show_feed,
+        ))
+        return 0 if result.all_complete else 1
+
+    path = args.from_events or args.stream_dir
+    if args.from_events or args.once:
+        stream = _load_stream(path)
+        if stream is None:
+            return 2
+        state = WatchState.from_stream(stream, window_seconds=window_seconds)
+        state.complete = bool(args.from_events) or _stream_complete(path)
+        print(render_dashboard(
+            state,
+            source=path,
+            show_windows=args.show_windows,
+            show_feed=args.show_feed,
+        ))
+        return 0
+
+    # Follow mode over a growing segmented stream: re-fold and re-render
+    # until the manifest reports completion.  Re-loading is O(stream) but
+    # the segment caps keep streams small at interactive scales.
+    if not os.path.exists(path):
+        print(f"error: cannot read event stream {path!r}: no such directory")
+        return 2
+    while True:
+        stream = _load_stream(path)
+        complete = _stream_complete(path)
+        if stream is not None:
+            state = WatchState.from_stream(stream, window_seconds=window_seconds)
+            state.complete = complete
+            print(render_dashboard(
+                state,
+                source=path,
+                show_windows=args.show_windows,
+                show_feed=args.show_feed,
+            ))
+            print()
+        if complete:
+            return 0 if stream is not None else 2
+        time.sleep(max(0.05, args.interval))
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import RunReport, Telemetry, write_jsonl
 
@@ -592,6 +722,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         return _cmd_obs_trace(args)
     if obs_command == "slo":
         return _cmd_obs_slo(args)
+    if obs_command == "watch":
+        return _cmd_obs_watch(args)
 
     if args.from_events:
         stream = _load_stream(args.from_events)
@@ -677,8 +809,14 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_hours=args.max_hours,
         verify_resume_equivalence=args.verify_resume,
+        stream_dir=args.export_stream,
+        blackbox_dir=args.blackbox,
     )
     print(render_scorecard(outcome.scorecard))
+    if args.export_stream:
+        print(f"segmented event stream written to {args.export_stream}")
+    if args.blackbox:
+        print(f"blackbox artifacts written to {args.blackbox}")
     if args.export:
         try:
             with open(args.export, "w") as handle:

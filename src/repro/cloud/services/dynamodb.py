@@ -230,6 +230,17 @@ class DynamoDBService:
             return list(items)
         return [item for item in items if predicate(item)]
 
+    def peek_items(self, table_name: str) -> List[Item]:
+        """Fault-free, unbilled snapshot of a table's rows.
+
+        Diagnostic path for observers that must read state mid-run
+        without perturbing it: no chaos gate (so no fault-stream RNG
+        draws), no request units charged, no retry/dead-letter
+        emissions.  The flight recorder's blackbox context providers
+        read through here; simulated control-plane code never should.
+        """
+        return [dict(item) for item in self._table(table_name).items.values()]
+
     def item_count(self, table_name: str) -> int:
         """Number of items currently in the table."""
         return len(self._table(table_name).items)

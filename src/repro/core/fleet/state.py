@@ -197,6 +197,23 @@ class FleetStateStore:
         """How many stored workloads have finished."""
         return sum(1 for item in self.workload_items() if item["state"] == "done")
 
+    def state_counts(self) -> Dict[str, int]:
+        """Stored workloads per state, name-sorted.
+
+        The flight recorder embeds this in blackbox snapshots: one
+        line of fleet shape ("3 running, 2 migrating, 1 done") that
+        usually orients an incident before the event ring is read.
+        Reads via :meth:`DynamoDBService.peek_items` — snapshots fire
+        mid-run from inside event fan-out, and a metered or
+        chaos-gated read there would consume fault-stream RNG draws
+        and perturb the very run being recorded.
+        """
+        counts: Dict[str, int] = {}
+        for item in self._dynamodb.peek_items(self.workloads_table):
+            state = item["state"]
+            counts[state] = counts.get(state, 0) + 1
+        return dict(sorted(counts.items()))
+
     # ------------------------------------------------------------------
     # Instance bindings
     # ------------------------------------------------------------------

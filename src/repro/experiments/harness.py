@@ -136,6 +136,19 @@ class ArmSpec:
             runner-level faults and are ignored here).  ``None`` — the
             default — means a fault-free arm, bit-identical to
             pre-chaos builds.
+        live_dir: When set, the arm attaches a
+            :class:`~repro.obs.live.LivePlane` streaming its telemetry
+            into segmented JSONL under ``<live_dir>/<arm name>``.
+            Plain strings pickle, so live export works in pool workers
+            too (each worker writes its own arm's directory).
+        flight_dir: When set, the arm arms a
+            :class:`~repro.obs.flight.FlightRecorder` writing
+            ``BLACKBOX_*.json`` under ``<flight_dir>/<arm name>``.
+        trim_bus: With a live plane attached, clear the event bus after
+            each export flush so telemetry memory stays bounded by the
+            segment/window caps instead of the run length.  Off by
+            default — post-run consumers (reports, ``write_jsonl``)
+            need the full stream.
     """
 
     name: str
@@ -150,6 +163,9 @@ class ArmSpec:
     telemetry: Optional[Telemetry] = None
     observatory: bool = False
     campaign: Optional["CampaignSpec"] = None
+    live_dir: Optional[str] = None
+    flight_dir: Optional[str] = None
+    trim_bus: bool = False
 
 
 @dataclass
@@ -165,6 +181,10 @@ class ArmResult:
     spec: ArmSpec
     fleet: FleetResult
     provider: Optional[CloudProvider]
+    #: The arm's live observability plane, when ``spec.live_dir`` asked
+    #: for one and the arm ran in-process (``None`` for pool-run arms —
+    #: the plane's exported segments are still on disk either way).
+    live_plane: Optional[object] = None
 
     @property
     def name(self) -> str:
@@ -192,6 +212,25 @@ def run_arm(spec: ArmSpec) -> ArmResult:
     )
     if spec.warmup_steps:
         provider.warmup_markets(spec.warmup_steps)
+    recorder = None
+    if spec.flight_dir is not None:
+        from repro.obs.flight import FlightRecorder
+
+        recorder = FlightRecorder(
+            provider.telemetry, directory=os.path.join(spec.flight_dir, spec.name)
+        )
+        recorder.watch_dead_letters()
+        recorder.guard_engine(provider.engine)
+    plane = None
+    if spec.live_dir is not None:
+        from repro.obs.live import LivePlane
+
+        plane = LivePlane(
+            provider.telemetry,
+            directory=os.path.join(spec.live_dir, spec.name),
+            trim_bus=spec.trim_bus,
+            recorder=recorder,
+        )
     monitor = Monitor(
         provider,
         instance_types=[spec.config.instance_type],
@@ -209,8 +248,13 @@ def run_arm(spec: ArmSpec) -> ArmResult:
     # (sweep tick, straggler fulfillment) must hit the router's inert
     # path, not a half-dismantled service.
     controller.teardown()
+    if plane is not None:
+        plane.close()
+    if recorder is not None:
+        recorder.snapshot_final()
+        recorder.close()
     provider.shutdown()
-    return ArmResult(spec=spec, fleet=fleet, provider=provider)
+    return ArmResult(spec=spec, fleet=fleet, provider=provider, live_plane=plane)
 
 
 def _run_arm_fleet(spec: ArmSpec) -> FleetResult:

@@ -90,8 +90,16 @@ def run_motivation_experiment(
     seed: int = 7,
     duration_hours: float = 10.5,
     jobs: Optional[int] = None,
+    live_dir: Optional[str] = None,
+    flight_dir: Optional[str] = None,
+    trim_bus: bool = False,
 ) -> MotivationResult:
-    """Run the four arms of the motivational experiment."""
+    """Run the four arms of the motivational experiment.
+
+    ``live_dir`` / ``flight_dir`` / ``trim_bus`` thread straight onto
+    each :class:`ArmSpec` — the streaming-overhead benchmark uses them
+    to run fig3 with the live observability plane on.
+    """
     config = SpotVerseConfig(instance_type="m5.xlarge")
     factories = {
         "standard": indexed_workload_factory(
@@ -111,6 +119,9 @@ def run_motivation_experiment(
                 workload_factory=factory,
                 n_workloads=n_workloads,
                 seed=seed,
+                live_dir=live_dir,
+                flight_dir=flight_dir,
+                trim_bus=trim_bus,
             )
         )
         specs.append(
@@ -123,6 +134,9 @@ def run_motivation_experiment(
                 workload_factory=factory,
                 n_workloads=n_workloads,
                 seed=seed,
+                live_dir=live_dir,
+                flight_dir=flight_dir,
+                trim_bus=trim_bus,
             )
         )
     arms = run_arms(specs, jobs=jobs)

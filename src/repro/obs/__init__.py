@@ -19,11 +19,23 @@ from typing import Callable, Optional
 from repro.obs.events import EventBus, EventType, TelemetryEvent
 from repro.obs.export import (
     RunReport,
+    StreamValidator,
     TelemetryStream,
     read_jsonl,
     render_gantt,
+    segment_files,
     validate_stream,
     write_jsonl,
+)
+from repro.obs.flight import FlightRecorder
+from repro.obs.live import (
+    FleetRollup,
+    LiveExporter,
+    LivePlane,
+    SegmentWriter,
+    SLOBreach,
+    WindowAggregator,
+    WindowStats,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Sample
 from repro.obs.observatory import Anomaly, MarketObservatory
@@ -42,6 +54,7 @@ from repro.obs.provenance import (
     render_explanation,
 )
 from repro.obs.slo import (
+    LatencyWatcher,
     SLOResult,
     SLOScorecard,
     SLOSpec,
@@ -51,6 +64,7 @@ from repro.obs.slo import (
     evaluate_slo_from_events,
     latency_series,
 )
+from repro.obs.watch import WatchState, render_dashboard
 from repro.obs.spans import (
     EngineTracer,
     LabelStats,
@@ -135,29 +149,40 @@ __all__ = [
     "EngineTracer",
     "EventBus",
     "EventType",
+    "FleetRollup",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "HopRecord",
     "HotPathProfile",
     "HotPathProfiler",
     "LabelStats",
+    "LatencyWatcher",
+    "LiveExporter",
+    "LivePlane",
     "MarketObservatory",
     "MetricsRegistry",
     "ProfileEntry",
     "RegionEvaluation",
     "RingSeries",
     "RunReport",
+    "SLOBreach",
     "SLOResult",
     "SLOScorecard",
     "SLOSpec",
     "SLOTarget",
     "Sample",
+    "SegmentWriter",
     "Span",
+    "StreamValidator",
     "Telemetry",
     "TelemetryEvent",
     "TelemetryStream",
     "TimeSeriesStore",
     "TraceContext",
+    "WatchState",
+    "WindowAggregator",
+    "WindowStats",
     "WorkloadSpanTree",
     "attach_profiler",
     "build_spans",
@@ -168,9 +193,11 @@ __all__ = [
     "evaluate_slo_from_events",
     "latency_series",
     "read_jsonl",
+    "render_dashboard",
     "render_explanation",
     "render_gantt",
     "render_trace",
+    "segment_files",
     "subsystem_for",
     "traced_hop",
     "traced_resume",

@@ -24,6 +24,7 @@ integration tests (and sceptical humans) run over a stream.
 from __future__ import annotations
 
 import json
+import os
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -102,56 +103,94 @@ def read_jsonl(path: str) -> Tuple[List[TelemetryEvent], List[Sample]]:
 
 @dataclass
 class TelemetryStream:
-    """Everything a saved JSONL stream holds, plus derived views."""
+    """Everything a saved JSONL stream holds, plus derived views.
+
+    ``truncated`` is set when the final line of the (last) file was cut
+    mid-record — a live writer caught between ``write`` and ``flush``.
+    The partial tail is skipped rather than raised, so tailing a
+    growing stream never trips over the writer.
+    """
 
     events: List[TelemetryEvent] = field(default_factory=list)
     samples: List[Sample] = field(default_factory=list)
     points: List[Dict[str, object]] = field(default_factory=list)
+    truncated: bool = False
 
     @classmethod
     def load(cls, path: str) -> "TelemetryStream":
-        """Parse a stream written by :func:`write_jsonl`.
+        """Parse a stream written by :func:`write_jsonl` or a live
+        segmented stream directory (see :mod:`repro.obs.live`).
+
+        *path* may be a single JSONL file, a segment directory holding
+        ``segment-*.jsonl`` files (plus an optional ``manifest.json``),
+        or the manifest file itself.
 
         Raises:
-            ReproError: On a malformed (e.g. truncated) line, with the
-                path and line number of the damage.
+            ReproError: On a malformed line, with the path and line
+                number of the damage.  A partial *final* line with no
+                trailing newline (live writer mid-record) is tolerated:
+                it is skipped and :attr:`truncated` is set instead.
         """
         stream = cls()
-        with open(path) as handle:
-            for lineno, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                    kind = record.pop("kind", "event")
-                    if kind == "event":
-                        stream.events.append(TelemetryEvent.from_dict(record))
-                    elif kind == "metric":
-                        stream.samples.append(
-                            Sample(
-                                name=record["name"],
-                                kind=record.get("metric_kind", "counter"),
-                                labels=tuple(sorted(record.get("labels", {}).items())),
-                                value=float(record["value"]),
-                                count=record.get("count"),
-                            )
-                        )
-                    elif kind == "point":
-                        record["value"] = float(record["value"])
-                        record["time"] = float(record["time"])
-                        stream.points.append(record)
-                    # Unknown kinds: skip (forward compatibility).
-                except (ValueError, KeyError, TypeError) as exc:
-                    raise ReproError(
-                        f"{path}:{lineno}: not a telemetry stream line ({exc})"
-                    ) from exc
+        if os.path.basename(path) == "manifest.json":
+            path = os.path.dirname(path) or "."
+        if os.path.isdir(path):
+            for segment in segment_files(path):
+                stream._parse_file(segment)
+        else:
+            stream._parse_file(path)
         return stream
+
+    def _parse_file(self, path: str) -> None:
+        """Parse one JSONL file into this stream, tolerating a cut tail."""
+        with open(path) as handle:
+            raw = handle.read()
+        complete_tail = raw.endswith("\n")
+        lines = raw.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        last_index = len(lines) - 1
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                kind = record.pop("kind", "event")
+                if kind == "event":
+                    self.events.append(TelemetryEvent.from_dict(record))
+                elif kind == "metric":
+                    self.samples.append(
+                        Sample(
+                            name=record["name"],
+                            kind=record.get("metric_kind", "counter"),
+                            labels=tuple(sorted(record.get("labels", {}).items())),
+                            value=float(record["value"]),
+                            count=record.get("count"),
+                        )
+                    )
+                elif kind == "point":
+                    record["value"] = float(record["value"])
+                    record["time"] = float(record["time"])
+                    self.points.append(record)
+                # Unknown kinds: skip (forward compatibility).
+            except (ValueError, KeyError, TypeError) as exc:
+                if index == last_index and not complete_tail:
+                    self.truncated = True
+                    return
+                raise ReproError(
+                    f"{path}:{index + 1}: not a telemetry stream line ({exc})"
+                ) from exc
 
     @property
     def empty(self) -> bool:
         """True when the stream holds no records at all."""
         return not (self.events or self.samples or self.points)
+
+    @property
+    def last_time(self) -> float:
+        """Sim time of the last event (0.0 when there are none)."""
+        return self.events[-1].time if self.events else 0.0
 
     def decisions(self) -> List[DecisionRecord]:
         """The Algorithm-1 decision log carried in the event stream."""
@@ -162,9 +201,109 @@ class TelemetryStream:
         return TimeSeriesStore.from_points(self.points)
 
 
+def segment_files(directory: str) -> List[str]:
+    """The JSONL files of a segmented stream directory, in write order.
+
+    Prefers the ``manifest.json`` the live exporter maintains (sealed
+    segments in rotation order, then the active tail); falls back to a
+    sorted glob of ``segment-*.jsonl`` when no manifest exists yet.
+    """
+    manifest_path = os.path.join(directory, "manifest.json")
+    names: List[str] = []
+    if os.path.exists(manifest_path):
+        try:
+            with open(manifest_path) as handle:
+                manifest = json.load(handle)
+        except ValueError as exc:
+            raise ReproError(f"{manifest_path}: not a stream manifest ({exc})") from exc
+        names = [segment["name"] for segment in manifest.get("segments", ())]
+        active = manifest.get("active")
+        if active:
+            names.append(active)
+    else:
+        names = sorted(
+            name
+            for name in os.listdir(directory)
+            if name.startswith("segment-") and name.endswith(".jsonl")
+        )
+    if not names:
+        raise ReproError(f"{directory}: no stream segments found")
+    return [
+        os.path.join(directory, name)
+        for name in names
+        if os.path.exists(os.path.join(directory, name))
+    ]
+
+
 # ----------------------------------------------------------------------
 # Stream validation (ordering + causality guarantees)
 # ----------------------------------------------------------------------
+class StreamValidator:
+    """Incremental ordering/causality checker over a telemetry stream.
+
+    Feed events in emission order via :meth:`observe`; each call
+    returns the problems *that event* introduced (usually none), while
+    :attr:`problems` accumulates everything seen so far.  Folding a
+    full stream through one validator produces exactly the list the
+    batch :func:`validate_stream` returns — the online invariant
+    monitor and the post-run scorecard share this object, which is what
+    keeps their verdicts bit-identical.
+    """
+
+    def __init__(self) -> None:
+        self.problems: List[str] = []
+        self._last_seq = -1
+        self._last_time = float("-inf")
+        self._requested: set = set()
+        self._warnings: Dict[str, int] = defaultdict(int)
+        self._migration_starts: Dict[str, int] = defaultdict(int)
+        self._migration_completes: Dict[str, int] = defaultdict(int)
+        self._done: set = set()
+
+    def observe(self, event: TelemetryEvent) -> List[str]:
+        """Check one event; returns newly detected problems."""
+        new: List[str] = []
+        if event.seq <= self._last_seq:
+            new.append(f"seq not increasing at seq={event.seq}")
+        self._last_seq = event.seq
+        if event.time < self._last_time:
+            new.append(f"time went backwards at seq={event.seq}")
+        self._last_time = event.time
+
+        wid = event.workload_id
+        if wid and wid in self._done:
+            new.append(
+                f"{event.type.value} for {wid!r} after workload.done (seq={event.seq})"
+            )
+        if event.type is EventType.SPOT_REQUESTED:
+            self._requested.add(event.request_id)
+        elif event.type is EventType.SPOT_FULFILLED:
+            if event.request_id not in self._requested:
+                new.append(
+                    f"fulfillment of unknown request {event.request_id!r} (seq={event.seq})"
+                )
+        elif event.type is EventType.INTERRUPTION_WARNING:
+            self._warnings[wid] += 1
+        elif event.type is EventType.MIGRATION_STARTED:
+            self._migration_starts[wid] += 1
+            if self._migration_starts[wid] > self._warnings[wid]:
+                new.append(
+                    f"migration.started without a prior interruption warning "
+                    f"for {wid!r} (seq={event.seq})"
+                )
+        elif event.type is EventType.MIGRATION_COMPLETED:
+            self._migration_completes[wid] += 1
+            if self._migration_completes[wid] > self._migration_starts[wid]:
+                new.append(
+                    f"migration.completed without a prior migration.started "
+                    f"for {wid!r} (seq={event.seq})"
+                )
+        elif event.type is EventType.WORKLOAD_DONE:
+            self._done.add(wid)
+        self.problems.extend(new)
+        return new
+
+
 def validate_stream(events: Sequence[TelemetryEvent]) -> List[str]:
     """Check a stream's ordering and per-workload causality.
 
@@ -175,55 +314,13 @@ def validate_stream(events: Sequence[TelemetryEvent]) -> List[str]:
     * migrations start only after an interruption warning, complete
       only after a start;
     * nothing happens to a workload after its ``workload.done``.
+
+    This is the batch fold over :class:`StreamValidator`.
     """
-    problems: List[str] = []
-    last_seq = -1
-    last_time = float("-inf")
-    requested: set = set()
-    warnings: Dict[str, int] = defaultdict(int)
-    migration_starts: Dict[str, int] = defaultdict(int)
-    migration_completes: Dict[str, int] = defaultdict(int)
-    done: set = set()
-
+    validator = StreamValidator()
     for event in events:
-        if event.seq <= last_seq:
-            problems.append(f"seq not increasing at seq={event.seq}")
-        last_seq = event.seq
-        if event.time < last_time:
-            problems.append(f"time went backwards at seq={event.seq}")
-        last_time = event.time
-
-        wid = event.workload_id
-        if wid and wid in done:
-            problems.append(
-                f"{event.type.value} for {wid!r} after workload.done (seq={event.seq})"
-            )
-        if event.type is EventType.SPOT_REQUESTED:
-            requested.add(event.request_id)
-        elif event.type is EventType.SPOT_FULFILLED:
-            if event.request_id not in requested:
-                problems.append(
-                    f"fulfillment of unknown request {event.request_id!r} (seq={event.seq})"
-                )
-        elif event.type is EventType.INTERRUPTION_WARNING:
-            warnings[wid] += 1
-        elif event.type is EventType.MIGRATION_STARTED:
-            migration_starts[wid] += 1
-            if migration_starts[wid] > warnings[wid]:
-                problems.append(
-                    f"migration.started without a prior interruption warning "
-                    f"for {wid!r} (seq={event.seq})"
-                )
-        elif event.type is EventType.MIGRATION_COMPLETED:
-            migration_completes[wid] += 1
-            if migration_completes[wid] > migration_starts[wid]:
-                problems.append(
-                    f"migration.completed without a prior migration.started "
-                    f"for {wid!r} (seq={event.seq})"
-                )
-        elif event.type is EventType.WORKLOAD_DONE:
-            done.add(wid)
-    return problems
+        validator.observe(event)
+    return validator.problems
 
 
 # ----------------------------------------------------------------------
@@ -707,11 +804,13 @@ __all__ = [
     "PHASE_GLYPHS",
     "SPARK_GLYPHS",
     "RunReport",
+    "StreamValidator",
     "TelemetryStream",
     "read_jsonl",
     "render_gantt",
     "render_market_tables",
     "render_sparkline",
+    "segment_files",
     "stream_lines",
     "validate_stream",
     "write_jsonl",

@@ -1,0 +1,216 @@
+"""Flight recorder: a bounded black box for post-incident forensics.
+
+Aviation flight recorders keep only the last N minutes — enough to
+reconstruct the incident without retaining the whole flight.  The
+:class:`FlightRecorder` does the same for a run: a ring buffer of the
+last ``capacity`` telemetry events (plus, at snapshot time, the
+current metrics and any recent trace hops) that stays O(capacity) no
+matter how long the run is.  When something goes wrong — a chaos
+invariant breach, an SLO breach, a resilience dead-letter, or an
+unhandled engine exception — :meth:`trigger` freezes the ring into a
+self-contained ``BLACKBOX_*.json`` artifact carrying everything needed
+to diagnose the failure without re-running the sim.
+
+The recorder is read-only with respect to the run: it subscribes to
+the bus, never emits, and serialises events lazily (only at trigger
+time), so an armed-but-untriggered recorder costs one deque append per
+event.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.obs.events import EventType, TelemetryEvent
+
+#: Artifact schema tag; bump on incompatible layout changes.
+BLACKBOX_FORMAT = "spotverse-blackbox/1"
+
+#: Default ring capacity (events retained before a trigger).
+DEFAULT_CAPACITY = 512
+
+#: Default cap on artifacts written per recorder (a flapping invariant
+#: must not fill the disk; triggers past the cap are still counted).
+DEFAULT_MAX_ARTIFACTS = 8
+
+#: Trace hops included in a snapshot when a tracer is attached.
+MAX_SNAPSHOT_HOPS = 64
+
+
+def _slug(text: str) -> str:
+    """Filesystem-safe lowercase slug for artifact names."""
+    return re.sub(r"[^a-z0-9]+", "-", text.lower()).strip("-") or "trigger"
+
+
+class FlightRecorder:
+    """Ring buffer of recent telemetry, snapshotted on trigger.
+
+    Args:
+        telemetry: The provider's :class:`~repro.obs.Telemetry` bundle.
+        capacity: Events retained in the ring.
+        directory: Where ``BLACKBOX_*.json`` artifacts land; ``None``
+            keeps snapshots in-memory only (:attr:`triggers`).
+        max_artifacts: Artifact-file cap; later triggers are recorded
+            in :attr:`triggers` but not written.
+    """
+
+    def __init__(
+        self,
+        telemetry,
+        capacity: int = DEFAULT_CAPACITY,
+        directory: Optional[str] = None,
+        max_artifacts: int = DEFAULT_MAX_ARTIFACTS,
+    ) -> None:
+        self.telemetry = telemetry
+        self.capacity = max(1, int(capacity))
+        self.directory = directory
+        self.max_artifacts = max(0, int(max_artifacts))
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+        self.ring: Deque[TelemetryEvent] = deque(maxlen=self.capacity)
+        #: Every trigger's payload, in order (bounded by trigger count,
+        #: which the artifact cap keeps honest for pathological runs).
+        self.triggers: List[Dict[str, Any]] = []
+        self.artifacts: List[str] = []
+        self._context: Dict[str, Callable[[], Any]] = {}
+        self._seq = 0
+        self._unsubscribers: List[Callable[[], None]] = [
+            telemetry.bus.subscribe(self.ring.append)
+        ]
+
+    # ------------------------------------------------------------------
+    # Context providers and trigger sources
+    # ------------------------------------------------------------------
+    def add_context(self, name: str, provider: Callable[[], Any]) -> None:
+        """Register a callable whose result is embedded in snapshots.
+
+        Providers run at trigger time and must return something
+        JSON-serialisable (e.g. the fleet store's state counts).  A
+        provider that raises is recorded as an error string rather
+        than aborting the snapshot — the black box must never be the
+        thing that crashes the run.
+        """
+        self._context[name] = provider
+
+    def watch_dead_letters(self) -> None:
+        """Trigger a snapshot whenever a resilience dead-letter lands."""
+        self._unsubscribers.append(
+            self.telemetry.bus.subscribe(
+                lambda event: self.trigger(
+                    "dead-letter",
+                    detail=(
+                        f"{event.attrs.get('scope', '?')}: "
+                        f"{event.attrs.get('detail', event.workload_id or '?')}"
+                    ),
+                    seq=event.seq,
+                ),
+                types=[EventType.RESILIENCE_DEAD_LETTER],
+            )
+        )
+
+    def on_invariant_violation(self, violation) -> None:
+        """Trigger hook for the online invariant monitor."""
+        self.trigger(
+            "invariant-breach",
+            detail=f"{violation.name}: {violation.detail}",
+            invariant=violation.name,
+            seq=violation.seq,
+        )
+
+    def on_slo_breach(self, breach) -> None:
+        """Trigger hook for the live plane's edge-triggered SLO watch."""
+        self.trigger(
+            "slo-breach",
+            detail=(
+                f"{breach.metric}: compliance {breach.compliance:.4f} "
+                f"< objective {breach.objective:.4f}"
+            ),
+            metric=breach.metric,
+        )
+
+    def guard_engine(self, engine) -> None:
+        """Snapshot on any unhandled exception escaping an engine event."""
+
+        def _hook(exc: BaseException, event) -> None:
+            self.trigger(
+                "engine-exception",
+                detail=f"{type(exc).__name__}: {exc}",
+                label=getattr(event, "label", ""),
+            )
+
+        engine.error_hook = _hook
+
+    # ------------------------------------------------------------------
+    # Snapshotting
+    # ------------------------------------------------------------------
+    def _payload(self, reason: str, detail: str, attrs: Dict[str, Any]) -> Dict[str, Any]:
+        tracer = getattr(self.telemetry, "tracer", None)
+        payload: Dict[str, Any] = {
+            "format": BLACKBOX_FORMAT,
+            "reason": reason,
+            "detail": detail,
+            "time": self.telemetry.bus.now(),
+            "attrs": attrs,
+            "events": [event.to_dict() for event in self.ring],
+            "metrics": [sample.to_dict() for sample in self.telemetry.metrics.collect()],
+            "hops": (
+                [hop.to_dict() for hop in tracer.hops[-MAX_SNAPSHOT_HOPS:]]
+                if tracer is not None
+                else []
+            ),
+            "context": {},
+        }
+        for name in sorted(self._context):
+            try:
+                payload["context"][name] = self._context[name]()
+            except Exception as exc:  # noqa: BLE001 - forensics must not crash the run
+                payload["context"][name] = f"<context error: {exc}>"
+        return payload
+
+    def _write(self, name: str, payload: Dict[str, Any]) -> str:
+        path = os.path.join(self.directory, name)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        self.artifacts.append(path)
+        return path
+
+    def trigger(self, reason: str, detail: str = "", **attrs: Any) -> Dict[str, Any]:
+        """Freeze the ring into a snapshot payload (and maybe a file)."""
+        payload = self._payload(reason, detail, attrs)
+        self.triggers.append(payload)
+        if self.directory is not None and len(self.artifacts) < self.max_artifacts:
+            self._write(f"BLACKBOX_{self._seq:03d}_{_slug(reason)}.json", payload)
+        self._seq += 1
+        return payload
+
+    def snapshot_final(self) -> Optional[str]:
+        """Write an unconditional run-end snapshot, outside the cap.
+
+        Returns the artifact path (``None`` without a directory).  CI
+        uploads this even from clean runs, so the blackbox pipeline is
+        exercised every build rather than only on failures.
+        """
+        payload = self._payload("run-end", "final snapshot at run end", {})
+        self.triggers.append(payload)
+        if self.directory is None:
+            return None
+        return self._write("BLACKBOX_final.json", payload)
+
+    def close(self) -> None:
+        """Detach every bus subscription (idempotent)."""
+        for unsubscribe in self._unsubscribers:
+            unsubscribe()
+        self._unsubscribers = []
+
+
+__all__ = [
+    "BLACKBOX_FORMAT",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_MAX_ARTIFACTS",
+    "FlightRecorder",
+]

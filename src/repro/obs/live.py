@@ -1,0 +1,537 @@
+"""The live observability plane: streaming export + in-flight rollups.
+
+Everything in :mod:`repro.obs` up to here is post-hoc: telemetry is
+buffered in memory for the whole run and rendered or exported at the
+end.  This module is the streaming half the ROADMAP's long-running
+service mode needs — bounded-memory views that are correct *while the
+simulation is still running*:
+
+* :class:`SegmentWriter` — rotating, size-capped JSONL segment files
+  plus a ``manifest.json`` rewritten atomically on every rotation, so
+  a tailer (``spotverse obs watch``) always sees a consistent list of
+  sealed segments and one growing tail.
+* :class:`LiveExporter` — a bus subscriber that streams each event
+  through :func:`~repro.obs.export.stream_lines` as it is emitted and
+  appends the metrics snapshot + time-series points on close, making
+  the concatenated segments byte-identical to a post-hoc
+  :func:`~repro.obs.export.write_jsonl` of the same bundle.
+* :class:`FleetRollup` — the SpotInstanceManager-style live fleet
+  report (workloads by status, live instances by market and purchasing
+  option) folded incrementally from the event stream.
+* :class:`WindowAggregator` — tumbling sim-time windows of event/
+  interruption/reacquire/fault rates feeding the dashboard's rate
+  table, with a bounded window history.
+* :class:`LivePlane` — one bus subscription fanning out to all of the
+  above plus an online SLO watch (edge-triggered breach detection per
+  target) and, optionally, O(window) telemetry memory: with
+  ``trim_bus=True`` the plane clears the bus after every export flush,
+  so a perpetual run's memory is bounded by the segment/window caps
+  instead of the run length.
+
+Everything here is opt-in, read-only, and emits nothing back onto the
+bus, so enabling the plane cannot change a run's decisions, costs, or
+event stream (the streaming-overhead benchmark enforces both the
+read-only property and the wall-clock cost).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.events import EventBus, EventType, TelemetryEvent
+from repro.obs.export import stream_lines
+from repro.obs.slo import LatencyWatcher, SLOResult, SLOSpec, default_slo_spec
+from repro.sim.clock import HOUR
+
+#: Manifest schema tag; bump on incompatible layout changes.
+STREAM_FORMAT = "spotverse-stream/1"
+
+#: Default cap on one segment file before rotation.
+DEFAULT_SEGMENT_BYTES = 1_000_000
+
+#: Buffered lines before a write hits the active segment file.
+DEFAULT_FLUSH_LINES = 64
+
+#: Bus length at which a trimming plane clears the bus.
+DEFAULT_TRIM_EVERY = 512
+
+
+# ----------------------------------------------------------------------
+# Segmented JSONL writing
+# ----------------------------------------------------------------------
+class SegmentWriter:
+    """Rotating, size-capped JSONL segments with an atomic manifest.
+
+    Lines are buffered and flushed in batches (``flush_lines``); when
+    the active segment crosses ``max_segment_bytes`` it is sealed,
+    recorded in ``manifest.json`` (written via rename so readers never
+    see a half-written manifest), and a new segment starts.  The
+    manifest lists sealed segments in write order plus the active
+    tail's name, and carries ``complete: true`` only after
+    :meth:`close` — which is how a follower knows the stream ended.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        max_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        flush_lines: int = DEFAULT_FLUSH_LINES,
+    ) -> None:
+        self.directory = directory
+        self.max_segment_bytes = max(1, int(max_segment_bytes))
+        self.flush_lines = max(1, int(flush_lines))
+        os.makedirs(directory, exist_ok=True)
+        self.total_lines = 0
+        self._segments: List[Dict[str, Any]] = []
+        self._buffer: List[str] = []
+        self._active_index = 0
+        self._active_lines = 0
+        self._active_bytes = 0
+        self._active_handle = None
+        self._closed = False
+        self._write_manifest(complete=False)
+
+    @property
+    def segment_count(self) -> int:
+        """Sealed segments plus the active one (if it has content)."""
+        return len(self._segments) + (1 if self._active_lines else 0)
+
+    def _active_name(self) -> str:
+        return f"segment-{self._active_index:06d}.jsonl"
+
+    def write_line(self, line: str) -> None:
+        """Queue one JSONL line (no trailing newline) for the stream."""
+        self._buffer.append(line)
+        if len(self._buffer) >= self.flush_lines:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered lines to the active segment; rotate if full."""
+        if not self._buffer:
+            return
+        if self._active_handle is None:
+            self._active_handle = open(
+                os.path.join(self.directory, self._active_name()), "w"
+            )
+        payload = "\n".join(self._buffer) + "\n"
+        self._active_handle.write(payload)
+        self._active_handle.flush()
+        self._active_lines += len(self._buffer)
+        self._active_bytes += len(payload.encode("utf-8"))
+        self.total_lines += len(self._buffer)
+        self._buffer.clear()
+        if self._active_bytes >= self.max_segment_bytes:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        """Seal the active segment and start a fresh one."""
+        if self._active_handle is not None:
+            self._active_handle.close()
+            self._active_handle = None
+        if self._active_lines:
+            self._segments.append(
+                {
+                    "name": self._active_name(),
+                    "lines": self._active_lines,
+                    "bytes": self._active_bytes,
+                }
+            )
+            self._active_index += 1
+            self._active_lines = 0
+            self._active_bytes = 0
+        self._write_manifest(complete=False)
+
+    def _write_manifest(self, complete: bool) -> None:
+        manifest = {
+            "format": STREAM_FORMAT,
+            "complete": complete,
+            "segments": list(self._segments),
+            "active": self._active_name() if not complete else None,
+            "total_lines": self.total_lines,
+        }
+        path = os.path.join(self.directory, "manifest.json")
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    def close(self) -> None:
+        """Flush, seal the tail, and mark the manifest complete."""
+        if self._closed:
+            return
+        self.flush()
+        self._rotate()
+        self._write_manifest(complete=True)
+        self._closed = True
+
+
+# ----------------------------------------------------------------------
+# Streaming JSONL export
+# ----------------------------------------------------------------------
+class LiveExporter:
+    """Streams a telemetry bundle's events into segmented JSONL files.
+
+    Each bus event is serialised through the same
+    :func:`~repro.obs.export.stream_lines` path the batch exporter
+    uses; :meth:`close` appends the final metrics snapshot and
+    time-series points.  Concatenating the segments of a closed stream
+    therefore reproduces :func:`~repro.obs.export.write_jsonl` of the
+    same bundle byte-for-byte (the round-trip equality test enforces
+    this), which is why every existing offline tool keeps working on
+    segmented streams.
+    """
+
+    def __init__(
+        self,
+        telemetry,
+        directory: str,
+        max_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        flush_lines: int = DEFAULT_FLUSH_LINES,
+    ) -> None:
+        self.telemetry = telemetry
+        self.writer = SegmentWriter(
+            directory, max_segment_bytes=max_segment_bytes, flush_lines=flush_lines
+        )
+        self._closed = False
+        self._unsubscribe = telemetry.bus.subscribe(self.observe)
+
+    def observe(self, event: TelemetryEvent) -> None:
+        """Serialise one event onto the stream."""
+        self.writer.write_line(stream_lines((event,))[0])
+
+    def close(self) -> None:
+        """Append metrics + series tails, seal the stream, unsubscribe."""
+        if self._closed:
+            return
+        self._closed = True
+        self._unsubscribe()
+        store = getattr(self.telemetry, "timeseries", None)
+        points = store.points() if store is not None else ()
+        for line in stream_lines((), self.telemetry.metrics.collect(), points):
+            self.writer.write_line(line)
+        self.writer.close()
+
+
+# ----------------------------------------------------------------------
+# Live fleet rollup
+# ----------------------------------------------------------------------
+#: Workload status implied by each lifecycle event type.
+_STATUS_TRANSITIONS = {
+    EventType.WORKLOAD_SUBMITTED: "pending",
+    EventType.INSTANCE_ATTACHED: "placed",
+    EventType.WORKLOAD_RUNNING: "running",
+    EventType.INTERRUPTION_WARNING: "interrupted",
+    EventType.MIGRATION_STARTED: "migrating",
+    EventType.MIGRATION_COMPLETED: "running",
+    EventType.WORKLOAD_DONE: "done",
+}
+
+
+class FleetRollup:
+    """Incremental fleet state: the live view operators actually watch.
+
+    The shape follows the SpotInstanceManager report the related repos
+    emit — ``by_status`` / ``by_market`` / ``by_option`` rollups — but
+    folded from the event stream alone, so it works identically over a
+    live bus subscription or a saved stream replay.
+    """
+
+    def __init__(self) -> None:
+        self.workload_status: Dict[str, str] = {}
+        self.interruptions = 0
+        self.reacquires = 0
+        self.fallbacks = 0
+        self.checkpoints = 0
+        self._live_instances: Dict[str, Tuple[str, str]] = {}
+        self._workload_instance: Dict[str, str] = {}
+
+    def observe(self, event: TelemetryEvent) -> None:
+        """Fold one event into the rollup."""
+        status = _STATUS_TRANSITIONS.get(event.type)
+        if status is not None and event.workload_id:
+            self.workload_status[event.workload_id] = status
+        if event.type is EventType.INSTANCE_ATTACHED:
+            if event.instance_id:
+                self._live_instances[event.instance_id] = (
+                    event.region or "?",
+                    event.option or "?",
+                )
+                if event.workload_id:
+                    self._workload_instance[event.workload_id] = event.instance_id
+        elif event.type in (EventType.INSTANCE_RECLAIMED, EventType.CAPACITY_DISCARDED):
+            self._live_instances.pop(event.instance_id, None)
+        elif event.type is EventType.WORKLOAD_DONE:
+            instance_id = self._workload_instance.pop(event.workload_id, None)
+            if instance_id is not None:
+                self._live_instances.pop(instance_id, None)
+        elif event.type is EventType.INTERRUPTION_WARNING:
+            self.interruptions += 1
+        elif event.type is EventType.MIGRATION_COMPLETED:
+            self.reacquires += 1
+        elif event.type is EventType.FALLBACK_ON_DEMAND:
+            self.fallbacks += 1
+        elif event.type is EventType.CHECKPOINT_SAVED:
+            self.checkpoints += 1
+
+    # -- views ----------------------------------------------------------
+    def by_status(self) -> Dict[str, int]:
+        """Workload count per status, sorted by status name."""
+        counts: Dict[str, int] = {}
+        for status in self.workload_status.values():
+            counts[status] = counts.get(status, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def by_market(self) -> Dict[str, int]:
+        """Live instance count per region, sorted by region."""
+        counts: Dict[str, int] = {}
+        for region, _ in self._live_instances.values():
+            counts[region] = counts.get(region, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def by_option(self) -> Dict[str, int]:
+        """Live instance count per purchasing option, sorted."""
+        counts: Dict[str, int] = {}
+        for _, option in self._live_instances.values():
+            counts[option] = counts.get(option, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def live_instances(self) -> int:
+        """Instances currently attached and not reclaimed/released."""
+        return len(self._live_instances)
+
+    @property
+    def total(self) -> int:
+        """Workloads seen so far."""
+        return len(self.workload_status)
+
+    @property
+    def done(self) -> int:
+        """Workloads in the terminal state."""
+        return sum(1 for status in self.workload_status.values() if status == "done")
+
+
+# ----------------------------------------------------------------------
+# Tumbling windows
+# ----------------------------------------------------------------------
+@dataclass
+class WindowStats:
+    """Aggregates of one tumbling sim-time window ``[start, end)``."""
+
+    start: float
+    end: float
+    events: int = 0
+    submitted: int = 0
+    done: int = 0
+    interruptions: int = 0
+    reacquires: int = 0
+    faults: int = 0
+    dead_letters: int = 0
+    anomalies: int = 0
+
+    @property
+    def events_per_hour(self) -> float:
+        """Event rate of the window, in events per sim-hour."""
+        span = self.end - self.start
+        return self.events / (span / HOUR) if span > 0 else 0.0
+
+
+class WindowAggregator:
+    """Tumbling sim-time windows of fleet activity rates.
+
+    Windows are aligned to multiples of ``window_seconds``; the bus's
+    non-decreasing time guarantee means windows close in order.  Only
+    the last ``max_windows`` are retained, so the aggregator's memory
+    is O(window count), never O(run length).
+    """
+
+    def __init__(self, window_seconds: float = HOUR, max_windows: int = 48) -> None:
+        self.window_seconds = float(window_seconds)
+        self.windows: Deque[WindowStats] = deque(maxlen=max(1, int(max_windows)))
+        self.current: Optional[WindowStats] = None
+
+    def observe(self, event: TelemetryEvent) -> None:
+        """Fold one event into its tumbling window."""
+        start = (event.time // self.window_seconds) * self.window_seconds
+        window = self.current
+        if window is None or start >= window.end:
+            window = WindowStats(start=start, end=start + self.window_seconds)
+            self.windows.append(window)
+            self.current = window
+        window.events += 1
+        if event.type is EventType.WORKLOAD_SUBMITTED:
+            window.submitted += 1
+        elif event.type is EventType.WORKLOAD_DONE:
+            window.done += 1
+        elif event.type is EventType.INTERRUPTION_WARNING:
+            window.interruptions += 1
+        elif event.type is EventType.MIGRATION_COMPLETED:
+            window.reacquires += 1
+        elif event.type is EventType.CHAOS_FAULT_INJECTED:
+            window.faults += 1
+        elif event.type is EventType.RESILIENCE_DEAD_LETTER:
+            window.dead_letters += 1
+        elif event.type is EventType.MARKET_ANOMALY:
+            window.anomalies += 1
+
+    def recent(self, count: int = 6) -> List[WindowStats]:
+        """The last *count* windows, oldest first."""
+        return list(self.windows)[-count:]
+
+
+# ----------------------------------------------------------------------
+# The live plane
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SLOBreach:
+    """One edge-triggered SLO transition from passing to failing."""
+
+    time: float
+    metric: str
+    compliance: float
+    objective: float
+
+
+class LivePlane:
+    """One bus subscription fanning out to every live view.
+
+    Args:
+        telemetry: The provider's :class:`~repro.obs.Telemetry` bundle.
+        directory: When given, stream events into segmented JSONL files
+            there via a :class:`LiveExporter`.
+        window_seconds: Tumbling window width for the rate table.
+        max_windows: Retained window history.
+        slo_spec: SLO objectives tracked online (default fleet spec).
+        max_segment_bytes: Segment rotation cap for the exporter.
+        flush_lines: Exporter write batch size.
+        trim_bus: When true, clear the bus whenever it holds
+            ``trim_every`` events (after the exporter has serialised
+            them), bounding telemetry memory by the caps instead of the
+            run length.  Leave off when anything post-hoc (scorecards,
+            reports, ``write_jsonl``) still needs the full stream.
+        trim_every: Bus length that triggers a trim.
+        recorder: Optional :class:`~repro.obs.flight.FlightRecorder`
+            notified on SLO breaches.
+    """
+
+    def __init__(
+        self,
+        telemetry,
+        directory: Optional[str] = None,
+        window_seconds: float = HOUR,
+        max_windows: int = 48,
+        slo_spec: Optional[SLOSpec] = None,
+        max_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        flush_lines: int = DEFAULT_FLUSH_LINES,
+        trim_bus: bool = False,
+        trim_every: int = DEFAULT_TRIM_EVERY,
+        recorder=None,
+    ) -> None:
+        self.telemetry = telemetry
+        self.rollup = FleetRollup()
+        self.windows = WindowAggregator(window_seconds, max_windows=max_windows)
+        self.latency = LatencyWatcher()
+        self.slo_spec = slo_spec if slo_spec is not None else default_slo_spec()
+        self.exporter = (
+            LiveExporter(
+                telemetry,
+                directory,
+                max_segment_bytes=max_segment_bytes,
+                flush_lines=flush_lines,
+            )
+            if directory is not None
+            else None
+        )
+        self.recorder = recorder
+        self.trim_bus = trim_bus
+        self.trim_every = max(1, int(trim_every))
+        self.peak_bus_events = 0
+        self.trims = 0
+        self.breaches: List[SLOBreach] = []
+        self._slo_counts: Dict[str, List[int]] = {
+            target.metric: [0, 0] for target in self.slo_spec.targets
+        }
+        self._slo_failing: Dict[str, bool] = {}
+        self._closed = False
+        self._unsubscribe = telemetry.bus.subscribe(self.observe)
+
+    def observe(self, event: TelemetryEvent) -> None:
+        """Fold one bus event into every live view."""
+        self.rollup.observe(event)
+        self.windows.observe(event)
+        sample = self.latency.observe(event)
+        if sample is not None:
+            self._score(event.time, sample[0], sample[1])
+        if self.trim_bus:
+            bus: EventBus = self.telemetry.bus
+            length = len(bus)
+            if length > self.peak_bus_events:
+                self.peak_bus_events = length
+            if length >= self.trim_every:
+                if self.exporter is not None:
+                    self.exporter.writer.flush()
+                bus.clear()
+                self.trims += 1
+
+    def _score(self, now: float, metric: str, value: float) -> None:
+        """Update one target's error budget; edge-trigger on breach."""
+        counts = self._slo_counts.get(metric)
+        if counts is None:
+            return
+        target = next(t for t in self.slo_spec.targets if t.metric == metric)
+        counts[0] += 1
+        if value > target.threshold:
+            counts[1] += 1
+        result = SLOResult(target=target, samples=counts[0], violations=counts[1])
+        failing = not result.passed
+        if failing and not self._slo_failing.get(metric, False):
+            breach = SLOBreach(
+                time=now,
+                metric=metric,
+                compliance=result.compliance,
+                objective=target.objective,
+            )
+            self.breaches.append(breach)
+            if self.recorder is not None:
+                self.recorder.on_slo_breach(breach)
+        self._slo_failing[metric] = failing
+
+    def slo_results(self) -> List[SLOResult]:
+        """Current per-target verdicts from the online counters."""
+        return [
+            SLOResult(
+                target=target,
+                samples=self._slo_counts[target.metric][0],
+                violations=self._slo_counts[target.metric][1],
+            )
+            for target in self.slo_spec.targets
+        ]
+
+    def close(self) -> None:
+        """Unsubscribe and seal the export stream (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._unsubscribe()
+        if self.exporter is not None:
+            self.exporter.close()
+
+
+__all__ = [
+    "DEFAULT_FLUSH_LINES",
+    "DEFAULT_SEGMENT_BYTES",
+    "DEFAULT_TRIM_EVERY",
+    "FleetRollup",
+    "LiveExporter",
+    "LivePlane",
+    "SLOBreach",
+    "STREAM_FORMAT",
+    "SegmentWriter",
+    "WindowAggregator",
+    "WindowStats",
+]

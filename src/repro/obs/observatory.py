@@ -28,7 +28,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from math import sqrt
-from typing import Deque, Dict, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, MutableSequence, Optional, Tuple
 
 from repro.obs.events import EventBus, EventType
 from repro.obs.timeseries import TimeSeriesStore
@@ -118,6 +118,9 @@ class MarketObservatory:
             a ``reclaim_burst`` anomaly opens.
         min_baseline: Samples a window must hold before the detector
             trusts its statistics (suppresses warm-up false positives).
+        max_anomalies: When set, retain only the most recent N
+            anomalies in :attr:`anomalies` (bus events still carry
+            every detection) — the bound a perpetual live run needs.
     """
 
     def __init__(
@@ -129,6 +132,7 @@ class MarketObservatory:
         hazard_window: int = 48,
         hazard_factor: float = 3.0,
         min_baseline: int = 12,
+        max_anomalies: Optional[int] = None,
     ) -> None:
         self.store = store if store is not None else TimeSeriesStore()
         self.bus = bus
@@ -137,7 +141,11 @@ class MarketObservatory:
         self.hazard_window = hazard_window
         self.hazard_factor = hazard_factor
         self.min_baseline = min_baseline
-        self.anomalies: List[Anomaly] = []
+        # A plain list by default (unbounded, equality-friendly); a
+        # bounded deque only when a cap is requested.
+        self.anomalies: MutableSequence[Anomaly] = (
+            deque(maxlen=max_anomalies) if max_anomalies is not None else []
+        )
         self.samples_taken = 0
         self._price_windows: Dict[Tuple[str, str], _RollingWindow] = {}
         self._hazard_windows: Dict[Tuple[str, str], _RollingWindow] = {}

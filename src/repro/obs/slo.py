@@ -37,6 +37,49 @@ LATENCY_METRICS = (
 )
 
 
+class LatencyWatcher:
+    """Incremental form of :func:`latency_series`.
+
+    Feed events in emission order via :meth:`observe`; each call
+    returns the ``(metric, value)`` sample the event produced (or
+    ``None``) while :attr:`series` accumulates the full per-family
+    sample lists.  Folding a complete stream through one watcher
+    yields exactly what the batch :func:`latency_series` returns, so
+    live SLO tracking and post-run scoring agree bit-for-bit.
+    """
+
+    def __init__(self) -> None:
+        self.series: Dict[str, List[float]] = {name: [] for name in LATENCY_METRICS}
+        self._submitted: Dict[str, float] = {}
+        self._placed: Dict[str, bool] = {}
+
+    def observe(self, event: TelemetryEvent) -> Optional[Tuple[str, float]]:
+        """Fold one event; returns the new latency sample, if any."""
+        sample: Optional[Tuple[str, float]] = None
+        if event.type is EventType.WORKLOAD_SUBMITTED:
+            self._submitted.setdefault(event.workload_id, event.time)
+        elif event.type is EventType.INSTANCE_ATTACHED:
+            if event.workload_id in self._submitted and not self._placed.get(
+                event.workload_id
+            ):
+                self._placed[event.workload_id] = True
+                sample = (
+                    "submit_to_placed_seconds",
+                    event.time - self._submitted[event.workload_id],
+                )
+        elif event.type is EventType.MIGRATION_COMPLETED:
+            latency = event.attrs.get("latency")
+            if latency is not None:
+                sample = ("interruption_to_reacquire_seconds", float(latency))
+        elif event.type is EventType.CHECKPOINT_PERSISTED:
+            latency = event.attrs.get("latency")
+            if latency is not None:
+                sample = ("checkpoint_write_seconds", float(latency))
+        if sample is not None:
+            self.series[sample[0]].append(sample[1])
+        return sample
+
+
 def latency_series(events: Iterable[TelemetryEvent]) -> Dict[str, List[float]]:
     """Derive every latency family from a telemetry event stream.
 
@@ -44,28 +87,13 @@ def latency_series(events: Iterable[TelemetryEvent]) -> Dict[str, List[float]]:
     event order.  Workloads that never placed contribute nothing to
     ``submit_to_placed_seconds`` (there is no latency to report — the
     run report's completion columns already surface them).
+
+    This is the batch fold over :class:`LatencyWatcher`.
     """
-    submitted: Dict[str, float] = {}
-    placed: Dict[str, bool] = {}
-    series: Dict[str, List[float]] = {name: [] for name in LATENCY_METRICS}
+    watcher = LatencyWatcher()
     for event in events:
-        if event.type is EventType.WORKLOAD_SUBMITTED:
-            submitted.setdefault(event.workload_id, event.time)
-        elif event.type is EventType.INSTANCE_ATTACHED:
-            if event.workload_id in submitted and not placed.get(event.workload_id):
-                placed[event.workload_id] = True
-                series["submit_to_placed_seconds"].append(
-                    event.time - submitted[event.workload_id]
-                )
-        elif event.type is EventType.MIGRATION_COMPLETED:
-            latency = event.attrs.get("latency")
-            if latency is not None:
-                series["interruption_to_reacquire_seconds"].append(float(latency))
-        elif event.type is EventType.CHECKPOINT_PERSISTED:
-            latency = event.attrs.get("latency")
-            if latency is not None:
-                series["checkpoint_write_seconds"].append(float(latency))
-    return series
+        watcher.observe(event)
+    return watcher.series
 
 
 def series_stats(values: Sequence[float]) -> Dict[str, float]:

@@ -15,7 +15,7 @@ concurrency a middleware control plane needs at simulation fidelity.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.events import Callback, Event, EventQueue
@@ -44,6 +44,11 @@ class SimulationEngine:
         self._running = False
         self.streams = RandomStreams(seed)
         self.tracer = tracer if tracer is not None else (EngineTracer() if trace else None)
+        #: Called with ``(exc, event)`` when a callback raises, before
+        #: the exception propagates — the flight recorder's last-gasp
+        #: snapshot hook.  ``None`` (the default) keeps :meth:`_fire`
+        #: on its zero-overhead path.
+        self.error_hook: Optional[Callable[[BaseException, Event], None]] = None
         self._fired_events = 0
 
     @property
@@ -205,12 +210,23 @@ class SimulationEngine:
         """
         tracer = self.tracer
         if tracer is None:
-            event.callback()
+            if self.error_hook is None:
+                event.callback()
+                return
+            try:
+                event.callback()
+            except BaseException as exc:
+                self.error_hook(exc, event)
+                raise
             return
         pushed_before = self._queue.pushes
         started = perf_counter()
         try:
             event.callback()
+        except BaseException as exc:
+            if self.error_hook is not None:
+                self.error_hook(exc, event)
+            raise
         finally:
             tracer.record(
                 event.time,

@@ -151,6 +151,18 @@ def test_profiler_overhead_enforced():
     assert [v.metric for v in violations] == ["profiler_overhead_x"]
 
 
+def test_streaming_overhead_enforced():
+    baseline = _payload("overhead")
+    baseline["streaming_overhead_x"] = 1.16
+    ok = _payload("overhead")
+    ok["streaming_overhead_x"] = 1.4
+    assert check_regression.compare_payloads(baseline, ok) == []
+    bloated = _payload("overhead")
+    bloated["streaming_overhead_x"] = 2.5
+    violations = check_regression.compare_payloads(baseline, bloated)
+    assert [v.metric for v in violations] == ["streaming_overhead_x"]
+
+
 @pytest.mark.parametrize("env_name, flag", [
     ("SPOTVERSE_BENCH_WALL_TOL", "wall_tol"),
     ("SPOTVERSE_BENCH_TPUT_TOL", "tput_tol"),

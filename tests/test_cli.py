@@ -172,13 +172,31 @@ class TestObsSubcommands:
             assert "error:" in out
             assert "empty" in out
 
-    def test_truncated_stream_fails_gracefully(self, capsys, tmp_path):
+    def test_truncated_tail_is_tolerated(self, capsys, tmp_path):
+        # A half-written final record (live writer mid-line) is skipped,
+        # not fatal; here it leaves nothing behind, so the empty-stream
+        # error applies.
         truncated = tmp_path / "trunc.jsonl"
         truncated.write_text('{"kind": "event", "seq": 0, "time": 0.0, "ty')
         for argv in (
             ["obs", "--from-events", str(truncated)],
             ["obs", "explain", "wl-000", "--from-events", str(truncated)],
             ["obs", "markets", "--from-events", str(truncated)],
+        ):
+            assert main(argv) == 2
+            out = capsys.readouterr().out
+            assert "error:" in out
+            assert "empty" in out
+
+    def test_corrupt_stream_fails_gracefully(self, capsys, tmp_path):
+        # A damaged line that is *not* an unterminated tail is real
+        # corruption and still names the line.
+        corrupt = tmp_path / "trunc.jsonl"
+        corrupt.write_text('{"kind": "event", "seq": 0, "time": 0.0, "ty\n')
+        for argv in (
+            ["obs", "--from-events", str(corrupt)],
+            ["obs", "explain", "wl-000", "--from-events", str(corrupt)],
+            ["obs", "markets", "--from-events", str(corrupt)],
         ):
             assert main(argv) == 2
             out = capsys.readouterr().out
@@ -289,6 +307,88 @@ class TestObsDeepCommands:
         spec = tmp_path / "spec.json"
         spec.write_text(json.dumps({"name": "x", "targets": []}))
         assert main(["obs", "slo", "--spec", str(spec)]) == 2
+        assert "error:" in capsys.readouterr().out
+
+
+class TestObsWatch:
+    """`spotverse obs watch` — the refreshing terminal dashboard."""
+
+    @pytest.fixture(scope="class")
+    def stream_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("watch") / "run.jsonl"
+        code = main(
+            [
+                "obs",
+                "--workload", "synthetic",
+                "--workloads", "3",
+                "--duration-hours", "2",
+                "--seed", "5",
+                "--events", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    @pytest.fixture(scope="class")
+    def chaos_dirs(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("chaos-watch")
+        stream_dir = base / "stream"
+        blackbox_dir = base / "bb"
+        main(
+            [
+                "chaos", "run",
+                "--export-stream", str(stream_dir),
+                "--blackbox", str(blackbox_dir),
+            ]
+        )
+        return stream_dir, blackbox_dir
+
+    def test_snapshot_from_events_file(self, capsys, stream_path):
+        assert main(["obs", "watch", "--from-events", str(stream_path)]) == 0
+        out = capsys.readouterr().out
+        assert "spotverse obs watch" in out
+        assert "fleet status" in out
+        assert "windows (last" in out
+        assert "SLO (" in out
+        assert "stream complete" in out  # a plain file is a finished run
+
+    def test_once_over_segmented_chaos_stream(self, capsys, chaos_dirs):
+        stream_dir, blackbox_dir = chaos_dirs
+        capsys.readouterr()
+        assert main(["obs", "watch", "--once", "--dir", str(stream_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "spotverse obs watch" in out
+        assert "stream complete" in out  # the sealed manifest is honoured
+        assert "done=" in out
+        # The chaos run also left its run-end blackbox for CI to upload.
+        assert (blackbox_dir / "BLACKBOX_final.json").exists()
+
+    def test_live_once_runs_a_fleet(self, capsys):
+        code = main(
+            [
+                "obs",
+                "--workload", "synthetic",
+                "--workloads", "2",
+                "--duration-hours", "1",
+                "--seed", "5",
+                "watch", "--live", "--once",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "finished" in out
+        assert "workloads 2/2 done" in out
+
+    def test_requires_exactly_one_source(self, capsys, stream_path):
+        assert main(["obs", "watch"]) == 2
+        assert "exactly one" in capsys.readouterr().out
+        assert (
+            main(["obs", "watch", "--live", "--from-events", str(stream_path)]) == 2
+        )
+        assert "exactly one" in capsys.readouterr().out
+
+    def test_missing_stream_dir_fails_gracefully(self, capsys, tmp_path):
+        assert main(["obs", "watch", "--once", "--dir", str(tmp_path / "nope")]) == 2
         assert "error:" in capsys.readouterr().out
 
 

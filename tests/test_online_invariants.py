@@ -1,0 +1,185 @@
+"""Online invariant checking vs. the post-run scorecard fold.
+
+The refactor's contract: every invariant check exposes an incremental
+``observe``/``finalize`` pair, and a monitor that followed the run
+live must produce verdicts bit-identical to :func:`check_invariants`
+folding the saved stream afterwards — across every built-in policy,
+under the default chaos campaign, kills included.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    POLICY_NAMES,
+    OnlineInvariantMonitor,
+    check_invariants,
+    default_campaign,
+)
+from repro.chaos.runner import _execute
+from repro.obs import EventType, FlightRecorder, Telemetry
+from repro.workloads.base import synthetic_workload
+from repro.workloads.ngs_preprocessing import ngs_preprocessing_workload
+
+
+def small_fleet():
+    fleet = [synthetic_workload(f"std-{i}", duration_hours=3.0, n_segments=3) for i in range(2)]
+    fleet += [
+        ngs_preprocessing_workload(f"ckpt-{i}", duration_hours=3.0, n_segments=3)
+        for i in range(2)
+    ]
+    return fleet
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: live monitor == post-run fold
+# ----------------------------------------------------------------------
+class TestOnlineMatchesPostRun:
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_live_verdicts_equal_post_run_fold(self, policy):
+        provider, store, result, fleet, monitor = _execute(
+            policy,
+            default_campaign(),
+            11,
+            72.0,
+            24,
+            small_fleet(),
+            apply_kills=True,
+        )
+        live = monitor.finalize(provider, store, result)
+        post = check_invariants(provider, store, result, fleet)
+        assert live == post
+        assert all(r.passed for r in live), [r for r in live if not r.passed]
+        provider.shutdown()
+
+    def test_monitor_attached_late_still_agrees(self):
+        # Attach replays history first, so a monitor attached after the
+        # run ends still matches a monitor that watched from the start.
+        provider, store, result, fleet, monitor = _execute(
+            "spotverse", default_campaign(), 11, 72.0, 24, small_fleet(),
+            apply_kills=True,
+        )
+        late = OnlineInvariantMonitor(fleet)
+        late.attach(provider.telemetry.bus)
+        late.detach()
+        assert late.finalize(provider, store, result) == monitor.finalize(
+            provider, store, result
+        )
+        provider.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Online violation semantics
+# ----------------------------------------------------------------------
+class TestOnlineViolations:
+    def test_double_completion_flagged_at_the_offending_event(self):
+        telemetry = Telemetry()
+        times = [0.0]
+        telemetry.bus.attach_clock(lambda: times[0])
+        monitor = OnlineInvariantMonitor()
+        monitor.attach(telemetry.bus)
+        telemetry.bus.emit(EventType.WORKLOAD_DONE, workload_id="w1")
+        assert monitor.violations == []
+        times[0] = 3600.0
+        second = telemetry.bus.emit(EventType.WORKLOAD_DONE, workload_id="w1")
+        # Both the completion count and the stream causality rule fire,
+        # in canonical check order, stamped with the offending event.
+        assert [v.name for v in monitor.violations] == [
+            "single-completion",
+            "stream-valid",
+        ]
+        violation = monitor.violations[0]
+        assert violation.time == 3600.0
+        assert violation.seq == second.seq
+        assert "2 workload.done events" in violation.detail
+        monitor.detach()
+
+    def test_checkpoint_regression_flagged_online(self):
+        telemetry = Telemetry()
+        monitor = OnlineInvariantMonitor()
+        monitor.attach(telemetry.bus)
+        telemetry.bus.emit(EventType.CHECKPOINT_SAVED, workload_id="w1", segments=3)
+        telemetry.bus.emit(EventType.CHECKPOINT_SAVED, workload_id="w1", segments=1)
+        assert [v.name for v in monitor.violations] == ["checkpoint-monotonic"]
+        assert "3 -> 1" in monitor.violations[0].detail
+
+    def test_violation_callback_feeds_the_flight_recorder(self, tmp_path):
+        telemetry = Telemetry()
+        recorder = FlightRecorder(telemetry, directory=str(tmp_path))
+        monitor = OnlineInvariantMonitor(
+            on_violation=recorder.on_invariant_violation
+        )
+        monitor.attach(telemetry.bus)
+        telemetry.bus.emit(EventType.WORKLOAD_DONE, workload_id="w1")
+        telemetry.bus.emit(EventType.WORKLOAD_DONE, workload_id="w1")
+        monitor.detach()
+        # single-completion and stream-valid both snapshot.
+        assert [t["reason"] for t in recorder.triggers] == [
+            "invariant-breach",
+            "invariant-breach",
+        ]
+        artifact = tmp_path / "BLACKBOX_000_invariant-breach.json"
+        assert artifact.exists()
+        payload = json.loads(artifact.read_text())
+        assert payload["attrs"]["invariant"] == "single-completion"
+        # The ring carried the offending events into the snapshot.
+        assert [e["type"] for e in payload["events"]].count("workload.done") == 2
+
+    def test_reorder_buffer_releases_in_seq_order(self):
+        # Bus fan-out is re-entrant; the monitor must fold by seq, not
+        # by delivery order, to stay bit-identical with a stream fold.
+        from repro.obs.events import TelemetryEvent
+
+        folded = []
+        monitor = OnlineInvariantMonitor()
+        for check in monitor.checks:
+            original = check.observe
+            check.observe = (  # noqa: B023 - bind per-check
+                lambda event, _orig=original: (folded.append(event.seq), _orig(event))[1]
+            )
+        events = [
+            TelemetryEvent(seq=s, time=float(s), type=EventType.WORKLOAD_SUBMITTED)
+            for s in range(4)
+        ]
+        for event in (events[0], events[2], events[3], events[1]):
+            monitor.observe(event)
+        n_checks = len(monitor.checks)
+        assert folded == [s for s in range(4) for _ in range(n_checks)]
+
+
+# ----------------------------------------------------------------------
+# The blackbox + stream wiring of a chaos run
+# ----------------------------------------------------------------------
+class TestChaosRunArtifacts:
+    def test_run_with_dirs_is_bit_identical_and_leaves_artifacts(self, tmp_path):
+        import re
+
+        def normalise(events):
+            # Store namespaces are a process-global counter, not run state.
+            return re.sub(
+                r"ctl\d+", "ctlN", json.dumps(events, sort_keys=True)
+            )
+
+        provider, _, result, _, _ = _execute(
+            "spotverse", default_campaign(), 11, 72.0, 24, small_fleet(),
+            apply_kills=True,
+        )
+        plain = normalise([e.to_dict() for e in provider.telemetry.bus.events()])
+        plain_cost = result.total_cost
+        provider.shutdown()
+
+        provider, _, result, _, _ = _execute(
+            "spotverse", default_campaign(), 11, 72.0, 24, small_fleet(),
+            apply_kills=True,
+            stream_dir=str(tmp_path / "stream"),
+            blackbox_dir=str(tmp_path / "bb"),
+        )
+        instrumented = normalise(
+            [e.to_dict() for e in provider.telemetry.bus.events()]
+        )
+        assert instrumented == plain  # observation must not perturb the run
+        assert result.total_cost == plain_cost
+        assert (tmp_path / "stream" / "manifest.json").exists()
+        assert (tmp_path / "bb" / "BLACKBOX_final.json").exists()
+        provider.shutdown()

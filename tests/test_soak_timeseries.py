@@ -1,0 +1,119 @@
+"""Soak test: the ring-buffer TSDB under a long-run sample volume.
+
+Drives on the order of a million samples through :class:`RingSeries`
+and a multi-series :class:`TimeSeriesStore` and asserts the properties
+a perpetual service mode depends on:
+
+* peak memory stays bounded (tracemalloc, generous ceiling — the
+  point is O(capacity), not an exact byte count);
+* no sample is ever dropped from the covered range: bucket counts sum
+  to every sample appended, the span reaches from the first sample to
+  the last, and global min/max survive every compaction;
+* the downsampled tail is numerically faithful: the count-weighted
+  mean of the buckets equals the mean of the raw samples.
+"""
+
+import math
+import tracemalloc
+
+import pytest
+
+from repro.obs import RingSeries, TimeSeriesStore
+
+#: Raw samples pushed through the single-series soak.
+N_SAMPLES = 1_000_000
+
+#: Peak-allocation ceiling for the soak loop.  A 256-bucket ring is a
+#: few tens of KB; 8 MB leaves two orders of magnitude of headroom so
+#: the bound only trips on a real O(n) regression.
+MAX_PEAK_BYTES = 8 * 1024 * 1024
+
+
+def _signal(i: int) -> float:
+    """A deterministic, non-trivial sample stream (no RNG in tests)."""
+    return 100.0 + 10.0 * math.sin(i / 1000.0) + (i % 97) * 0.01
+
+
+class TestRingSeriesSoak:
+    def test_million_samples_bounded_memory_and_faithful_tail(self):
+        series = RingSeries(capacity=256)
+        running_sum = 0.0
+        lo = float("inf")
+        hi = float("-inf")
+        tracemalloc.start()
+        try:
+            for i in range(N_SAMPLES):
+                value = _signal(i)
+                running_sum += value
+                lo = min(lo, value)
+                hi = max(hi, value)
+                series.append(float(i), value)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+
+        assert peak <= MAX_PEAK_BYTES, f"peak {peak} bytes exceeds soak bound"
+        assert len(series) <= series.capacity
+        assert series.n_samples == N_SAMPLES
+
+        buckets = series.buckets()
+        # Every raw sample is folded into exactly one bucket.
+        assert sum(bucket.count for bucket in buckets) == N_SAMPLES
+        # The covered range never shrinks under compaction.
+        assert series.span() == (0.0, float(N_SAMPLES - 1))
+        assert series.first_time == 0.0
+        assert buckets[-1].time == float(N_SAMPLES - 1)
+        # Global extrema survive pairwise merging.
+        assert min(bucket.lo for bucket in buckets) == pytest.approx(lo)
+        assert max(bucket.hi for bucket in buckets) == pytest.approx(hi)
+        # Count-weighted bucket means reproduce the raw mean.
+        weighted = sum(bucket.value * bucket.count for bucket in buckets)
+        assert weighted / N_SAMPLES == pytest.approx(
+            running_sum / N_SAMPLES, rel=1e-9
+        )
+
+    def test_bucket_times_stay_sorted_through_compactions(self):
+        series = RingSeries(capacity=16)
+        for i in range(10_000):
+            series.append(float(i), _signal(i))
+        times = series.times()
+        assert times == sorted(times)
+        assert len(series) <= 16
+
+    def test_stride_doubles_as_the_run_stretches(self):
+        series = RingSeries(capacity=8)
+        assert series.stride == 1
+        for i in range(1000):
+            series.append(float(i), 1.0)
+        # 1000 samples through an 8-bucket ring needs stride >= 128.
+        assert series.stride >= 128
+        assert len(series) <= 8
+
+
+class TestStoreSoak:
+    def test_many_series_stay_independent_and_bounded(self):
+        store = TimeSeriesStore(capacity=64)
+        regions = [f"region-{i}" for i in range(6)]
+        per_series = 20_000
+        for i in range(per_series):
+            for region in regions:
+                store.record("spot_price", float(i), _signal(i), region=region)
+        assert len(store) == len(regions)
+        for region in regions:
+            series = store.get("spot_price", region=region)
+            assert series is not None
+            assert series.n_samples == per_series
+            assert len(series) <= 64
+            assert sum(b.count for b in series.buckets()) == per_series
+
+    def test_points_export_round_trips_the_downsampled_shape(self):
+        store = TimeSeriesStore(capacity=16)
+        for i in range(5_000):
+            store.record("hazard_per_hour", float(i), _signal(i), region="eu-north-1")
+        points = list(store.points())
+        assert len(points) <= 16
+        rebuilt = TimeSeriesStore.from_points(points)
+        series = rebuilt.get("hazard_per_hour", region="eu-north-1")
+        original = store.get("hazard_per_hour", region="eu-north-1")
+        assert series.times() == original.times()
+        assert series.values() == pytest.approx(original.values())
