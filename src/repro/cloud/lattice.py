@@ -271,6 +271,20 @@ class MarketLattice:
         self._pending_freq[:, cursor] = freq
         self._pending = cursor + 1
 
+        # Mirror the new state back into each market's scalar slots so
+        # observable reads are plain attribute lookups — per-element
+        # numpy indexing on every spot_price read was a measurable
+        # fraction of the billing and collect hot paths.  ``tolist``
+        # round-trips float64 exactly, so mirrored values are
+        # bit-identical to the array slots.
+        prices = price.tolist()
+        placements = placement.tolist()
+        freqs = freq.tolist()
+        for index, market in enumerate(self.markets):
+            market.price_process._price = prices[index]
+            market._placement = placements[index]
+            market._freq = freqs[index]
+
     def warmup(self, steps: int, start_time: float = 0.0) -> None:
         """Step every market *steps* times without an engine.
 

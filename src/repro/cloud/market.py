@@ -155,16 +155,16 @@ class SpotMarket:
 
     @property
     def placement_score(self) -> float:
-        """Current Spot Placement Score (1-10)."""
-        if self._lattice is not None:
-            return float(self._lattice.placement[self._lattice_index])
+        """Current Spot Placement Score (1-10).
+
+        Always served from the scalar mirror: the lattice writes the
+        fresh value back on every step, so no per-read array indexing.
+        """
         return self._placement
 
     @property
     def interruption_frequency(self) -> float:
         """Current Interruption Frequency advisor metric (percent)."""
-        if self._lattice is not None:
-            return float(self._lattice.freq[self._lattice_index])
         return self._freq
 
     @property

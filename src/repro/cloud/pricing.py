@@ -31,6 +31,10 @@ class PriceBook:
     ) -> None:
         self._regions = regions or default_region_catalog()
         self._instances = instances or default_instance_catalog()
+        # Catalogs are immutable, so the price of a pair never changes;
+        # memoizing keeps od_price off the profile (it sits on the
+        # per-instance billing and Monitor collect hot paths).
+        self._od_cache: dict = {}
 
     @property
     def regions(self) -> RegionCatalog:
@@ -44,9 +48,14 @@ class PriceBook:
 
     def od_price(self, region: str, instance_type: str) -> float:
         """Return the on-demand USD/hour for *instance_type* in *region*."""
-        region_obj = self._regions.get(region)
-        itype = self._instances.get(instance_type)
-        return round(itype.base_od_price * region_obj.od_price_multiplier, 6)
+        key = (region, instance_type)
+        price = self._od_cache.get(key)
+        if price is None:
+            region_obj = self._regions.get(region)
+            itype = self._instances.get(instance_type)
+            price = round(itype.base_od_price * region_obj.od_price_multiplier, 6)
+            self._od_cache[key] = price
+        return price
 
     def cheapest_od_region(self, instance_type: str) -> Tuple[str, float]:
         """Return ``(region, price)`` of the cheapest on-demand offering."""
@@ -115,9 +124,11 @@ class SpotPriceProcess:
 
     @property
     def current(self) -> float:
-        """Current spot price (USD/hour)."""
-        if self._lattice is not None:
-            return float(self._lattice.price[self._lattice_index])
+        """Current spot price (USD/hour).
+
+        Served from the scalar slot on both stepping paths — an
+        adopted market's lattice mirrors the price back on every step.
+        """
         return self._price
 
     def _clamp(self, price: float) -> float:

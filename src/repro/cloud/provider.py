@@ -128,8 +128,13 @@ class CloudProvider:
         self.lattice: Optional[MarketLattice] = (
             MarketLattice(list(self._markets.values())) if vectorized_markets else None
         )
-        self._market_task = self.engine.every(
-            market_step_interval, self._step_markets, label="markets:step"
+        # One engine event per market tick drives both the price step
+        # and the observatory sweep — coalesced via the batch variant so
+        # attaching more per-tick market work never adds heap traffic.
+        self._market_task = self.engine.every_batch(
+            market_step_interval,
+            [self._step_markets, self._observe_markets],
+            label="markets:step",
         )
 
         # Service substrates.  Order matters only in that EC2 publishes
@@ -182,8 +187,10 @@ class CloudProvider:
         else:
             for market in self._markets.values():
                 market.step(now)
+
+    def _observe_markets(self) -> None:
         if self.observatory is not None:
-            self.observatory.observe(now, self._markets.values())
+            self.observatory.observe(self.engine.now, self._markets.values())
 
     def warmup_markets(self, steps: int) -> None:
         """Pre-roll every market *steps* intervals before t=0 data.

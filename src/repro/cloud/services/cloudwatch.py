@@ -13,7 +13,7 @@ Two capabilities the paper's Monitor depends on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cloud.billing import CLOUDWATCH_PUT_PRICE, CostCategory
 from repro.errors import ServiceError
@@ -23,14 +23,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cloud.provider import CloudProvider
 
 MetricKey = Tuple[str, str, Tuple[Tuple[str, str], ...]]
-
-
-@dataclass
-class MetricPoint:
-    """One recorded metric datum."""
-
-    time: float
-    value: float
 
 
 @dataclass
@@ -83,9 +75,17 @@ class CloudWatchService:
     def __init__(self, provider: "CloudProvider") -> None:
         self._provider = provider
         self._engine = provider.engine
-        self._metrics: Dict[MetricKey, List[MetricPoint]] = {}
+        # Points are stored as raw (time, value) tuples — one tuple
+        # append per datum instead of a dataclass construction on the
+        # collect hot path.
+        self._metrics: Dict[MetricKey, List[Tuple[float, float]]] = {}
         self._scheduled: Dict[str, PeriodicTask] = {}
         self._alarms: Dict[str, Alarm] = {}
+        # Alarms indexed by the exact metric key they watch, so each
+        # incoming datum evaluates only its own watchers instead of
+        # scanning every alarm (the collect hot path puts one datum per
+        # market per tick).
+        self._alarms_by_key: Dict[MetricKey, List[Alarm]] = {}
 
     @staticmethod
     def _key(namespace: str, metric: str, dimensions: Optional[Dict[str, str]]) -> MetricKey:
@@ -95,6 +95,22 @@ class CloudWatchService:
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
+    def _record(self, key: MetricKey, value: float, detail: str) -> None:
+        """Store one datum, run its alarms, charge one put."""
+        now = self._engine.now
+        points = self._metrics.get(key)
+        if points is None:
+            points = self._metrics[key] = []
+        points.append((now, value))
+        if self._alarms_by_key:
+            self._evaluate_alarms(key, value)
+        self._provider.ledger.charge(
+            time=now,
+            category=CostCategory.CLOUDWATCH,
+            amount=CLOUDWATCH_PUT_PRICE,
+            detail=detail,
+        )
+
     def put_metric_data(
         self,
         namespace: str,
@@ -104,16 +120,27 @@ class CloudWatchService:
     ) -> None:
         """Record one datum under (namespace, metric, dimensions)."""
         key = self._key(namespace, metric, dimensions)
-        self._metrics.setdefault(key, []).append(
-            MetricPoint(time=self._engine.now, value=float(value))
-        )
-        self._evaluate_alarms(key, float(value))
-        self._provider.ledger.charge(
-            time=self._engine.now,
-            category=CostCategory.CLOUDWATCH,
-            amount=CLOUDWATCH_PUT_PRICE,
-            detail=f"put-metric {namespace}/{metric}",
-        )
+        self._record(key, float(value), f"put-metric {namespace}/{metric}")
+
+    def put_metric_data_batch(
+        self,
+        namespace: str,
+        data: Sequence[Tuple[str, float, Optional[Dict[str, str]]]],
+    ) -> None:
+        """Record several data under one namespace in a single call.
+
+        *data* is a sequence of ``(metric, value, dimensions)`` triples
+        applied in order — points, alarm evaluations, and per-datum
+        charges are identical to calling :meth:`put_metric_data` once
+        per triple; the batch exists so per-tick collectors make one
+        service call per tick instead of one per market.
+        """
+        details: Dict[str, str] = {}
+        for metric, value, dimensions in data:
+            detail = details.get(metric)
+            if detail is None:
+                detail = details[metric] = f"put-metric {namespace}/{metric}"
+            self._record(self._key(namespace, metric, dimensions), float(value), detail)
 
     def get_metric_statistics(
         self,
@@ -131,9 +158,9 @@ class CloudWatchService:
         """
         end = end_time if end_time is not None else self._engine.now
         points = [
-            point.value
-            for point in self._metrics.get(self._key(namespace, metric, dimensions), [])
-            if start_time <= point.time <= end
+            value
+            for time, value in self._metrics.get(self._key(namespace, metric, dimensions), [])
+            if start_time <= time <= end
         ]
         if not points:
             return None
@@ -155,10 +182,7 @@ class CloudWatchService:
         self, namespace: str, metric: str, dimensions: Optional[Dict[str, str]] = None
     ) -> List[Tuple[float, float]]:
         """Return the raw ``(time, value)`` series for plotting."""
-        return [
-            (point.time, point.value)
-            for point in self._metrics.get(self._key(namespace, metric, dimensions), [])
-        ]
+        return list(self._metrics.get(self._key(namespace, metric, dimensions), []))
 
     # ------------------------------------------------------------------
     # Alarms
@@ -189,26 +213,32 @@ class CloudWatchService:
             target=target,
         )
         alarm.breaches(0.0)  # validate the comparison operator eagerly
+        self._unindex_alarm(self._alarms.get(name))
         self._alarms[name] = alarm
+        key = (alarm.namespace, alarm.metric, alarm.dimensions)
+        self._alarms_by_key.setdefault(key, []).append(alarm)
         return alarm
 
     def delete_alarm(self, name: str) -> None:
         """Remove an alarm (no-op when absent)."""
-        self._alarms.pop(name, None)
+        self._unindex_alarm(self._alarms.pop(name, None))
+
+    def _unindex_alarm(self, alarm: Optional[Alarm]) -> None:
+        if alarm is None:
+            return
+        key = (alarm.namespace, alarm.metric, alarm.dimensions)
+        watchers = self._alarms_by_key.get(key)
+        if watchers is not None:
+            watchers.remove(alarm)
+            if not watchers:
+                del self._alarms_by_key[key]
 
     def alarms(self) -> List[str]:
         """Active alarm names, sorted."""
         return sorted(self._alarms)
 
     def _evaluate_alarms(self, key: MetricKey, value: float) -> None:
-        namespace, metric, dims = key
-        for alarm in self._alarms.values():
-            if (alarm.namespace, alarm.metric, alarm.dimensions) != (
-                namespace,
-                metric,
-                dims,
-            ):
-                continue
+        for alarm in self._alarms_by_key.get(key, ()):
             if alarm.breaches(value):
                 if not alarm.in_alarm:
                     alarm.in_alarm = True

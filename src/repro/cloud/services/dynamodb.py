@@ -11,7 +11,7 @@ Every operation charges request units to the ledger.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cloud.billing import CostCategory, DYNAMODB_READ_PRICE, DYNAMODB_WRITE_PRICE
 from repro.errors import (
@@ -200,6 +200,97 @@ class DynamoDBService:
         self._chaos_gate("delete_item", table_name)
         table.items.pop((partition, sort), None)
         self._charge(table, write=True, detail=f"delete {table_name}")
+
+    # ------------------------------------------------------------------
+    # Batch operations
+    # ------------------------------------------------------------------
+    def batch_write_item(
+        self,
+        table_name: str,
+        puts: Sequence[Item] = (),
+        deletes: Sequence[Key] = (),
+    ) -> int:
+        """Apply *puts* then *deletes* to one table as a single request.
+
+        The batched counterpart of :meth:`put_item` / :meth:`delete_item`
+        for per-tick write coalescing: the chaos gate rolls **once per
+        batch** (an injected throttle rejects the whole request before
+        any item lands, so a retried batch re-applies atomically and
+        campaigns stay seed-replayable), while request units are still
+        charged **per item**, in item order, at the same prices as the
+        item-at-a-time calls — billing totals are unchanged by
+        batching.  Conditional writes are not supported in batches,
+        mirroring the real ``BatchWriteItem``.
+
+        Args:
+            puts: Items to store wholesale, in order.
+            deletes: ``(partition, sort)`` key pairs to delete (sort is
+                ``None`` for tables without a sort key).
+
+        Returns:
+            The number of write operations applied.
+        """
+        table = self._table(table_name)
+        if not puts and not deletes:
+            return 0
+        self._chaos_gate("batch_write_item", table_name)
+        items = table.items
+        for item in puts:
+            items[table.key_of(item)] = dict(item)
+        for partition, sort in deletes:
+            items.pop((partition, sort), None)
+        if table.metered:
+            charge = self._provider.ledger.charge
+            now = self._provider.engine.now
+            put_detail = f"batch-put {table_name}"
+            for _ in puts:
+                charge(
+                    time=now,
+                    category=CostCategory.DYNAMODB,
+                    amount=DYNAMODB_WRITE_PRICE,
+                    detail=put_detail,
+                )
+            delete_detail = f"batch-delete {table_name}"
+            for _ in deletes:
+                charge(
+                    time=now,
+                    category=CostCategory.DYNAMODB,
+                    amount=DYNAMODB_WRITE_PRICE,
+                    detail=delete_detail,
+                )
+        return len(puts) + len(deletes)
+
+    def batch_get_item(
+        self, table_name: str, keys: Sequence[Key]
+    ) -> List[Optional[Item]]:
+        """Fetch several items by key as a single request.
+
+        One chaos gate for the whole batch, read units charged per key
+        in key order.  Results align positionally with *keys*; absent
+        items come back as ``None`` (a convenience divergence from the
+        real API, which omits misses).
+        """
+        table = self._table(table_name)
+        if not keys:
+            return []
+        self._chaos_gate("batch_get_item", table_name)
+        items = table.items
+        results: List[Optional[Item]] = []
+        for partition, sort in keys:
+            item = items.get((partition, sort))
+            results.append(dict(item) if item is not None else None)
+        if table.metered:
+            charge = self._provider.ledger.charge
+            now = self._provider.engine.now
+            detail = f"batch-get {table_name}"
+            for _ in keys:
+                charge(
+                    time=now,
+                    category=CostCategory.DYNAMODB,
+                    amount=DYNAMODB_READ_PRICE,
+                    detail=detail,
+                )
+        return results
 
     # ------------------------------------------------------------------
     # Bulk reads

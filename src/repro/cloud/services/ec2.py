@@ -29,7 +29,7 @@ from repro.cloud.billing import CostCategory
 from repro.cloud.interruptions import (
     EVALUATION_INTERVAL,
     INTERRUPTION_NOTICE,
-    sample_interruption,
+    interruption_probability,
 )
 from repro.errors import (
     CapacityError,
@@ -98,6 +98,13 @@ class Instance:
     end_time: Optional[float] = None
     accrued_cost: float = 0.0
     _last_billed: float = field(default=0.0, repr=False)
+    _detail: str = field(default="", repr=False)
+    #: Launch-time billing caches: the market (spot) / fixed on-demand
+    #: price and the bound cost counter, resolved once instead of per
+    #: billing window.
+    _market: object = field(default=None, repr=False)
+    _od_price: float = field(default=0.0, repr=False)
+    _cost_counter: object = field(default=None, repr=False)
 
     @property
     def is_live(self) -> bool:
@@ -156,6 +163,16 @@ class EC2Service:
         self._telemetry = provider.telemetry
         self._rng = provider.engine.streams.get("ec2")
         self._instances: Dict[str, Instance] = {}
+        # Live subset of ``_instances``, insertion-ordered.  The hazard
+        # evaluator runs every EVALUATION_INTERVAL over *live* instances
+        # only; scanning the full (append-only) instance table made the
+        # evaluator O(all instances ever launched) per tick.  Relative
+        # order matches a live-filtered walk of ``_instances``, so RNG
+        # draw order is unchanged.
+        self._live: Dict[str, Instance] = {}
+        # cost_accrued_usd handles keyed by (region, purchasing option);
+        # binding skips the per-call label sort on the billing hot path.
+        self._cost_counters: Dict[Tuple[str, str], object] = {}
         self._requests: Dict[str, SpotRequest] = {}
         self._instance_counter = itertools.count()
         self._request_counter = itertools.count()
@@ -339,9 +356,22 @@ class EC2Service:
             tag=tag,
         )
         instance._last_billed = now
+        instance._detail = f"{instance_type} {instance.instance_id}"
         self._instances[instance.instance_id] = instance
+        self._live[instance.instance_id] = instance
         if lifecycle is InstanceLifecycle.SPOT:
-            self._provider.market(region, instance_type).instances_running += 1
+            market = self._provider.market(region, instance_type)
+            market.instances_running += 1
+            instance._market = market
+        else:
+            instance._od_price = self._provider.price_book.od_price(region, instance_type)
+        counter_key = (region, lifecycle.value)
+        bound = self._cost_counters.get(counter_key)
+        if bound is None:
+            bound = self._cost_counters[counter_key] = self._telemetry.metrics.counter(
+                "cost_accrued_usd", "instance spend by region and purchasing option"
+            ).bound(region=region, purchasing_option=lifecycle.value)
+        instance._cost_counter = bound
         return instance
 
     def _release_capacity(self, instance: Instance) -> None:
@@ -358,18 +388,34 @@ class EC2Service:
         self._notice_callbacks.append(callback)
 
     def _evaluate_interruptions(self) -> None:
-        """Periodic hazard evaluation over every running spot instance."""
+        """Periodic hazard evaluation over every running spot instance.
+
+        The interruption probability is memoized per (region, type) for
+        the tick — every instance of a market sees the same hazard at
+        one timestamp — and the Bernoulli draw replicates
+        :func:`sample_interruption` exactly (no draw at probability
+        zero), so the "ec2" stream consumes the same sequence as the
+        per-instance formulation.
+        """
         now = self._engine.now
-        for instance in list(self._instances.values()):
-            if not instance.is_live:
-                continue
+        rng = self._rng
+        probabilities: Dict[Tuple[str, str], float] = {}
+        for instance in list(self._live.values()):
+            state = instance.state
+            if state is not InstanceState.RUNNING and state is not InstanceState.INTERRUPTING:
+                continue  # ended by a notice callback earlier this tick
             self._bill(instance, now)
             if instance.lifecycle is not InstanceLifecycle.SPOT:
                 continue
-            if instance.state is InstanceState.INTERRUPTING:
+            if state is InstanceState.INTERRUPTING:
                 continue
-            market = self._provider.market(instance.region, instance.instance_type)
-            if sample_interruption(self._rng, market.hazard_at(now), EVALUATION_INTERVAL):
+            market_key = (instance.region, instance.instance_type)
+            probability = probabilities.get(market_key)
+            if probability is None:
+                probability = probabilities[market_key] = interruption_probability(
+                    instance._market.hazard_at(now), EVALUATION_INTERVAL
+                )
+            if probability > 0.0 and rng.random() < probability:
                 self._begin_interruption(instance)
 
     def _begin_interruption(self, instance: Instance) -> None:
@@ -439,7 +485,7 @@ class EC2Service:
         """
         wanted = set(regions) if regions is not None else None
         count = 0
-        for instance in list(self._instances.values()):
+        for instance in list(self._live.values()):
             if not instance.is_live or instance.state is InstanceState.INTERRUPTING:
                 continue
             if instance.lifecycle is not InstanceLifecycle.SPOT:
@@ -459,6 +505,7 @@ class EC2Service:
         self._bill(instance, now)
         instance.state = InstanceState.INTERRUPTED
         instance.end_time = now
+        self._live.pop(instance.instance_id, None)
         self._release_capacity(instance)
         tracer = self._telemetry.tracer
         if tracer is not None:
@@ -493,6 +540,7 @@ class EC2Service:
             self._bill(instance, now)
             instance.state = InstanceState.TERMINATED
             instance.end_time = now
+            self._live.pop(instance_id, None)
             self._release_capacity(instance)
 
     def _bill(self, instance: Instance, now: float) -> None:
@@ -501,30 +549,28 @@ class EC2Service:
         if dt <= 0:
             return
         if instance.lifecycle is InstanceLifecycle.SPOT:
-            price = self._provider.market(instance.region, instance.instance_type).spot_price
+            price = instance._market.spot_price
             category = CostCategory.SPOT_INSTANCE
         else:
-            price = self._provider.price_book.od_price(instance.region, instance.instance_type)
+            price = instance._od_price
             category = CostCategory.ON_DEMAND_INSTANCE
         amount = price * dt / HOUR
         instance.accrued_cost += amount
         instance._last_billed = now
-        self._telemetry.metrics.counter(
-            "cost_accrued_usd", "instance spend by region and purchasing option"
-        ).inc(amount, region=instance.region, purchasing_option=instance.lifecycle.value)
+        instance._cost_counter.inc(amount)
         self._provider.ledger.charge(
             time=now,
             category=category,
             amount=amount,
             region=instance.region,
             tag=instance.tag,
-            detail=f"{instance.instance_type} {instance.instance_id}",
+            detail=instance._detail,
         )
 
     def settle_billing(self) -> None:
         """Bill every live instance up to the current time."""
         now = self._engine.now
-        for instance in self._instances.values():
+        for instance in self._live.values():
             if instance.is_live:
                 self._bill(instance, now)
 

@@ -190,6 +190,9 @@ class FleetController:
         wiring and every byte of fleet state stay put — build a new
         controller over ``state_store`` and :meth:`resume` to continue.
         """
+        # Land staged writes first: the store is the only thing the next
+        # controller can rebuild from, so nothing may die in the overlay.
+        self.state_store.flush()
         self._lifecycle.teardown()
         self.state_store.router.unbind()
 

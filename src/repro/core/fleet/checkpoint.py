@@ -58,6 +58,21 @@ def _checksum(body: bytes) -> str:
     return hashlib.sha256(body).hexdigest()
 
 
+# Stored artifact bodies are all-zero buffers whose content depends only
+# on their (capped) size, so the buffer and its digest are shared per
+# size instead of re-allocating and re-hashing ~1 MiB per checkpoint.
+# bytes are immutable, so handing the same object to every put is safe.
+_ZERO_BODIES: Dict[int, Tuple[bytes, str]] = {}
+
+
+def _zero_body(stored: int) -> Tuple[bytes, str]:
+    cached = _ZERO_BODIES.get(stored)
+    if cached is None:
+        body = b"\x00" * stored
+        cached = _ZERO_BODIES[stored] = (body, _checksum(body))
+    return cached
+
+
 @dataclass(frozen=True)
 class ArtifactCheck:
     """Outcome of verifying a workload's checkpoint artifacts.
@@ -322,10 +337,10 @@ class DynamoCheckpointBackend(CheckpointBackend):
         from repro.cloud.billing import S3_CROSS_REGION_TRANSFER_PRICE, CostCategory
 
         stored = min(checkpoint_bytes, 1 << 20)
-        body = b"\x00" * stored
+        body, digest = _zero_body(stored)
         metadata = {
             "actual_bytes": str(checkpoint_bytes),
-            "sha256": _checksum(body),
+            "sha256": digest,
             "segments": str(segments),
         }
 
@@ -432,10 +447,10 @@ class EFSCheckpointBackend(CheckpointBackend):
             )
             return
         stored = min(checkpoint_bytes, 1 << 20)
-        body = b"\x00" * stored
+        body, digest = _zero_body(stored)
         metadata = {
             "actual_bytes": str(checkpoint_bytes),
-            "sha256": _checksum(body),
+            "sha256": digest,
             "segments": str(segments),
         }
 

@@ -60,10 +60,16 @@ class _MetaMapping(MutableMapping):
         self._section = section
 
     def __getitem__(self, key: str) -> Any:
-        item = self._store._read(
-            lambda: self._store._dynamodb.get_item(
-                self._store.meta_table, self._section, key
-            ),
+        store = self._store
+        pending = store._pending[store.meta_table]
+        pending_key = (self._section, key)
+        if pending_key in pending:
+            staged = pending[pending_key]
+            if staged is None:
+                raise KeyError(key)
+            return staged["value"]
+        item = store._read(
+            lambda: store._dynamodb.get_item(store.meta_table, self._section, key),
             scope=f"fleet-state:meta:{self._section}",
         )
         if item is None:
@@ -71,20 +77,18 @@ class _MetaMapping(MutableMapping):
         return item["value"]
 
     def __setitem__(self, key: str, value: Any) -> None:
-        self._store._write(
-            lambda: self._store._dynamodb.put_item(
-                self._store.meta_table,
-                {"section": self._section, "key": key, "value": value},
-            ),
+        self._store._stage_put(
+            self._store.meta_table,
+            (self._section, key),
+            {"section": self._section, "key": key, "value": value},
             scope=f"fleet-state:meta:{self._section}",
         )
 
     def __delitem__(self, key: str) -> None:
         self.__getitem__(key)  # raise KeyError when absent
-        self._store._write(
-            lambda: self._store._dynamodb.delete_item(
-                self._store.meta_table, self._section, key
-            ),
+        self._store._stage_delete(
+            self._store.meta_table,
+            (self._section, key),
             scope=f"fleet-state:meta:{self._section}",
         )
 
@@ -93,7 +97,18 @@ class _MetaMapping(MutableMapping):
             lambda: self._store._dynamodb.query(self._store.meta_table, self._section),
             scope=f"fleet-state:meta:{self._section}",
         )
-        return iter([row["key"] for row in rows])
+        keys = {row["key"] for row in rows}
+        for (section, key), staged in self._store._pending[self._store.meta_table].items():
+            if section != self._section:
+                continue
+            if staged is None:
+                keys.discard(key)
+            else:
+                keys.add(key)
+        # The flushed path reads through ``query``, which returns rows
+        # sorted by sort key; sorting the merged set keeps iteration
+        # order independent of flush timing.
+        return iter(sorted(keys))
 
     def __len__(self) -> int:
         return len(list(iter(self)))
@@ -123,6 +138,24 @@ class FleetStateStore:
         dynamodb.create_table(
             self.meta_table, partition_key="section", sort_key="key", metered=False
         )
+        # Write-through overlay: mutations stage here (keyed by the
+        # table's ``(partition, sort)`` tuple; ``None`` is a tombstone)
+        # and land in DynamoDB as one ``batch_write_item`` per table at
+        # the next engine tick boundary.  Reads consult the overlay
+        # first, so staged state is always visible.
+        self._pending: Dict[str, Dict[Tuple[Any, Any], Optional[Dict[str, Any]]]] = {
+            self.workloads_table: {},
+            self.instances_table: {},
+            self.requests_table: {},
+            self.meta_table: {},
+        }
+        self._flush_tables = (
+            (self.workloads_table, "workloads"),
+            (self.instances_table, "instances"),
+            (self.requests_table, "requests"),
+            (self.meta_table, "meta"),
+        )
+        dynamodb.provider.engine.add_tick_hook(self.flush)
         self.router = ControlPlaneRouter()
 
     # ------------------------------------------------------------------
@@ -161,18 +194,113 @@ class FleetStateStore:
         )
 
     # ------------------------------------------------------------------
+    # Batched write-through overlay
+    # ------------------------------------------------------------------
+    # Every mutation stages into ``_pending`` and lands in DynamoDB at
+    # the next engine tick boundary as one batch per table.  The tracer
+    # event still fires at the *staging* site (the causal chain the
+    # write belongs to); the flush itself runs between events, where no
+    # span is current.  One semantic caveat: deleting and re-putting the
+    # same key inside one tick keeps the row's original scan position,
+    # where item-at-a-time writes would move it to the end — no store
+    # client does this (instance/request ids are unique per acquisition
+    # and workloads are never deleted).
+
+    def _stage(
+        self,
+        table: str,
+        key: Tuple[Any, Any],
+        item: Optional[Dict[str, Any]],
+        scope: str,
+    ) -> None:
+        tracer = self._dynamodb.provider.telemetry.tracer
+        if tracer is not None and tracer.current is not None:
+            tracer.event(scope, "dynamodb")
+        # Staged dicts are stored as-is: every staging site passes a
+        # freshly built dict, and overlay reads copy on the way out.
+        self._pending[table][key] = item
+
+    def _stage_put(
+        self, table: str, key: Tuple[Any, Any], item: Dict[str, Any], scope: str
+    ) -> None:
+        self._stage(table, key, item, scope)
+
+    def _stage_delete(self, table: str, key: Tuple[Any, Any], scope: str) -> None:
+        self._stage(table, key, None, scope)
+
+    def _overlay_scan(self, table: str, rows: List[Dict[str, Any]], key_attr: str) -> List[Dict[str, Any]]:
+        """Merge a table scan with the staged overlay.
+
+        Scanned rows keep their positions (staged replacements swap in
+        place, tombstoned rows drop out); keys staged but never flushed
+        append in staging order — matching the insertion order a flushed
+        table would show.
+        """
+        pending = self._pending[table]
+        if not pending:
+            return rows
+        merged = []
+        seen = set()
+        for row in rows:
+            key = (row[key_attr], None)
+            if key in pending:
+                seen.add(key)
+                staged = pending[key]
+                if staged is None:
+                    continue
+                merged.append(dict(staged))
+            else:
+                merged.append(row)
+        for key, staged in pending.items():
+            if staged is not None and key not in seen:
+                merged.append(dict(staged))
+        return merged
+
+    def flush(self) -> None:
+        """Land every staged write in DynamoDB, one batch per table.
+
+        Runs from the engine's tick hook (and from controller teardown).
+        A batch that exhausts its retry budget against an injected
+        throttle is dead-lettered and **stays pending**, so the next
+        tick's flush retries it — the mirror self-heals instead of
+        silently losing state.
+        """
+        for table, label in self._flush_tables:
+            pending = self._pending[table]
+            if not pending:
+                continue
+            puts = [item for item in pending.values() if item is not None]
+            deletes = [key for key, item in pending.items() if item is None]
+            flushed: List[bool] = []
+
+            def apply(table=table, puts=puts, deletes=deletes, flushed=flushed):
+                self._dynamodb.batch_write_item(table, puts=puts, deletes=deletes)
+                flushed.append(True)
+
+            self._write(apply, scope=f"fleet-state:flush:{label}")
+            if flushed:
+                pending.clear()
+
+    # ------------------------------------------------------------------
     # Workload state
     # ------------------------------------------------------------------
     def save_execution(self, execution: "WorkloadExecution") -> None:
         """Persist one execution's full durable state (upsert)."""
         item = execution.state_item()
-        self._write(
-            lambda: self._dynamodb.put_item(self.workloads_table, item),
+        self._stage_put(
+            self.workloads_table,
+            (item["workload_id"], None),
+            item,
             scope="fleet-state:save-execution",
         )
 
     def workload_item(self, workload_id: str) -> Optional[Dict[str, Any]]:
         """The stored state of one workload, or ``None``."""
+        pending = self._pending[self.workloads_table]
+        key = (workload_id, None)
+        if key in pending:
+            staged = pending[key]
+            return dict(staged) if staged is not None else None
         return self._read(
             lambda: self._dynamodb.get_item(self.workloads_table, workload_id),
             scope="fleet-state:workload-item",
@@ -180,10 +308,11 @@ class FleetStateStore:
 
     def workload_items(self) -> List[Dict[str, Any]]:
         """Every stored workload, in registration order."""
-        return self._read(
+        rows = self._read(
             lambda: self._dynamodb.scan(self.workloads_table),
             scope="fleet-state:workload-items",
         )
+        return self._overlay_scan(self.workloads_table, rows, "workload_id")
 
     def workload_ids(self) -> List[str]:
         """Stored workload ids, in registration order."""
@@ -208,8 +337,13 @@ class FleetStateStore:
         chaos-gated read there would consume fault-stream RNG draws
         and perturb the very run being recorded.
         """
+        rows = self._overlay_scan(
+            self.workloads_table,
+            self._dynamodb.peek_items(self.workloads_table),
+            "workload_id",
+        )
         counts: Dict[str, int] = {}
-        for item in self._dynamodb.peek_items(self.workloads_table):
+        for item in rows:
             state = item["state"]
             counts[state] = counts.get(state, 0) + 1
         return dict(sorted(counts.items()))
@@ -219,26 +353,30 @@ class FleetStateStore:
     # ------------------------------------------------------------------
     def bind_instance(self, instance: "Instance", workload_id: str) -> None:
         """Record that *instance* runs *workload_id*."""
-        self._write(
-            lambda: self._dynamodb.put_item(
-                self.instances_table,
-                {"instance_id": instance.instance_id, "workload_id": workload_id},
-            ),
+        self._stage_put(
+            self.instances_table,
+            (instance.instance_id, None),
+            {"instance_id": instance.instance_id, "workload_id": workload_id},
             scope="fleet-state:bind-instance",
         )
 
     def pop_instance(self, instance_id: str) -> Optional[str]:
         """Remove and return the workload bound to *instance_id*."""
+        pending = self._pending[self.instances_table]
+        key = (instance_id, None)
+        if key in pending:
+            staged = pending[key]
+            if staged is None:
+                return None
+            self._stage_delete(self.instances_table, key, scope="fleet-state:pop-instance")
+            return staged["workload_id"]
         item = self._read(
             lambda: self._dynamodb.get_item(self.instances_table, instance_id),
             scope="fleet-state:pop-instance",
         )
         if item is None:
             return None
-        self._write(
-            lambda: self._dynamodb.delete_item(self.instances_table, instance_id),
-            scope="fleet-state:pop-instance",
-        )
+        self._stage_delete(self.instances_table, key, scope="fleet-state:pop-instance")
         return item["workload_id"]
 
     def instance_bindings(self) -> Dict[str, str]:
@@ -247,6 +385,7 @@ class FleetStateStore:
             lambda: self._dynamodb.scan(self.instances_table),
             scope="fleet-state:instance-bindings",
         )
+        rows = self._overlay_scan(self.instances_table, rows, "instance_id")
         return {item["instance_id"]: item["workload_id"] for item in rows}
 
     # ------------------------------------------------------------------
@@ -254,26 +393,30 @@ class FleetStateStore:
     # ------------------------------------------------------------------
     def track_request(self, request: "SpotRequest", workload_id: str) -> None:
         """Track an open spot request filed for *workload_id*."""
-        self._write(
-            lambda: self._dynamodb.put_item(
-                self.requests_table,
-                {"request_id": request.request_id, "workload_id": workload_id},
-            ),
+        self._stage_put(
+            self.requests_table,
+            (request.request_id, None),
+            {"request_id": request.request_id, "workload_id": workload_id},
             scope="fleet-state:track-request",
         )
 
     def pop_request(self, request_id: str) -> Optional[str]:
         """Remove and return the workload a request was filed for."""
+        pending = self._pending[self.requests_table]
+        key = (request_id, None)
+        if key in pending:
+            staged = pending[key]
+            if staged is None:
+                return None
+            self._stage_delete(self.requests_table, key, scope="fleet-state:pop-request")
+            return staged["workload_id"]
         item = self._read(
             lambda: self._dynamodb.get_item(self.requests_table, request_id),
             scope="fleet-state:pop-request",
         )
         if item is None:
             return None
-        self._write(
-            lambda: self._dynamodb.delete_item(self.requests_table, request_id),
-            scope="fleet-state:pop-request",
-        )
+        self._stage_delete(self.requests_table, key, scope="fleet-state:pop-request")
         return item["workload_id"]
 
     def tracked_requests(self) -> List[Tuple[str, str]]:
@@ -282,6 +425,7 @@ class FleetStateStore:
             lambda: self._dynamodb.scan(self.requests_table),
             scope="fleet-state:tracked-requests",
         )
+        rows = self._overlay_scan(self.requests_table, rows, "request_id")
         return [(item["request_id"], item["workload_id"]) for item in rows]
 
     # ------------------------------------------------------------------

@@ -59,6 +59,9 @@ class Monitor:
         self._table = provider.dynamodb.create_table(
             METRICS_TABLE, partition_key="region", sort_key="instance_type"
         )
+        # Reusable dimension dicts per (instance type, region): the
+        # collect loop publishes the same label sets every cycle.
+        self._dims_cache: Dict[Any, Dict[str, str]] = {}
         self.collections = 0
         if deploy:
             # Section 4: the Python collector code and the SpotInfo
@@ -104,9 +107,19 @@ class Monitor:
 
     def _put_snapshot_row(self, item: Dict[str, Any]) -> None:
         """Write one snapshot row, riding out DynamoDB throttling."""
+        self._put_snapshot_rows([item])
+
+    def _put_snapshot_rows(self, rows: List[Dict[str, Any]]) -> None:
+        """Write one cycle's snapshot rows as a single batched request.
+
+        The whole batch rides out DynamoDB throttling together; a batch
+        that still throttles after the retry budget is dropped wholesale
+        (the next cycle rewrites every row), which mirrors the old
+        per-row drop semantics at batch granularity.
+        """
         telemetry = self._provider.telemetry
         call_with_retries(
-            lambda: self._provider.dynamodb.put_item(METRICS_TABLE, item),
+            lambda: self._provider.dynamodb.batch_write_item(METRICS_TABLE, puts=rows),
             MONITOR_RETRY_POLICY,
             retryable=ThrottlingError,
             on_retry=lambda attempt, exc: note_retry(
@@ -125,38 +138,48 @@ class Monitor:
             return self._collect_once()
 
     def _collect_once(self) -> int:
+        # One batched DynamoDB write and one batched CloudWatch put per
+        # instance type per cycle, instead of one service call per
+        # market.  Charge order is unchanged from the per-market loop:
+        # DynamoDB row charges land in market order, CloudWatch datum
+        # charges land in market order followed by the regions_collected
+        # roll-up, so ledger totals stay bit-identical.
         now = self._provider.engine.now
+        od_price = self._provider.price_book.od_price
+        dims_cache = self._dims_cache
         written = 0
         for instance_type in self._instance_types:
+            rows: List[Dict[str, Any]] = []
+            metric_data: List[Any] = []
             for market in self._provider.markets_for_type(instance_type):
-                od_price = self._provider.price_book.od_price(market.region, instance_type)
-                self._put_snapshot_row(
+                region = market.region
+                frequency = market.interruption_frequency
+                rows.append(
                     {
-                        "region": market.region,
+                        "region": region,
                         "instance_type": instance_type,
                         "spot_price": market.spot_price,
-                        "od_price": od_price,
+                        "od_price": od_price(region, instance_type),
                         "placement_score": market.placement_score,
-                        "interruption_frequency": market.interruption_frequency,
+                        "interruption_frequency": frequency,
                         "collected_at": now,
-                    },
+                    }
                 )
-                written += 1
-                self._provider.cloudwatch.put_metric_data(
-                    NAMESPACE,
-                    "interruption_frequency",
-                    market.interruption_frequency,
-                    dimensions={
-                        "region": market.region,
+                dims_key = (instance_type, region)
+                dims = dims_cache.get(dims_key)
+                if dims is None:
+                    dims = dims_cache[dims_key] = {
+                        "region": region,
                         "instance_type": instance_type,
-                    },
-                )
-            self._provider.cloudwatch.put_metric_data(
-                NAMESPACE,
-                "regions_collected",
-                float(written),
-                dimensions={"instance_type": instance_type},
-            )
+                    }
+                metric_data.append(("interruption_frequency", frequency, dims))
+            written += len(rows)
+            self._put_snapshot_rows(rows)
+            dims = dims_cache.get(instance_type)
+            if dims is None:
+                dims = dims_cache[instance_type] = {"instance_type": instance_type}
+            metric_data.append(("regions_collected", float(written), dims))
+            self._provider.cloudwatch.put_metric_data_batch(NAMESPACE, metric_data)
         self.collections += 1
         return written
 

@@ -67,6 +67,16 @@ class Counter:
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0.0) + amount
 
+    def bound(self, **labels: str) -> "BoundCounter":
+        """Pre-resolve *labels* into a reusable hot-path handle.
+
+        ``inc(**labels)`` sorts and stringifies the label set on every
+        call; a bound handle pays that once.  Hot loops (per-instance
+        billing, per-tick collection) cache one handle per label set
+        and call :meth:`BoundCounter.inc` with just the amount.
+        """
+        return BoundCounter(self, _label_key(labels))
+
     def value(self, **labels: str) -> float:
         """Current value of one labelled series (0.0 if never incremented)."""
         return self._values.get(_label_key(labels), 0.0)
@@ -85,6 +95,25 @@ class Counter:
             Sample(name=self.name, kind=self.kind, labels=key, value=value)
             for key, value in sorted(self._values.items())
         ]
+
+
+class BoundCounter:
+    """A :class:`Counter` series with its label key pre-computed."""
+
+    __slots__ = ("_counter", "_key")
+
+    def __init__(self, counter: Counter, key: LabelKey) -> None:
+        self._counter = counter
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* to the bound series."""
+        if amount < 0:
+            raise ReproError(
+                f"counter {self._counter.name!r} cannot decrease (got {amount!r})"
+            )
+        values = self._counter._values
+        values[self._key] = values.get(self._key, 0.0) + amount
 
 
 class Gauge:

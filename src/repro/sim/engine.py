@@ -15,10 +15,10 @@ concurrency a middleware control plane needs at simulation fidelity.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro.errors import SchedulingError, SimulationError
-from repro.sim.events import Callback, Event, EventQueue
+from repro.sim.events import BucketedEventQueue, Callback, Event, EventQueue
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import EngineTracer
 
@@ -34,13 +34,33 @@ class SimulationEngine:
             (:attr:`tracer`; tuple-shaped views come from
             :meth:`~repro.sim.trace.EngineTracer.as_tuples`).
         tracer: Install a specific tracer (implies tracing on).
+        scheduler: Event-queue implementation: ``"wheel"`` (default)
+            selects the calendar-queue
+            :class:`~repro.sim.events.BucketedEventQueue`; ``"heap"``
+            the binary-heap reference
+            :class:`~repro.sim.events.EventQueue`.  Both satisfy the
+            same ``(time, seq)`` determinism contract, so results are
+            bit-identical either way — the flag exists for equivalence
+            testing and benchmarking.
     """
 
     def __init__(
-        self, seed: int = 0, trace: bool = False, tracer: Optional[EngineTracer] = None
+        self,
+        seed: int = 0,
+        trace: bool = False,
+        tracer: Optional[EngineTracer] = None,
+        scheduler: str = "wheel",
     ) -> None:
         self._now = 0.0
-        self._queue = EventQueue()
+        if scheduler == "wheel":
+            self._queue = BucketedEventQueue()
+        elif scheduler == "heap":
+            self._queue = EventQueue()
+        else:
+            raise SchedulingError(
+                f"unknown scheduler {scheduler!r}; expected 'wheel' or 'heap'"
+            )
+        self.scheduler = scheduler
         self._running = False
         self.streams = RandomStreams(seed)
         self.tracer = tracer if tracer is not None else (EngineTracer() if trace else None)
@@ -50,6 +70,7 @@ class SimulationEngine:
         #: on its zero-overhead path.
         self.error_hook: Optional[Callable[[BaseException, Event], None]] = None
         self._fired_events = 0
+        self._tick_hooks: List[Callable[[], None]] = []
 
     @property
     def trace(self) -> bool:
@@ -133,6 +154,60 @@ class SimulationEngine:
         task._arm(first)
         return task
 
+    def every_batch(
+        self,
+        interval: float,
+        callbacks: Sequence[Callback],
+        label: str = "",
+        start_at: Optional[float] = None,
+    ) -> "PeriodicBatchTask":
+        """Run several callbacks on one shared periodic engine event.
+
+        The batch variant of :meth:`every`: per-entity periodic work
+        (one sampler per market, one collector per watcher) coalesces
+        into a *single* event per tick, so the scheduler pays one
+        push/pop per period regardless of how many callbacks ride it.
+        Callbacks fire in registration order; :meth:`PeriodicBatchTask.add`
+        and :meth:`PeriodicBatchTask.remove` adjust the batch live.
+
+        Raises:
+            SchedulingError: If *interval* is not positive or any
+                callback is ``None``.
+        """
+        if interval <= 0:
+            raise SchedulingError(f"periodic interval must be positive, got {interval!r}")
+        task = PeriodicBatchTask(self, interval, callbacks, label)
+        first = start_at if start_at is not None else self._now + interval
+        task._arm(first)
+        return task
+
+    # ------------------------------------------------------------------
+    # Tick hooks
+    # ------------------------------------------------------------------
+    def add_tick_hook(self, hook: Callable[[], None]) -> None:
+        """Run *hook* whenever the clock is about to advance.
+
+        Hooks fire (in registration order) just before the engine moves
+        from one distinct timestamp to a later one, and once more at the
+        end of every :meth:`run_until` / :meth:`run_until_idle` call.
+        They are *not* events: no sequence numbers are consumed, nothing
+        is traced, and :attr:`fired_events` does not move — event
+        streams stay bit-identical whether hooks are installed or not.
+
+        This is the coalescing point for per-tick write batching: the
+        fleet state store flushes its pending DynamoDB batches here, so
+        any number of same-timestamp mutations become one batched write
+        per table per tick.  Hooks must not schedule events.
+        """
+        self._tick_hooks.append(hook)
+
+    def remove_tick_hook(self, hook: Callable[[], None]) -> None:
+        """Unregister *hook* (no-op when absent)."""
+        try:
+            self._tick_hooks.remove(hook)
+        except ValueError:
+            pass
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -151,6 +226,7 @@ class SimulationEngine:
             raise SimulationError("run_until called re-entrantly from a callback")
         self._running = True
         tracer = self.tracer
+        hooks = self._tick_hooks
         run_started = perf_counter() if tracer is not None else 0.0
         fired_before = self._fired_events
         try:
@@ -158,12 +234,17 @@ class SimulationEngine:
                 next_time = self._queue.peek_time()
                 if next_time is None or next_time > time:
                     break
+                if hooks and next_time > self._now:
+                    for hook in hooks:
+                        hook()
                 event = self._queue.pop()
                 assert event is not None and event.callback is not None
                 self._now = event.time
                 self._fired_events += 1
                 self._fire(event)
             self._now = time
+            for hook in hooks:
+                hook()
         finally:
             self._running = False
             if tracer is not None:
@@ -177,6 +258,7 @@ class SimulationEngine:
             raise SimulationError("run_until_idle called re-entrantly from a callback")
         self._running = True
         tracer = self.tracer
+        hooks = self._tick_hooks
         run_started = perf_counter() if tracer is not None else 0.0
         fired_before = self._fired_events
         try:
@@ -187,11 +269,16 @@ class SimulationEngine:
                 if max_time is not None and next_time > max_time:
                     self._now = max_time
                     break
+                if hooks and next_time > self._now:
+                    for hook in hooks:
+                        hook()
                 event = self._queue.pop()
                 assert event is not None and event.callback is not None
                 self._now = event.time
                 self._fired_events += 1
                 self._fire(event)
+            for hook in hooks:
+                hook()
         finally:
             self._running = False
             if tracer is not None:
@@ -300,3 +387,48 @@ class PeriodicTask:
     def cancelled(self) -> bool:
         """Whether :meth:`cancel` has been called."""
         return self._cancelled
+
+
+class PeriodicBatchTask(PeriodicTask):
+    """Several callbacks coalesced onto one periodic engine event.
+
+    Created by :meth:`SimulationEngine.every_batch`.  Each tick fires
+    every registered callback in registration order; the scheduler sees
+    a single event regardless of batch size.  :attr:`invocations`
+    counts ticks, not callback runs.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        interval: float,
+        callbacks: Sequence[Callback],
+        label: str,
+    ) -> None:
+        callbacks = list(callbacks)
+        if any(callback is None for callback in callbacks):
+            raise SchedulingError("cannot schedule a None callback in a batch")
+        super().__init__(engine, interval, self._run_batch, label, jitter=0.0)
+        self._callbacks = callbacks
+
+    def _run_batch(self) -> None:
+        for callback in tuple(self._callbacks):
+            callback()
+
+    def add(self, callback: Callback) -> None:
+        """Append *callback* to the batch (fires from the next tick on)."""
+        if callback is None:
+            raise SchedulingError("cannot schedule a None callback in a batch")
+        self._callbacks.append(callback)
+
+    def remove(self, callback: Callback) -> None:
+        """Drop *callback* from the batch (no-op when absent)."""
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    @property
+    def batch_size(self) -> int:
+        """Number of callbacks currently riding this task."""
+        return len(self._callbacks)

@@ -173,3 +173,49 @@ def test_env_tolerance_overrides(monkeypatch, env_name, flag):
     assert check_regression._env_tol(env_name, 1.0) == 9.5
     monkeypatch.delenv(env_name)
     assert check_regression._env_tol(env_name, 1.0) == 1.0
+
+
+def test_scheduler_speedup_enforced():
+    baseline = _payload("engine_core")
+    baseline["scheduler_speedup_x"] = 1.3
+    ok = _payload("engine_core")
+    ok["scheduler_speedup_x"] = 0.9  # within the 1.6x band
+    assert check_regression.compare_payloads(baseline, ok) == []
+    collapsed = _payload("engine_core")
+    collapsed["scheduler_speedup_x"] = 0.5
+    violations = check_regression.compare_payloads(baseline, collapsed)
+    assert [v.metric for v in violations] == ["scheduler_speedup_x"]
+    # One-sided payloads are never enforced (new benchmark landing).
+    assert check_regression.compare_payloads(_payload(), collapsed) == []
+
+
+def test_throughput_floor_enforced():
+    baseline = _payload("fig3", tput=33000.0)
+    baseline["floor_events_per_second"] = 32400.0
+    # Fresh run inside the relative band AND above floor/tol: passes.
+    ok = _payload("fig3", tput=25000.0)
+    assert check_regression.compare_payloads(baseline, ok) == []
+    # A slide below floor/tol fails (here the relative band breaks too;
+    # the floor violation is the one naming the absolute limit).
+    regressed = _payload("fig3", tput=15000.0)
+    violations = check_regression.compare_payloads(baseline, regressed)
+    assert [v.metric for v in violations] == [
+        "sim_events_per_second",
+        "sim_events_per_second",
+    ]
+    assert any("floor" in v.render() for v in violations)
+
+
+def test_throughput_floor_is_independent_of_relative_band():
+    # The floor binds even when the committed payload carries no
+    # throughput of its own (so the relative band is skipped) — a
+    # regenerated baseline cannot silently drop the guarantee.
+    baseline = _payload("fig3", tput=0.0)
+    baseline["floor_events_per_second"] = 32400.0
+    regressed = _payload("fig3", tput=15000.0)
+    violations = check_regression.compare_payloads(baseline, regressed)
+    assert [v.metric for v in violations] == ["sim_events_per_second"]
+    assert "floor" in violations[0].render()
+    assert check_regression.compare_payloads(
+        baseline, _payload("fig3", tput=25000.0)
+    ) == []

@@ -420,3 +420,146 @@ class TestCloudFormation:
         assert "collect" not in provider.cloudwatch.scheduled_rules()
         with pytest.raises(StackError):
             provider.cloudformation.describe_stack("s")
+
+
+class _ThrottleOnce:
+    """Chaos stub: throttle the first *n* matching DynamoDB ops."""
+
+    def __init__(self, op, times=1):
+        self._op = op
+        self.remaining = times
+        self.rolls = 0
+
+    def dynamodb_fault(self, op, conditional):
+        if op == self._op and self.remaining > 0:
+            self.remaining -= 1
+            self.rolls += 1
+            return "throttle"
+        return None
+
+
+class TestDynamoDBBatch:
+    def test_batch_write_puts_then_deletes(self, provider):
+        provider.dynamodb.create_table("t", "k")
+        provider.dynamodb.put_item("t", {"k": "stale"})
+        applied = provider.dynamodb.batch_write_item(
+            "t",
+            puts=[{"k": "a", "v": 1}, {"k": "b", "v": 2}],
+            deletes=[("stale", None)],
+        )
+        assert applied == 3
+        assert provider.dynamodb.get_item("t", "a")["v"] == 1
+        assert provider.dynamodb.get_item("t", "b")["v"] == 2
+        assert provider.dynamodb.get_item("t", "stale") is None
+
+    def test_batch_write_bills_per_item_in_order(self, provider):
+        provider.dynamodb.create_table("t", "k")
+        before = len(provider.ledger.entries)
+        provider.dynamodb.batch_write_item(
+            "t", puts=[{"k": "a"}, {"k": "b"}], deletes=[("a", None)]
+        )
+        tail = provider.ledger.entries[before:]
+        assert [entry.detail for entry in tail] == [
+            "batch-put t",
+            "batch-put t",
+            "batch-delete t",
+        ]
+        # Same request-unit price as the item-at-a-time calls.
+        provider.dynamodb.put_item("t", {"k": "c"})
+        per_item = provider.ledger.entries[-1].amount
+        assert all(entry.amount == per_item for entry in tail)
+
+    def test_empty_batch_is_free_and_skips_chaos(self, provider):
+        provider.dynamodb.create_table("t", "k")
+        chaos = _ThrottleOnce("batch_write_item", times=100)
+        provider.attach_chaos(chaos)
+        assert provider.dynamodb.batch_write_item("t") == 0
+        assert chaos.rolls == 0
+        assert provider.ledger.total(CostCategory.DYNAMODB) == 0.0
+
+    def test_throttle_rejects_whole_batch_before_any_item_lands(self, provider):
+        from repro.errors import ThrottlingError
+
+        provider.dynamodb.create_table("t", "k")
+        provider.attach_chaos(_ThrottleOnce("batch_write_item"))
+        with pytest.raises(ThrottlingError):
+            provider.dynamodb.batch_write_item("t", puts=[{"k": "a"}, {"k": "b"}])
+        assert provider.ledger.total(CostCategory.DYNAMODB) == 0.0
+        assert provider.dynamodb.get_item("t", "a") is None
+        assert provider.dynamodb.get_item("t", "b") is None
+        # The retried batch re-applies atomically.
+        provider.dynamodb.batch_write_item("t", puts=[{"k": "a"}, {"k": "b"}])
+        assert provider.dynamodb.get_item("t", "a") is not None
+
+    def test_batch_get_aligns_results_with_keys(self, provider):
+        provider.dynamodb.create_table("t", "k")
+        provider.dynamodb.put_item("t", {"k": "a", "v": 1})
+        provider.dynamodb.put_item("t", {"k": "c", "v": 3})
+        results = provider.dynamodb.batch_get_item(
+            "t", [("c", None), ("missing", None), ("a", None)]
+        )
+        assert [item and item["v"] for item in results] == [3, None, 1]
+        assert provider.dynamodb.batch_get_item("t", []) == []
+
+    def test_batch_get_charges_read_units_per_key(self, provider):
+        provider.dynamodb.create_table("t", "k")
+        before = len(provider.ledger.entries)
+        provider.dynamodb.batch_get_item("t", [("a", None), ("b", None)])
+        tail = provider.ledger.entries[before:]
+        assert [entry.detail for entry in tail] == ["batch-get t", "batch-get t"]
+
+    def test_batch_write_copies_items(self, provider):
+        provider.dynamodb.create_table("t", "k")
+        item = {"k": "a", "v": 1}
+        provider.dynamodb.batch_write_item("t", puts=[item])
+        item["v"] = 99  # caller mutation must not reach the table
+        assert provider.dynamodb.get_item("t", "a")["v"] == 1
+
+
+class TestCloudWatchBatch:
+    def test_batch_put_equals_sequential_puts(self, provider):
+        cw = provider.cloudwatch
+        cw.put_metric_data_batch(
+            "NS",
+            [
+                ("m", 1.0, {"region": "r1"}),
+                ("m", 2.0, {"region": "r1"}),
+                ("other", 5.0, None),
+            ],
+        )
+        assert cw.metric_series("NS", "m", {"region": "r1"}) == [(0.0, 1.0), (0.0, 2.0)]
+        assert cw.get_metric_statistics("NS", "other") == 5.0
+        # Three data points, three put charges.
+        puts = [e for e in provider.ledger.entries if e.category is CostCategory.CLOUDWATCH]
+        assert len(puts) == 3
+
+    def test_alarms_fire_from_batched_data(self, provider):
+        cw = provider.cloudwatch
+        seen = []
+        cw.put_alarm(
+            "high", "NS", "m", threshold=10.0, comparison=">", target=seen.append
+        )
+        cw.put_metric_data_batch("NS", [("m", 5.0, None), ("m", 11.0, None)])
+        assert seen == [11.0]
+
+    def test_put_alarm_replacement_reindexes(self, provider):
+        cw = provider.cloudwatch
+        first, second = [], []
+        cw.put_alarm("a", "NS", "m", threshold=1.0, comparison=">", target=first.append)
+        # Replacing re-points the watcher at a different metric; the old
+        # index entry must not survive.
+        cw.put_alarm("a", "NS", "n", threshold=1.0, comparison=">", target=second.append)
+        cw.put_metric_data("NS", "m", 5.0)
+        cw.put_metric_data("NS", "n", 5.0)
+        assert first == []
+        assert second == [5.0]
+
+    def test_delete_alarm_stops_evaluation(self, provider):
+        cw = provider.cloudwatch
+        seen = []
+        cw.put_alarm("a", "NS", "m", threshold=1.0, comparison=">", target=seen.append)
+        cw.delete_alarm("a")
+        cw.delete_alarm("a")  # absent: no-op
+        cw.put_metric_data("NS", "m", 5.0)
+        assert seen == []
+        assert cw._alarms_by_key == {}

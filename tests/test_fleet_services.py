@@ -275,3 +275,112 @@ class TestControllerRestart:
         instance = provider.ec2.run_on_demand("ca-central-1", "m5.xlarge", tag="w")
         controller.state_store.router.spot_fulfilled(request, instance)
         assert instance.state is InstanceState.TERMINATED
+
+
+class _AlwaysThrottleBatch:
+    """Chaos stub: throttle every batch write until switched off."""
+
+    def __init__(self):
+        self.active = True
+
+    def dynamodb_fault(self, op, conditional):
+        if self.active and op == "batch_write_item":
+            return "throttle"
+        return None
+
+
+class TestStateStoreBatching:
+    """The write-through overlay: staged reads, per-tick flush, chaos."""
+
+    def test_mutations_stage_until_flush(self, provider):
+        store = FleetStateStore(provider.dynamodb)
+        instance = provider.ec2.run_on_demand("us-east-1", "m5.xlarge")
+        store.bind_instance(instance, "w")
+        # Visible through the overlay immediately, but nothing has hit
+        # the simulated DynamoDB yet.
+        assert store.instance_bindings() == {instance.instance_id: "w"}
+        assert provider.dynamodb.scan(store.instances_table) == []
+        store.flush()
+        assert provider.dynamodb.scan(store.instances_table) == [
+            {"instance_id": instance.instance_id, "workload_id": "w"}
+        ]
+
+    def test_engine_tick_flushes_pending_writes(self, provider):
+        store = FleetStateStore(provider.dynamodb)
+        store.mapping("s")["k"] = 42
+        assert provider.dynamodb.query(store.meta_table, "s") == []
+        provider.engine.run_until(provider.engine.now + 1.0)
+        assert provider.dynamodb.query(store.meta_table, "s") == [
+            {"section": "s", "key": "k", "value": 42}
+        ]
+
+    def test_delete_after_flush_stages_tombstone(self, provider):
+        store = FleetStateStore(provider.dynamodb)
+        instance = provider.ec2.run_on_demand("us-east-1", "m5.xlarge")
+        store.bind_instance(instance, "w")
+        store.flush()
+        assert store.pop_instance(instance.instance_id) == "w"
+        # The tombstone hides the durable row until it is flushed away.
+        assert store.instance_bindings() == {}
+        assert len(provider.dynamodb.scan(store.instances_table)) == 1
+        store.flush()
+        assert provider.dynamodb.scan(store.instances_table) == []
+
+    def test_flush_batches_one_write_per_table_per_tick(self, provider):
+        store = FleetStateStore(provider.dynamodb)
+        calls = []
+        original = provider.dynamodb.batch_write_item
+
+        def counting(table_name, puts=(), deletes=()):
+            calls.append((table_name, len(puts), len(deletes)))
+            return original(table_name, puts=puts, deletes=deletes)
+
+        provider.dynamodb.batch_write_item = counting
+        try:
+            mapping = store.mapping("s")
+            for i in range(5):
+                mapping[f"k{i}"] = i
+            store.flush()
+        finally:
+            provider.dynamodb.batch_write_item = original
+        assert calls == [(store.meta_table, 5, 0)]
+
+    def test_throttled_flush_retains_pending_and_self_heals(self, provider):
+        store = FleetStateStore(provider.dynamodb)
+        chaos = _AlwaysThrottleBatch()
+        provider.attach_chaos(chaos)
+        store.mapping("s")["k"] = 1
+        store.flush()  # exhausts retries, dead-letters the batch
+        assert provider.dynamodb.query(store.meta_table, "s") == []
+        # Staged state is still readable and still pending...
+        assert store.mapping("s")["k"] == 1
+        chaos.active = False
+        store.flush()  # ...and lands once the throttle window closes
+        assert provider.dynamodb.query(store.meta_table, "s") == [
+            {"section": "s", "key": "k", "value": 1}
+        ]
+
+    def test_scans_merge_overlay_with_durable_rows(self, provider):
+        store = FleetStateStore(provider.dynamodb)
+        instances = [
+            provider.ec2.run_on_demand("us-east-1", "m5.xlarge") for _ in range(3)
+        ]
+        store.bind_instance(instances[0], "w0")
+        store.flush()
+        store.bind_instance(instances[1], "w1")  # staged only
+        assert store.pop_instance(instances[0].instance_id) == "w0"  # tombstone
+        store.bind_instance(instances[2], "w2")
+        assert store.instance_bindings() == {
+            instances[1].instance_id: "w1",
+            instances[2].instance_id: "w2",
+        }
+
+    def test_teardown_flushes_outstanding_state(self, provider):
+        config = SpotVerseConfig(instance_type="m5.xlarge")
+        controller = FleetController(provider, OnDemandPolicy(), config)
+        store = controller.state_store
+        store.mapping("s")["k"] = 1
+        controller.teardown()
+        assert provider.dynamodb.query(store.meta_table, "s") == [
+            {"section": "s", "key": "k", "value": 1}
+        ]

@@ -38,8 +38,11 @@ class TestLedgerZeroCharge:
         from repro.cloud.billing import CostCategory, CostLedger
 
         ledger = CostLedger()
-        entry = ledger.charge(0.0, CostCategory.LAMBDA, 0.0, detail="free tier")
-        assert entry in ledger.entries
+        ledger.charge(0.0, CostCategory.LAMBDA, 0.0, detail="free tier")
+        entries = ledger.entries
+        assert len(entries) == 1
+        assert entries[0].detail == "free tier"
+        assert entries[0].amount == 0.0
         assert ledger.total() == 0.0
 
 

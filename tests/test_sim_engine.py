@@ -149,3 +149,142 @@ def test_clock_helpers():
     assert minutes(3) == 3 * MINUTE
     assert format_duration(93784) == "1d 02:03:04"
     assert format_duration(42.9) == "00:00:42"
+
+# ----------------------------------------------------------------------
+# Scheduler selection
+# ----------------------------------------------------------------------
+def test_scheduler_flag_selects_queue_class():
+    from repro.sim.events import BucketedEventQueue, EventQueue
+
+    assert isinstance(SimulationEngine()._queue, BucketedEventQueue)
+    assert isinstance(SimulationEngine(scheduler="heap")._queue, EventQueue)
+    with pytest.raises(SchedulingError):
+        SimulationEngine(scheduler="fifo")
+
+
+def test_heap_and_wheel_engines_run_identically():
+    def drive(engine):
+        fired = []
+        engine.every(7.0, lambda: fired.append(("periodic", engine.now)))
+        engine.call_at(10.0, lambda: engine.call_in(0.0, lambda: fired.append(("child", engine.now))))
+        doomed = engine.call_at(15.0, lambda: fired.append(("doomed", engine.now)))
+        engine.call_at(12.0, doomed.cancel)
+        engine.run_until(60.0)
+        return fired
+
+    assert drive(SimulationEngine(scheduler="heap")) == drive(SimulationEngine(scheduler="wheel"))
+
+
+# ----------------------------------------------------------------------
+# Batched periodic work
+# ----------------------------------------------------------------------
+def test_every_batch_fires_callbacks_in_registration_order():
+    engine = SimulationEngine()
+    fired = []
+    task = engine.every_batch(
+        10.0, [lambda: fired.append("a"), lambda: fired.append("b")], label="batch"
+    )
+    engine.run_until(25.0)
+    assert fired == ["a", "b", "a", "b"]
+    assert task.invocations == 2  # ticks, not callback runs
+    assert task.batch_size == 2
+
+
+def test_every_batch_is_one_engine_event_per_tick():
+    engine = SimulationEngine()
+    callbacks = [lambda: None for _ in range(5)]
+    engine.every_batch(10.0, callbacks)
+    engine.run_until(30.0)
+    assert engine.fired_events == 3  # one event per tick, not per callback
+
+
+def test_every_batch_add_remove_live():
+    engine = SimulationEngine()
+    fired = []
+    late = lambda: fired.append("late")  # noqa: E731
+    task = engine.every_batch(10.0, [lambda: fired.append("base")])
+    engine.run_until(10.0)
+    task.add(late)
+    engine.run_until(20.0)
+    task.remove(late)
+    task.remove(late)  # absent: no-op
+    engine.run_until(30.0)
+    assert fired == ["base", "base", "late", "base"]
+
+
+def test_every_batch_rejects_bad_input():
+    engine = SimulationEngine()
+    with pytest.raises(SchedulingError):
+        engine.every_batch(0.0, [lambda: None])
+    with pytest.raises(SchedulingError):
+        engine.every_batch(5.0, [lambda: None, None])
+    task = engine.every_batch(5.0, [lambda: None])
+    with pytest.raises(SchedulingError):
+        task.add(None)
+
+
+def test_every_batch_cancel_stops_firing():
+    engine = SimulationEngine()
+    fired = []
+    task = engine.every_batch(10.0, [lambda: fired.append(engine.now)])
+    engine.run_until(15.0)
+    task.cancel()
+    engine.run_until(60.0)
+    assert fired == [10.0]
+
+
+# ----------------------------------------------------------------------
+# Tick hooks
+# ----------------------------------------------------------------------
+def test_tick_hooks_fire_between_distinct_timestamps():
+    engine = SimulationEngine()
+    log = []
+    engine.add_tick_hook(lambda: log.append(("hook", engine.now)))
+    engine.call_at(5.0, lambda: log.append(("a", 5.0)))
+    engine.call_at(5.0, lambda: log.append(("b", 5.0)))
+    engine.call_at(9.0, lambda: log.append(("c", 9.0)))
+    engine.run_until(9.0)
+    # Same-timestamp events share one hook boundary; a final hook runs
+    # when run_until returns.
+    assert log == [
+        ("hook", 0.0),
+        ("a", 5.0),
+        ("b", 5.0),
+        ("hook", 5.0),
+        ("c", 9.0),
+        ("hook", 9.0),
+    ]
+
+
+def test_tick_hooks_do_not_perturb_event_stream():
+    def drive(install_hook):
+        engine = SimulationEngine(trace=True)
+        if install_hook:
+            engine.add_tick_hook(lambda: None)
+        engine.every(7.0, lambda: None, label="tick")
+        engine.call_at(10.0, lambda: None, label="once")
+        engine.run_until(50.0)
+        return engine.fired_events, engine.tracer.as_tuples()
+
+    assert drive(False) == drive(True)
+
+
+def test_remove_tick_hook():
+    engine = SimulationEngine()
+    log = []
+    hook = lambda: log.append(engine.now)  # noqa: E731
+    engine.add_tick_hook(hook)
+    engine.remove_tick_hook(hook)
+    engine.remove_tick_hook(hook)  # absent: no-op
+    engine.call_at(5.0, lambda: None)
+    engine.run_until(10.0)
+    assert log == []
+
+
+def test_tick_hooks_fire_in_run_until_idle():
+    engine = SimulationEngine()
+    log = []
+    engine.add_tick_hook(lambda: log.append(engine.now))
+    engine.call_at(5.0, lambda: None)
+    engine.run_until_idle()
+    assert log == [0.0, 5.0]
