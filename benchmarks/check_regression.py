@@ -31,6 +31,12 @@ Two derived metrics are enforced when both sides carry them:
   ratio) may shrink to no less than ``1/tput-tol`` of the committed
   value — the calendar-queue scheduler must stay ahead of the heap
   reference it replaced as the default.
+* ``fanout_speedup_x`` (the DAG fan-out benchmark's serial-vs-DAG
+  simulated-makespan ratio) may shrink to no less than ``1/tput-tol``
+  of the committed value, and must always stay at or above
+  :data:`FANOUT_FLOOR` — the DAG-aware placement acceptance criterion
+  (independent steps fan out >= 3x faster than the serial runner) is
+  deterministic simulated time, so no noise band applies.
 
 A baseline may also carry an absolute ``floor_events_per_second``: the
 fresh ``sim_events_per_second`` must then stay at or above
@@ -67,6 +73,11 @@ DEFAULT_RSS_TOL = 2.0
 #: degrades to the serial path (fewer cores than requested workers):
 #: near 1.0x with slack for timer noise, never pool-thrash territory.
 SPEEDUP_FLOOR = 0.65
+
+#: Absolute floor on ``fanout_speedup_x``: simulated makespans are
+#: deterministic, so the DAG fan-out must beat the serial JobRunner by
+#: at least the acceptance criterion on any hardware.
+FANOUT_FLOOR = 3.0
 
 
 @dataclass(frozen=True)
@@ -177,6 +188,30 @@ def compare_payloads(
                 f">= 1/{tput_tol:g}x",
             )
         )
+
+    base_fanout = float(baseline.get("fanout_speedup_x", 0.0))
+    fresh_fanout = float(fresh.get("fanout_speedup_x", 0.0))
+    if base_fanout > 0 and fresh_fanout > 0:
+        if fresh_fanout < base_fanout / tput_tol:
+            violations.append(
+                Violation(
+                    name,
+                    "fanout_speedup_x",
+                    base_fanout,
+                    fresh_fanout,
+                    f">= 1/{tput_tol:g}x",
+                )
+            )
+        if fresh_fanout < FANOUT_FLOOR:
+            violations.append(
+                Violation(
+                    name,
+                    "fanout_speedup_x",
+                    base_fanout,
+                    fresh_fanout,
+                    f">= {FANOUT_FLOOR:g} (absolute floor)",
+                )
+            )
 
     for overhead_metric in ("profiler_overhead_x", "streaming_overhead_x"):
         base_overhead = float(baseline.get(overhead_metric, 0.0))

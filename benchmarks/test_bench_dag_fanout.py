@@ -1,0 +1,123 @@
+"""DAG fan-out bench: step-level placement vs. the serial JobRunner.
+
+The same 10-step Galaxy workflow (prep -> 8 independent samples ->
+merge) runs twice:
+
+* **serial** — one :class:`~repro.galaxy.jobs.JobRunner` executes the
+  invocation step by step on a single engine, the pre-DAG model of one
+  workload on one instance;
+* **DAG** — :func:`~repro.core.dag.compile_workflow` compiles it into
+  stages and ``controller.run_dags`` fans the ready samples out across
+  concurrent on-demand instances (deterministic: no interruptions, so
+  the committed baseline replays exactly).
+
+The ratio of simulated makespans is committed as ``fanout_speedup_x``
+and guarded by ``check_regression.py`` with an absolute floor of
+:data:`MIN_SPEEDUP_X` — the refactor's acceptance criterion (>= 3x)
+can never quietly erode across baseline regenerations.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.cloud.provider import CloudProvider
+from repro.core.config import SpotVerseConfig
+from repro.core.controller import FleetController
+from repro.core.dag import compile_workflow
+from repro.galaxy.history import History
+from repro.galaxy.jobs import JobRunner
+from repro.galaxy.tools import default_toolshed
+from repro.galaxy.workflow import Invocation, StepInput, Workflow, WorkflowStep
+from repro.sim.clock import HOUR
+from repro.sim.engine import SimulationEngine
+from repro.strategies import OnDemandPolicy
+
+SEED = 11
+WIDTH = 8
+GiB = 1024**3
+
+#: Acceptance floor: the 8-wide fan-out must cut makespan at least
+#: this much vs. the serial runner (17 h of steps against ~3 h of
+#: critical path plus boots leaves ample headroom).
+MIN_SPEEDUP_X = 3.0
+
+
+def sample_workflow() -> Workflow:
+    """prep -> 8 parallel sample pipelines -> merge (EuPathGalaxy-style)."""
+    steps = [WorkflowStep("prep", "cutadapt", duration=0.5 * HOUR)]
+    steps += [
+        WorkflowStep(
+            f"sample{i}",
+            "fastqc",
+            inputs={"reads": StepInput("prep", "out")},
+            duration=2.0 * HOUR,
+        )
+        for i in range(WIDTH)
+    ]
+    steps.append(
+        WorkflowStep(
+            "merge",
+            "multiqc",
+            inputs={
+                f"report{i}": StepInput(f"sample{i}", "out") for i in range(WIDTH)
+            },
+            duration=0.5 * HOUR,
+        )
+    )
+    return Workflow("fanout-bench", steps)
+
+
+def run_serial(workflow: Workflow) -> float:
+    """Serial JobRunner makespan, in hours."""
+    engine = SimulationEngine(seed=SEED)
+    finished_at = []
+    runner = JobRunner(
+        engine,
+        default_toolshed(),
+        History("fanout-bench"),
+        execute_payloads=False,
+        on_finished=lambda invocation: finished_at.append(engine.now),
+    )
+    invocation = Invocation(workflow, "serial")
+    runner.start(invocation)
+    engine.run_until(engine.now + 48 * HOUR)
+    assert invocation.ok and finished_at
+    return finished_at[0] / HOUR
+
+
+def run_dag(workflow: Workflow) -> float:
+    """DAG-scheduled makespan across concurrent instances, in hours."""
+    config = SpotVerseConfig(instance_type="m5.xlarge")
+    provider = CloudProvider(seed=SEED)
+    provider.warmup_markets(24)
+    controller = FleetController(
+        provider, OnDemandPolicy(instance_type=config.instance_type), config
+    )
+    dag = compile_workflow(workflow, "bench", output_bytes=2 * GiB)
+    result = controller.run_dags([dag], max_hours=48.0)
+    provider.shutdown()
+    assert len(result.records) == dag.n_stages
+    assert all(record.completed_at is not None for record in result.records)
+    return result.makespan_hours
+
+
+def test_dag_fanout(benchmark):
+    workflow = sample_workflow()
+    extra = {}
+
+    def both():
+        serial_hours = run_serial(workflow)
+        dag_hours = run_dag(workflow)
+        extra["serial_makespan_hours"] = round(serial_hours, 4)
+        extra["dag_makespan_hours"] = round(dag_hours, 4)
+        extra["fanout_speedup_x"] = round(serial_hours / dag_hours, 2)
+        return serial_hours, dag_hours
+
+    serial_hours, dag_hours = run_once(benchmark, both, extra=extra)
+
+    assert serial_hours >= workflow.total_duration() / HOUR  # 17 h of steps
+    assert extra["fanout_speedup_x"] >= MIN_SPEEDUP_X, (
+        f"8-wide fan-out only {extra['fanout_speedup_x']:.2f}x faster than "
+        f"the serial runner (required {MIN_SPEEDUP_X:g}x)"
+    )

@@ -257,6 +257,44 @@ class CheckpointMonotonicCheck(InvariantCheck):
         return list(self.problems)
 
 
+class DagDependenciesCheck(InvariantCheck):
+    """No DAG step was released before all of its dependencies completed.
+
+    The DAG coordinator's topological-release contract, checked from
+    the stream alone: every ``dag.step_released`` event names its
+    dependency stages in ``attrs["deps"]``, and each of those must
+    already have a ``workload.done`` behind it.  Runs without DAG
+    events trivially pass.
+    """
+
+    name = "dag-deps-ordered"
+
+    def __init__(self) -> None:
+        self.completed: set = set()
+        self.problems: List[str] = []
+
+    def observe(self, event: TelemetryEvent) -> List[str]:
+        if event.type is EventType.WORKLOAD_DONE:
+            self.completed.add(event.workload_id)
+        elif event.type is EventType.DAG_STEP_RELEASED:
+            missing = [
+                dep
+                for dep in event.attrs.get("deps", ())
+                if dep not in self.completed
+            ]
+            if missing:
+                problem = (
+                    f"{event.workload_id}: released before dependencies "
+                    f"completed: {missing} (seq={event.seq})"
+                )
+                self.problems.append(problem)
+                return [problem]
+        return []
+
+    def finalize(self, ctx: RunContext) -> List[str]:
+        return list(self.problems)
+
+
 class StreamValidCheck(InvariantCheck):
     """The telemetry stream's ordering/causality guarantees held."""
 
@@ -281,6 +319,7 @@ def default_checks() -> List[InvariantCheck]:
         NoBillingPastEndCheck(),
         BindingsSettledCheck(),
         CheckpointMonotonicCheck(),
+        DagDependenciesCheck(),
         StreamValidCheck(),
     ]
 

@@ -127,9 +127,12 @@ def _build_parser() -> argparse.ArgumentParser:
     explain = obs_sub.add_parser(
         "explain",
         help="render one workload's causal chain (decisions, interruptions, "
-             "migrations) from a saved JSONL stream",
+             "migrations) from a saved JSONL stream; a DAG id renders the "
+             "per-step chain across every stage",
     )
-    explain.add_argument("workload_id", help="workload to explain, e.g. wl-003")
+    explain.add_argument("workload_id",
+                         help="workload to explain, e.g. wl-003; a DAG id "
+                              "(e.g. run1) matches all of its step stages")
     explain.add_argument("--from-events", required=True, metavar="PATH",
                          help="JSONL stream written by `spotverse obs --events PATH`")
     markets = obs_sub.add_parser(

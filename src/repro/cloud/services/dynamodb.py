@@ -78,11 +78,25 @@ class DynamoDBService:
     def __init__(self, provider: "CloudProvider") -> None:
         self._provider = provider
         self._tables: Dict[str, Table] = {}
+        self._store_namespaces = 0
 
     @property
     def provider(self) -> "CloudProvider":
         """The owning provider (clients reach telemetry/chaos through it)."""
         return self._provider
+
+    def next_store_namespace(self) -> str:
+        """Mint the next fleet-state table namespace (``ctl000``, ...).
+
+        The counter is **per service instance**, not process-global:
+        two runs on fresh providers mint identical namespaces, so an
+        instrumented run (chaos twin, replay harness) is bit-identical
+        to a plain one regardless of how many controllers earlier runs
+        in the same process created.
+        """
+        namespace = f"ctl{self._store_namespaces:03d}"
+        self._store_namespaces += 1
+        return namespace
 
     def _chaos_gate(self, op: str, table_name: str, conditional: bool = False) -> None:
         """Raise an injected fault for one item operation, if any."""

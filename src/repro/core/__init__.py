@@ -10,6 +10,17 @@ implementing Algorithm 1), and the
 
 from repro.core.config import SpotVerseConfig
 from repro.core.controller import FleetController
+from repro.core.dag import (
+    DagWorkload,
+    Stage,
+    StageWorkload,
+    StepGraph,
+    StepPlanner,
+    StepTask,
+    compile_graph,
+    compile_workflow,
+    compile_workload,
+)
 from repro.core.fleet import (
     CapacityService,
     CheckpointBackend,
@@ -29,6 +40,7 @@ from repro.core.spotverse import SpotVerse
 __all__ = [
     "CapacityService",
     "CheckpointBackend",
+    "DagWorkload",
     "DynamoCheckpointBackend",
     "EFSCheckpointBackend",
     "FleetController",
@@ -45,6 +57,14 @@ __all__ = [
     "SpotVerse",
     "SpotVerseConfig",
     "SpotVerseOptimizer",
+    "Stage",
+    "StageWorkload",
+    "StepGraph",
+    "StepPlanner",
+    "StepTask",
     "WorkloadRecord",
     "combined_score",
+    "compile_graph",
+    "compile_workflow",
+    "compile_workload",
 ]

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from repro.cloud.provider import CloudProvider
 from repro.core.config import SpotVerseConfig
+from repro.core.dag import DagWorkload
 from repro.core.execution import WorkloadExecution
 from repro.core.fleet.capacity import CapacityService
 from repro.core.fleet.checkpoint import (
@@ -36,6 +37,7 @@ from repro.core.fleet.checkpoint import (
     DynamoCheckpointBackend,
     EFSCheckpointBackend,
 )
+from repro.core.fleet.coordinator import DagCoordinator
 from repro.core.fleet.interruption import InterruptionService
 from repro.core.fleet.lifecycle import LifecycleService
 from repro.core.fleet.state import FleetStateStore
@@ -112,6 +114,14 @@ class FleetController:
             capacity=self._capacity,
             ctx=self._ctx,
         )
+        self._dag = DagCoordinator(
+            provider=provider,
+            policy=policy,
+            store=self.state_store,
+            lifecycle=self._lifecycle,
+            capacity=self._capacity,
+            ctx=self._ctx,
+        )
         self.state_store.router.bind(self._capacity, self._interruption, provider.ec2)
 
         # Control-plane wiring (Section 4) targets the store's router,
@@ -180,6 +190,68 @@ class FleetController:
         return self._lifecycle.build_result(workloads)
 
     # ------------------------------------------------------------------
+    # DAG entry points (DAG-aware placement: the step is the unit)
+    # ------------------------------------------------------------------
+    def run_dags(
+        self,
+        dags: Sequence[DagWorkload],
+        max_hours: float = 120.0,
+        poll_interval: float = 5 * MINUTE,
+    ) -> FleetResult:
+        """Run compiled DAGs to completion (or the deadline).
+
+        Stages are registered and placed as their dependencies
+        complete; independent steps fan out across instances, each
+        placed by the same batched Algorithm-1 rounds whole fleets
+        use.  A linear workload compiled via
+        :func:`repro.core.dag.compile_workload` runs bit-identically
+        to :meth:`run` — the degenerate single-chain case.
+        """
+        self.submit_dags(dags)
+        return self.wait_dags(dags, max_hours=max_hours, poll_interval=poll_interval)
+
+    def submit_dags(self, dags: Sequence[DagWorkload]) -> None:
+        """Register *dags* and acquire capacity for their root stages."""
+        self._dag.submit(dags)
+
+    def wait_dags(
+        self,
+        dags: Sequence[DagWorkload],
+        max_hours: float = 120.0,
+        poll_interval: float = 5 * MINUTE,
+    ) -> FleetResult:
+        """Drive the engine until every stage finishes (or the deadline).
+
+        The result carries one record per *released* stage workload;
+        on a deadline hit, stages whose dependencies never completed
+        were never scheduled and do not appear.
+        """
+        deadline = self._engine.now + max_hours * HOUR
+        while not self._dag.all_done(dags) and self._engine.now < deadline:
+            self._engine.run_until(min(self._engine.now + poll_interval, deadline))
+        return self._lifecycle.build_result(self._dag.released_workloads(dags))
+
+    def restore_dags(self, dags: Sequence[DagWorkload]) -> None:
+        """Rebuild DAG progress and stage executions from the store.
+
+        Only for controllers that ran DAGs exclusively: the underlying
+        :meth:`LifecycleService.restore` needs a definition for every
+        stored workload, and this supplies the stage workloads of
+        *dags*.
+        """
+        self._dag.restore(dags)
+
+    def resume_dags(
+        self,
+        dags: Sequence[DagWorkload],
+        max_hours: float = 120.0,
+        poll_interval: float = 5 * MINUTE,
+    ) -> FleetResult:
+        """Rebuild from the state store and finish the DAG run."""
+        self.restore_dags(dags)
+        return self.wait_dags(dags, max_hours=max_hours, poll_interval=poll_interval)
+
+    # ------------------------------------------------------------------
     # Teardown / restore (crash recovery over the durable store)
     # ------------------------------------------------------------------
     def teardown(self) -> None:
@@ -225,6 +297,7 @@ class FleetController:
             "capacity": self._capacity,
             "interruption": self._interruption,
             "lifecycle": self._lifecycle,
+            "dag": self._dag,
             "state": self.state_store,
         }
 

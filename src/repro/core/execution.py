@@ -17,7 +17,7 @@ so a torn-down controller can rebuild the execution mid-flight via
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cloud.retry import note_dead_letter
 from repro.cloud.services.ec2 import Instance, InstanceLifecycle
@@ -84,6 +84,12 @@ class WorkloadExecution:
         self.state = ExecutionState.WAITING
         self.instance: Optional[Instance] = None
         self.completed_segments = 0
+        #: ``(source region, bytes)`` pairs of upstream stage outputs
+        #: this execution downloads at every boot (DAG-aware placement:
+        #: the coordinator resolves a stage's input edges to the
+        #: regions its producer stages completed in).  A migration
+        #: re-pays the download — moving a step moves its inputs.
+        self.input_sources: List[Tuple[str, int]] = []
         self.record = WorkloadRecord(
             workload_id=workload.workload_id,
             kind=workload.kind,
@@ -106,6 +112,7 @@ class WorkloadExecution:
             "instance_id": self.instance.instance_id if self.instance else None,
             "boot_due": self._boot_due,
             "segment_due": self._segment_due,
+            "input_sources": [list(source) for source in self.input_sources],
             "record": self.record.to_item(),
         }
 
@@ -161,6 +168,10 @@ class WorkloadExecution:
         )
         execution.state = ExecutionState(item["state"])
         execution.completed_segments = item["completed_segments"]
+        execution.input_sources = [
+            (str(region), int(nbytes))
+            for region, nbytes in item.get("input_sources", [])
+        ]
         execution.record = WorkloadRecord.from_item(item["record"])
         if item["instance_id"] is not None:
             execution.instance = provider.ec2.describe_instance(item["instance_id"])
@@ -277,6 +288,10 @@ class WorkloadExecution:
             # boot; running outside the data's home region pays the
             # cross-region transfer (Section 5.1.2's cost model).
             self._charge_input_download(self.instance.region)
+        if self.input_sources and self.instance is not None:
+            # DAG stages fetch upstream stage outputs on every boot;
+            # running outside a producer's region pays the egress.
+            self._charge_step_inputs(self.instance.region)
         if self.workload.checkpointable:
             # Resume from the latest durable checkpoint (the replacement
             # instance downloads state the dying instance uploaded).
@@ -496,6 +511,29 @@ class WorkloadExecution:
             detail=f"input download {bucket_region}->{dest_region} "
             f"{self.workload.workload_id}",
         )
+
+    def _charge_step_inputs(self, dest_region: str) -> None:
+        """Charge cross-region egress for upstream stage outputs.
+
+        Each ``(source region, bytes)`` entry in :attr:`input_sources`
+        is one producer stage's output set; fetching it into the same
+        region is free, anywhere else pays the S3 cross-region rate —
+        the per-edge data-transfer cost the DAG planner models.
+        """
+        from repro.cloud.billing import S3_CROSS_REGION_TRANSFER_PRICE, CostCategory
+
+        for source_region, nbytes in self.input_sources:
+            if source_region == dest_region or nbytes <= 0:
+                continue
+            self._provider.ledger.charge(
+                time=self._engine.now,
+                category=CostCategory.S3_TRANSFER,
+                amount=(nbytes / (1024 ** 3)) * S3_CROSS_REGION_TRANSFER_PRICE,
+                region=source_region,
+                tag=self.workload.workload_id,
+                detail=f"step input {source_region}->{dest_region} "
+                f"{self.workload.workload_id}",
+            )
 
     @property
     def needs_instance(self) -> bool:

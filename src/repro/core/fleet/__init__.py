@@ -18,6 +18,7 @@ façade:
 """
 
 from repro.core.fleet.capacity import CapacityService
+from repro.core.fleet.coordinator import DagCoordinator
 from repro.core.fleet.checkpoint import (
     CheckpointBackend,
     DynamoCheckpointBackend,
@@ -31,6 +32,7 @@ __all__ = [
     "CapacityService",
     "CheckpointBackend",
     "ControlPlaneRouter",
+    "DagCoordinator",
     "DynamoCheckpointBackend",
     "EFSCheckpointBackend",
     "FleetStateStore",

@@ -14,8 +14,9 @@ fleet finishes as if the teardown never happened.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
 
+from repro.core.dag import StageWorkload
 from repro.core.execution import ExecutionState, WorkloadExecution
 from repro.core.result import FleetResult
 from repro.errors import ExperimentError
@@ -62,7 +63,19 @@ class LifecycleService:
         self._image_id = image_id
         self._telemetry = provider.telemetry
         self._executions: Dict[str, WorkloadExecution] = {}
+        self._completion_listeners: List[Callable[[WorkloadExecution], None]] = []
         self.done = store.done_count()
+
+    def add_completion_listener(
+        self, listener: Callable[[WorkloadExecution], None]
+    ) -> None:
+        """Call *listener* with each execution the moment it completes.
+
+        The DAG coordinator uses this to release downstream steps;
+        listeners run synchronously inside the completing event, after
+        the ``workload.done`` emission and completion accounting.
+        """
+        self._completion_listeners.append(listener)
 
     # ------------------------------------------------------------------
     # Registry
@@ -118,6 +131,16 @@ class LifecycleService:
             self._store.save_execution(execution)
             # History-aware policies read live records via the context.
             self._ctx.records[workload.workload_id] = execution.record
+            # DAG stages carry their provenance (dag id + step labels)
+            # onto the root trace hop and the submission event, so
+            # per-step placement chains are reconstructible from the
+            # stream alone; plain workloads emit exactly as before.
+            step_attrs: Dict[str, Any] = {}
+            if isinstance(workload, StageWorkload) and workload.dag_id:
+                step_attrs = {
+                    "dag_id": workload.dag_id,
+                    "steps": list(workload.step_labels),
+                }
             tracer = self._telemetry.tracer
             if tracer is not None:
                 # Root hop of the workload's causal tree; closed by the
@@ -127,16 +150,20 @@ class LifecycleService:
                     "workload:submit",
                     "lifecycle",
                     kind=workload.kind.value,
+                    **step_attrs,
                 )
             self._telemetry.bus.emit(
                 EventType.WORKLOAD_SUBMITTED,
                 workload_id=workload.workload_id,
                 kind=workload.kind.value,
                 segments=len(workload.segment_durations),
+                **step_attrs,
             )
 
     def _on_workload_complete(self, execution: WorkloadExecution) -> None:
         self.done += 1
+        for listener in list(self._completion_listeners):
+            listener(execution)
 
     def all_done(self, workloads: Sequence["Workload"]) -> bool:
         """Whether every workload in *workloads* has finished."""

@@ -26,7 +26,6 @@ code behind it is replaced.
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, MutableMapping, Optional, Tuple
 
 from repro.cloud.retry import RetryPolicy, call_with_retries, note_dead_letter, note_retry
@@ -36,10 +35,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.cloud.services.dynamodb import DynamoDBService
     from repro.cloud.services.ec2 import Instance, SpotRequest
     from repro.core.execution import WorkloadExecution
-
-#: Distinguishes the tables of independent controllers sharing one
-#: provider (each controller gets its own store unless one is passed in).
-_STORE_COUNTER = itertools.count()
 
 #: Synchronous retry schedule for store reads/writes against an injected
 #: DynamoDB throttle.  The retries happen inside the calling event (no
@@ -120,24 +115,31 @@ class FleetStateStore:
     Args:
         dynamodb: The simulated DynamoDB service to keep state in.
         namespace: Table-name namespace; controllers default to a fresh
-            one so independent fleets never share state.  Pass the same
-            store object to a new controller to rebuild from it.
+            one minted by the DynamoDB service (``ctl000``, ``ctl001``,
+            ... *per provider*, so two runs on fresh providers — e.g. a
+            plain run and its instrumented chaos twin — mint identical
+            namespaces and stay bit-identical).  Pass the same store
+            object to a new controller to rebuild from it.
     """
 
     def __init__(self, dynamodb: "DynamoDBService", namespace: Optional[str] = None) -> None:
         self._dynamodb = dynamodb
-        self.namespace = namespace if namespace is not None else f"ctl{next(_STORE_COUNTER):03d}"
+        self.namespace = (
+            namespace if namespace is not None else dynamodb.next_store_namespace()
+        )
         prefix = f"spotverse-fleet-{self.namespace}"
         self.workloads_table = f"{prefix}-workloads"
         self.instances_table = f"{prefix}-instances"
         self.requests_table = f"{prefix}-requests"
         self.meta_table = f"{prefix}-meta"
+        self.dags_table = f"{prefix}-dags"
         dynamodb.create_table(self.workloads_table, partition_key="workload_id", metered=False)
         dynamodb.create_table(self.instances_table, partition_key="instance_id", metered=False)
         dynamodb.create_table(self.requests_table, partition_key="request_id", metered=False)
         dynamodb.create_table(
             self.meta_table, partition_key="section", sort_key="key", metered=False
         )
+        dynamodb.create_table(self.dags_table, partition_key="dag_id", metered=False)
         # Write-through overlay: mutations stage here (keyed by the
         # table's ``(partition, sort)`` tuple; ``None`` is a tombstone)
         # and land in DynamoDB as one ``batch_write_item`` per table at
@@ -148,12 +150,14 @@ class FleetStateStore:
             self.instances_table: {},
             self.requests_table: {},
             self.meta_table: {},
+            self.dags_table: {},
         }
         self._flush_tables = (
             (self.workloads_table, "workloads"),
             (self.instances_table, "instances"),
             (self.requests_table, "requests"),
             (self.meta_table, "meta"),
+            (self.dags_table, "dags"),
         )
         dynamodb.provider.engine.add_tick_hook(self.flush)
         self.router = ControlPlaneRouter()
@@ -427,6 +431,49 @@ class FleetStateStore:
         )
         rows = self._overlay_scan(self.requests_table, rows, "request_id")
         return [(item["request_id"], item["workload_id"]) for item in rows]
+
+    # ------------------------------------------------------------------
+    # DAG progress (DAG-aware placement)
+    # ------------------------------------------------------------------
+    def save_dag(self, item: Dict[str, Any]) -> None:
+        """Persist one DAG's durable progress (upsert).
+
+        The item is the coordinator's ``dag_item``: stage ids, the
+        completed set, and each completed stage's completion region
+        (what the egress model needs to re-price input edges after a
+        restore).  Stage *definitions* are code and are re-supplied on
+        resume, exactly like workload definitions.
+        """
+        self._stage_put(
+            self.dags_table,
+            (item["dag_id"], None),
+            item,
+            scope="fleet-state:save-dag",
+        )
+
+    def dag_item(self, dag_id: str) -> Optional[Dict[str, Any]]:
+        """The stored progress of one DAG, or ``None``."""
+        pending = self._pending[self.dags_table]
+        key = (dag_id, None)
+        if key in pending:
+            staged = pending[key]
+            return dict(staged) if staged is not None else None
+        return self._read(
+            lambda: self._dynamodb.get_item(self.dags_table, dag_id),
+            scope="fleet-state:dag-item",
+        )
+
+    def dag_items(self) -> List[Dict[str, Any]]:
+        """Every stored DAG, in submission order."""
+        rows = self._read(
+            lambda: self._dynamodb.scan(self.dags_table),
+            scope="fleet-state:dag-items",
+        )
+        return self._overlay_scan(self.dags_table, rows, "dag_id")
+
+    def has_dag(self, dag_id: str) -> bool:
+        """Whether *dag_id* is registered."""
+        return self.dag_item(dag_id) is not None
 
     # ------------------------------------------------------------------
     # Meta state

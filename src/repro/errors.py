@@ -120,6 +120,10 @@ class WorkloadError(ReproError):
     """Raised for invalid workload definitions or state transitions."""
 
 
+class DagValidationError(WorkloadError):
+    """Raised for invalid step graphs (cycles, unknown deps, bad stages)."""
+
+
 class StrategyError(ReproError):
     """Raised when a placement strategy cannot produce an allocation."""
 

@@ -40,6 +40,7 @@ from repro.workloads.base import Workload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.chaos.campaign import CampaignSpec
+    from repro.core.dag import DagWorkload
 
 #: Builds the policy for an arm.  Receives the provider, the arm's
 #: config, and a live Monitor.
@@ -47,6 +48,9 @@ PolicyFactory = Callable[[CloudProvider, SpotVerseConfig, Monitor], PlacementPol
 
 #: Builds workload *i* of the fleet.
 WorkloadFactory = Callable[[int], Workload]
+
+#: Builds an arm's compiled DAGs (DAG-aware placement arms).
+DagFactory = Callable[[], Sequence["DagWorkload"]]
 
 #: Fallback worker count when ``jobs`` is not given anywhere.
 _default_jobs = 1
@@ -149,6 +153,13 @@ class ArmSpec:
             segment/window caps instead of the run length.  Off by
             default — post-run consumers (reports, ``write_jsonl``)
             need the full stream.
+        dag_factory: When set, the arm schedules *DAGs* instead of a
+            flat fleet: the factory's compiled
+            :class:`~repro.core.dag.DagWorkload` list runs through
+            ``controller.run_dags`` (steps released topologically,
+            fanned out across instances) and ``workload_factory`` /
+            ``n_workloads`` are ignored.  Use a module-level factory to
+            stay picklable for pool execution.
     """
 
     name: str
@@ -166,6 +177,7 @@ class ArmSpec:
     live_dir: Optional[str] = None
     flight_dir: Optional[str] = None
     trim_bus: bool = False
+    dag_factory: Optional[DagFactory] = None
 
 
 @dataclass
@@ -242,8 +254,11 @@ def run_arm(spec: ArmSpec) -> ArmResult:
         from repro.chaos.faults import ChaosController
 
         ChaosController(provider, spec.campaign.without_kills()).install()
-    workloads = [spec.workload_factory(index) for index in range(spec.n_workloads)]
-    fleet = controller.run(workloads, max_hours=spec.max_hours)
+    if spec.dag_factory is not None:
+        fleet = controller.run_dags(spec.dag_factory(), max_hours=spec.max_hours)
+    else:
+        workloads = [spec.workload_factory(index) for index in range(spec.n_workloads)]
+        fleet = controller.run(workloads, max_hours=spec.max_hours)
     # Unbind the control plane before shutdown: a late engine callback
     # (sweep tick, straggler fulfillment) must hit the router's inert
     # path, not a half-dismantled service.

@@ -55,6 +55,18 @@ class EventType(enum.Enum):
     #: carrying the sim-time write latency; synchronous fault-free
     #: persists stay silent so pre-existing streams are unchanged.
     CHECKPOINT_PERSISTED = "checkpoint.persisted"
+    #: DAG-aware placement (``run_dags``): a compiled DAG entered the
+    #: fleet.  ``workload_id`` is empty (fleet-level); attrs carry
+    #: ``dag_id``, ``stages``, and ``steps``.
+    DAG_SUBMITTED = "dag.submitted"
+    #: A stage's dependencies all completed and it was handed to the
+    #: placement policy.  ``workload_id`` is the stage's workload id;
+    #: attrs carry ``dag_id``, ``steps``, ``deps``, and ``ready_set``
+    #: (how many stages were released in the same batched decision).
+    DAG_STEP_RELEASED = "dag.step_released"
+    #: Every stage of a DAG completed.  ``workload_id`` is empty;
+    #: attrs carry ``dag_id`` and ``stages``.
+    DAG_DONE = "dag.done"
 
 
 #: Wire name -> member, for decoding JSONL streams.

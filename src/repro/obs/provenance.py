@@ -22,7 +22,7 @@ from the stream alone — what ``spotverse obs explain`` shows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.obs.events import EventBus, EventType, TelemetryEvent
@@ -119,6 +119,11 @@ class DecisionRecord:
             when the decision fell back to on-demand.
         draw_index: Index into *candidates* of the migration random
             draw (None for initial/fallback decisions).
+        steps: DAG-aware placement only: ``{workload id: step label}``
+            for the stage workloads this decision placed (empty for
+            whole-workload decisions).
+        ready_set_size: How many ready steps the batched Algorithm-1
+            round scored together (None for whole-workload decisions).
     """
 
     decision_id: int
@@ -134,6 +139,8 @@ class DecisionRecord:
     chosen_option: str = "spot"
     fallback_reason: str = ""
     draw_index: Optional[int] = None
+    steps: Dict[str, str] = field(default_factory=dict)
+    ready_set_size: Optional[int] = None
 
     @property
     def n_passed(self) -> int:
@@ -154,7 +161,7 @@ class DecisionRecord:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable representation (embedded in event attrs)."""
-        return {
+        record = {
             "decision_id": self.decision_id,
             "time": self.time,
             "kind": self.kind,
@@ -169,6 +176,13 @@ class DecisionRecord:
             "fallback_reason": self.fallback_reason,
             "draw_index": self.draw_index,
         }
+        # Step fields appear only on DAG-aware decisions so pre-DAG
+        # stream consumers (and whole-workload runs) see unchanged dicts.
+        if self.steps:
+            record["steps"] = dict(self.steps)
+        if self.ready_set_size is not None:
+            record["ready_set_size"] = self.ready_set_size
+        return record
 
     @classmethod
     def from_dict(cls, record: Dict[str, Any]) -> "DecisionRecord":
@@ -190,6 +204,8 @@ class DecisionRecord:
             chosen_option=str(record.get("chosen_option", "spot")),
             fallback_reason=str(record.get("fallback_reason", "")),
             draw_index=record.get("draw_index"),
+            steps=dict(record.get("steps", {})),
+            ready_set_size=record.get("ready_set_size"),
         )
 
     def summary(self) -> str:
@@ -209,7 +225,16 @@ class DecisionRecord:
         else:
             choice = f"candidates [{', '.join(self.candidates)}] -> {self.chosen_region}"
         excluded = f"; excluded {self.excluded_region}" if self.excluded_region else ""
-        return f"{verdict}{excluded}; {choice}"
+        step = ""
+        if self.steps:
+            labels = ", ".join(self.steps[wid] for wid in self.workload_ids if wid in self.steps)
+            ready = (
+                f" (ready-set {self.ready_set_size})"
+                if self.ready_set_size is not None
+                else ""
+            )
+            step = f"; steps [{labels}]{ready}"
+        return f"{verdict}{excluded}; {choice}{step}"
 
 
 class DecisionLog:
@@ -223,6 +248,19 @@ class DecisionLog:
     def __init__(self, bus: Optional[EventBus] = None) -> None:
         self.bus = bus
         self._records: List[DecisionRecord] = []
+        self._step_resolver: Optional[Callable[[str], Optional[str]]] = None
+
+    def set_step_resolver(self, resolver: Optional[Callable[[str], Optional[str]]]) -> None:
+        """Install the DAG coordinator's ``workload id -> step label`` map.
+
+        When set, every decision whose workload ids resolve gets its
+        step fields filled automatically — including migration
+        decisions made deep inside the interruption path, which never
+        sees the DAG.  Ids the resolver does not know (plain
+        workloads) are annotated with nothing, keeping whole-workload
+        records byte-identical to pre-DAG builds.
+        """
+        self._step_resolver = resolver
 
     def record(
         self,
@@ -239,6 +277,12 @@ class DecisionLog:
         draw_index: Optional[int] = None,
     ) -> DecisionRecord:
         """Append one decision; publishes its event when a bus is bound."""
+        steps: Dict[str, str] = {}
+        if self._step_resolver is not None:
+            for workload_id in workload_ids:
+                label = self._step_resolver(workload_id)
+                if label is not None:
+                    steps[workload_id] = label
         record = DecisionRecord(
             decision_id=len(self._records),
             time=self.bus.now() if self.bus is not None else 0.0,
@@ -253,6 +297,8 @@ class DecisionLog:
             chosen_option=chosen_option,
             fallback_reason=fallback_reason,
             draw_index=draw_index,
+            steps=steps,
+            ready_set_size=len(workload_ids) if steps else None,
         )
         self._records.append(record)
         if self.bus is not None:
@@ -310,21 +356,36 @@ def _fmt_time(seconds: float) -> str:
 def explanation_lines(
     events: Sequence[TelemetryEvent], workload_id: str
 ) -> List[str]:
-    """The causal chain for one workload, as renderable lines.
+    """The causal chain for one workload (or one DAG), as lines.
+
+    *workload_id* may be a DAG id: stage workloads of a compiled DAG
+    carry ids of the form ``<dag id>:<step label>``, so a DAG-id query
+    prefix-matches every stage's events (plus the fleet-level
+    ``dag.submitted`` / ``dag.done`` markers) and renders the whole
+    per-step placement chain.  Exact workload ids behave as before.
 
     Raises:
         ReproError: If the stream never mentions *workload_id*.
     """
+
+    def matches(candidate: str) -> bool:
+        return candidate == workload_id or candidate.startswith(workload_id + ":")
+
     chain: List[str] = []
     seen = False
     for event in events:
         decision = None
         if event.type is EventType.DECISION_EVALUATED:
             payload = event.attrs.get("decision")
-            if not payload or workload_id not in payload.get("workload_ids", ()):
+            if not payload or not any(
+                matches(wid) for wid in payload.get("workload_ids", ())
+            ):
                 continue
             decision = DecisionRecord.from_dict(payload)
-        elif event.workload_id != workload_id:
+        elif event.type in (EventType.DAG_SUBMITTED, EventType.DAG_DONE):
+            if event.attrs.get("dag_id") != workload_id:
+                continue
+        elif not matches(event.workload_id):
             continue
         seen = True
         stamp = _fmt_time(event.time)
@@ -345,7 +406,26 @@ def explanation_lines(
                 extras = f" reason={reason!r}"
         elif event.type is EventType.INSTANCE_ATTACHED and event.option:
             extras = f" option={event.option}"
-        chain.append(f"{stamp}  {event.type.value}{where}{extras}")
+        elif event.type is EventType.DAG_STEP_RELEASED:
+            steps = ", ".join(event.attrs.get("steps", ()))
+            deps = event.attrs.get("deps", ())
+            ready = event.attrs.get("ready_set")
+            extras = f" steps=[{steps}]"
+            if deps:
+                extras += f" after=[{', '.join(deps)}]"
+            if ready is not None:
+                extras += f" ready-set={ready}"
+        elif event.type in (EventType.DAG_SUBMITTED, EventType.DAG_DONE):
+            extras = (
+                f" dag={event.attrs.get('dag_id', '')}"
+                f" stages={event.attrs.get('stages', '?')}"
+            )
+        label = (
+            f"{event.type.value}[{event.workload_id}]"
+            if event.workload_id and event.workload_id != workload_id
+            else event.type.value
+        )
+        chain.append(f"{stamp}  {label}{where}{extras}")
     if not seen:
         known = sorted(
             {event.workload_id for event in events if event.workload_id}
@@ -363,7 +443,10 @@ def render_explanation(events: Sequence[TelemetryEvent], workload_id: str) -> st
     interruptions = sum(
         1
         for event in events
-        if event.workload_id == workload_id
+        if (
+            event.workload_id == workload_id
+            or event.workload_id.startswith(workload_id + ":")
+        )
         and event.type is EventType.INTERRUPTION_WARNING
     )
     header = (

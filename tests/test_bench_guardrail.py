@@ -189,6 +189,31 @@ def test_scheduler_speedup_enforced():
     assert check_regression.compare_payloads(_payload(), collapsed) == []
 
 
+def test_fanout_speedup_enforced():
+    baseline = _payload("dag_fanout")
+    baseline["fanout_speedup_x"] = 5.4
+    ok = _payload("dag_fanout")
+    ok["fanout_speedup_x"] = 4.0  # within the 1.6x band, above the floor
+    assert check_regression.compare_payloads(baseline, ok) == []
+    eroded = _payload("dag_fanout")
+    eroded["fanout_speedup_x"] = 2.9  # breaks both band and floor
+    violations = check_regression.compare_payloads(baseline, eroded)
+    assert [v.metric for v in violations] == [
+        "fanout_speedup_x",
+        "fanout_speedup_x",
+    ]
+    assert any("absolute floor" in v.render() for v in violations)
+    # Even inside the relative band, the acceptance floor is absolute.
+    baseline_low = _payload("dag_fanout")
+    baseline_low["fanout_speedup_x"] = 3.2
+    slipped = _payload("dag_fanout")
+    slipped["fanout_speedup_x"] = 2.5  # 3.2/1.6 = 2.0 < 2.5, band OK
+    violations = check_regression.compare_payloads(baseline_low, slipped)
+    assert [v.limit for v in violations] == [">= 3 (absolute floor)"]
+    # One-sided payloads are never enforced (new benchmark landing).
+    assert check_regression.compare_payloads(_payload(), eroded) == []
+
+
 def test_throughput_floor_enforced():
     baseline = _payload("fig3", tput=33000.0)
     baseline["floor_events_per_second"] = 32400.0
