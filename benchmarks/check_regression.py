@@ -45,6 +45,13 @@ fig3 baseline uses this to lock in the ISSUE-8 hot-path rework (>= 3x
 the pre-rework 10807 events/sec) so the gain cannot quietly erode
 across future baseline regenerations.
 
+Likewise ``floor_lifecycles_per_round`` (the fleet-scale benchmark):
+admitted lifecycles per Algorithm-1 scoring round is deterministic
+simulated-time accounting, so the fresh ``lifecycles_per_round`` must
+meet the floor exactly — no noise band.  If batched placement regresses
+to one region-scoring pass per workload the ratio collapses to ~1 and
+the gate fails regardless of how fast the runner is.
+
 Benchmarks present on only one side are reported but never fail the
 check (new benchmarks land without a committed counterpart first).
 Tolerances can also be set via ``SPOTVERSE_BENCH_WALL_TOL``,
@@ -138,6 +145,19 @@ def compare_payloads(
                 floor_tput,
                 fresh_tput,
                 f">= floor/{tput_tol:g}x",
+            )
+        )
+
+    floor_batch = float(baseline.get("floor_lifecycles_per_round", 0.0))
+    fresh_batch = float(fresh.get("lifecycles_per_round", 0.0))
+    if floor_batch > 0 and fresh_batch < floor_batch:
+        violations.append(
+            Violation(
+                name,
+                "lifecycles_per_round",
+                floor_batch,
+                fresh_batch,
+                f">= {floor_batch:g} (absolute floor)",
             )
         )
 

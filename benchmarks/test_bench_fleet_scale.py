@@ -1,0 +1,158 @@
+"""Fleet-scale bench: 100k workload lifecycles across 100 tenants.
+
+One simulation drives :data:`N_LIFECYCLES` single-segment workloads
+through the full multi-tenant control plane — fair-share admission
+over :data:`N_TENANTS` tenants with per-tenant quotas, a sharded
+:class:`~repro.core.fleet.state.FleetStateStore`, and batched
+Algorithm-1 placement.  The committed baseline records sim-events/sec
+and peak RSS; ``check_regression.py`` holds both inside tolerance
+bands and enforces two absolute floors:
+
+* ``floor_events_per_second`` — the control plane must keep simulating
+  at least this fast at fleet scale;
+* ``floor_lifecycles_per_round`` — batching efficiency: admitted
+  lifecycles per Algorithm-1 scoring round.  If batching regresses to
+  per-workload placement this collapses to ~1 and the gate fails.
+
+The batch audit asserts the batched-placement contract directly from
+the decision stream: every admission rides an ``initial`` decision
+whose ``batch_size`` sums to the total admitted count — one
+region-scoring pass per round, no matter how many tenants' workloads
+rode it.  The bench also caps the decision log (satellite of the same
+PR) so ``decisions_dropped`` is exercised at scale, and trims the
+telemetry bus as it goes — the audit folds events incrementally, so
+peak RSS measures the control plane, not the event archive.
+
+``SPOTVERSE_FLEET_SCALE`` scales the lifecycle count down for CI
+smoke runs (the tenant count never drops below 100; per-tenant load
+shrinks instead).
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import run_once
+
+from repro.cloud.provider import CloudProvider
+from repro.core.config import SpotVerseConfig
+from repro.core.monitor import Monitor
+from repro.core.optimizer import SpotVerseOptimizer
+from repro.core.tenancy import MultiTenantController, TenantSpec
+from repro.obs.events import EventType
+from repro.workloads.base import synthetic_workload
+
+SEED = 11
+N_TENANTS = 100
+N_LIFECYCLES = int(os.environ.get("SPOTVERSE_FLEET_SCALE", "100000"))
+N_SHARDS = 16
+QUOTA = 4  # per-tenant concurrent lifecycles -> up to 400 in flight
+ADMIT_INTERVAL = 300.0  # coalesce freed quota into 5-sim-minute rounds
+DECISION_CAP = 512
+BUS_TRIM_THRESHOLD = 50_000
+
+
+def run_fleet_scale(extra: dict) -> int:
+    """One sharded multi-tenant sim; returns completed lifecycles."""
+    config = SpotVerseConfig(instance_type="m5.xlarge")
+    provider = CloudProvider(seed=SEED)
+    provider.warmup_markets(24)
+    monitor = Monitor(
+        provider, [config.instance_type], collect_interval=config.collect_interval
+    )
+    policy = SpotVerseOptimizer(monitor, config)
+    controller = MultiTenantController(
+        provider,
+        policy,
+        config,
+        monitor=monitor,
+        n_shards=N_SHARDS,
+        admit_interval=ADMIT_INTERVAL,
+    )
+    decisions = provider.telemetry.decisions
+    decisions.cap(DECISION_CAP)
+
+    # Incremental batch audit + bus trim.  The audit folds every
+    # initial-placement decision as it is emitted, then the bus is
+    # cleared whenever it grows past the threshold so the archive never
+    # dominates peak RSS (the flight-recorder trim_bus pattern).
+    audit = {"rounds": 0, "batched": 0, "max_batch": 0, "times": set()}
+    bus = provider.telemetry.bus
+
+    def observe(event) -> None:
+        if event.type is EventType.DECISION_EVALUATED:
+            payload = event.attrs.get("decision", {})
+            if payload.get("kind") == "initial":
+                batch = payload.get(
+                    "batch_size", len(payload.get("workload_ids", ()))
+                )
+                audit["rounds"] += 1
+                audit["batched"] += batch
+                audit["max_batch"] = max(audit["max_batch"], batch)
+                audit["times"].add(event.time)
+        if len(bus) > BUS_TRIM_THRESHOLD:
+            bus.clear()
+
+    bus.subscribe(observe)
+
+    for index in range(N_TENANTS):
+        controller.register_tenant(
+            TenantSpec(
+                tenant_id=f"tenant-{index:03d}",
+                weight=float(1 + index % 5),
+                max_in_flight=QUOTA,
+            )
+        )
+    for index in range(N_LIFECYCLES):
+        tenant_id = f"tenant-{index % N_TENANTS:03d}"
+        assert controller.submit(
+            tenant_id,
+            synthetic_workload(f"wl-{index:06d}", duration_hours=0.25, n_segments=1),
+        )
+    result = controller.wait(max_hours=4000.0)
+
+    done = sum(1 for record in result.records if record.completed_at is not None)
+    usage = controller.usage()
+    extra["lifecycles"] = done
+    extra["tenants"] = len(usage)
+    extra["placement_rounds"] = audit["rounds"]
+    extra["admitted_via_batches"] = audit["batched"]
+    extra["lifecycles_per_round"] = (
+        round(done / audit["rounds"], 2) if audit["rounds"] else 0.0
+    )
+    extra["max_batch_size"] = audit["max_batch"]
+    extra["admit_interval"] = ADMIT_INTERVAL
+    extra["one_pass_per_tick"] = len(audit["times"]) == audit["rounds"]
+    extra["decisions_dropped"] = decisions.decisions_dropped
+    extra["n_shards"] = N_SHARDS
+    provider.shutdown()
+
+    # The batched-placement contract, asserted not eyeballed:
+    assert done == N_LIFECYCLES, f"only {done}/{N_LIFECYCLES} lifecycles completed"
+    assert audit["batched"] == N_LIFECYCLES, (
+        f"batch audit: {audit['batched']} admitted via initial decisions, "
+        f"expected {N_LIFECYCLES}"
+    )
+    assert extra["one_pass_per_tick"], (
+        "multiple initial region-scoring passes at one sim time "
+        f"({audit['rounds']} rounds over {len(audit['times'])} distinct ticks)"
+    )
+    assert all(row["in_flight"] <= QUOTA for row in usage.values())
+    if N_LIFECYCLES >= 10_000:
+        assert decisions.decisions_dropped > 0, (
+            "decision-log ring cap never engaged at fleet scale"
+        )
+    return done
+
+
+def test_fleet_scale(benchmark):
+    extra = {
+        # Absolute floors enforced by check_regression.py on top of the
+        # relative bands (conservative: ~1/4 of observed on the dev
+        # box, so slower CI runners pass while order-of-magnitude
+        # regressions fail).
+        "floor_events_per_second": 4000.0,
+        "floor_lifecycles_per_round": 20.0,
+    }
+    done = run_once(benchmark, run_fleet_scale, extra, extra=extra)
+    assert done == N_LIFECYCLES

@@ -27,6 +27,7 @@ from repro.chaos.campaign import (
     Injection,
     default_campaign,
     random_campaign,
+    tenant_storm_campaign,
 )
 from repro.chaos.faults import ChaosController
 from repro.chaos.invariants import (
@@ -45,6 +46,7 @@ from repro.chaos.runner import (
     ChaosRunOutcome,
     default_fleet,
     run_campaign,
+    tenant_fleet,
 )
 
 __all__ = [
@@ -67,4 +69,6 @@ __all__ = [
     "random_campaign",
     "render_scorecard",
     "run_campaign",
+    "tenant_fleet",
+    "tenant_storm_campaign",
 ]

@@ -210,6 +210,25 @@ def default_campaign() -> CampaignSpec:
     )
 
 
+def tenant_storm_campaign() -> CampaignSpec:
+    """Reclaim storms across tenants: the multi-tenant smoke battery.
+
+    Two cross-region reclaim storms land while every tenant has work
+    in flight, plus a DynamoDB throttle window over the sharded state
+    store — the faults most likely to expose per-tenant quota leaks
+    (double releases on reclaimed-then-reacquired capacity) and
+    fair-share starvation during mass re-admission.
+    """
+    return CampaignSpec(
+        name="tenant-reclaim-storm",
+        injections=(
+            Injection(kind="dynamodb-throttle", at=HOUR, duration=2 * HOUR, rate=0.3),
+            Injection(kind="reclaim-storm", at=3 * HOUR, rate=0.6, label="storm-early"),
+            Injection(kind="reclaim-storm", at=6 * HOUR, rate=0.5, label="storm-late"),
+        ),
+    )
+
+
 def random_campaign(
     seed: int,
     regions: Tuple[str, ...],

@@ -310,6 +310,114 @@ class StreamValidCheck(InvariantCheck):
         return list(self.validator.problems)
 
 
+class TenantQuotaCheck(InvariantCheck):
+    """No tenant ever held more in-flight workloads than its quota.
+
+    Reconstructed from the stream alone rather than trusted from the
+    admission controller's own attrs: ``tenant.admitted`` increments a
+    per-tenant counter, the attributed workload's ``workload.done``
+    decrements it, and the counter must never exceed the quota the
+    tenant registered with (0 = unlimited).  Runs without tenancy
+    events trivially pass.
+    """
+
+    name = "tenant-quota"
+
+    def __init__(self) -> None:
+        self.quota: Dict[str, int] = {}
+        self.in_flight: Dict[str, int] = {}
+        self.tenant_of: Dict[str, str] = {}
+        self.problems: List[str] = []
+
+    def observe(self, event: TelemetryEvent) -> List[str]:
+        if event.type is EventType.TENANT_REGISTERED:
+            self.quota[str(event.attrs["tenant_id"])] = int(
+                event.attrs.get("max_in_flight", 0)
+            )
+        elif event.type is EventType.TENANT_ADMITTED:
+            tenant_id = str(event.attrs["tenant_id"])
+            self.tenant_of[event.workload_id] = tenant_id
+            count = self.in_flight.get(tenant_id, 0) + 1
+            self.in_flight[tenant_id] = count
+            quota = self.quota.get(tenant_id, int(event.attrs.get("quota", 0)))
+            if quota and count > quota:
+                problem = (
+                    f"{tenant_id}: {count} in flight over quota {quota} "
+                    f"(seq={event.seq})"
+                )
+                self.problems.append(problem)
+                return [problem]
+        elif event.type is EventType.WORKLOAD_DONE:
+            tenant_id = self.tenant_of.get(event.workload_id)
+            if tenant_id is not None:
+                self.in_flight[tenant_id] = max(
+                    0, self.in_flight.get(tenant_id, 0) - 1
+                )
+        return []
+
+    def finalize(self, ctx: RunContext) -> List[str]:
+        return list(self.problems)
+
+
+class TenantFairnessCheck(InvariantCheck):
+    """Weighted fair-share admission never starves an eligible tenant.
+
+    Every ``tenant.admitted`` event names the tenants that were
+    eligible (queued work, free quota) but passed over.  Under
+    start-time weighted fair queuing, a continuously eligible tenant is
+    served at least once per ``ceil(total_weight / weight)`` admissions
+    asymptotically; the check allows twice that plus slack for virtual
+    -time offsets before calling starvation.  Tenants absent from an
+    admission's ``passed_over`` list were not eligible at that moment,
+    so their starvation clock resets.  Runs without tenancy events
+    trivially pass.
+    """
+
+    name = "tenant-fairness"
+
+    def __init__(self) -> None:
+        self.weights: Dict[str, float] = {}
+        self.passed_streak: Dict[str, int] = {}
+        self.problems: List[str] = []
+
+    def _bound(self, tenant_id: str) -> int:
+        floor = 0.1  # mirrors repro.core.tenancy.ZERO_WEIGHT_FLOOR
+        weight = max(self.weights.get(tenant_id, 1.0), floor)
+        total = sum(max(w, floor) for w in self.weights.values()) or weight
+        return int(2 * -(-total // weight)) + len(self.weights) + 1
+
+    def observe(self, event: TelemetryEvent) -> List[str]:
+        if event.type is EventType.TENANT_REGISTERED:
+            self.weights[str(event.attrs["tenant_id"])] = float(
+                event.attrs.get("weight", 1.0)
+            )
+            return []
+        if event.type is not EventType.TENANT_ADMITTED:
+            return []
+        chosen = str(event.attrs["tenant_id"])
+        passed = {str(t) for t in event.attrs.get("passed_over", ())}
+        self.passed_streak[chosen] = 0
+        problems = []
+        for tenant_id in list(self.passed_streak):
+            if tenant_id != chosen and tenant_id not in passed:
+                self.passed_streak[tenant_id] = 0
+        for tenant_id in sorted(passed):
+            streak = self.passed_streak.get(tenant_id, 0) + 1
+            self.passed_streak[tenant_id] = streak
+            bound = self._bound(tenant_id)
+            if streak > bound:
+                problem = (
+                    f"{tenant_id}: passed over {streak} consecutive admissions "
+                    f"(fair-share bound {bound}, seq={event.seq})"
+                )
+                self.problems.append(problem)
+                problems.append(problem)
+        return problems
+
+    def finalize(self, ctx: RunContext) -> List[str]:
+        return list(self.problems)
+
+
 def default_checks() -> List[InvariantCheck]:
     """Fresh check objects in the canonical scorecard order."""
     return [
@@ -321,6 +429,8 @@ def default_checks() -> List[InvariantCheck]:
         CheckpointMonotonicCheck(),
         DagDependenciesCheck(),
         StreamValidCheck(),
+        TenantQuotaCheck(),
+        TenantFairnessCheck(),
     ]
 
 

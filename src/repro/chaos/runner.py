@@ -75,6 +75,41 @@ def default_fleet() -> List[Workload]:
     return fleet
 
 
+def tenant_fleet(n_tenants: int = 3):
+    """Roster + submissions for a multi-tenant chaos run.
+
+    Each tenant gets one standard and one checkpointable workload, a
+    distinct fair-share weight (``i + 1``), and a concurrency quota of
+    2 — small enough that the quota invariant actually binds during
+    re-admission after a reclaim storm.
+
+    Returns:
+        ``(specs, submissions)``: the :class:`TenantSpec` roster and
+        the ordered ``(tenant_id, workload)`` submission list.
+    """
+    from repro.core.tenancy import TenantSpec
+
+    specs = []
+    submissions: List[Tuple[str, Workload]] = []
+    for index in range(int(n_tenants)):
+        tenant_id = f"tenant-{index:02d}"
+        specs.append(
+            TenantSpec(tenant_id=tenant_id, weight=float(index + 1), max_in_flight=2)
+        )
+        submissions.append(
+            (tenant_id, synthetic_workload(f"t{index}-std", duration_hours=6.0, n_segments=6))
+        )
+        submissions.append(
+            (
+                tenant_id,
+                ngs_preprocessing_workload(
+                    f"t{index}-ckpt", duration_hours=6.0, n_segments=6
+                ),
+            )
+        )
+    return specs, submissions
+
+
 def _make_config(name: str) -> SpotVerseConfig:
     if name == "spotverse-efs":
         return SpotVerseConfig(instance_type="m5.xlarge", checkpoint_backend="efs")
@@ -128,6 +163,7 @@ def _execute(
     apply_kills: bool,
     stream_dir: Optional[str] = None,
     blackbox_dir: Optional[str] = None,
+    tenants: Optional[int] = None,
 ):
     """One full run; returns live objects for scorecard assembly.
 
@@ -161,8 +197,16 @@ def _execute(
         else None
     )
     policy = _make_policy(policy_name, config, monitor)
-    controller = FleetController(provider, policy, config, monitor=monitor)
-    fleet = list(workloads) if workloads is not None else default_fleet()
+    if tenants is not None:
+        from repro.core.tenancy import MultiTenantController
+
+        specs, submissions = tenant_fleet(tenants)
+        controller = MultiTenantController(provider, policy, config, monitor=monitor)
+        fleet = [workload for _, workload in submissions]
+    else:
+        specs, submissions = [], []
+        controller = FleetController(provider, policy, config, monitor=monitor)
+        fleet = list(workloads) if workloads is not None else default_fleet()
     invariant_monitor = OnlineInvariantMonitor(
         fleet,
         on_violation=recorder.on_invariant_violation if recorder is not None else None,
@@ -178,7 +222,27 @@ def _execute(
     chaos = ChaosController(provider, campaign.without_kills())
     chaos.install()
     kills = campaign.kills if apply_kills else ()
-    if not kills:
+    if tenants is not None:
+        from repro.core.tenancy import MultiTenantController
+
+        for spec in specs:
+            controller.register_tenant(spec)
+        for tenant_id, workload in submissions:
+            controller.submit(tenant_id, workload)
+        engine = provider.engine
+        for offset in kills:
+            target = chaos.started_at + offset
+            if target > engine.now:
+                engine.run_until(target)
+            store = controller.state_store
+            controller.teardown()
+            del controller
+            controller = MultiTenantController(
+                provider, policy, config, monitor=monitor, state_store=store
+            )
+            controller.restore(fleet)
+        result = controller.wait(max_hours=max_hours)
+    elif not kills:
         result = controller.run(fleet, max_hours=max_hours)
     else:
         controller.submit(fleet)
@@ -215,6 +279,7 @@ def run_campaign(
     verify_resume_equivalence: bool = False,
     stream_dir: Optional[str] = None,
     blackbox_dir: Optional[str] = None,
+    tenants: Optional[int] = None,
 ) -> ChaosRunOutcome:
     """Run *campaign* against *policy* and score the outcome.
 
@@ -239,6 +304,12 @@ def run_campaign(
         blackbox_dir: Arm a flight recorder writing ``BLACKBOX_*.json``
             artifacts here on invariant breach, dead-letter, or engine
             exception (plus an unconditional run-end snapshot).
+        tenants: Run the campaign through the multi-tenant control
+            plane instead: :func:`tenant_fleet` builds this many
+            tenants (distinct weights, quota 2, two workloads each),
+            submissions go through fair-share admission, and the
+            per-tenant quota/fairness invariants join the scorecard's
+            verdicts.  Overrides *workloads*.
 
     Returns:
         A :class:`ChaosRunOutcome` with the deterministic scorecard.
@@ -254,6 +325,7 @@ def run_campaign(
         apply_kills=True,
         stream_dir=stream_dir,
         blackbox_dir=blackbox_dir,
+        tenants=tenants,
     )
     extra: List[InvariantResult] = []
     if verify_resume_equivalence and campaign.kills:
@@ -319,4 +391,5 @@ __all__ = [
     "default_fleet",
     "run_campaign",
     "scorecards_equal",
+    "tenant_fleet",
 ]

@@ -9,6 +9,7 @@ Subcommands::
     spotverse report      # regenerate every experiment
     spotverse datasets    # summarize the synthetic spot datasets
     spotverse chaos       # fault-injection campaigns + resilience scorecards
+    spotverse tenants     # multi-tenant fleet: roster + per-tenant scorecard
 
 Every command is deterministic given ``--seed``.
 """
@@ -274,6 +275,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "DIR on invariant breach, dead-letter, or engine exception "
              "(plus a run-end snapshot)",
     )
+    chaos_run.add_argument(
+        "--tenants", type=int, default=None, metavar="N",
+        help="run the campaign through the multi-tenant control plane with N "
+             "tenants (fair-share admission; per-tenant quota/fairness "
+             "invariants join the scorecard)",
+    )
     chaos_report = chaos_sub.add_parser(
         "report",
         help="render a saved scorecard JSON written by `chaos run --export`",
@@ -282,6 +289,33 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos_report.add_argument(
         "--workload", default=None, metavar="ID",
         help="show one workload's chaos outcome instead of the full scorecard",
+    )
+
+    tenants = sub.add_parser(
+        "tenants",
+        help="run a multi-tenant fleet: tenant roster + per-tenant scorecard",
+    )
+    tenants.add_argument(
+        "--tenants", type=int, default=3, metavar="N",
+        help="number of tenants (distinct fair-share weights, quota 2, "
+             "two workloads each)",
+    )
+    tenants.add_argument(
+        "--policy", default="spotverse", choices=sorted(CHAOS_POLICY_NAMES),
+    )
+    tenants.add_argument("--seed", type=int, default=11)
+    tenants.add_argument("--max-hours", type=float, default=72.0)
+    tenants.add_argument(
+        "--n-shards", type=int, default=1,
+        help="state-store shard count (scans and flushes stay O(shard))",
+    )
+    tenants.add_argument(
+        "--storm", action="store_true",
+        help="inject the tenant reclaim-storm campaign during the run",
+    )
+    tenants.add_argument(
+        "--export", default=None, metavar="PATH",
+        help="write the per-tenant scorecard JSON",
     )
 
     datasets = sub.add_parser("datasets", help="summarize the synthetic spot datasets")
@@ -814,6 +848,7 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
         verify_resume_equivalence=args.verify_resume,
         stream_dir=args.export_stream,
         blackbox_dir=args.blackbox,
+        tenants=args.tenants,
     )
     print(render_scorecard(outcome.scorecard))
     if args.export_stream:
@@ -876,6 +911,101 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.chaos_command == "run":
         return _cmd_chaos_run(args)
     return _cmd_chaos_report(args)
+
+
+def _cmd_tenants(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.chaos.runner import (
+        _MONITOR_POLICIES,
+        DEFAULT_WARMUP_STEPS,
+        _make_config,
+        _make_policy,
+        tenant_fleet,
+    )
+    from repro.core.monitor import Monitor
+    from repro.core.tenancy import MultiTenantController
+
+    config = _make_config(args.policy)
+    provider = CloudProvider(seed=args.seed)
+    provider.warmup_markets(DEFAULT_WARMUP_STEPS)
+    monitor = (
+        Monitor(provider, [config.instance_type], collect_interval=config.collect_interval)
+        if args.policy in _MONITOR_POLICIES
+        else None
+    )
+    policy = _make_policy(args.policy, config, monitor)
+    controller = MultiTenantController(
+        provider, policy, config, monitor=monitor, n_shards=args.n_shards
+    )
+    specs, submissions = tenant_fleet(args.tenants)
+    for spec in specs:
+        controller.register_tenant(spec)
+    chaos = None
+    if args.storm:
+        from repro.chaos import ChaosController, tenant_storm_campaign
+
+        chaos = ChaosController(provider, tenant_storm_campaign())
+        chaos.install()
+    for tenant_id, workload in submissions:
+        controller.submit(tenant_id, workload)
+    result = controller.wait(max_hours=args.max_hours)
+    if chaos is not None:
+        chaos.deactivate()
+    usage = controller.usage()
+    print(
+        render_table(
+            ["tenant", "weight", "quota", "policy"],
+            [
+                [spec.tenant_id, f"{spec.weight:g}",
+                 str(spec.max_in_flight) if spec.max_in_flight else "unlimited",
+                 spec.policy or "-"]
+                for spec in controller.registry.tenants()
+            ],
+            title=f"tenant roster ({args.policy}, seed {args.seed}"
+            + (", storm" if args.storm else "")
+            + f", {args.n_shards} shard{'s' if args.n_shards != 1 else ''})",
+        )
+    )
+    print()
+    print(
+        render_table(
+            ["tenant", "admitted", "done", "in flight", "queued", "throttled"],
+            [
+                [tenant_id, str(row["admitted"]), str(row["done"]),
+                 str(row["in_flight"]), str(row["queued"]), str(row["throttled"])]
+                for tenant_id, row in usage.items()
+            ],
+            title="per-tenant scorecard",
+        )
+    )
+    print(
+        f"totals: ${result.total_cost:.2f} "
+        f"({len(result.records)} workloads, ended t={result.ended_at:.0f}s)"
+    )
+    if args.export:
+        payload = {
+            "policy": args.policy,
+            "seed": args.seed,
+            "n_shards": args.n_shards,
+            "storm": bool(args.storm),
+            "tenants": usage,
+            "totals": {
+                "total_cost": result.total_cost,
+                "ended_at": result.ended_at,
+                "workloads": len(result.records),
+            },
+        }
+        try:
+            with open(args.export, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write scorecard {args.export!r}: {exc}")
+            return 2
+        print(f"tenant scorecard written to {args.export}")
+    provider.shutdown()
+    return 0
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
@@ -947,6 +1077,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 0
         if args.command == "chaos":
             return _cmd_chaos(args)
+        if args.command == "tenants":
+            return _cmd_tenants(args)
         if args.command == "datasets":
             return _cmd_datasets(args)
     except BrokenPipeError:

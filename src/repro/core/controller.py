@@ -65,6 +65,10 @@ class FleetController:
         state_store: Durable fleet state to compose over.  Defaults to
             a fresh store; pass the store of a torn-down controller to
             rebuild its control plane (then call :meth:`resume`).
+        n_shards: Shard count for the default store (ignored when
+            *state_store* is supplied).  1 — the default — is
+            byte-identical to the unsharded store; the multi-tenant
+            control plane raises it to keep scans O(shard).
     """
 
     def __init__(
@@ -75,6 +79,7 @@ class FleetController:
         monitor: Optional["Monitor"] = None,
         image_id: Optional[str] = None,
         state_store: Optional[FleetStateStore] = None,
+        n_shards: int = 1,
     ) -> None:
         self._provider = provider
         self._policy = policy
@@ -86,7 +91,7 @@ class FleetController:
             rng=provider.engine.streams.get(f"controller:{policy.name}"),
         )
         self.state_store = state_store if state_store is not None else FleetStateStore(
-            provider.dynamodb
+            provider.dynamodb, n_shards=n_shards
         )
         self._backend = self._make_backend(config, provider, self.state_store)
         provider.s3.create_bucket(config.results_bucket, config.results_region)

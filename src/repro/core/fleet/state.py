@@ -26,10 +26,11 @@ code behind it is replaced.
 
 from __future__ import annotations
 
+import zlib
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, MutableMapping, Optional, Tuple
 
 from repro.cloud.retry import RetryPolicy, call_with_retries, note_dead_letter, note_retry
-from repro.errors import ThrottlingError
+from repro.errors import ExperimentError, ThrottlingError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.cloud.services.dynamodb import DynamoDBService
@@ -40,6 +41,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
 #: DynamoDB throttle.  The retries happen inside the calling event (no
 #: simulated time passes), so only ``max_attempts`` matters here.
 STORE_RETRY_POLICY = RetryPolicy(max_attempts=5, interval=0.0, backoff_rate=1.0)
+
+#: Tenant every workload belongs to unless the tenancy layer says
+#: otherwise — single-tenant runs never mention tenants at all.
+DEFAULT_TENANT = "default"
+
+
+def shard_index(tenant_id: str, workload_id: str, n_shards: int) -> int:
+    """Stable shard of one workload: ``hash(tenant_id, workload_id) % n``.
+
+    Uses CRC-32 rather than Python's builtin ``hash`` so the partition
+    map survives process restarts and ``PYTHONHASHSEED`` — the same
+    (tenant, workload) pair must land on the same shard in a resumed
+    controller or a replayed run.
+    """
+    if n_shards <= 1:
+        return 0
+    return zlib.crc32(f"{tenant_id}/{workload_id}".encode("utf-8")) % n_shards
 
 
 class _MetaMapping(MutableMapping):
@@ -120,47 +138,103 @@ class FleetStateStore:
             plain run and its instrumented chaos twin — mint identical
             namespaces and stay bit-identical).  Pass the same store
             object to a new controller to rebuild from it.
+        n_shards: Partition count for the workload / instance / request
+            tables.  The default of 1 is byte-identical to the
+            unsharded store (same table names, same flush batches, same
+            scan orders).  With more shards, items partition by
+            :func:`shard_index` over ``(tenant_id, workload_id)`` —
+            the tenancy layer assigns tenants via
+            :meth:`assign_tenant` before registration, everything else
+            defaults to :data:`DEFAULT_TENANT` — so per-shard scans,
+            flush batches, and :meth:`state_counts` stay O(shard)
+            instead of O(fleet).  The meta / dags / tenants tables are
+            control-plane-small and stay unsharded.
     """
 
-    def __init__(self, dynamodb: "DynamoDBService", namespace: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        dynamodb: "DynamoDBService",
+        namespace: Optional[str] = None,
+        n_shards: int = 1,
+    ) -> None:
+        if int(n_shards) < 1:
+            raise ExperimentError(f"n_shards must be >= 1, got {n_shards}")
         self._dynamodb = dynamodb
+        self.n_shards = int(n_shards)
         self.namespace = (
             namespace if namespace is not None else dynamodb.next_store_namespace()
         )
         prefix = f"spotverse-fleet-{self.namespace}"
+        self._prefix = prefix
         self.workloads_table = f"{prefix}-workloads"
         self.instances_table = f"{prefix}-instances"
         self.requests_table = f"{prefix}-requests"
         self.meta_table = f"{prefix}-meta"
         self.dags_table = f"{prefix}-dags"
-        dynamodb.create_table(self.workloads_table, partition_key="workload_id", metered=False)
-        dynamodb.create_table(self.instances_table, partition_key="instance_id", metered=False)
-        dynamodb.create_table(self.requests_table, partition_key="request_id", metered=False)
+        self.tenants_table = f"{prefix}-tenants"
+
+        def shard_names(base: str) -> List[str]:
+            # Shard 0 keeps the historical unsuffixed name so a
+            # 1-shard store is indistinguishable from pre-shard builds.
+            return [base] + [f"{base}-s{i:02d}" for i in range(1, self.n_shards)]
+
+        self._workload_shards = shard_names(self.workloads_table)
+        self._instance_shards = shard_names(self.instances_table)
+        self._request_shards = shard_names(self.requests_table)
+        for table in self._workload_shards:
+            dynamodb.create_table(table, partition_key="workload_id", metered=False)
+        for table in self._instance_shards:
+            dynamodb.create_table(table, partition_key="instance_id", metered=False)
+        for table in self._request_shards:
+            dynamodb.create_table(table, partition_key="request_id", metered=False)
         dynamodb.create_table(
             self.meta_table, partition_key="section", sort_key="key", metered=False
         )
         dynamodb.create_table(self.dags_table, partition_key="dag_id", metered=False)
+        dynamodb.create_table(self.tenants_table, partition_key="tenant_id", metered=False)
         # Write-through overlay: mutations stage here (keyed by the
         # table's ``(partition, sort)`` tuple; ``None`` is a tombstone)
         # and land in DynamoDB as one ``batch_write_item`` per table at
         # the next engine tick boundary.  Reads consult the overlay
         # first, so staged state is always visible.
-        self._pending: Dict[str, Dict[Tuple[Any, Any], Optional[Dict[str, Any]]]] = {
-            self.workloads_table: {},
-            self.instances_table: {},
-            self.requests_table: {},
-            self.meta_table: {},
-            self.dags_table: {},
-        }
-        self._flush_tables = (
-            (self.workloads_table, "workloads"),
-            (self.instances_table, "instances"),
-            (self.requests_table, "requests"),
-            (self.meta_table, "meta"),
-            (self.dags_table, "dags"),
-        )
+        self._pending: Dict[str, Dict[Tuple[Any, Any], Optional[Dict[str, Any]]]] = {}
+        flush_tables: List[Tuple[str, str]] = []
+        for group in (self._workload_shards, self._instance_shards, self._request_shards):
+            for table in group:
+                flush_tables.append((table, table[len(prefix) + 1:]))
+        flush_tables.append((self.meta_table, "meta"))
+        flush_tables.append((self.dags_table, "dags"))
+        flush_tables.append((self.tenants_table, "tenants"))
+        self._flush_tables = tuple(flush_tables)
+        for table, _ in self._flush_tables:
+            self._pending[table] = {}
+        # Shard routing state.  Both maps are in-process conveniences
+        # over durable data: tenants are re-assigned on resume (the
+        # tenancy layer persists its map in the meta table) and
+        # instance/request shards fall back to an all-shard probe when
+        # unknown, so a rebuilt controller over the same store object —
+        # the crash-recovery contract — never loses an item.
+        self._tenant_of: Dict[str, str] = {}
+        self._entity_shard: Dict[str, int] = {}
         dynamodb.provider.engine.add_tick_hook(self.flush)
         self.router = ControlPlaneRouter()
+
+    # ------------------------------------------------------------------
+    # Shard routing
+    # ------------------------------------------------------------------
+    def assign_tenant(self, workload_id: str, tenant_id: str) -> None:
+        """Pin *workload_id*'s shard to *tenant_id* (before registration)."""
+        self._tenant_of[workload_id] = tenant_id
+
+    def tenant_of(self, workload_id: str) -> str:
+        """Tenant a workload was admitted for (:data:`DEFAULT_TENANT` if none)."""
+        return self._tenant_of.get(workload_id, DEFAULT_TENANT)
+
+    def shard_of(self, workload_id: str) -> int:
+        """The shard *workload_id*'s items live on."""
+        if self.n_shards == 1:
+            return 0
+        return shard_index(self.tenant_of(workload_id), workload_id, self.n_shards)
 
     # ------------------------------------------------------------------
     # Resilient store access
@@ -292,31 +366,65 @@ class FleetStateStore:
         """Persist one execution's full durable state (upsert)."""
         item = execution.state_item()
         self._stage_put(
-            self.workloads_table,
+            self._workload_shards[self.shard_of(item["workload_id"])],
             (item["workload_id"], None),
             item,
             scope="fleet-state:save-execution",
         )
 
+    def _lookup_item(
+        self, tables: List[str], routed: int, partition: str, scope: str
+    ) -> Optional[Dict[str, Any]]:
+        """Read one row, trying the routed shard first, then the rest.
+
+        The fallback probe only runs on a miss with more than one
+        shard, so the 1-shard store issues exactly the reads it always
+        did; with shards it covers items whose routing state predates
+        this process (a rebuilt controller with an unrestored map).
+        """
+        order = [routed] + [i for i in range(len(tables)) if i != routed]
+        for index in order:
+            table = tables[index]
+            key = (partition, None)
+            pending = self._pending[table]
+            if key in pending:
+                staged = pending[key]
+                return dict(staged) if staged is not None else None
+            item = self._read(
+                lambda table=table: self._dynamodb.get_item(table, partition),
+                scope=scope,
+            )
+            if item is not None:
+                return item
+        return None
+
     def workload_item(self, workload_id: str) -> Optional[Dict[str, Any]]:
         """The stored state of one workload, or ``None``."""
-        pending = self._pending[self.workloads_table]
-        key = (workload_id, None)
-        if key in pending:
-            staged = pending[key]
-            return dict(staged) if staged is not None else None
-        return self._read(
-            lambda: self._dynamodb.get_item(self.workloads_table, workload_id),
+        return self._lookup_item(
+            self._workload_shards,
+            self.shard_of(workload_id),
+            workload_id,
             scope="fleet-state:workload-item",
         )
 
-    def workload_items(self) -> List[Dict[str, Any]]:
-        """Every stored workload, in registration order."""
-        rows = self._read(
-            lambda: self._dynamodb.scan(self.workloads_table),
-            scope="fleet-state:workload-items",
+    def workload_items(self, shard: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Stored workloads, in registration order (one shard or all).
+
+        With shards, the order is per-shard registration order
+        concatenated in shard order — deterministic, but interleaved
+        differently than a 1-shard store would show.
+        """
+        tables = (
+            self._workload_shards if shard is None else [self._workload_shards[shard]]
         )
-        return self._overlay_scan(self.workloads_table, rows, "workload_id")
+        items: List[Dict[str, Any]] = []
+        for table in tables:
+            rows = self._read(
+                lambda table=table: self._dynamodb.scan(table),
+                scope="fleet-state:workload-items",
+            )
+            items.extend(self._overlay_scan(table, rows, "workload_id"))
+        return items
 
     def workload_ids(self) -> List[str]:
         """Stored workload ids, in registration order."""
@@ -330,8 +438,8 @@ class FleetStateStore:
         """How many stored workloads have finished."""
         return sum(1 for item in self.workload_items() if item["state"] == "done")
 
-    def state_counts(self) -> Dict[str, int]:
-        """Stored workloads per state, name-sorted.
+    def state_counts(self, shard: Optional[int] = None) -> Dict[str, int]:
+        """Stored workloads per state, name-sorted (one shard or all).
 
         The flight recorder embeds this in blackbox snapshots: one
         line of fleet shape ("3 running, 2 migrating, 1 done") that
@@ -341,15 +449,17 @@ class FleetStateStore:
         chaos-gated read there would consume fault-stream RNG draws
         and perturb the very run being recorded.
         """
-        rows = self._overlay_scan(
-            self.workloads_table,
-            self._dynamodb.peek_items(self.workloads_table),
-            "workload_id",
+        tables = (
+            self._workload_shards if shard is None else [self._workload_shards[shard]]
         )
         counts: Dict[str, int] = {}
-        for item in rows:
-            state = item["state"]
-            counts[state] = counts.get(state, 0) + 1
+        for table in tables:
+            rows = self._overlay_scan(
+                table, self._dynamodb.peek_items(table), "workload_id"
+            )
+            for item in rows:
+                state = item["state"]
+                counts[state] = counts.get(state, 0) + 1
         return dict(sorted(counts.items()))
 
     # ------------------------------------------------------------------
@@ -357,48 +467,73 @@ class FleetStateStore:
     # ------------------------------------------------------------------
     def bind_instance(self, instance: "Instance", workload_id: str) -> None:
         """Record that *instance* runs *workload_id*."""
+        shard = self.shard_of(workload_id)
+        if self.n_shards > 1:
+            self._entity_shard[instance.instance_id] = shard
         self._stage_put(
-            self.instances_table,
+            self._instance_shards[shard],
             (instance.instance_id, None),
             {"instance_id": instance.instance_id, "workload_id": workload_id},
             scope="fleet-state:bind-instance",
         )
 
+    def _pop_row(self, tables: List[str], entity_id: str, scope: str) -> Optional[str]:
+        """Remove one binding/tracking row; returns its workload id."""
+        routed = self._entity_shard.get(entity_id, 0)
+        order = [routed] + [i for i in range(len(tables)) if i != routed]
+        for index in order:
+            table = tables[index]
+            key = (entity_id, None)
+            pending = self._pending[table]
+            if key in pending:
+                staged = pending[key]
+                if staged is None:
+                    return None
+                self._stage_delete(table, key, scope=scope)
+                self._entity_shard.pop(entity_id, None)
+                return staged["workload_id"]
+            item = self._read(
+                lambda table=table: self._dynamodb.get_item(table, entity_id),
+                scope=scope,
+            )
+            if item is not None:
+                self._stage_delete(table, key, scope=scope)
+                self._entity_shard.pop(entity_id, None)
+                return item["workload_id"]
+            if len(tables) == 1:
+                return None
+        return None
+
     def pop_instance(self, instance_id: str) -> Optional[str]:
         """Remove and return the workload bound to *instance_id*."""
-        pending = self._pending[self.instances_table]
-        key = (instance_id, None)
-        if key in pending:
-            staged = pending[key]
-            if staged is None:
-                return None
-            self._stage_delete(self.instances_table, key, scope="fleet-state:pop-instance")
-            return staged["workload_id"]
-        item = self._read(
-            lambda: self._dynamodb.get_item(self.instances_table, instance_id),
-            scope="fleet-state:pop-instance",
+        return self._pop_row(
+            self._instance_shards, instance_id, scope="fleet-state:pop-instance"
         )
-        if item is None:
-            return None
-        self._stage_delete(self.instances_table, key, scope="fleet-state:pop-instance")
-        return item["workload_id"]
 
     def instance_bindings(self) -> Dict[str, str]:
         """Current ``instance_id -> workload_id`` map."""
-        rows = self._read(
-            lambda: self._dynamodb.scan(self.instances_table),
-            scope="fleet-state:instance-bindings",
-        )
-        rows = self._overlay_scan(self.instances_table, rows, "instance_id")
-        return {item["instance_id"]: item["workload_id"] for item in rows}
+        bindings: Dict[str, str] = {}
+        for table in self._instance_shards:
+            rows = self._read(
+                lambda table=table: self._dynamodb.scan(table),
+                scope="fleet-state:instance-bindings",
+            )
+            rows = self._overlay_scan(table, rows, "instance_id")
+            bindings.update(
+                {item["instance_id"]: item["workload_id"] for item in rows}
+            )
+        return bindings
 
     # ------------------------------------------------------------------
     # Spot request tracking
     # ------------------------------------------------------------------
     def track_request(self, request: "SpotRequest", workload_id: str) -> None:
         """Track an open spot request filed for *workload_id*."""
+        shard = self.shard_of(workload_id)
+        if self.n_shards > 1:
+            self._entity_shard[request.request_id] = shard
         self._stage_put(
-            self.requests_table,
+            self._request_shards[shard],
             (request.request_id, None),
             {"request_id": request.request_id, "workload_id": workload_id},
             scope="fleet-state:track-request",
@@ -406,31 +541,21 @@ class FleetStateStore:
 
     def pop_request(self, request_id: str) -> Optional[str]:
         """Remove and return the workload a request was filed for."""
-        pending = self._pending[self.requests_table]
-        key = (request_id, None)
-        if key in pending:
-            staged = pending[key]
-            if staged is None:
-                return None
-            self._stage_delete(self.requests_table, key, scope="fleet-state:pop-request")
-            return staged["workload_id"]
-        item = self._read(
-            lambda: self._dynamodb.get_item(self.requests_table, request_id),
-            scope="fleet-state:pop-request",
+        return self._pop_row(
+            self._request_shards, request_id, scope="fleet-state:pop-request"
         )
-        if item is None:
-            return None
-        self._stage_delete(self.requests_table, key, scope="fleet-state:pop-request")
-        return item["workload_id"]
 
     def tracked_requests(self) -> List[Tuple[str, str]]:
         """``(request_id, workload_id)`` pairs, in filing order."""
-        rows = self._read(
-            lambda: self._dynamodb.scan(self.requests_table),
-            scope="fleet-state:tracked-requests",
-        )
-        rows = self._overlay_scan(self.requests_table, rows, "request_id")
-        return [(item["request_id"], item["workload_id"]) for item in rows]
+        pairs: List[Tuple[str, str]] = []
+        for table in self._request_shards:
+            rows = self._read(
+                lambda table=table: self._dynamodb.scan(table),
+                scope="fleet-state:tracked-requests",
+            )
+            rows = self._overlay_scan(table, rows, "request_id")
+            pairs.extend((item["request_id"], item["workload_id"]) for item in rows)
+        return pairs
 
     # ------------------------------------------------------------------
     # DAG progress (DAG-aware placement)
@@ -474,6 +599,44 @@ class FleetStateStore:
     def has_dag(self, dag_id: str) -> bool:
         """Whether *dag_id* is registered."""
         return self.dag_item(dag_id) is not None
+
+    # ------------------------------------------------------------------
+    # Tenant roster (multi-tenant control plane)
+    # ------------------------------------------------------------------
+    def save_tenant(self, item: Dict[str, Any]) -> None:
+        """Persist one tenant spec (upsert).
+
+        The item is the registry's ``TenantSpec.to_dict()``: quota,
+        fair-share weight, pending-queue bound, and default policy.
+        Specs are durable like workload state — a rebuilt controller
+        reloads the roster from this table alone.
+        """
+        self._stage_put(
+            self.tenants_table,
+            (item["tenant_id"], None),
+            item,
+            scope="fleet-state:save-tenant",
+        )
+
+    def tenant_item(self, tenant_id: str) -> Optional[Dict[str, Any]]:
+        """The stored spec of one tenant, or ``None``."""
+        pending = self._pending[self.tenants_table]
+        key = (tenant_id, None)
+        if key in pending:
+            staged = pending[key]
+            return dict(staged) if staged is not None else None
+        return self._read(
+            lambda: self._dynamodb.get_item(self.tenants_table, tenant_id),
+            scope="fleet-state:tenant-item",
+        )
+
+    def tenant_items(self) -> List[Dict[str, Any]]:
+        """Every stored tenant spec, in registration order."""
+        rows = self._read(
+            lambda: self._dynamodb.scan(self.tenants_table),
+            scope="fleet-state:tenant-items",
+        )
+        return self._overlay_scan(self.tenants_table, rows, "tenant_id")
 
     # ------------------------------------------------------------------
     # Meta state

@@ -67,6 +67,20 @@ class EventType(enum.Enum):
     #: Every stage of a DAG completed.  ``workload_id`` is empty;
     #: attrs carry ``dag_id`` and ``stages``.
     DAG_DONE = "dag.done"
+    #: Multi-tenant control plane: a tenant entered the registry.
+    #: ``workload_id`` is empty; attrs carry ``tenant_id``, ``weight``,
+    #: ``max_in_flight``, ``max_pending``, and ``policy``.
+    TENANT_REGISTERED = "tenant.registered"
+    #: A queued submission cleared admission and was handed to the
+    #: batched placement round.  ``workload_id`` is the admitted
+    #: workload; attrs carry ``tenant_id``, ``in_flight`` (including
+    #: this admission), ``quota`` (0 = unlimited), ``policy``, and
+    #: ``passed_over`` (eligible tenants the fair-share round skipped).
+    TENANT_ADMITTED = "tenant.admitted"
+    #: Backpressure: a submission was rejected because the tenant's
+    #: bounded pending queue was full.  ``workload_id`` is the rejected
+    #: workload; attrs carry ``tenant_id``, ``queued``, and ``limit``.
+    TENANT_THROTTLED = "tenant.throttled"
 
 
 #: Wire name -> member, for decoding JSONL streams.

@@ -522,6 +522,38 @@ class RunReport:
             "reconciled_interruptions": reconciled,
         }
 
+    def tenant_stats(self) -> Optional[Dict[str, object]]:
+        """Multi-tenant rollups, or None on single-plane runs.
+
+        Folds the stream through the same :class:`FleetRollup` the
+        live dashboard uses, so the report's ``by_tenant`` /
+        ``by_strategy`` tables match what ``obs watch`` showed.  Gated
+        on tenancy events being present so pre-tenancy run reports
+        render byte-identically.
+        """
+        from repro.obs.live import FleetRollup
+
+        rollup = FleetRollup()
+        registered = 0
+        throttled = 0
+        for event in self.events:
+            rollup.observe(event)
+            if event.type is EventType.TENANT_REGISTERED:
+                registered += 1
+            elif event.type is EventType.TENANT_THROTTLED:
+                throttled += 1
+        if not (rollup.has_tenants or registered):
+            return None
+        return {
+            "tenants": registered,
+            "throttled": throttled,
+            "by_tenant": rollup.by_tenant(),
+            "by_strategy": rollup.by_strategy(),
+            "by_status": rollup.by_status(),
+            "by_market": rollup.by_market(),
+            "throttled_by_tenant": dict(sorted(rollup.throttled_by_tenant.items())),
+        }
+
     def latency_stats(self) -> Dict[str, Dict[str, float]]:
         """count/p50/p95/max per latency family (empty families omitted)."""
         return {
@@ -669,6 +701,34 @@ class RunReport:
                 f"{chaos['checkpoint_fallbacks']} checkpoint fallbacks, "
                 f"{chaos['reconciled_interruptions']} reconciled interruptions"
             )
+
+        tenants = self.tenant_stats()
+        if tenants is not None:
+            lines.append("")
+            lines.append(
+                f"tenants ({tenants['tenants']} registered, "
+                f"{tenants['throttled']} throttled submissions):"
+            )
+            rows = []
+            for tenant_id, statuses in tenants["by_tenant"].items():
+                rows.append(
+                    [
+                        tenant_id,
+                        str(sum(statuses.values())),
+                        str(statuses.get("done", 0)),
+                        str(tenants["throttled_by_tenant"].get(tenant_id, 0)),
+                    ]
+                )
+            if rows:
+                lines.append(_table(["tenant", "workloads", "done", "throttled"], rows))
+            if tenants["by_strategy"]:
+                lines.append(
+                    "  strategies: "
+                    + "  ".join(
+                        f"{label}={count}"
+                        for label, count in tenants["by_strategy"].items()
+                    )
+                )
 
         if self.decisions:
             lines.append("")

@@ -249,12 +249,28 @@ class FleetRollup:
         self.checkpoints = 0
         self._live_instances: Dict[str, Tuple[str, str]] = {}
         self._workload_instance: Dict[str, str] = {}
+        self._tenant_of: Dict[str, str] = {}
+        self._strategy_of: Dict[str, str] = {}
+        self.throttled_by_tenant: Dict[str, int] = {}
 
     def observe(self, event: TelemetryEvent) -> None:
         """Fold one event into the rollup."""
         status = _STATUS_TRANSITIONS.get(event.type)
         if status is not None and event.workload_id:
             self.workload_status[event.workload_id] = status
+        if event.type is EventType.TENANT_ADMITTED:
+            tenant_id = str(event.attrs.get("tenant_id", ""))
+            if event.workload_id and tenant_id:
+                self._tenant_of[event.workload_id] = tenant_id
+                policy = str(event.attrs.get("policy", ""))
+                if policy:
+                    self._strategy_of[event.workload_id] = policy
+        elif event.type is EventType.TENANT_THROTTLED:
+            tenant_id = str(event.attrs.get("tenant_id", ""))
+            if tenant_id:
+                self.throttled_by_tenant[tenant_id] = (
+                    self.throttled_by_tenant.get(tenant_id, 0) + 1
+                )
         if event.type is EventType.INSTANCE_ATTACHED:
             if event.instance_id:
                 self._live_instances[event.instance_id] = (
@@ -299,6 +315,34 @@ class FleetRollup:
         for _, option in self._live_instances.values():
             counts[option] = counts.get(option, 0) + 1
         return dict(sorted(counts.items()))
+
+    def by_tenant(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant workload status counts, sorted by tenant id.
+
+        Empty on single-plane runs (no ``tenant.admitted`` events) —
+        consumers gate their tenant sections on that.
+        """
+        counts: Dict[str, Dict[str, int]] = {}
+        for workload_id, tenant_id in self._tenant_of.items():
+            status = self.workload_status.get(workload_id, "pending")
+            row = counts.setdefault(tenant_id, {})
+            row[status] = row.get(status, 0) + 1
+        return {
+            tenant_id: dict(sorted(row.items()))
+            for tenant_id, row in sorted(counts.items())
+        }
+
+    def by_strategy(self) -> Dict[str, int]:
+        """Workload count per tenant policy label, sorted by label."""
+        counts: Dict[str, int] = {}
+        for label in self._strategy_of.values():
+            counts[label] = counts.get(label, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def has_tenants(self) -> bool:
+        """Whether any tenancy events were observed."""
+        return bool(self._tenant_of or self.throttled_by_tenant)
 
     @property
     def live_instances(self) -> int:

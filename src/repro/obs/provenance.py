@@ -124,6 +124,12 @@ class DecisionRecord:
             whole-workload decisions).
         ready_set_size: How many ready steps the batched Algorithm-1
             round scored together (None for whole-workload decisions).
+        tenant_id: Multi-tenant placement only: the tenant the batch
+            was admitted for, or a comma-joined sorted list when one
+            round placed several tenants ("" for single-tenant runs).
+        batch_size: How many admitted workloads the tenancy round
+            placed off this one region-scoring pass (None outside the
+            multi-tenant control plane).
     """
 
     decision_id: int
@@ -141,6 +147,8 @@ class DecisionRecord:
     draw_index: Optional[int] = None
     steps: Dict[str, str] = field(default_factory=dict)
     ready_set_size: Optional[int] = None
+    tenant_id: str = ""
+    batch_size: Optional[int] = None
 
     @property
     def n_passed(self) -> int:
@@ -182,6 +190,12 @@ class DecisionRecord:
             record["steps"] = dict(self.steps)
         if self.ready_set_size is not None:
             record["ready_set_size"] = self.ready_set_size
+        # Tenancy fields appear only on batched multi-tenant decisions
+        # so single-tenant streams stay byte-identical to older builds.
+        if self.tenant_id:
+            record["tenant_id"] = self.tenant_id
+        if self.batch_size is not None:
+            record["batch_size"] = self.batch_size
         return record
 
     @classmethod
@@ -206,6 +220,8 @@ class DecisionRecord:
             draw_index=record.get("draw_index"),
             steps=dict(record.get("steps", {})),
             ready_set_size=record.get("ready_set_size"),
+            tenant_id=str(record.get("tenant_id", "")),
+            batch_size=record.get("batch_size"),
         )
 
     def summary(self) -> str:
@@ -243,12 +259,38 @@ class DecisionLog:
     Args:
         bus: Bus to publish ``decision.evaluated`` events on (and whose
             clock stamps records); omit for a silent offline log.
+        max_records: Optional ring cap on retained records.  Unbounded
+            by default (the historical behavior, right for hour-scale
+            runs); fleet-scale drivers cap the log so million-lifecycle
+            runs keep bounded memory.  ``decision_id`` keeps counting
+            across drops and :attr:`decisions_dropped` says how many
+            records the ring evicted — mirroring the live plane's
+            ``trim_bus`` accounting.
     """
 
-    def __init__(self, bus: Optional[EventBus] = None) -> None:
+    def __init__(
+        self, bus: Optional[EventBus] = None, max_records: Optional[int] = None
+    ) -> None:
         self.bus = bus
         self._records: List[DecisionRecord] = []
         self._step_resolver: Optional[Callable[[str], Optional[str]]] = None
+        self._tenant_resolver: Optional[Callable[[str], Optional[str]]] = None
+        self._next_id = 0
+        self.max_records = max_records
+        self.decisions_dropped = 0
+
+    def cap(self, max_records: Optional[int]) -> None:
+        """Install (or lift, with ``None``) the retention ring cap."""
+        self.max_records = max_records
+        self._trim()
+
+    def _trim(self) -> None:
+        if self.max_records is None or self.max_records <= 0:
+            return
+        overflow = len(self._records) - self.max_records
+        if overflow > 0:
+            del self._records[:overflow]
+            self.decisions_dropped += overflow
 
     def set_step_resolver(self, resolver: Optional[Callable[[str], Optional[str]]]) -> None:
         """Install the DAG coordinator's ``workload id -> step label`` map.
@@ -261,6 +303,18 @@ class DecisionLog:
         records byte-identical to pre-DAG builds.
         """
         self._step_resolver = resolver
+
+    def set_tenant_resolver(
+        self, resolver: Optional[Callable[[str], Optional[str]]]
+    ) -> None:
+        """Install the tenancy layer's ``workload id -> tenant id`` map.
+
+        When set, every decision whose workload ids resolve gets its
+        ``tenant_id`` / ``batch_size`` fields filled automatically —
+        the same pattern as :meth:`set_step_resolver`.  Ids the
+        resolver does not know keep their records unchanged.
+        """
+        self._tenant_resolver = resolver
 
     def record(
         self,
@@ -283,8 +337,14 @@ class DecisionLog:
                 label = self._step_resolver(workload_id)
                 if label is not None:
                     steps[workload_id] = label
+        tenants: List[str] = []
+        if self._tenant_resolver is not None:
+            for workload_id in workload_ids:
+                tenant = self._tenant_resolver(workload_id)
+                if tenant is not None and tenant not in tenants:
+                    tenants.append(tenant)
         record = DecisionRecord(
-            decision_id=len(self._records),
+            decision_id=self._next_id,
             time=self.bus.now() if self.bus is not None else 0.0,
             kind=kind,
             workload_ids=tuple(workload_ids),
@@ -299,8 +359,12 @@ class DecisionLog:
             draw_index=draw_index,
             steps=steps,
             ready_set_size=len(workload_ids) if steps else None,
+            tenant_id=",".join(sorted(tenants)),
+            batch_size=len(workload_ids) if tenants else None,
         )
+        self._next_id += 1
         self._records.append(record)
+        self._trim()
         if self.bus is not None:
             self.bus.emit(
                 EventType.DECISION_EVALUATED,

@@ -43,7 +43,7 @@ class FeedEntry:
     """One line of the anomaly/violation feed."""
 
     time: float
-    kind: str  # "anomaly" | "fault" | "dead-letter" | "fallback" | "stream" | "slo"
+    kind: str  # "anomaly" | "fault" | "dead-letter" | "fallback" | "stream" | "slo" | "throttled"
     text: str
 
 
@@ -115,6 +115,17 @@ class WatchState:
                     "fallback",
                     f"{event.workload_id}: checkpoint fell back to "
                     f"{event.attrs.get('to_segments', '?')} segments",
+                )
+            )
+        elif event.type is EventType.TENANT_THROTTLED:
+            self.feed.append(
+                FeedEntry(
+                    event.time,
+                    "throttled",
+                    f"{event.attrs.get('tenant_id', '?')}: rejected "
+                    f"{event.workload_id or '?'} "
+                    f"(queued {event.attrs.get('queued', '?')}"
+                    f"/{event.attrs.get('limit', '?')})",
                 )
             )
 
@@ -208,8 +219,32 @@ def render_dashboard(
         f"activity     : {rollup.interruptions} interruptions, "
         f"{rollup.reacquires} reacquires, {rollup.fallbacks} od-fallbacks, "
         f"{rollup.checkpoints} checkpoints",
-        "",
     ]
+    if rollup.has_tenants:
+        # Top tenants by fleet share; single-plane runs never reach
+        # here, so pre-tenancy dashboards render byte-identically.
+        by_tenant = rollup.by_tenant()
+        top = sorted(
+            by_tenant.items(),
+            key=lambda pair: (-sum(pair[1].values()), pair[0]),
+        )[:8]
+        tenant_bits = []
+        for tenant_id, statuses in top:
+            total = sum(statuses.values())
+            done = statuses.get("done", 0)
+            bit = f"{tenant_id}={done}/{total}"
+            throttled = rollup.throttled_by_tenant.get(tenant_id, 0)
+            if throttled:
+                bit += f"(!{throttled})"
+            tenant_bits.append(bit)
+        overflow = len(by_tenant) - len(top)
+        if overflow > 0:
+            tenant_bits.append(f"+{overflow} more")
+        lines.append(f"tenants      : {'  '.join(tenant_bits) or '(none)'}")
+        strategies = rollup.by_strategy()
+        if strategies:
+            lines.append(f"strategies   : {_counts_line(strategies)}")
+    lines.append("")
 
     windows = state.windows.recent(show_windows)
     hours = state.windows.window_seconds / HOUR
